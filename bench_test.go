@@ -1,0 +1,353 @@
+// Benchmark harness: one benchmark per artifact of the paper's evaluation
+// (Table I, Figures 5-8) plus the reproduction's validation and ablation
+// experiments and micro-benchmarks of the core machinery.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks execute the same sweeps as cmd/chainexp and
+// report the headline numbers (two-level and partial-verification gains
+// at n = 50) as custom metrics, so `go test -bench` regenerates the
+// paper's observable results end to end.
+package chainckpt_test
+
+import (
+	"testing"
+
+	"chainckpt"
+	"chainckpt/internal/core"
+	"chainckpt/internal/evaluate"
+	"chainckpt/internal/experiments"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/sim"
+	"chainckpt/internal/workload"
+)
+
+// benchCfg is the paper-fidelity sweep: n = 1..50 step 1.
+var benchCfg = experiments.Config{MaxTasks: 50, Step: 1}
+
+// figureGains runs one figure sweep and reports the relative improvement
+// of ADMV* over ADV* and of ADMV over ADMV* at the largest n.
+func figureGains(b *testing.B, id string, pat workload.Pattern, plat platform.Platform) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Run(id, pat, plat, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := fig.Ns[len(fig.Ns)-1]
+		var adv, star, admv float64
+		for _, p := range fig.Points {
+			if p.N != last {
+				continue
+			}
+			switch p.Algorithm {
+			case core.AlgADV:
+				adv = p.Expected
+			case core.AlgADMVStar:
+				star = p.Expected
+			case core.AlgADMV:
+				admv = p.Expected
+			}
+		}
+		if !(admv <= star && star <= adv) {
+			b.Fatalf("dominance violated at n=%d: ADV*=%f ADMV*=%f ADMV=%f", last, adv, star, admv)
+		}
+		b.ReportMetric(100*(1-star/adv), "twolevel_gain_%")
+		b.ReportMetric(100*(1-admv/star), "partial_gain_%")
+		b.ReportMetric(admv/25000, "norm_makespan")
+	}
+}
+
+// BenchmarkTable1Platforms regenerates Table I.
+func BenchmarkTable1Platforms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.Table1()
+		if len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure5* regenerate the four rows of Figure 5 (Uniform).
+func BenchmarkFigure5Hera(b *testing.B) {
+	figureGains(b, "fig5-hera", workload.PatternUniform, platform.Hera())
+}
+func BenchmarkFigure5Atlas(b *testing.B) {
+	figureGains(b, "fig5-atlas", workload.PatternUniform, platform.Atlas())
+}
+func BenchmarkFigure5Coastal(b *testing.B) {
+	figureGains(b, "fig5-coastal", workload.PatternUniform, platform.Coastal())
+}
+func BenchmarkFigure5CoastalSSD(b *testing.B) {
+	figureGains(b, "fig5-coastal-ssd", workload.PatternUniform, platform.CoastalSSD())
+}
+
+// BenchmarkFigure6Placements regenerates the ADMV placements at n = 50 on
+// every platform (the strips of Figure 6) and reports the disk-checkpoint
+// count, which the paper observes to be exactly the final one.
+func BenchmarkFigure6Placements(b *testing.B) {
+	c, err := workload.Uniform(50, workload.PaperTotalWeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		totalDisk := 0
+		for _, plat := range platform.All() {
+			res, err := core.PlanADMV(c, plat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			totalDisk += res.Schedule.Counts().Disk
+		}
+		b.ReportMetric(float64(totalDisk)/4, "disk_ckpts_avg")
+	}
+}
+
+// BenchmarkFigure7Decrease regenerates Figure 7 (Decrease pattern on Hera
+// and Coastal SSD).
+func BenchmarkFigure7Decrease(b *testing.B) {
+	b.Run("Hera", func(b *testing.B) {
+		figureGains(b, "fig7-hera", workload.PatternDecrease, platform.Hera())
+	})
+	b.Run("CoastalSSD", func(b *testing.B) {
+		figureGains(b, "fig7-coastal-ssd", workload.PatternDecrease, platform.CoastalSSD())
+	})
+}
+
+// BenchmarkFigure8HighLow regenerates Figure 8 (HighLow pattern).
+func BenchmarkFigure8HighLow(b *testing.B) {
+	b.Run("Hera", func(b *testing.B) {
+		figureGains(b, "fig8-hera", workload.PatternHighLow, platform.Hera())
+	})
+	b.Run("CoastalSSD", func(b *testing.B) {
+		figureGains(b, "fig8-coastal-ssd", workload.PatternHighLow, platform.CoastalSSD())
+	})
+}
+
+// BenchmarkX1OracleAgreement runs the cross-validation experiment: DP vs
+// closed forms vs exact oracle vs Monte Carlo, reporting the worst
+// DP-vs-oracle relative deviation.
+func BenchmarkX1OracleAgreement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Validation(12, 4000, 2016)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, r := range rows {
+			d := r.DP - r.Oracle
+			if d < 0 {
+				d = -d
+			}
+			if rel := d / r.DP; rel > worst {
+				worst = rel
+			}
+			if r.Sigma > 6 {
+				b.Fatalf("simulation disagreed with oracle by %.1f sigma", r.Sigma)
+			}
+		}
+		b.ReportMetric(worst, "worst_rel_dev")
+	}
+}
+
+// BenchmarkX2AblationRecall sweeps the partial-verification recall on
+// Coastal SSD.
+func BenchmarkX2AblationRecall(b *testing.B) {
+	recalls := []float64{0, 0.4, 0.8, 1}
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RecallSweep(platform.CoastalSSD(), workload.PatternUniform, 30, recalls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(1-pts[len(pts)-1].Expected/pts[0].Expected), "recall_gain_%")
+	}
+}
+
+// BenchmarkX2AblationRates sweeps the error-rate multiplier on Hera.
+func BenchmarkX2AblationRates(b *testing.B) {
+	mults := []float64{0.5, 1, 4, 16}
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RateSweep(platform.Hera(), workload.PatternUniform, 25, mults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		b.ReportMetric(100*(1-last.Normalized[core.AlgADMVStar]/last.Normalized[core.AlgADV]),
+			"gain_at_16x_%")
+	}
+}
+
+// BenchmarkX4Heuristics compares the optimal planners against the
+// baseline heuristics on Hera/HighLow and reports the worst heuristic's
+// optimality gap.
+func BenchmarkX4Heuristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.HeuristicComparison(platform.Hera(), workload.PatternHighLow, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, r := range rows {
+			if r.GapPct < -1e-6 {
+				b.Fatalf("%s beats the DP optimum: gap %f%%", r.Name, r.GapPct)
+			}
+			if !r.Optimal && r.GapPct > worst {
+				worst = r.GapPct
+			}
+		}
+		b.ReportMetric(worst, "worst_heuristic_gap_%")
+	}
+}
+
+// BenchmarkX3BlindPlanning measures the penalty of silent-error-blind
+// planning on Hera.
+func BenchmarkX3BlindPlanning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bp, err := experiments.BlindPlanningPenalty(platform.Hera(), workload.PatternUniform, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(bp.PenaltyPct, "penalty_%")
+	}
+}
+
+// BenchmarkX5PatternVsDP compares the first-order periodic pattern
+// (companion paper [7]) against the exact DP on Hera/HighLow, reporting
+// the pattern's optimality gap.
+func BenchmarkX5PatternVsDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.PatternComparison(50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.GapPct < -1e-4 {
+				b.Fatalf("%s/%s: pattern beats the DP", r.Platform, r.Workload)
+			}
+			if r.Platform == "Hera" && r.Workload == workload.PatternHighLow {
+				b.ReportMetric(r.GapPct, "highlow_gap_%")
+			}
+			if r.Platform == "Hera" && r.Workload == workload.PatternUniform {
+				b.ReportMetric(r.GapPct, "uniform_gap_%")
+			}
+		}
+	}
+}
+
+// BenchmarkX7Robustness simulates the exponential-optimal schedule under
+// bursty Weibull arrivals (shape 0.7) and reports the prediction error.
+func BenchmarkX7Robustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Robustness(platform.Hera(), workload.PatternUniform, 25,
+			[]float64{0.7, 1}, 20000, 2016)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].DeltaPct, "bursty_delta_%")
+		if rows[1].DeltaPct > 1 || rows[1].DeltaPct < -1 {
+			b.Fatalf("shape-1 simulation should validate the model, got %+.3f%%", rows[1].DeltaPct)
+		}
+	}
+}
+
+// BenchmarkX6Sensitivity computes the ADMV-optimum elasticities on Hera
+// and reports the dominant one.
+func BenchmarkX6Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SensitivityReport(platform.Hera(), workload.PatternUniform, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, r := range rows {
+			if r.Elasticity > worst {
+				worst = r.Elasticity
+			}
+		}
+		b.ReportMetric(worst, "max_elasticity")
+	}
+}
+
+// --- micro-benchmarks of the core machinery ---
+
+func benchPlan(b *testing.B, alg chainckpt.Algorithm, n int) {
+	b.Helper()
+	c, err := chainckpt.Uniform(n, 25000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := chainckpt.Hera()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chainckpt.Plan(alg, c, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanADV_n50(b *testing.B)      { benchPlan(b, chainckpt.ADV, 50) }
+func BenchmarkPlanADMVStar_n50(b *testing.B) { benchPlan(b, chainckpt.ADMVStar, 50) }
+func BenchmarkPlanADMV_n50(b *testing.B)     { benchPlan(b, chainckpt.ADMV, 50) }
+func BenchmarkPlanADMV_n25(b *testing.B)     { benchPlan(b, chainckpt.ADMV, 25) }
+
+func BenchmarkClosedFormEvaluate_n50(b *testing.B) {
+	c, _ := chainckpt.Uniform(50, 25000)
+	p := chainckpt.Hera()
+	res, err := chainckpt.PlanADMV(c, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chainckpt.Evaluate(c, p, res.Schedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactOracle_n50(b *testing.B) {
+	c, _ := chainckpt.Uniform(50, 25000)
+	p := chainckpt.Hera()
+	res, err := chainckpt.PlanADMV(c, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chainckpt.ExactMakespan(c, p, res.Schedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarkovOracle_n20(b *testing.B) {
+	c, _ := chainckpt.Uniform(20, 25000)
+	p := chainckpt.Hera()
+	res, err := chainckpt.PlanADMV(c, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := evaluate.MarkovExact(c, p, res.Schedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulate1kReps_n50(b *testing.B) {
+	c, _ := chainckpt.Uniform(50, 25000)
+	p := chainckpt.Hera()
+	res, err := chainckpt.PlanADMV(c, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(c, p, res.Schedule, sim.Options{Replications: 1000, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

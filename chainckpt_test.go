@@ -1,0 +1,87 @@
+package chainckpt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The facade is a thin re-export layer; these tests exercise the public
+// workflow end to end the way the examples do.
+
+func TestPublicWorkflow(t *testing.T) {
+	c, err := Uniform(20, 25000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Hera()
+	res, err := PlanADMV(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpectedMakespan <= 25000 {
+		t.Errorf("makespan %f should exceed the error-free time", res.ExpectedMakespan)
+	}
+	closed, err := Evaluate(c, p, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactMakespan(c, p, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(closed-res.ExpectedMakespan) > 1e-6 {
+		t.Errorf("Evaluate %f vs Plan %f", closed, res.ExpectedMakespan)
+	}
+	if math.Abs(exact-closed)/closed > 1e-4 {
+		t.Errorf("oracle %f vs closed form %f", exact, closed)
+	}
+	simres, err := Simulate(c, p, res.Schedule, SimOptions{Replications: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simres.MeanWithin(exact, 5) {
+		t.Errorf("simulated %f +- %f vs exact %f", simres.Mean(), simres.Makespan.StdErr(), exact)
+	}
+}
+
+func TestPublicConstructors(t *testing.T) {
+	if _, err := NewChain(Task{Name: "k1", Weight: 10}); err != nil {
+		t.Error(err)
+	}
+	if _, err := ChainFromWeights(1, 2, 3); err != nil {
+		t.Error(err)
+	}
+	if _, err := Decrease(10, 1000); err != nil {
+		t.Error(err)
+	}
+	if _, err := HighLow(10, 1000); err != nil {
+		t.Error(err)
+	}
+	if _, err := RandomChain(rand.New(rand.NewSource(1)), 5, 100); err != nil {
+		t.Error(err)
+	}
+	if got := len(Platforms()); got != 4 {
+		t.Errorf("Platforms() returned %d", got)
+	}
+	if _, err := PlatformByName("Atlas"); err != nil {
+		t.Error(err)
+	}
+	s, err := NewSchedule(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Set(3, Disk)
+	if !s.At(3).Has(Guaranteed | Memory | Disk) {
+		t.Error("Disk must imply Memory and Guaranteed")
+	}
+}
+
+func TestPublicAlgorithmsRunnable(t *testing.T) {
+	c, _ := HighLow(12, 25000)
+	for _, alg := range []Algorithm{ADV, ADMVStar, ADMV} {
+		if _, err := Plan(alg, c, CoastalSSD()); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+}

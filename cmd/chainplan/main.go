@@ -1,0 +1,137 @@
+// Command chainplan computes the optimal resilience schedule for a linear
+// task graph and prints it.
+//
+// Usage:
+//
+//	chainplan [flags]
+//
+//	-platform name   Hera | Atlas | Coastal | "Coastal SSD" (default Hera)
+//	-pattern name    Uniform | Decrease | HighLow (default Uniform)
+//	-n tasks         number of tasks (default 50)
+//	-total seconds   total computational weight (default 25000)
+//	-weights list    explicit comma-separated weights (overrides -pattern/-n/-total)
+//	-alg name        ADV* | ADMV* | ADMV (default ADMV)
+//	-maxdisk k       disk-checkpoint budget (0 = unlimited)
+//	-instance path   load chain/platform/costs from an instance file
+//	-save path       write the instance (with the planned schedule) back
+//	-json            emit the result as JSON instead of text
+//
+// Example:
+//
+//	chainplan -platform Atlas -pattern HighLow -n 50 -alg ADMV
+//	chainplan -instance run.json -save planned.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"chainckpt"
+	"chainckpt/internal/instance"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chainplan: ")
+
+	platName := flag.String("platform", "Hera", "platform name from Table I")
+	patName := flag.String("pattern", "Uniform", "workload pattern (Uniform, Decrease, HighLow)")
+	n := flag.Int("n", 50, "number of tasks")
+	total := flag.Float64("total", 25000, "total computational weight in seconds")
+	weights := flag.String("weights", "", "explicit comma-separated task weights")
+	algName := flag.String("alg", "ADMV", "algorithm (ADV*, ADMV*, ADMV)")
+	maxDisk := flag.Int("maxdisk", 0, "disk-checkpoint budget (0 = unlimited)")
+	instPath := flag.String("instance", "", "load chain/platform/costs from an instance file")
+	savePath := flag.String("save", "", "write the instance with the planned schedule")
+	asJSON := flag.Bool("json", false, "emit JSON")
+	flag.Parse()
+
+	var (
+		c     *chainckpt.Chain
+		plat  chainckpt.Platform
+		costs *chainckpt.Costs
+		inst  *instance.Instance
+		err   error
+	)
+	if *instPath != "" {
+		inst, err = instance.LoadFile(*instPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, plat = inst.Chain, inst.Platform
+		if costs, err = inst.Costs(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if plat, err = chainckpt.PlatformByName(*platName); err != nil {
+			log.Fatal(err)
+		}
+		if c, err = buildChain(*weights, *patName, *n, *total); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := chainckpt.PlanWithOptions(chainckpt.Algorithm(*algName), c, plat,
+		chainckpt.PlanOptions{Costs: costs, MaxDiskCheckpoints: *maxDisk})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *savePath != "" {
+		out := &instance.Instance{Name: "chainplan", Chain: c, Platform: plat, Schedule: res.Schedule}
+		if inst != nil {
+			out.Name, out.Sizes = inst.Name, inst.Sizes
+		}
+		if err := out.SaveFile(*savePath); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	counts := res.Schedule.Counts()
+	fmt.Printf("platform:            %s\n", plat)
+	fmt.Printf("chain:               %s\n", c)
+	fmt.Printf("algorithm:           %s\n", res.Algorithm)
+	fmt.Printf("expected makespan:   %.2f s\n", res.ExpectedMakespan)
+	fmt.Printf("normalized makespan: %.5f\n", res.NormalizedMakespan(c))
+	fmt.Printf("mechanisms:          %d disk ckpt, %d memory ckpt, %d guaranteed verif, %d partial verif\n",
+		counts.Disk, counts.Memory, counts.Guaranteed, counts.Partial)
+	fmt.Printf("schedule:            %s\n\n", res.Schedule)
+	fmt.Println(res.Schedule.Strip())
+}
+
+func buildChain(weights, pattern string, n int, total float64) (*chainckpt.Chain, error) {
+	if weights != "" {
+		parts := strings.Split(weights, ",")
+		ws := make([]float64, 0, len(parts))
+		for _, p := range parts {
+			w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad weight %q: %v", p, err)
+			}
+			ws = append(ws, w)
+		}
+		return chainckpt.ChainFromWeights(ws...)
+	}
+	switch pattern {
+	case "Uniform":
+		return chainckpt.Uniform(n, total)
+	case "Decrease":
+		return chainckpt.Decrease(n, total)
+	case "HighLow":
+		return chainckpt.HighLow(n, total)
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", pattern)
+	}
+}

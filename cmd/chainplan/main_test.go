@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestBuildChainExplicitWeights(t *testing.T) {
+	c, err := buildChain("100, 200,300", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 || c.TotalWeight() != 600 {
+		t.Errorf("chain = %v", c)
+	}
+}
+
+func TestBuildChainRejectsBadWeights(t *testing.T) {
+	if _, err := buildChain("1,two,3", "", 0, 0); err == nil {
+		t.Error("non-numeric weight should fail")
+	}
+	if _, err := buildChain("1,-2", "", 0, 0); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestBuildChainPatterns(t *testing.T) {
+	for _, pattern := range []string{"Uniform", "Decrease", "HighLow"} {
+		c, err := buildChain("", pattern, 10, 1000)
+		if err != nil {
+			t.Fatalf("%s: %v", pattern, err)
+		}
+		if c.Len() != 10 {
+			t.Errorf("%s: len = %d", pattern, c.Len())
+		}
+	}
+	if _, err := buildChain("", "Spiral", 10, 1000); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+}

@@ -1,0 +1,65 @@
+package chainckpt_test
+
+import (
+	"fmt"
+
+	"chainckpt"
+)
+
+// Plan the optimal schedule for a small uniform chain on Hera and print
+// the mechanisms it places.
+func Example() {
+	c, _ := chainckpt.Uniform(10, 25000)
+	res, _ := chainckpt.PlanADMVStar(c, chainckpt.Hera())
+	counts := res.Schedule.Counts()
+	fmt.Printf("disk=%d memory=%d guaranteed=%d\n", counts.Disk, counts.Memory, counts.Guaranteed)
+	// Output:
+	// disk=1 memory=10 guaranteed=10
+}
+
+// Evaluate a hand-built schedule and compare it with the optimum.
+func ExampleEvaluate() {
+	c, _ := chainckpt.Uniform(4, 10000)
+	p := chainckpt.Hera()
+
+	// Checkpoint to memory halfway, disk at the end.
+	s, _ := chainckpt.NewSchedule(4)
+	s.Set(2, chainckpt.Memory)
+	s.Set(4, chainckpt.Disk)
+	hand, _ := chainckpt.Evaluate(c, p, s)
+
+	opt, _ := chainckpt.PlanADMVStar(c, p)
+	fmt.Printf("hand-built is within %.1f s of the optimum\n", hand-opt.ExpectedMakespan)
+	// Output:
+	// hand-built is within 24.1 s of the optimum
+}
+
+// Restrict where checkpoints may go and replan.
+func ExamplePlanConstrained() {
+	c, _ := chainckpt.Uniform(6, 12000)
+	p := chainckpt.Hera()
+	cons, _ := chainckpt.NewConstraints(6)
+	for i := 1; i < 6; i++ {
+		cons.Forbid(i, chainckpt.Memory) // verifications only inside
+	}
+	res, _ := chainckpt.PlanConstrained(chainckpt.ADMVStar, c, p, cons)
+	counts := res.Schedule.Counts()
+	fmt.Printf("memory checkpoints: %d (only the final one)\n", counts.Memory)
+	// Output:
+	// memory checkpoints: 1 (only the final one)
+}
+
+// Render a schedule as the paper's Figure 6 strip.
+func ExampleSchedule_strip() {
+	s, _ := chainckpt.NewSchedule(8)
+	s.Set(2, chainckpt.Partial)
+	s.Set(4, chainckpt.Memory)
+	s.Set(6, chainckpt.Partial)
+	s.Set(8, chainckpt.Disk)
+	fmt.Println(s.Strip())
+	// Output:
+	// Disk ckpts        |.......D|
+	// Memory ckpts      |...M...M|
+	// Guaranteed verifs |...*...*|
+	// Partial verifs    |.v...v..|
+}

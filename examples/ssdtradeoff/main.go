@@ -1,0 +1,72 @@
+// SSD trade-off study: on Coastal SSD, checkpoints and guaranteed
+// verifications are expensive (C_M = V* = 180 s), so cheap partial
+// verifications become "the only affordable resilience tool" (paper,
+// Section IV). This example reproduces that effect with the public API:
+// it sweeps the partial-verification recall and cost and shows how the
+// optimal schedule shifts from guaranteed to partial verifications.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chainckpt"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	c, err := chainckpt.Uniform(50, 25000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := chainckpt.CoastalSSD()
+
+	// Reference points: the two-level planner without partials, and the
+	// full planner at the paper's parameters (V = V*/100, r = 0.8).
+	star, err := chainckpt.PlanADMVStar(c, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := chainckpt.PlanADMV(c, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Coastal SSD, Uniform, n=50 (C_D=%g, C_M=V*=%g, V=%g, r=%g)\n\n",
+		base.CD, base.CM, base.V, base.Recall)
+	fmt.Printf("ADMV* (no partials):  %.1f s\n", star.ExpectedMakespan)
+	fmt.Printf("ADMV  (with partials): %.1f s  -> %.2f%% better\n\n",
+		full.ExpectedMakespan, 100*(1-full.ExpectedMakespan/star.ExpectedMakespan))
+
+	fmt.Println("recall sweep (V = V*/100):")
+	fmt.Println("  r      E[makespan]   #V*  #V    gain vs ADMV*")
+	for _, r := range []float64{0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0} {
+		p := base
+		p.Recall = r
+		res, err := chainckpt.PlanADMV(c, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := res.Schedule.Counts()
+		fmt.Printf("  %-5.2f  %10.1f   %3d  %3d    %5.2f%%\n",
+			r, res.ExpectedMakespan, counts.Guaranteed, counts.Partial,
+			100*(1-res.ExpectedMakespan/star.ExpectedMakespan))
+	}
+
+	fmt.Println("\npartial-verification cost sweep (r = 0.8):")
+	fmt.Println("  V/V*    E[makespan]   #V*  #V")
+	for _, frac := range []float64{0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0} {
+		p := base
+		p.V = frac * p.VStar
+		res, err := chainckpt.PlanADMV(c, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := res.Schedule.Counts()
+		fmt.Printf("  %-6.3f  %10.1f   %3d  %3d\n",
+			frac, res.ExpectedMakespan, counts.Guaranteed, counts.Partial)
+	}
+
+	fmt.Println("\noptimal placement at the paper's parameters:")
+	fmt.Println(full.Schedule.Strip())
+}

@@ -1,0 +1,176 @@
+package chainckpt
+
+import (
+	"math"
+	"testing"
+)
+
+// Exercises the extended public surface end to end: constraints, budgets,
+// per-boundary costs, workflows, heuristics, sensitivity and tracing.
+
+func TestFacadeConstraintsAndBudget(t *testing.T) {
+	c, err := Uniform(10, 25000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Hera()
+	p.LambdaF *= 50
+	cons, err := NewConstraints(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons.Forbid(5, Disk)
+	res, err := PlanWithOptions(ADMVStar, c, p, PlanOptions{
+		Constraints:        cons,
+		MaxDiskCheckpoints: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Counts().Disk > 2 {
+		t.Errorf("budget violated: %+v", res.Schedule.Counts())
+	}
+	if res.Schedule.At(5).Has(Disk) {
+		t.Error("constraint violated")
+	}
+}
+
+func TestFacadeCostsRoundTrip(t *testing.T) {
+	c, _ := Uniform(6, 12000)
+	p := Hera()
+	sizes := []float64{1, 2, 1, 0.5, 1, 1}
+	costs, err := ScaledCosts(p, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.At(2).CM != 2*p.CM {
+		t.Error("ScaledCosts wrong")
+	}
+	uni, err := UniformCosts(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.At(3) != (BoundaryCosts{CD: p.CD, CM: p.CM, RD: p.RD, RM: p.RM, VStar: p.VStar, V: p.V}) {
+		t.Error("UniformCosts wrong")
+	}
+	res, err := PlanWithCosts(ADMV, c, p, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := EvaluateWithCosts(c, p, costs, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactMakespanWithCosts(c, p, costs, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(closed-res.ExpectedMakespan) > 1e-6 {
+		t.Errorf("closed %f vs plan %f", closed, res.ExpectedMakespan)
+	}
+	if math.Abs(exact-closed)/closed > 1e-4 {
+		t.Errorf("exact %f vs closed %f", exact, closed)
+	}
+	full, err := PlanFull(ADMV, c, p, costs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.ExpectedMakespan != res.ExpectedMakespan {
+		t.Error("PlanFull disagrees with PlanWithCosts")
+	}
+}
+
+func TestFacadeWorkflow(t *testing.T) {
+	g := NewWorkflow()
+	for _, n := range []struct {
+		id string
+		w  float64
+	}{{"a", 1000}, {"b", 4000}, {"c", 500}, {"d", 800}} {
+		if err := g.AddNode(n.id, n.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("b", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	best, err := PlanWorkflow(ADMVStar, g, Hera())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best.Order) != 4 || best.Order[0] != "a" || best.Order[3] != "d" {
+		t.Errorf("order = %v", best.Order)
+	}
+	if len(WorkflowStrategies()) < 4 {
+		t.Error("missing strategies")
+	}
+	single, err := PlanWorkflowWith(ADMVStar, g, Hera(), WorkflowStrategies()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Plan.ExpectedMakespan < best.Plan.ExpectedMakespan-1e-9 {
+		t.Error("single strategy beat the combined best")
+	}
+}
+
+func TestFacadeHeuristics(t *testing.T) {
+	c, _ := Uniform(12, 25000)
+	p := Hera()
+	opt, err := PlanADMV(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, h := range map[string]func(*Chain, Platform) (*HeuristicResult, error){
+		"final":   HeuristicFinalOnly,
+		"daly":    HeuristicDaly,
+		"pattern": HeuristicPattern,
+		"scan":    HeuristicPeriodicScan,
+		"greedy":  HeuristicGreedy,
+	} {
+		res, err := h(c, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.ExpectedMakespan < opt.ExpectedMakespan*(1-1e-9) {
+			t.Errorf("%s beats the optimum", name)
+		}
+	}
+}
+
+func TestFacadeSensitivityAndTrace(t *testing.T) {
+	c, _ := Uniform(8, 25000)
+	p := Hera()
+	res, err := PlanADMVStar(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elas, err := Elasticities(c, p, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elas) != 9 {
+		t.Errorf("got %d elasticities", len(elas))
+	}
+	events, err := TraceExecution(c, p, res.Schedule, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || FormatTrace(events) == "" {
+		t.Error("empty trace")
+	}
+	sim, err := Simulate(c, p, res.Schedule, SimOptions{Replications: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(sim.Breakdown.Total() - sim.Mean()); d > 1e-6*sim.Mean() {
+		t.Errorf("breakdown total %f vs mean %f", sim.Breakdown.Total(), sim.Mean())
+	}
+}

@@ -1,0 +1,149 @@
+// Package ascii renders the experiment outputs in plain text: aligned
+// tables, multi-series line charts, and the placement strips of the
+// paper's Figure 6. It keeps the reproduction fully terminal-based, with
+// CSV files as the machine-readable companion.
+package ascii
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows under headers with space-padded columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Label string
+	Y     []float64 // aligned with the shared X values
+}
+
+// seriesMarkers are cycled across series.
+var seriesMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// LineChart renders series sharing the x axis as a fixed-size text plot.
+// NaN values are skipped (useful for series that only exist for some x).
+func LineChart(title string, xs []float64, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(xs) == 0 || len(series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	xmin, xmax := xs[0], xs[0]
+	for _, x := range xs {
+		xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) {
+				continue
+			}
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := seriesMarkers[si%len(seriesMarkers)]
+		for i, y := range s.Y {
+			if i >= len(xs) || math.IsNaN(y) {
+				continue
+			}
+			col := int(float64(width-1) * (xs[i] - xmin) / (xmax - xmin))
+			row := height - 1 - int(float64(height-1)*(y-ymin)/(ymax-ymin))
+			grid[row][col] = marker
+		}
+	}
+
+	labelW := 10
+	for r := 0; r < height; r++ {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.4g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%9.4g", ymin)
+		default:
+			label = strings.Repeat(" ", 9)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, grid[r])
+	}
+	fmt.Fprintf(&b, "%s %s\n", strings.Repeat(" ", labelW),
+		axisLine(xmin, xmax, width))
+	legend := make([]string, len(series))
+	for i, s := range series {
+		legend[i] = fmt.Sprintf("%c=%s", seriesMarkers[i%len(seriesMarkers)], s.Label)
+	}
+	fmt.Fprintf(&b, "%s %s\n", strings.Repeat(" ", labelW), strings.Join(legend, "  "))
+	return b.String()
+}
+
+func axisLine(xmin, xmax float64, width int) string {
+	left := fmt.Sprintf("%-.4g", xmin)
+	right := fmt.Sprintf("%.4g", xmax)
+	pad := width + 2 - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	return left + strings.Repeat(" ", pad) + right
+}

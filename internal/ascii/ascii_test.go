@@ -1,0 +1,94 @@
+package ascii
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"a", "1"},
+		{"longer", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator line %q", lines[1])
+	}
+	// "value" column must start at the same offset in every row.
+	col := strings.Index(lines[0], "value")
+	if got := strings.Index(lines[3], "22"); got != col {
+		t.Errorf("column misaligned: header at %d, cell at %d\n%s", col, got, out)
+	}
+}
+
+func TestTableHandlesRaggedRows(t *testing.T) {
+	out := Table([]string{"a", "b"}, [][]string{{"only"}})
+	if !strings.Contains(out, "only") {
+		t.Errorf("missing cell:\n%s", out)
+	}
+}
+
+func TestLineChartBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	out := LineChart("title", xs, []Series{
+		{Label: "up", Y: []float64{1, 2, 3, 4, 5}},
+		{Label: "down", Y: []float64{5, 4, 3, 2, 1}},
+	}, 40, 10)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing markers")
+	}
+	// Max label on the first plotted row, min on the last.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "5") {
+		t.Errorf("expected ymax label on first row: %q", lines[1])
+	}
+}
+
+func TestLineChartSkipsNaN(t *testing.T) {
+	out := LineChart("", []float64{1, 2, 3}, []Series{
+		{Label: "partial", Y: []float64{math.NaN(), 2, math.NaN()}},
+	}, 20, 5)
+	markers := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") { // plot rows only, not the legend
+			markers += strings.Count(line, "*")
+		}
+	}
+	if markers != 1 {
+		t.Errorf("want exactly one marker in the grid:\n%s", out)
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	if out := LineChart("t", nil, nil, 20, 5); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart: %q", out)
+	}
+	out := LineChart("t", []float64{1}, []Series{{Label: "pt", Y: []float64{3}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point should render:\n%s", out)
+	}
+	allNaN := LineChart("t", []float64{1}, []Series{{Label: "x", Y: []float64{math.NaN()}}}, 20, 5)
+	if !strings.Contains(allNaN, "no data") {
+		t.Errorf("all-NaN chart: %q", allNaN)
+	}
+}
+
+func TestLineChartClampsTinyDimensions(t *testing.T) {
+	out := LineChart("", []float64{1, 2}, []Series{{Label: "s", Y: []float64{1, 2}}}, 1, 1)
+	if len(out) == 0 {
+		t.Error("chart with tiny dimensions must still render")
+	}
+}

@@ -1,0 +1,118 @@
+// Package bruteforce exhaustively enumerates resilience schedules for
+// small chains and returns the one minimizing a pluggable evaluator. It
+// exists to verify the dynamic programs of internal/core: the DP optimum
+// must equal the brute-force optimum over the algorithm's admissible
+// action set (exactly under the paper's closed forms, and up to the
+// Section III-B accounting residual under the exact Markov oracle).
+package bruteforce
+
+import (
+	"fmt"
+	"math"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+)
+
+// Evaluator computes the expected makespan of a fixed complete schedule.
+// Both core.Evaluate (closed forms) and evaluate.Exact (Markov renewal)
+// satisfy this signature.
+type Evaluator func(*chain.Chain, platform.Platform, *schedule.Schedule) (float64, error)
+
+// MaxTasks bounds the exhaustive search: 5^(n-1) schedules are evaluated,
+// which stays below two million up to n = 10.
+const MaxTasks = 10
+
+// ActionSet returns the per-boundary action choices admissible for the
+// given algorithm (the final boundary is always V*+M+D).
+func ActionSet(alg core.Algorithm) ([]schedule.Action, error) {
+	switch alg {
+	case core.AlgADV:
+		// Disk checkpoints (with co-located memory checkpoint) and
+		// guaranteed verifications only.
+		return []schedule.Action{
+			schedule.None,
+			schedule.Guaranteed,
+			schedule.Guaranteed | schedule.Memory | schedule.Disk,
+		}, nil
+	case core.AlgADMVStar:
+		return []schedule.Action{
+			schedule.None,
+			schedule.Guaranteed,
+			schedule.Guaranteed | schedule.Memory,
+			schedule.Guaranteed | schedule.Memory | schedule.Disk,
+		}, nil
+	case core.AlgADMV:
+		return []schedule.Action{
+			schedule.None,
+			schedule.Partial,
+			schedule.Guaranteed,
+			schedule.Guaranteed | schedule.Memory,
+			schedule.Guaranteed | schedule.Memory | schedule.Disk,
+		}, nil
+	default:
+		return nil, fmt.Errorf("bruteforce: unknown algorithm %q", alg)
+	}
+}
+
+// Result is the outcome of an exhaustive search.
+type Result struct {
+	// Best is the minimizing schedule.
+	Best *schedule.Schedule
+	// Value is its evaluated expected makespan.
+	Value float64
+	// Enumerated is the number of schedules evaluated.
+	Enumerated int
+}
+
+// Optimal enumerates every complete schedule whose boundary actions come
+// from the algorithm's action set and returns the evaluator's minimizer.
+func Optimal(alg core.Algorithm, c *chain.Chain, p platform.Platform, eval Evaluator) (*Result, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("bruteforce: empty chain")
+	}
+	n := c.Len()
+	if n > MaxTasks {
+		return nil, fmt.Errorf("bruteforce: n = %d exceeds the enumeration bound %d", n, MaxTasks)
+	}
+	actions, err := ActionSet(alg)
+	if err != nil {
+		return nil, err
+	}
+
+	sched, err := schedule.New(n)
+	if err != nil {
+		return nil, err
+	}
+	sched.Set(n, schedule.Disk)
+
+	res := &Result{Value: math.Inf(1)}
+	choice := make([]int, n) // choice[i] indexes actions for boundary i+1; boundary n fixed
+	for {
+		v, err := eval(c, p, sched)
+		if err != nil {
+			return nil, fmt.Errorf("bruteforce: evaluating %v: %w", sched, err)
+		}
+		res.Enumerated++
+		if v < res.Value {
+			res.Value = v
+			res.Best = sched.Clone()
+		}
+		// Advance the mixed-radix counter over boundaries 1..n-1.
+		i := 0
+		for ; i < n-1; i++ {
+			choice[i]++
+			if choice[i] < len(actions) {
+				sched.Set(i+1, actions[choice[i]])
+				break
+			}
+			choice[i] = 0
+			sched.Set(i+1, actions[0])
+		}
+		if i == n-1 {
+			return res, nil
+		}
+	}
+}

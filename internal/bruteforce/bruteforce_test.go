@@ -1,0 +1,152 @@
+package bruteforce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/evaluate"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+func TestActionSetSizes(t *testing.T) {
+	for _, tc := range []struct {
+		alg  core.Algorithm
+		want int
+	}{
+		{core.AlgADV, 3},
+		{core.AlgADMVStar, 4},
+		{core.AlgADMV, 5},
+	} {
+		set, err := ActionSet(tc.alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != tc.want {
+			t.Errorf("%s: %d actions, want %d", tc.alg, len(set), tc.want)
+		}
+	}
+	if _, err := ActionSet("bogus"); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestEnumerationCount(t *testing.T) {
+	c, _ := workload.Uniform(4, 4000)
+	res, err := Optimal(core.AlgADMV, c, platform.Hera(), core.Evaluate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Enumerated != 125 { // 5^(4-1)
+		t.Errorf("enumerated %d schedules, want 125", res.Enumerated)
+	}
+}
+
+func TestBoundsChecked(t *testing.T) {
+	c, _ := workload.Uniform(MaxTasks+1, 1000)
+	if _, err := Optimal(core.AlgADV, c, platform.Hera(), core.Evaluate); err == nil {
+		t.Error("n beyond MaxTasks should fail")
+	}
+	if _, err := Optimal(core.AlgADV, nil, platform.Hera(), core.Evaluate); err == nil {
+		t.Error("nil chain should fail")
+	}
+}
+
+// TestDPMatchesBruteForceClosedForm is the central optimality check: the
+// dynamic programs minimize the paper's closed-form objective, so their
+// value must equal the exhaustive minimum of core.Evaluate over the
+// admissible action set — for every algorithm.
+func TestDPMatchesBruteForceClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	platforms := []platform.Platform{platform.Hera(), platform.CoastalSSD()}
+	// Inflated-rate variants exercise checkpoint-heavy optima.
+	hot := platform.Hera()
+	hot.LambdaF *= 100
+	hot.LambdaS *= 100
+	platforms = append(platforms, hot)
+
+	for trial := 0; trial < 6; trial++ {
+		n := 2 + rng.Intn(5) // up to 6 tasks
+		var c *chain.Chain
+		var err error
+		if trial%2 == 0 {
+			c, err = workload.Random(rng, n, 25000)
+		} else {
+			c, err = workload.Generate(workload.Patterns()[trial%3], n, 25000)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range platforms {
+			for _, alg := range core.Algorithms() {
+				dp, err := core.Plan(alg, c, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bf, err := Optimal(alg, c, p, core.Evaluate)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rel := math.Abs(dp.ExpectedMakespan-bf.Value) / bf.Value; rel > 1e-10 {
+					t.Errorf("trial %d %s %s n=%d: DP %.8f vs brute force %.8f (rel %.2e)\nDP:  %v\nBF:  %v",
+						trial, p.Name, alg, n, dp.ExpectedMakespan, bf.Value, rel,
+						dp.Schedule, bf.Best)
+				}
+			}
+		}
+	}
+}
+
+// TestDPNearOptimalUnderExactOracle quantifies the regret of the ADMV
+// accounting against the exact model semantics: the schedule the DP picks,
+// valued by the exact oracle, must be within a hair of the true optimum
+// found by brute force under the same oracle.
+func TestDPNearOptimalUnderExactOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	hot := platform.Hera()
+	hot.LambdaF *= 50
+	hot.LambdaS *= 50
+	worst := 0.0
+	for trial := 0; trial < 4; trial++ {
+		n := 2 + rng.Intn(4)
+		c, err := workload.Random(rng, n, 25000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []platform.Platform{platform.Hera(), hot} {
+			for _, alg := range core.Algorithms() {
+				dp, err := core.Plan(alg, c, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dpExact, err := evaluate.Exact(c, p, dp.Schedule)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bf, err := Optimal(alg, c, p, evaluate.Exact)
+				if err != nil {
+					t.Fatal(err)
+				}
+				regret := (dpExact - bf.Value) / bf.Value
+				if regret < -1e-10 {
+					t.Fatalf("DP schedule beats the brute-force optimum: impossible (regret %.2e)", regret)
+				}
+				tol := 1e-10
+				if alg == core.AlgADMV {
+					tol = 1e-4 // Section III-B accounting residual
+				}
+				if regret > tol {
+					t.Errorf("trial %d %s %s: DP regret under exact oracle %.3e > %.0e",
+						trial, p.Name, alg, regret, tol)
+				}
+				if regret > worst {
+					worst = regret
+				}
+			}
+		}
+	}
+	t.Logf("worst DP regret under the exact oracle: %.3e", worst)
+}

@@ -1,0 +1,187 @@
+// Package chain models the linear task graphs of the paper: an application
+// T1 -> T2 -> ... -> Tn where each task Ti carries a computational weight
+// w_i (seconds of error-free execution) and resilience actions may only be
+// inserted at task boundaries.
+//
+// The package pre-computes prefix sums so that the segment weights
+// W_{i,j} = w_{i+1} + ... + w_j needed throughout the dynamic programs are
+// O(1) lookups.
+package chain
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"chainckpt/internal/expmath"
+)
+
+// Task is one computational kernel of the workflow. Name is optional and
+// only used for display.
+type Task struct {
+	Name   string  `json:"name,omitempty"`
+	Weight float64 `json:"weight"`
+}
+
+// Chain is an immutable linear task graph. The zero value is an empty
+// chain; use New or FromWeights to build one.
+type Chain struct {
+	tasks  []Task
+	prefix []float64 // prefix[i] = w_1 + ... + w_i, prefix[0] = 0
+}
+
+// ErrEmpty reports a chain with no tasks.
+var ErrEmpty = errors.New("chain: must contain at least one task")
+
+// New builds a chain from explicit tasks. Weights must be finite and
+// non-negative.
+func New(tasks ...Task) (*Chain, error) {
+	if len(tasks) == 0 {
+		return nil, ErrEmpty
+	}
+	c := &Chain{
+		tasks:  make([]Task, len(tasks)),
+		prefix: make([]float64, len(tasks)+1),
+	}
+	copy(c.tasks, tasks)
+	for i, t := range tasks {
+		if err := expmath.CheckDuration(t.Weight); err != nil {
+			return nil, fmt.Errorf("chain: task %d (%q): %w", i+1, t.Name, err)
+		}
+		c.prefix[i+1] = c.prefix[i] + t.Weight
+	}
+	return c, nil
+}
+
+// FromWeights builds a chain of anonymous tasks from weights.
+func FromWeights(weights ...float64) (*Chain, error) {
+	tasks := make([]Task, len(weights))
+	for i, w := range weights {
+		tasks[i] = Task{Weight: w}
+	}
+	return New(tasks...)
+}
+
+// MustFromWeights is FromWeights that panics on error; for tests and
+// examples with literal inputs.
+func MustFromWeights(weights ...float64) *Chain {
+	c, err := FromWeights(weights...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the number of tasks n.
+func (c *Chain) Len() int { return len(c.tasks) }
+
+// Task returns task Ti for i in [1, n].
+func (c *Chain) Task(i int) Task {
+	c.checkIndex(i, 1)
+	return c.tasks[i-1]
+}
+
+// Weight returns w_i for i in [1, n].
+func (c *Chain) Weight(i int) float64 {
+	c.checkIndex(i, 1)
+	return c.tasks[i-1].Weight
+}
+
+// TotalWeight returns w_1 + ... + w_n, the error-free makespan without any
+// resilience action.
+func (c *Chain) TotalWeight() float64 { return c.prefix[len(c.tasks)] }
+
+// SegmentWeight returns W_{i,j} = sum of w_k for k in (i, j], the paper's
+// time to execute tasks T_{i+1} through T_j. It requires 0 <= i <= j <= n
+// and returns 0 when i == j.
+func (c *Chain) SegmentWeight(i, j int) float64 {
+	c.checkIndex(i, 0)
+	c.checkIndex(j, 0)
+	if i > j {
+		panic(fmt.Sprintf("chain: SegmentWeight(%d, %d): i > j", i, j))
+	}
+	return c.prefix[j] - c.prefix[i]
+}
+
+// Weights returns a copy of the weight vector.
+func (c *Chain) Weights() []float64 {
+	w := make([]float64, len(c.tasks))
+	for i, t := range c.tasks {
+		w[i] = t.Weight
+	}
+	return w
+}
+
+// Scale returns a new chain with every weight multiplied by f (>= 0).
+func (c *Chain) Scale(f float64) (*Chain, error) {
+	if err := expmath.CheckDuration(f); err != nil {
+		return nil, fmt.Errorf("chain: scale factor: %w", err)
+	}
+	tasks := make([]Task, len(c.tasks))
+	for i, t := range c.tasks {
+		tasks[i] = Task{Name: t.Name, Weight: t.Weight * f}
+	}
+	return New(tasks...)
+}
+
+// Concat returns the chain c followed by d.
+func (c *Chain) Concat(d *Chain) (*Chain, error) {
+	tasks := make([]Task, 0, len(c.tasks)+len(d.tasks))
+	tasks = append(tasks, c.tasks...)
+	tasks = append(tasks, d.tasks...)
+	return New(tasks...)
+}
+
+// MaxWeight returns the largest task weight.
+func (c *Chain) MaxWeight() float64 {
+	m := 0.0
+	for _, t := range c.tasks {
+		m = math.Max(m, t.Weight)
+	}
+	return m
+}
+
+// String renders a short human-readable summary.
+func (c *Chain) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chain{n=%d, W=%.6g", c.Len(), c.TotalWeight())
+	if n := c.Len(); n <= 8 {
+		b.WriteString(", w=[")
+		for i := 1; i <= n; i++ {
+			if i > 1 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6g", c.Weight(i))
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MarshalJSON encodes the chain as its task list.
+func (c *Chain) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.tasks)
+}
+
+// UnmarshalJSON decodes a task list and revalidates it.
+func (c *Chain) UnmarshalJSON(data []byte) error {
+	var tasks []Task
+	if err := json.Unmarshal(data, &tasks); err != nil {
+		return err
+	}
+	nc, err := New(tasks...)
+	if err != nil {
+		return err
+	}
+	*c = *nc
+	return nil
+}
+
+func (c *Chain) checkIndex(i, min int) {
+	if i < min || i > len(c.tasks) {
+		panic(fmt.Sprintf("chain: index %d out of range [%d, %d]", i, min, len(c.tasks)))
+	}
+}

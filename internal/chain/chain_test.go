@@ -1,0 +1,194 @@
+package chain
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("New() with no tasks should fail")
+	}
+	if _, err := FromWeights(); err == nil {
+		t.Fatal("FromWeights() with no weights should fail")
+	}
+}
+
+func TestNewRejectsBadWeights(t *testing.T) {
+	for _, w := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := FromWeights(1, w, 3); err == nil {
+			t.Errorf("FromWeights with %v should fail", w)
+		}
+	}
+}
+
+func TestZeroWeightTaskAllowed(t *testing.T) {
+	c, err := FromWeights(0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalWeight() != 5 {
+		t.Errorf("TotalWeight = %g, want 5", c.TotalWeight())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c, err := New(Task{Name: "lu", Weight: 10}, Task{Name: "qr", Weight: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.Task(1).Name; got != "lu" {
+		t.Errorf("Task(1).Name = %q", got)
+	}
+	if got := c.Weight(2); got != 20 {
+		t.Errorf("Weight(2) = %g", got)
+	}
+	if got := c.TotalWeight(); got != 30 {
+		t.Errorf("TotalWeight = %g", got)
+	}
+	if got := c.MaxWeight(); got != 20 {
+		t.Errorf("MaxWeight = %g", got)
+	}
+}
+
+func TestSegmentWeight(t *testing.T) {
+	c := MustFromWeights(1, 2, 3, 4, 5)
+	tests := []struct {
+		i, j int
+		want float64
+	}{
+		{0, 0, 0}, {0, 5, 15}, {0, 1, 1}, {1, 1, 0},
+		{1, 3, 5}, {2, 5, 12}, {4, 5, 5}, {5, 5, 0},
+	}
+	for _, tc := range tests {
+		if got := c.SegmentWeight(tc.i, tc.j); got != tc.want {
+			t.Errorf("SegmentWeight(%d,%d) = %g, want %g", tc.i, tc.j, got, tc.want)
+		}
+	}
+}
+
+func TestSegmentWeightPanics(t *testing.T) {
+	c := MustFromWeights(1, 2)
+	for _, tc := range [][2]int{{-1, 1}, {0, 3}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SegmentWeight(%d,%d) should panic", tc[0], tc[1])
+				}
+			}()
+			c.SegmentWeight(tc[0], tc[1])
+		}()
+	}
+}
+
+func TestSegmentWeightAdditive(t *testing.T) {
+	// W_{i,k} = W_{i,j} + W_{j,k} for any i <= j <= k.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() * 1000
+		}
+		c := MustFromWeights(w...)
+		i := rng.Intn(n + 1)
+		k := i + rng.Intn(n+1-i)
+		j := i + rng.Intn(k-i+1)
+		lhs := c.SegmentWeight(i, k)
+		rhs := c.SegmentWeight(i, j) + c.SegmentWeight(j, k)
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightsReturnsCopy(t *testing.T) {
+	c := MustFromWeights(1, 2, 3)
+	w := c.Weights()
+	w[0] = 99
+	if c.Weight(1) != 1 {
+		t.Error("Weights() must return a copy")
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := MustFromWeights(1, 2, 3)
+	s, err := c.Scale(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalWeight(); math.Abs(got-15) > 1e-12 {
+		t.Errorf("scaled TotalWeight = %g, want 15", got)
+	}
+	if _, err := c.Scale(-1); err == nil {
+		t.Error("Scale(-1) should fail")
+	}
+	// original untouched
+	if c.TotalWeight() != 6 {
+		t.Error("Scale must not mutate the receiver")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := MustFromWeights(1, 2)
+	b := MustFromWeights(3)
+	c, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 || c.TotalWeight() != 6 {
+		t.Errorf("Concat = %v", c)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c, err := New(Task{Name: "a", Weight: 1.5}, Task{Weight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Chain
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Task(1).Name != "a" || back.TotalWeight() != 3.5 {
+		t.Errorf("round trip mismatch: %v", &back)
+	}
+	// SegmentWeight must work on the decoded chain (prefix rebuilt).
+	if got := back.SegmentWeight(0, 2); got != 3.5 {
+		t.Errorf("decoded SegmentWeight = %g", got)
+	}
+}
+
+func TestUnmarshalRejectsBadChain(t *testing.T) {
+	var c Chain
+	if err := json.Unmarshal([]byte(`[{"weight": -3}]`), &c); err == nil {
+		t.Error("negative weight must fail to decode")
+	}
+	if err := json.Unmarshal([]byte(`[]`), &c); err == nil {
+		t.Error("empty chain must fail to decode")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := MustFromWeights(1, 2, 3)
+	s := c.String()
+	if !strings.Contains(s, "n=3") || !strings.Contains(s, "W=6") {
+		t.Errorf("String() = %q", s)
+	}
+	long := MustFromWeights(make([]float64, 20)...)
+	if strings.Contains(long.String(), "w=[") {
+		t.Error("long chains should not dump all weights")
+	}
+}

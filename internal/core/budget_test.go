@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
+)
+
+// hotHera returns Hera with rates inflated so the unconstrained optimum
+// wants several disk checkpoints.
+func hotHera() platform.Platform {
+	p := platform.Hera()
+	p.LambdaF *= 100
+	p.LambdaS *= 20
+	return p
+}
+
+func TestUnlimitedBudgetMatchesPlan(t *testing.T) {
+	c, _ := workload.Uniform(18, 25000)
+	p := hotHera()
+	for _, alg := range Algorithms() {
+		free := mustPlan(t, alg, c, p)
+		for _, k := range []int{0, 18, 99} {
+			res, err := PlanOpts(alg, c, p, Options{MaxDiskCheckpoints: k})
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", alg, k, err)
+			}
+			if res.ExpectedMakespan != free.ExpectedMakespan {
+				t.Errorf("%s k=%d: %f != unconstrained %f",
+					alg, k, res.ExpectedMakespan, free.ExpectedMakespan)
+			}
+		}
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	c, _ := workload.Uniform(18, 25000)
+	p := hotHera()
+	free := mustPlan(t, AlgADMVStar, c, p)
+	if free.Schedule.Counts().Disk < 3 {
+		t.Fatalf("test premise: unconstrained optimum should want >= 3 disk ckpts, got %d",
+			free.Schedule.Counts().Disk)
+	}
+	for k := 1; k <= 4; k++ {
+		res, err := PlanOpts(AlgADMVStar, c, p, Options{MaxDiskCheckpoints: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Schedule.Counts().Disk; got > k {
+			t.Errorf("k=%d: placed %d disk checkpoints", k, got)
+		}
+		if err := res.Schedule.ValidateComplete(); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+		// The DP value must match the closed-form evaluation.
+		ev, err := Evaluate(c, p, res.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relClose(res.ExpectedMakespan, ev, 1e-9) {
+			t.Errorf("k=%d: DP %f vs Evaluate %f", k, res.ExpectedMakespan, ev)
+		}
+	}
+}
+
+func TestBudgetMonotone(t *testing.T) {
+	// A larger budget can only help.
+	c, _ := workload.Uniform(16, 25000)
+	p := hotHera()
+	prev := math.Inf(1)
+	for k := 1; k <= 6; k++ {
+		res, err := PlanOpts(AlgADMVStar, c, p, Options{MaxDiskCheckpoints: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExpectedMakespan > prev*(1+1e-12) {
+			t.Errorf("k=%d: optimum increased: %f > %f", k, res.ExpectedMakespan, prev)
+		}
+		prev = res.ExpectedMakespan
+	}
+}
+
+func TestBudgetOneMeansFinalOnlyDisk(t *testing.T) {
+	c, _ := workload.Uniform(12, 25000)
+	p := hotHera()
+	res, err := PlanOpts(AlgADMVStar, c, p, Options{MaxDiskCheckpoints: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schedule.Counts().Disk; got != 1 {
+		t.Errorf("disk count = %d, want 1", got)
+	}
+	if !res.Schedule.At(12).Has(schedule.Disk) {
+		t.Error("the single disk checkpoint must be the final one")
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	c, _ := workload.Uniform(5, 5000)
+	if _, err := PlanOpts(AlgADMVStar, c, platform.Hera(), Options{MaxDiskCheckpoints: -2}); err == nil {
+		t.Error("negative budget should fail")
+	}
+}
+
+func TestBudgetWithConstraintsAndCosts(t *testing.T) {
+	// All three optional inputs together: budget 2, boundary 6 forbidden
+	// for disk, expensive boundary 9.
+	c, _ := workload.Uniform(12, 25000)
+	p := hotHera()
+	cons := allowAll(t, 12)
+	cons.Forbid(6, schedule.Disk)
+	sizes := make([]float64, 12)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	sizes[8] = 50 // boundary 9
+	costs, err := platform.ScaledCosts(p, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PlanOpts(AlgADMVStar, c, p, Options{
+		Costs: costs, Constraints: cons, MaxDiskCheckpoints: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.Schedule.Counts()
+	if counts.Disk > 2 {
+		t.Errorf("budget violated: %d disk checkpoints", counts.Disk)
+	}
+	if res.Schedule.At(6).Has(schedule.Disk) {
+		t.Error("constraint violated at boundary 6")
+	}
+	if res.Schedule.At(9).Has(schedule.Memory) {
+		t.Error("planner checkpointed the 50x boundary")
+	}
+	ev, err := EvaluateWithCosts(c, p, costs, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(res.ExpectedMakespan, ev, 1e-9) {
+		t.Errorf("DP %f vs Evaluate %f", res.ExpectedMakespan, ev)
+	}
+}
+
+func TestBudgetMatchesFilteredBruteForce(t *testing.T) {
+	// Exhaustive check: budgeted DP == minimum of Evaluate over all
+	// schedules with at most K disk checkpoints.
+	c, _ := workload.Uniform(6, 25000)
+	p := hotHera()
+	for k := 1; k <= 3; k++ {
+		res, err := PlanOpts(AlgADMVStar, c, p, Options{MaxDiskCheckpoints: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		actions := []schedule.Action{
+			schedule.None,
+			schedule.Guaranteed,
+			schedule.Guaranteed | schedule.Memory,
+			schedule.Guaranteed | schedule.Memory | schedule.Disk,
+		}
+		s := schedule.MustNew(6)
+		s.Set(6, schedule.Disk)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == 6 {
+				if s.Counts().Disk > k {
+					return
+				}
+				v, err := Evaluate(c, p, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v < best {
+					best = v
+				}
+				return
+			}
+			for _, a := range actions {
+				s.Set(i, a)
+				rec(i + 1)
+			}
+			s.Set(i, schedule.None)
+		}
+		rec(1)
+		if !relClose(res.ExpectedMakespan, best, 1e-10) {
+			t.Errorf("k=%d: DP %f vs filtered brute force %f", k, res.ExpectedMakespan, best)
+		}
+	}
+}

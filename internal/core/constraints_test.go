@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
+)
+
+func allowAll(t *testing.T, n int) *Constraints {
+	t.Helper()
+	c, err := NewConstraints(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConstraintsValidation(t *testing.T) {
+	if _, err := NewConstraints(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	c, _ := workload.Uniform(5, 5000)
+	cons := allowAll(t, 5)
+	cons.Forbid(5, schedule.Disk)
+	if _, err := PlanConstrained(AlgADMVStar, c, platform.Hera(), cons); err == nil {
+		t.Error("forbidding the final disk checkpoint should fail")
+	}
+	wrongSize := allowAll(t, 4)
+	if _, err := PlanConstrained(AlgADMVStar, c, platform.Hera(), wrongSize); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	if _, err := PlanConstrained("bogus", c, platform.Hera(), nil); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestForbidPropagatesNesting(t *testing.T) {
+	cons := allowAll(t, 3)
+	cons.Forbid(1, schedule.Guaranteed)
+	if cons.Permits(1, schedule.Memory) || cons.Permits(1, schedule.Disk) {
+		t.Error("forbidding V* must also forbid M and D")
+	}
+	if !cons.Permits(1, schedule.Partial) {
+		t.Error("partial verification should remain allowed")
+	}
+	cons.Forbid(2, schedule.Memory)
+	if cons.Permits(2, schedule.Disk) {
+		t.Error("forbidding M must also forbid D")
+	}
+	if !cons.Permits(2, schedule.Guaranteed) {
+		t.Error("guaranteed verification should remain allowed")
+	}
+}
+
+func TestConstraintBoundsPanic(t *testing.T) {
+	cons := allowAll(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range boundary should panic")
+		}
+	}()
+	cons.Forbid(4, schedule.Partial)
+}
+
+func TestNilAndAllowAllMatchPlan(t *testing.T) {
+	c, _ := workload.Uniform(15, 25000)
+	p := platform.Atlas()
+	for _, alg := range Algorithms() {
+		free := mustPlan(t, alg, c, p)
+		viaNil, err := PlanConstrained(alg, c, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaAll, err := PlanConstrained(alg, c, p, allowAll(t, 15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaNil.ExpectedMakespan != free.ExpectedMakespan || viaAll.ExpectedMakespan != free.ExpectedMakespan {
+			t.Errorf("%s: unconstrained planning differs: %f / %f / %f",
+				alg, free.ExpectedMakespan, viaNil.ExpectedMakespan, viaAll.ExpectedMakespan)
+		}
+		if !viaAll.Schedule.Equal(free.Schedule) {
+			t.Errorf("%s: schedules differ under allow-all constraints", alg)
+		}
+	}
+}
+
+func TestConstraintsAreRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c, _ := workload.Uniform(20, 25000)
+	p := platform.Hera()
+	for trial := 0; trial < 10; trial++ {
+		cons := allowAll(t, 20)
+		for i := 1; i < 20; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				cons.Forbid(i, schedule.Partial)
+			case 1:
+				cons.Forbid(i, schedule.Memory)
+			case 2:
+				cons.Forbid(i, schedule.Guaranteed)
+			}
+		}
+		for _, alg := range Algorithms() {
+			res, err := PlanConstrained(alg, c, p, cons)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= 20; i++ {
+				if a := res.Schedule.At(i); !cons.Permits(i, a) {
+					t.Fatalf("trial %d %s: boundary %d carries forbidden action %v (allowed %v)",
+						trial, alg, i, a, cons.Allowed(i))
+				}
+			}
+			// Constrained optimum can never beat the unconstrained one.
+			free := mustPlan(t, alg, c, p)
+			if res.ExpectedMakespan < free.ExpectedMakespan*(1-1e-12) {
+				t.Fatalf("trial %d %s: constrained %f beats unconstrained %f",
+					trial, alg, res.ExpectedMakespan, free.ExpectedMakespan)
+			}
+		}
+	}
+}
+
+func TestFullyForbiddenInterior(t *testing.T) {
+	// Only the final boundary may act: the optimum is the bare chain.
+	c, _ := workload.Uniform(10, 25000)
+	p := platform.Hera()
+	cons := allowAll(t, 10)
+	for i := 1; i < 10; i++ {
+		cons.Forbid(i, schedule.Partial|schedule.Guaranteed)
+	}
+	for _, alg := range Algorithms() {
+		res, err := PlanConstrained(alg, c, p, cons)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		counts := res.Schedule.Counts()
+		if counts != (schedule.Counts{Disk: 1, Memory: 1, Guaranteed: 1}) {
+			t.Errorf("%s: counts = %+v, want final V*+M+D only", alg, counts)
+		}
+		bare := schedule.MustNew(10)
+		bare.Set(10, schedule.Disk)
+		want, err := Evaluate(c, p, bare)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relClose(res.ExpectedMakespan, want, 1e-12) {
+			t.Errorf("%s: makespan %f, want %f", alg, res.ExpectedMakespan, want)
+		}
+	}
+}
+
+func TestConstrainedMatchesFilteredBruteForce(t *testing.T) {
+	// Exhaustively verify constrained optimality on a small instance: the
+	// DP under constraints must equal the minimum of Evaluate over all
+	// schedules that satisfy them.
+	c, _ := workload.Uniform(5, 25000)
+	p := platform.Hera()
+	p.LambdaF *= 50
+	p.LambdaS *= 50
+	cons := allowAll(t, 5)
+	cons.Forbid(2, schedule.Memory)  // boundary 2: verifications only
+	cons.Forbid(3, schedule.Partial) // boundary 3: no partial
+	cons.Forbid(4, schedule.Guaranteed)
+
+	actions := []schedule.Action{
+		schedule.None,
+		schedule.Partial,
+		schedule.Guaranteed,
+		schedule.Guaranteed | schedule.Memory,
+		schedule.Guaranteed | schedule.Memory | schedule.Disk,
+	}
+	best := 0.0
+	found := false
+	sched := schedule.MustNew(5)
+	sched.Set(5, schedule.Disk)
+	var enumerate func(i int)
+	enumerate = func(i int) {
+		if i == 5 {
+			v, err := Evaluate(c, p, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !found || v < best {
+				best, found = v, true
+			}
+			return
+		}
+		for _, a := range actions {
+			if !cons.Permits(i, a) {
+				continue
+			}
+			sched.Set(i, a)
+			enumerate(i + 1)
+		}
+		sched.Set(i, schedule.None)
+	}
+	enumerate(1)
+
+	res, err := PlanConstrained(AlgADMV, c, p, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(res.ExpectedMakespan, best, 1e-10) {
+		t.Errorf("constrained DP %f vs filtered brute force %f", res.ExpectedMakespan, best)
+	}
+}

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
+)
+
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*math.Max(scale, 1)
+}
+
+func TestPlanUnknownAlgorithm(t *testing.T) {
+	c := chain.MustFromWeights(1, 2)
+	if _, err := Plan("ADXV", c, platform.Hera()); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestPlanRejectsBadInputs(t *testing.T) {
+	if _, err := PlanADMVStar(nil, platform.Hera()); err == nil {
+		t.Error("nil chain should fail")
+	}
+	p := platform.Hera()
+	p.LambdaF = -1
+	if _, err := PlanADMVStar(chain.MustFromWeights(1), p); err == nil {
+		t.Error("invalid platform should fail")
+	}
+}
+
+func TestNoErrorsMeansNoIntermediateActions(t *testing.T) {
+	// With lambda_f = lambda_s = 0 any extra mechanism only adds cost, so
+	// the optimum is the bare chain plus the mandatory final V*+M+D.
+	p := platform.Hera()
+	p.LambdaF, p.LambdaS = 0, 0
+	c, _ := workload.Uniform(20, 25000)
+	for _, alg := range Algorithms() {
+		res, err := Plan(alg, c, p)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		want := 25000 + p.VStar + p.CM + p.CD
+		if !relClose(res.ExpectedMakespan, want, 1e-12) {
+			t.Errorf("%s: makespan = %.6f, want %.6f", alg, res.ExpectedMakespan, want)
+		}
+		counts := res.Schedule.Counts()
+		if counts.Disk != 1 || counts.Memory != 1 || counts.Guaranteed != 1 || counts.Partial != 0 {
+			t.Errorf("%s: counts = %+v, want single final V*+M+D", alg, counts)
+		}
+	}
+}
+
+func TestSingleTaskClosedForm(t *testing.T) {
+	// For n = 1 the only schedule is T1 followed by V*+M+D, and the DP
+	// value must match Equation (4) computed by hand.
+	p := platform.Atlas()
+	w := 2500.0
+	c := chain.MustFromWeights(w)
+	lf, ls := p.LambdaF, p.LambdaS
+	S := math.Exp(ls * w)
+	want := S*(math.Expm1(lf*w)/lf+p.VStar) + S*math.Expm1(lf*w)*0 + 0 + 0 // d1 = m1 = 0: free recoveries
+	want += p.CM + p.CD
+	for _, alg := range Algorithms() {
+		res, err := Plan(alg, c, p)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !relClose(res.ExpectedMakespan, want, 1e-12) {
+			t.Errorf("%s: makespan = %.10f, want %.10f", alg, res.ExpectedMakespan, want)
+		}
+	}
+}
+
+func TestDPMatchesEvaluateOnOwnSchedule(t *testing.T) {
+	// The DP's claimed optimum must equal the analytic evaluation of the
+	// schedule it reconstructs: this validates tables, argmins and
+	// reconstruction against the closed forms.
+	chains := map[string]*chain.Chain{
+		"uniform10":  mustGen(t, workload.PatternUniform, 10),
+		"uniform25":  mustGen(t, workload.PatternUniform, 25),
+		"decrease15": mustGen(t, workload.PatternDecrease, 15),
+		"highlow20":  mustGen(t, workload.PatternHighLow, 20),
+	}
+	for name, c := range chains {
+		for _, p := range platform.All() {
+			for _, alg := range Algorithms() {
+				res, err := Plan(alg, c, p)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", name, p.Name, alg, err)
+				}
+				ev, err := Evaluate(c, p, res.Schedule)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: Evaluate: %v", name, p.Name, alg, err)
+				}
+				if !relClose(res.ExpectedMakespan, ev, 1e-9) {
+					t.Errorf("%s/%s/%s: DP = %.10f, Evaluate = %.10f",
+						name, p.Name, alg, res.ExpectedMakespan, ev)
+				}
+			}
+		}
+	}
+}
+
+func TestAlgorithmDominance(t *testing.T) {
+	// Each algorithm searches a superset of the previous one's schedules,
+	// so E(ADMV) <= E(ADMV*) <= E(ADV*).
+	for _, pattern := range workload.Patterns() {
+		for _, n := range []int{1, 5, 13, 30} {
+			c, err := workload.Generate(pattern, n, workload.PaperTotalWeight)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range platform.All() {
+				adv := mustPlan(t, AlgADV, c, p)
+				admvStar := mustPlan(t, AlgADMVStar, c, p)
+				admv := mustPlan(t, AlgADMV, c, p)
+				if admvStar.ExpectedMakespan > adv.ExpectedMakespan*(1+1e-12) {
+					t.Errorf("%s n=%d %s: ADMV* (%f) > ADV* (%f)",
+						pattern, n, p.Name, admvStar.ExpectedMakespan, adv.ExpectedMakespan)
+				}
+				if admv.ExpectedMakespan > admvStar.ExpectedMakespan*(1+1e-12) {
+					t.Errorf("%s n=%d %s: ADMV (%f) > ADMV* (%f)",
+						pattern, n, p.Name, admv.ExpectedMakespan, admvStar.ExpectedMakespan)
+				}
+			}
+		}
+	}
+}
+
+func TestMakespanAboveErrorFreeTime(t *testing.T) {
+	// No schedule can beat the error-free execution time plus the
+	// mandatory final checkpoint chain.
+	c, _ := workload.Uniform(12, 25000)
+	for _, p := range platform.All() {
+		for _, alg := range Algorithms() {
+			res := mustPlan(t, alg, c, p)
+			floor := c.TotalWeight() + p.VStar + p.CM + p.CD
+			if res.ExpectedMakespan < floor {
+				t.Errorf("%s/%s: makespan %.2f below floor %.2f", p.Name, alg, res.ExpectedMakespan, floor)
+			}
+		}
+	}
+}
+
+func TestOptimumMonotoneInErrorRates(t *testing.T) {
+	// Increasing either error rate cannot decrease the optimal expected
+	// makespan: every schedule's expectation is pointwise non-decreasing
+	// in the rates, hence so is the minimum.
+	c, _ := workload.Uniform(15, 25000)
+	base := platform.Hera()
+	for _, alg := range Algorithms() {
+		prev := 0.0
+		for _, mult := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+			p := base
+			p.LambdaF = base.LambdaF * mult
+			p.LambdaS = base.LambdaS * mult
+			res := mustPlan(t, alg, c, p)
+			if res.ExpectedMakespan < prev*(1-1e-12) {
+				t.Errorf("%s: optimum decreased at rate multiplier %g: %f < %f",
+					alg, mult, res.ExpectedMakespan, prev)
+			}
+			prev = res.ExpectedMakespan
+		}
+	}
+}
+
+func TestScaleInvariance(t *testing.T) {
+	// Scaling all weights and costs by k while dividing rates by k scales
+	// the expected makespan by exactly k (the model only sees products
+	// rate*duration and ratios of costs to durations).
+	c, _ := workload.Decrease(12, 10000)
+	p := platform.Hera()
+	const k = 7.5
+	scaled, err := c.Scale(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := p
+	ps.LambdaF /= k
+	ps.LambdaS /= k
+	ps.CD *= k
+	ps.CM *= k
+	ps.RD *= k
+	ps.RM *= k
+	ps.VStar *= k
+	ps.V *= k
+	for _, alg := range Algorithms() {
+		a := mustPlan(t, alg, c, p)
+		b := mustPlan(t, alg, scaled, ps)
+		if !relClose(b.ExpectedMakespan, k*a.ExpectedMakespan, 1e-9) {
+			t.Errorf("%s: scaled makespan %.6f != k*original %.6f",
+				alg, b.ExpectedMakespan, k*a.ExpectedMakespan)
+		}
+		if !a.Schedule.Equal(b.Schedule) {
+			t.Errorf("%s: scaling changed the optimal schedule", alg)
+		}
+	}
+}
+
+func TestADVPlacesNoExtraMemoryCheckpoints(t *testing.T) {
+	// In ADV* every memory checkpoint must be co-located with a disk one.
+	c, _ := workload.Uniform(30, 25000)
+	for _, p := range platform.All() {
+		res := mustPlan(t, AlgADV, c, p)
+		counts := res.Schedule.Counts()
+		if counts.Memory != counts.Disk {
+			t.Errorf("%s: ADV* placed %d memory vs %d disk checkpoints",
+				p.Name, counts.Memory, counts.Disk)
+		}
+		if counts.Partial != 0 {
+			t.Errorf("%s: ADV* placed partial verifications", p.Name)
+		}
+	}
+}
+
+func TestADMVStarPlacesNoPartials(t *testing.T) {
+	c, _ := workload.Uniform(30, 25000)
+	for _, p := range platform.All() {
+		res := mustPlan(t, AlgADMVStar, c, p)
+		if got := res.Schedule.Counts().Partial; got != 0 {
+			t.Errorf("%s: ADMV* placed %d partial verifications", p.Name, got)
+		}
+	}
+}
+
+func TestTwoLevelBeatsSingleLevelOnPaperSetup(t *testing.T) {
+	// Headline result: on the Uniform pattern with n = 50, ADMV* strictly
+	// improves on ADV* on Hera and Atlas (paper: about 2% and 5%).
+	c, _ := workload.Uniform(50, workload.PaperTotalWeight)
+	for _, tc := range []struct {
+		p       platform.Platform
+		minGain float64 // relative improvement lower bound
+	}{
+		{platform.Hera(), 0.005},
+		{platform.Atlas(), 0.02},
+	} {
+		adv := mustPlan(t, AlgADV, c, tc.p)
+		admvStar := mustPlan(t, AlgADMVStar, c, tc.p)
+		gain := 1 - admvStar.ExpectedMakespan/adv.ExpectedMakespan
+		if gain < tc.minGain {
+			t.Errorf("%s: ADMV* gain over ADV* = %.4f, want >= %.4f",
+				tc.p.Name, gain, tc.minGain)
+		}
+	}
+}
+
+func TestDominatedPartialsNeverPlaced(t *testing.T) {
+	// A partial verification that costs at least as much as a guaranteed
+	// one is strictly dominated (same or higher cost, lower recall): the
+	// ADMV optimum must not contain any.
+	c, _ := workload.Uniform(25, 25000)
+	for _, p0 := range platform.All() {
+		p := p0
+		p.V = p.VStar * 1.5
+		res := mustPlan(t, AlgADMV, c, p)
+		if got := res.Schedule.Counts().Partial; got != 0 {
+			t.Errorf("%s: placed %d dominated partial verifications", p.Name, got)
+		}
+		// And the value must collapse to the ADMV* optimum.
+		star := mustPlan(t, AlgADMVStar, c, p)
+		if !relClose(res.ExpectedMakespan, star.ExpectedMakespan, 1e-12) {
+			t.Errorf("%s: ADMV %.6f != ADMV* %.6f with dominated partials",
+				p.Name, res.ExpectedMakespan, star.ExpectedMakespan)
+		}
+	}
+}
+
+func TestPerfectRecallMakesPartialsCheapVerifications(t *testing.T) {
+	// With r = 1 and V < V*, partial verifications are strictly better
+	// than guaranteed ones at interior boundaries; the planner should
+	// prefer them (guaranteed ones remain only where checkpoints force
+	// them).
+	c, _ := workload.Uniform(25, 25000)
+	p := platform.Hera()
+	p.Recall = 1
+	res := mustPlan(t, AlgADMV, c, p)
+	counts := res.Schedule.Counts()
+	if counts.Partial == 0 {
+		t.Error("perfect-recall cheap partials should be used")
+	}
+	if counts.Guaranteed != counts.Memory {
+		t.Errorf("bare guaranteed verifications should be dominated: V*=%d M=%d",
+			counts.Guaranteed, counts.Memory)
+	}
+}
+
+func TestNormalizedMakespan(t *testing.T) {
+	c, _ := workload.Uniform(10, 25000)
+	res := mustPlan(t, AlgADMVStar, c, platform.Hera())
+	got := res.NormalizedMakespan(c)
+	if got <= 1 || got > 2 {
+		t.Errorf("normalized makespan = %f, want in (1, 2]", got)
+	}
+	if !relClose(got*25000, res.ExpectedMakespan, 1e-12) {
+		t.Errorf("normalization inconsistent")
+	}
+}
+
+func TestReconstructedSchedulesAreValid(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 20} {
+		c, _ := workload.Uniform(n, 25000)
+		for _, p := range platform.All() {
+			for _, alg := range Algorithms() {
+				res := mustPlan(t, alg, c, p)
+				if err := res.Schedule.ValidateComplete(); err != nil {
+					t.Errorf("n=%d %s %s: %v", n, p.Name, alg, err)
+				}
+				if res.Schedule.Len() != n {
+					t.Errorf("n=%d %s %s: schedule length %d", n, p.Name, alg, res.Schedule.Len())
+				}
+			}
+		}
+	}
+}
+
+func TestZeroWeightTasksHarmless(t *testing.T) {
+	// Inserting zero-weight tasks must not change the optimum of the
+	// partial-free algorithms: a mechanism at a zero-weight boundary is
+	// equivalent to one at its neighbor, and stacking two guaranteed
+	// verifications never pays.
+	p := platform.Hera()
+	a := chain.MustFromWeights(4000, 6000, 5000)
+	b := chain.MustFromWeights(4000, 0, 6000, 0, 5000)
+	for _, alg := range []Algorithm{AlgADV, AlgADMVStar} {
+		ra := mustPlan(t, alg, a, p)
+		rb := mustPlan(t, alg, b, p)
+		if !relClose(ra.ExpectedMakespan, rb.ExpectedMakespan, 1e-9) {
+			t.Errorf("%s: zero-weight padding changed optimum: %.6f vs %.6f",
+				alg, ra.ExpectedMakespan, rb.ExpectedMakespan)
+		}
+	}
+	// ADMV, in contrast, may exploit a zero-weight boundary to stack a
+	// cheap partial verification right before a guaranteed one: on an
+	// erroneous attempt it detects at cost V with probability r and skips
+	// the V* payment. Padding may therefore strictly help, never hurt.
+	ra := mustPlan(t, AlgADMV, a, p)
+	rb := mustPlan(t, AlgADMV, b, p)
+	if rb.ExpectedMakespan > ra.ExpectedMakespan*(1+1e-12) {
+		t.Errorf("ADMV: zero-weight padding hurt: %.6f > %.6f",
+			rb.ExpectedMakespan, ra.ExpectedMakespan)
+	}
+}
+
+func TestMoreTasksNeverHurt(t *testing.T) {
+	// Splitting tasks more finely only adds placement options for the
+	// same total work, so the optimum is non-increasing in n when n
+	// divides evenly (every coarse boundary is also a fine boundary).
+	p := platform.Atlas()
+	for _, alg := range Algorithms() {
+		prev := math.Inf(1)
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			c, _ := workload.Uniform(n, 25000)
+			res := mustPlan(t, alg, c, p)
+			if res.ExpectedMakespan > prev*(1+1e-12) {
+				t.Errorf("%s: optimum increased from n/2 to n=%d: %f > %f",
+					alg, n, res.ExpectedMakespan, prev)
+			}
+			prev = res.ExpectedMakespan
+		}
+	}
+}
+
+func TestEvaluatorReuseMatchesOneShot(t *testing.T) {
+	c, _ := workload.Uniform(14, 25000)
+	p := platform.Hera()
+	ev, err := NewEvaluator(c, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Algorithms() {
+		res := mustPlan(t, alg, c, p)
+		reuse, err := ev.Evaluate(res.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneShot, err := Evaluate(c, p, res.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reuse != oneShot {
+			t.Errorf("%s: reuse %f vs one-shot %f", alg, reuse, oneShot)
+		}
+	}
+	if _, err := ev.Evaluate(nil); err == nil {
+		t.Error("nil schedule should fail")
+	}
+	wrong := schedule.MustNew(3)
+	wrong.Set(3, schedule.Disk)
+	if _, err := ev.Evaluate(wrong); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}
+
+func mustGen(t *testing.T, pat workload.Pattern, n int) *chain.Chain {
+	t.Helper()
+	c, err := workload.Generate(pat, n, workload.PaperTotalWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustPlan(t *testing.T, alg Algorithm, c *chain.Chain, p platform.Platform) *Result {
+	t.Helper()
+	res, err := Plan(alg, c, p)
+	if err != nil {
+		t.Fatalf("%s: %v", alg, err)
+	}
+	return res
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
+)
+
+// randomCosts draws a per-boundary cost table with sizes in [0.2, 3].
+func randomCosts(t *testing.T, rng *rand.Rand, p platform.Platform, n int) *platform.Costs {
+	t.Helper()
+	sizes := make([]float64, n)
+	for i := range sizes {
+		sizes[i] = 0.2 + 2.8*rng.Float64()
+	}
+	costs, err := platform.ScaledCosts(p, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return costs
+}
+
+func TestUniformCostsMatchPlain(t *testing.T) {
+	c, _ := workload.Uniform(15, 25000)
+	p := platform.Hera()
+	table, err := platform.UniformCosts(p, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Algorithms() {
+		plain := mustPlan(t, alg, c, p)
+		withCosts, err := PlanWithCosts(alg, c, p, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.ExpectedMakespan != withCosts.ExpectedMakespan {
+			t.Errorf("%s: uniform cost table changed the optimum: %f vs %f",
+				alg, plain.ExpectedMakespan, withCosts.ExpectedMakespan)
+		}
+		if !plain.Schedule.Equal(withCosts.Schedule) {
+			t.Errorf("%s: uniform cost table changed the schedule", alg)
+		}
+	}
+}
+
+func TestCostTableValidation(t *testing.T) {
+	c, _ := workload.Uniform(5, 5000)
+	p := platform.Hera()
+	wrong, _ := platform.UniformCosts(p, 4)
+	if _, err := PlanWithCosts(AlgADMVStar, c, p, wrong); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	bad, _ := platform.UniformCosts(p, 5)
+	if err := bad.Set(2, platform.BoundaryCosts{CD: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlanWithCosts(AlgADMVStar, c, p, bad); err == nil {
+		t.Error("negative cost should fail")
+	}
+	if err := bad.Set(9, platform.BoundaryCosts{}); err == nil {
+		t.Error("out-of-range Set should fail")
+	}
+	if _, err := platform.ScaledCosts(p, []float64{1, math.NaN()}); err == nil {
+		t.Error("NaN size should fail")
+	}
+}
+
+func TestPlannerAvoidsExpensiveBoundaries(t *testing.T) {
+	// Boundary 1's costs exceed any possible re-execution saving (a
+	// memory checkpoint there would cost 1.5e6 s against at most ~16000 s
+	// of avoidable redo), while boundary 2 stays at the platform price:
+	// the planner must skip the former and checkpoint the latter.
+	c := chain.MustFromWeights(8000, 8000, 8000)
+	p := platform.Hera()
+	p.LambdaF *= 20
+	p.LambdaS *= 20
+	costs, err := platform.ScaledCosts(p, []float64{1e5, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PlanWithCosts(AlgADMVStar, c, p, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.At(1).Has(schedule.Memory) {
+		t.Errorf("planner checkpointed the 100x boundary: %v", res.Schedule)
+	}
+	if !res.Schedule.At(2).Has(schedule.Memory) {
+		t.Errorf("planner skipped the cheap boundary: %v", res.Schedule)
+	}
+}
+
+func TestDPMatchesEvaluateWithRandomCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(14)
+		c, err := workload.Random(rng, n, 25000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := platform.Hera()
+		if trial%2 == 1 {
+			p = platform.CoastalSSD()
+		}
+		costs := randomCosts(t, rng, p, n)
+		for _, alg := range Algorithms() {
+			res, err := PlanWithCosts(alg, c, p, costs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := EvaluateWithCosts(c, p, costs, res.Schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !relClose(res.ExpectedMakespan, ev, 1e-9) {
+				t.Errorf("trial %d %s: DP %.8f vs Evaluate %.8f", trial, alg, res.ExpectedMakespan, ev)
+			}
+		}
+	}
+}
+
+func TestCostDominanceStillHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	c, _ := workload.Uniform(12, 25000)
+	p := platform.Atlas()
+	costs := randomCosts(t, rng, p, 12)
+	adv, err := PlanWithCosts(AlgADV, c, p, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := PlanWithCosts(AlgADMVStar, c, p, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admv, err := PlanWithCosts(AlgADMV, c, p, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.ExpectedMakespan > adv.ExpectedMakespan*(1+1e-12) ||
+		admv.ExpectedMakespan > star.ExpectedMakespan*(1+1e-12) {
+		t.Errorf("dominance violated under random costs: %f / %f / %f",
+			adv.ExpectedMakespan, star.ExpectedMakespan, admv.ExpectedMakespan)
+	}
+}
+
+func TestCheaperCostsNeverHurt(t *testing.T) {
+	// Halving every boundary's costs cannot increase the optimum.
+	rng := rand.New(rand.NewSource(55))
+	c, _ := workload.Uniform(10, 25000)
+	p := platform.Hera()
+	costs := randomCosts(t, rng, p, 10)
+	half, _ := platform.UniformCosts(p, 10)
+	for i := 1; i <= 10; i++ {
+		b := costs.At(i)
+		if err := half.Set(i, platform.BoundaryCosts{
+			CD: b.CD / 2, CM: b.CM / 2, RD: b.RD / 2,
+			RM: b.RM / 2, VStar: b.VStar / 2, V: b.V / 2,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := PlanWithCosts(AlgADMV, c, p, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap, err := PlanWithCosts(AlgADMV, c, p, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.ExpectedMakespan > full.ExpectedMakespan*(1+1e-12) {
+		t.Errorf("cheaper costs increased the optimum: %f > %f",
+			cheap.ExpectedMakespan, full.ExpectedMakespan)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+// FuzzPlanInvariants fuzzes the planners across random instances and
+// platform parameters and asserts the structural invariants that must
+// hold for any input: valid complete schedules, DP value == closed-form
+// re-evaluation, algorithm dominance, and a makespan at least the
+// error-free floor.
+func FuzzPlanInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(1), uint8(1))
+	f.Add(int64(2), uint8(1), uint8(0), uint8(3))
+	f.Add(int64(3), uint8(16), uint8(4), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, fMult, sMult uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw%16)
+		c, err := workload.Random(rng, n, 1000+rng.Float64()*50000)
+		if err != nil {
+			t.Skip()
+		}
+		p := platform.Atlas()
+		p.LambdaF *= float64(fMult % 64)
+		p.LambdaS *= float64(sMult % 64)
+		p.Recall = rng.Float64()
+
+		floor := c.TotalWeight() + p.VStar + p.CM + p.CD
+		var values []float64
+		for _, alg := range Algorithms() {
+			res, err := Plan(alg, c, p)
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			if err := res.Schedule.ValidateComplete(); err != nil {
+				t.Fatalf("%s: invalid schedule: %v", alg, err)
+			}
+			if math.IsNaN(res.ExpectedMakespan) || res.ExpectedMakespan < floor-1e-9 {
+				t.Fatalf("%s: makespan %f below floor %f", alg, res.ExpectedMakespan, floor)
+			}
+			ev, err := Evaluate(c, p, res.Schedule)
+			if err != nil {
+				t.Fatalf("%s: Evaluate: %v", alg, err)
+			}
+			if math.Abs(ev-res.ExpectedMakespan) > 1e-8*math.Max(1, ev) {
+				t.Fatalf("%s: DP %.10g != Evaluate %.10g", alg, res.ExpectedMakespan, ev)
+			}
+			values = append(values, res.ExpectedMakespan)
+		}
+		// ADMV <= ADMV* <= ADV* (the order of Algorithms()).
+		if values[1] > values[0]*(1+1e-12) || values[2] > values[1]*(1+1e-12) {
+			t.Fatalf("dominance violated: ADV*=%g ADMV*=%g ADMV=%g", values[0], values[1], values[2])
+		}
+	})
+}

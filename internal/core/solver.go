@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/expmath"
+	"chainckpt/internal/platform"
+)
+
+// solver carries the state of one planning run. Its methods are safe to
+// call from multiple goroutines as long as each goroutine uses its own
+// scratch buffers: the precomputed tables are read-only after newSolver.
+type solver struct {
+	c   *chain.Chain
+	p   platform.Platform
+	alg Algorithm
+	n   int
+	g   float64 // 1 - recall
+	lfs float64 // lambda_f + lambda_s
+	// cons, when non-nil, restricts which boundaries may carry which
+	// mechanisms (see PlanConstrained).
+	cons *Constraints
+	// costs, when non-nil, overrides the platform's constant costs with
+	// per-boundary values (see PlanFull and platform.Costs).
+	costs *platform.Costs
+	// maxDisk bounds the number of disk checkpoints (boundaries 1..n,
+	// including the mandatory final one). Always in [1, n].
+	maxDisk int
+
+	// Per-segment exponential tables, indexed by idx(i,j) for the segment
+	// weight W_{i,j}. They depend only on the interval, not on checkpoint
+	// positions, and turn the O(n^6) hot loop into pure arithmetic:
+	//
+	//	sInt = e^{ls W} * (e^{lf W}-1)/lf      sFm1 = e^{ls W} (e^{lf W}-1)
+	//	fsM1 = e^{(lf+ls) W} - 1               sM1  = e^{ls W} - 1
+	//	pf   = 1 - e^{-lf W}                   pfTl = pf * T^lost
+	//	pnW  = (1-pf) * W
+	sInt, sFm1, fsM1, sM1, pf, pfTl, pnW []float64
+}
+
+func newSolver(c *chain.Chain, p platform.Platform, alg Algorithm) (*solver, error) {
+	return newSolverWithCosts(c, p, alg, nil)
+}
+
+func newSolverWithCosts(c *chain.Chain, p platform.Platform, alg Algorithm, costs *platform.Costs) (*solver, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("core: empty chain")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if costs != nil {
+		if costs.Len() != c.Len() {
+			return nil, fmt.Errorf("core: cost table for %d tasks but chain has %d", costs.Len(), c.Len())
+		}
+		if err := costs.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	s := &solver{
+		c:       c,
+		p:       p,
+		alg:     alg,
+		n:       c.Len(),
+		g:       p.G(),
+		lfs:     p.LambdaF + p.LambdaS,
+		costs:   costs,
+		maxDisk: c.Len(),
+	}
+	s.buildTables()
+	return s, nil
+}
+
+func (s *solver) buildTables() {
+	n := s.n
+	size := (n + 1) * (n + 1)
+	backing := make([]float64, 7*size)
+	s.sInt, backing = backing[:size:size], backing[size:]
+	s.sFm1, backing = backing[:size:size], backing[size:]
+	s.fsM1, backing = backing[:size:size], backing[size:]
+	s.sM1, backing = backing[:size:size], backing[size:]
+	s.pf, backing = backing[:size:size], backing[size:]
+	s.pfTl, backing = backing[:size:size], backing[size:]
+	s.pnW = backing[:size:size]
+
+	lf, ls := s.p.LambdaF, s.p.LambdaS
+	for i := 0; i <= n; i++ {
+		base := i * (n + 1)
+		for j := i; j <= n; j++ {
+			w := s.c.SegmentWeight(i, j)
+			S := expmath.Growth(ls, w)
+			pf := expmath.ProbError(lf, w)
+			k := base + j
+			s.sInt[k] = S * expmath.IntExpGrowth(lf, w)
+			s.sFm1[k] = S * expmath.GrowthM1(lf, w)
+			s.fsM1[k] = expmath.GrowthM1(s.lfs, w)
+			s.sM1[k] = expmath.GrowthM1(ls, w)
+			s.pf[k] = pf
+			s.pfTl[k] = pf * expmath.TLost(lf, w)
+			s.pnW[k] = (1 - pf) * w
+		}
+	}
+}
+
+// idx addresses the (i,j) entry of the segment tables.
+func (s *solver) idx(i, j int) int { return i*(s.n+1) + j }
+
+// rd returns the disk recovery cost of the checkpoint at d1, which is
+// zero when that checkpoint is the virtual task T0 (restarting from
+// scratch is free).
+func (s *solver) rd(d1 int) float64 {
+	if d1 == 0 {
+		return 0
+	}
+	if s.costs != nil {
+		return s.costs.At(d1).RD
+	}
+	return s.p.RD
+}
+
+// rm returns the memory recovery cost of the checkpoint at m1, zero at
+// the virtual task T0.
+func (s *solver) rm(m1 int) float64 {
+	if m1 == 0 {
+		return 0
+	}
+	if s.costs != nil {
+		return s.costs.At(m1).RM
+	}
+	return s.p.RM
+}
+
+// cdAt, cmAt, vstarAt and vAt return the checkpoint and verification
+// costs of boundary i.
+func (s *solver) cdAt(i int) float64 {
+	if s.costs != nil {
+		return s.costs.At(i).CD
+	}
+	return s.p.CD
+}
+
+func (s *solver) cmAt(i int) float64 {
+	if s.costs != nil {
+		return s.costs.At(i).CM
+	}
+	return s.p.CM
+}
+
+func (s *solver) vstarAt(i int) float64 {
+	if s.costs != nil {
+		return s.costs.At(i).VStar
+	}
+	return s.p.VStar
+}
+
+func (s *solver) vAt(i int) float64 {
+	if s.costs != nil {
+		return s.costs.At(i).V
+	}
+	return s.p.V
+}
+
+// eSegment implements the paper's Equation (4): the expected time to
+// successfully execute the tasks T_{v1+1..v2} ending with a guaranteed
+// verification, given the last disk checkpoint at d1 (with accumulated
+// re-execution time ememVal = Emem(d1,m1)) and the last memory checkpoint
+// at m1 (with everifV1 = Everif(d1,m1,v1)):
+//
+//	E = e^{ls W} ((e^{lf W}-1)/lf + V*)
+//	  + e^{ls W} (e^{lf W}-1) (R_D + Emem(d1,m1))
+//	  + (e^{(ls+lf) W}-1) Everif(d1,m1,v1)
+//	  + (e^{ls W}-1) R_M
+func (s *solver) eSegment(d1, m1, v1, v2 int, ememVal, everifV1 float64) float64 {
+	k := s.idx(v1, v2)
+	return s.sInt[k] + (s.sM1[k]+1)*s.vstarAt(v2) +
+		s.sFm1[k]*(s.rd(d1)+ememVal) +
+		s.fsM1[k]*everifV1 +
+		s.sM1[k]*s.rm(m1)
+}
+
+// eMinus implements E^-(d1,m1,v1,p1,p2,v2) of Section III-B: the expected
+// time for the sub-interval T_{p1+1..p2} between two partial
+// verifications, with the left re-execution term Eleft removed (it is
+// re-injected by the e^{(ls+lf)W_{p2,v2}} multiplier in epartial) and the
+// silent-error branch split by the recall into a detected part (R_M) and
+// an undetected part (erightP2 = Eright(d1,m1,v1,p2,v2)).
+func (s *solver) eMinus(d1, m1, p1, p2 int, ememVal, everifV1, erightP2 float64) float64 {
+	k := s.idx(p1, p2)
+	return s.sInt[k] + (s.sM1[k]+1)*s.vAt(p2) +
+		s.sFm1[k]*(s.rd(d1)+ememVal) +
+		s.fsM1[k]*everifV1 +
+		s.sM1[k]*((1-s.g)*s.rm(m1)+s.g*erightP2)
+}
+
+// eRightStep advances the Eright recurrence by one sub-interval: the
+// expected time lost executing T_{p1+1..p2} while an undetected silent
+// error is latent, where erightP2 is Eright at the next verification.
+func (s *solver) eRightStep(d1, m1, p1, p2 int, ememVal, erightP2 float64) float64 {
+	k := s.idx(p1, p2)
+	return s.pfTl[k] + s.pf[k]*(s.rd(d1)+ememVal) +
+		s.pnW[k] + (1-s.pf[k])*(s.vAt(p2)+(1-s.g)*s.rm(m1)+s.g*erightP2)
+}
+
+// partialScratch holds the per-goroutine O(n) working arrays of the
+// partial-verification dynamic program.
+type partialScratch struct {
+	ep   []float64 // Epartial(d1,m1,v1,p1,v2) indexed by p1
+	er   []float64 // Eright(d1,m1,v1,p1,v2) indexed by p1
+	next []int     // argmin p2 of ep[p1]
+}
+
+func newPartialScratch(n int) *partialScratch {
+	return &partialScratch{
+		ep:   make([]float64, n+1),
+		er:   make([]float64, n+1),
+		next: make([]int, n+1),
+	}
+}
+
+// epartial computes Epartial(d1,m1,v1,p1=v1,v2), the expected time to
+// execute tasks T_{v1+1..v2} choosing optimal partial verification
+// positions, per Section III-B. Partial verifications are placed from
+// left to right, so the table is filled from the right (p1 = v2-1 down to
+// v1); Eright at p1 uses the argmin p2 selected by Epartial at p1, which
+// is why both arrays are maintained together. After the call, sc.next
+// holds the optimal chain: v1 -> sc.next[v1] -> ... -> v2.
+func (s *solver) epartial(sc *partialScratch, d1, m1, v1, v2 int, ememVal, everifV1 float64) float64 {
+	sc.er[v2] = s.rm(m1)
+	vGap := s.vstarAt(v2) - s.vAt(v2)
+	for p1 := v2 - 1; p1 >= v1; p1-- {
+		best := math.Inf(1)
+		bestP2 := v2
+		for p2 := p1 + 1; p2 <= v2; p2++ {
+			if p2 != v2 && !s.mayPartial(p2) {
+				continue
+			}
+			em := s.eMinus(d1, m1, p1, p2, ememVal, everifV1, sc.er[p2])
+			var cand float64
+			if p2 == v2 {
+				// Base case: the interval is closed by the guaranteed
+				// verification, whose extra cost (V*-V) is paid once per
+				// non-fail-stop attempt, i.e. e^{ls W_{p1,v2}} times in
+				// expectation. (The paper prints e^{(ls+lf)W} here, which
+				// contradicts its own Equation (4): with e^{ls W} a segment
+				// with no partial verifications reduces exactly to the
+				// Section III-A closed form. See DESIGN.md.)
+				cand = em + (s.sM1[s.idx(p1, v2)]+1)*vGap
+			} else {
+				// The interval T_{p1+1..p2} is re-executed
+				// e^{(ls+lf)W_{p2,v2}} times in total due to errors
+				// detected to its right (the Eleft accounting).
+				cand = em*(s.fsM1[s.idx(p2, v2)]+1) + sc.ep[p2]
+			}
+			if cand < best {
+				best, bestP2 = cand, p2
+			}
+		}
+		sc.ep[p1] = best
+		sc.next[p1] = bestP2
+		sc.er[p1] = s.eRightStep(d1, m1, p1, bestP2, ememVal, sc.er[bestP2])
+	}
+	return sc.ep[v1]
+}
+
+// verifRow computes Everif(d1,m1,v2) for every v2 in [m1, n] into ev
+// (paper Equation (1)), optionally recording the argmin v1 into arg. For
+// ADMV the per-segment expectation comes from epartial, otherwise from
+// the closed form of Equation (4).
+func (s *solver) verifRow(d1, m1 int, ememVal float64, sc *partialScratch, ev []float64, arg []int) {
+	ev[m1] = 0
+	if arg != nil {
+		arg[m1] = m1
+	}
+	for v2 := m1 + 1; v2 <= s.n; v2++ {
+		best := math.Inf(1)
+		bi := -1
+		for v1 := m1; v1 < v2; v1++ {
+			if v1 != m1 && !s.mayGuaranteed(v1) {
+				continue
+			}
+			var seg float64
+			if s.alg == AlgADMV {
+				seg = s.epartial(sc, d1, m1, v1, v2, ememVal, ev[v1])
+			} else {
+				seg = s.eSegment(d1, m1, v1, v2, ememVal, ev[v1])
+			}
+			if cand := ev[v1] + seg; cand < best {
+				best, bi = cand, v1
+			}
+		}
+		ev[v2] = best
+		if arg != nil {
+			arg[v2] = bi
+		}
+	}
+}
+
+// memLevel computes Emem(d1,m2) for every m2 in [d1, n] into emem, with
+// argmins into mprev. For ADV* the only admissible memory checkpoint
+// position between two disk checkpoints is d1 itself, which restricts the
+// inner minimization to m1 = d1 and recovers the single-level algorithm.
+func (s *solver) memLevel(d1 int, emem []float64, mprev []int) {
+	var sc *partialScratch
+	if s.alg == AlgADMV {
+		sc = newPartialScratch(s.n)
+	}
+	rows := make([][]float64, s.n+1)
+	emem[d1] = 0
+	mprev[d1] = d1
+	for m1 := d1; m1 <= s.n; m1++ {
+		if m1 > d1 {
+			best := math.Inf(1)
+			bi := -1
+			for mp := d1; mp < m1; mp++ {
+				if rows[mp] == nil {
+					continue // ADV*: only mp == d1 has a row
+				}
+				if cand := emem[mp] + rows[mp][m1] + s.cmAt(m1); cand < best {
+					best, bi = cand, mp
+				}
+			}
+			emem[m1], mprev[m1] = best, bi
+		}
+		if m1 < s.n && (s.alg != AlgADV || m1 == d1) && (m1 == d1 || s.mayMemory(m1)) {
+			row := make([]float64, s.n+1)
+			s.verifRow(d1, m1, emem[m1], sc, row, nil)
+			rows[m1] = row
+		}
+	}
+}
+
+// run executes the full three-level dynamic program and reconstructs the
+// optimal schedule. The memory-level tables for distinct disk positions
+// d1 are independent and are computed in parallel.
+func (s *solver) run() (*Result, error) {
+	n := s.n
+	ememAll := make([][]float64, n)
+	memPrevAll := make([][]int, n)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d1 := range jobs {
+				emem := make([]float64, n+1)
+				mprev := make([]int, n+1)
+				s.memLevel(d1, emem, mprev)
+				ememAll[d1] = emem
+				memPrevAll[d1] = mprev
+			}
+		}()
+	}
+	for d1 := 0; d1 < n; d1++ {
+		if s.mayDisk(d1) {
+			jobs <- d1
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Level 1: place disk checkpoints. The extra dimension k counts the
+	// disk checkpoints used so far, bounding them by the budget; with the
+	// default budget of n the dimension is exact but harmless (the level
+	// is quadratic either way and far off the critical path).
+	K := s.maxDisk
+	edisk := make([][]float64, n+1) // edisk[d2][k], k checkpoints in 1..d2
+	diskPrev := make([][]int, n+1)
+	for d2 := 0; d2 <= n; d2++ {
+		edisk[d2] = make([]float64, K+1)
+		diskPrev[d2] = make([]int, K+1)
+		for k := range edisk[d2] {
+			edisk[d2][k] = math.Inf(1)
+			diskPrev[d2][k] = -1
+		}
+	}
+	edisk[0][0] = 0
+	for d2 := 1; d2 <= n; d2++ {
+		if !s.mayDisk(d2) {
+			continue
+		}
+		for k := 1; k <= K; k++ {
+			best := math.Inf(1)
+			bi := -1
+			for d1 := 0; d1 < d2; d1++ {
+				if ememAll[d1] == nil {
+					continue // boundary may not carry a disk checkpoint
+				}
+				if cand := edisk[d1][k-1] + ememAll[d1][d2] + s.cdAt(d2); cand < best {
+					best, bi = cand, d1
+				}
+			}
+			edisk[d2][k], diskPrev[d2][k] = best, bi
+		}
+	}
+
+	// The budget is an upper bound: take the best final value over k.
+	bestK := -1
+	bestV := math.Inf(1)
+	for k := 1; k <= K; k++ {
+		if edisk[n][k] < bestV {
+			bestV, bestK = edisk[n][k], k
+		}
+	}
+	if bestK < 0 {
+		return nil, fmt.Errorf("core: no feasible schedule (constraints and budget leave none)")
+	}
+
+	sched, err := s.reconstruct(bestK, diskPrev, memPrevAll, ememAll)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Algorithm:        s.alg,
+		ExpectedMakespan: bestV,
+		Schedule:         sched,
+	}, nil
+}

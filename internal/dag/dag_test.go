@@ -1,0 +1,282 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+)
+
+// diamond builds a fork-join: src -> {a, b} -> sink.
+func diamond(t *testing.T, wa, wb float64) *Graph {
+	t.Helper()
+	g := New()
+	for _, n := range []struct {
+		id string
+		w  float64
+	}{{"src", 1000}, {"a", wa}, {"b", wb}, {"sink", 1000}} {
+		if err := g.AddNode(n.id, n.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"src", "a"}, {"src", "b"}, {"a", "sink"}, {"b", "sink"}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestGraphConstruction(t *testing.T) {
+	g := New()
+	if err := g.AddNode("", 1); err == nil {
+		t.Error("empty id should fail")
+	}
+	if err := g.AddNode("a", -1); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if err := g.AddNode("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode("a", 2); err == nil {
+		t.Error("duplicate id should fail")
+	}
+	if err := g.AddEdge("a", "zz"); err == nil {
+		t.Error("unknown node should fail")
+	}
+	if err := g.AddEdge("a", "a"); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if err := g.AddNode("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Errorf("duplicate edge should be idempotent: %v", err)
+	}
+	if g.Len() != 2 || g.TotalWeight() != 3 {
+		t.Errorf("Len=%d TotalWeight=%g", g.Len(), g.TotalWeight())
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := g.AddNode(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	if err := g.Validate(); err == nil {
+		t.Error("cycle must be detected")
+	}
+	if _, err := g.AllOrders(100); err == nil {
+		t.Error("AllOrders must reject cycles")
+	}
+}
+
+func TestLinearizationsRespectPrecedence(t *testing.T) {
+	// Random DAGs: every strategy must produce a valid topological order
+	// covering all tasks.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		g := New()
+		n := 2 + rng.Intn(12)
+		ids := make([]string, n)
+		for i := 0; i < n; i++ {
+			ids[i] = string(rune('A' + i))
+			if err := g.AddNode(ids[i], rng.Float64()*1000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Edges only forward in insertion order: acyclic by construction.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					if err := g.AddEdge(ids[i], ids[j]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		for _, s := range Strategies() {
+			order, err := g.Linearize(s)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, s, err)
+			}
+			if len(order) != n {
+				t.Fatalf("trial %d %s: order covers %d of %d", trial, s, len(order), n)
+			}
+			if !g.respectsPrecedence(order) {
+				t.Fatalf("trial %d %s: precedence violated: %v", trial, s, order)
+			}
+		}
+	}
+}
+
+func TestStrategyOrdersOnDiamond(t *testing.T) {
+	g := diamond(t, 5000, 100)
+	heavy, err := g.Linearize(StrategyHeavyFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := g.IDs(heavy); ids[1] != "a" {
+		t.Errorf("heavy-first should run a before b: %v", ids)
+	}
+	light, err := g.Linearize(StrategyLightFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := g.IDs(light); ids[1] != "b" {
+		t.Errorf("light-first should run b before a: %v", ids)
+	}
+}
+
+func TestChainForPreservesWeightsAndNames(t *testing.T) {
+	g := diamond(t, 5000, 100)
+	order, err := g.Linearize(StrategyFIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.ChainFor(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 4 || c.TotalWeight() != g.TotalWeight() {
+		t.Errorf("chain mismatch: %v", c)
+	}
+	if c.Task(1).Name != "src" {
+		t.Errorf("first task = %q", c.Task(1).Name)
+	}
+	if _, err := g.ChainFor(order[:2]); err == nil {
+		t.Error("partial order should fail")
+	}
+}
+
+func TestAllOrdersDiamond(t *testing.T) {
+	g := diamond(t, 10, 20)
+	orders, err := g.AllOrders(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orders) != 2 { // src (a b | b a) sink
+		t.Fatalf("diamond has %d orders, want 2", len(orders))
+	}
+	for _, o := range orders {
+		if !g.respectsPrecedence(o) {
+			t.Errorf("invalid enumerated order %v", o)
+		}
+	}
+	// Limit must trip on larger graphs.
+	wide := New()
+	for i := 0; i < 8; i++ {
+		wide.AddNode(string(rune('a'+i)), 1)
+	}
+	if _, err := wide.AllOrders(100); err == nil {
+		t.Error("8 independent tasks have 40320 orders; limit must trip")
+	}
+}
+
+func TestPlanPicksBestStrategy(t *testing.T) {
+	// A skewed diamond on a failure-prone platform: the serialization
+	// matters, and Plan must return the best of the strategy set with a
+	// valid chain plan attached.
+	g := diamond(t, 20000, 400)
+	p := platform.Hera()
+	p.LambdaF *= 50
+	p.LambdaS *= 50
+	res, err := Plan(core.AlgADMVStar, g, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) != 4 || res.Plan == nil {
+		t.Fatalf("bad result: %+v", res)
+	}
+	// Every single strategy must be >= the combined best.
+	for _, s := range Strategies() {
+		single, err := Plan(core.AlgADMVStar, g, p, []Strategy{s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Plan.ExpectedMakespan < res.Plan.ExpectedMakespan*(1-1e-12) {
+			t.Errorf("strategy %s (%f) beats the combined best (%f)",
+				s, single.Plan.ExpectedMakespan, res.Plan.ExpectedMakespan)
+		}
+	}
+}
+
+func TestStrategiesMatchExhaustiveOnSmallDAGs(t *testing.T) {
+	// On small random DAGs the best strategy should stay close to the
+	// exhaustive-optimal serialization (and never beat it).
+	rng := rand.New(rand.NewSource(11))
+	p := platform.Hera()
+	p.LambdaF *= 80
+	p.LambdaS *= 80
+	worst := 0.0
+	for trial := 0; trial < 5; trial++ {
+		g := New()
+		n := 4 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			g.AddNode(string(rune('a'+i)), 500+rng.Float64()*8000)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.45 {
+					g.AddEdge(string(rune('a'+i)), string(rune('a'+j)))
+				}
+			}
+		}
+		best, err := Plan(core.AlgADMVStar, g, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := OptimalOrder(core.AlgADMVStar, g, p, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Plan.ExpectedMakespan < opt.Plan.ExpectedMakespan*(1-1e-12) {
+			t.Fatalf("trial %d: strategies beat the exhaustive optimum", trial)
+		}
+		gap := best.Plan.ExpectedMakespan/opt.Plan.ExpectedMakespan - 1
+		if gap > worst {
+			worst = gap
+		}
+		if gap > 0.05 {
+			t.Errorf("trial %d: strategy gap %.4f above 5%%", trial, gap)
+		}
+	}
+	t.Logf("worst strategy gap vs exhaustive serialization: %.5f", worst)
+}
+
+func TestChainDegenerateDAGMatchesChainPlanner(t *testing.T) {
+	// A path graph must reproduce the plain chain result exactly.
+	g := New()
+	weights := []float64{4000, 6000, 3000, 7000, 5000}
+	for i, w := range weights {
+		g.AddNode(string(rune('a'+i)), w)
+	}
+	for i := 0; i+1 < len(weights); i++ {
+		g.AddEdge(string(rune('a'+i)), string(rune('a'+i+1)))
+	}
+	p := platform.Atlas()
+	res, err := Plan(core.AlgADMV, g, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.ChainFor([]int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.PlanADMV(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.ExpectedMakespan != direct.ExpectedMakespan {
+		t.Errorf("path DAG %f vs chain %f", res.Plan.ExpectedMakespan, direct.ExpectedMakespan)
+	}
+}

@@ -1,0 +1,80 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+)
+
+// Result is a planned serialization of a workflow DAG.
+type Result struct {
+	// Strategy is the linearization that won (or "exhaustive").
+	Strategy Strategy
+	// Order is the serialized task sequence by ID.
+	Order []string
+	// Plan is the optimal chain plan for that serialization.
+	Plan *core.Result
+}
+
+// Plan serializes the DAG with every given strategy (all of them when
+// strategies is nil), runs the chain dynamic program on each
+// serialization, and returns the best combination.
+func Plan(alg core.Algorithm, g *Graph, p platform.Platform, strategies []Strategy) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if strategies == nil {
+		strategies = Strategies()
+	}
+	if len(strategies) == 0 {
+		return nil, fmt.Errorf("dag: no strategies given")
+	}
+	var best *Result
+	for _, s := range strategies {
+		order, err := g.Linearize(s)
+		if err != nil {
+			return nil, err
+		}
+		c, err := g.ChainFor(order)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Plan(alg, c, p)
+		if err != nil {
+			return nil, fmt.Errorf("dag: strategy %s: %w", s, err)
+		}
+		if best == nil || res.ExpectedMakespan < best.Plan.ExpectedMakespan {
+			best = &Result{Strategy: s, Order: g.IDs(order), Plan: res}
+		}
+	}
+	return best, nil
+}
+
+// OptimalOrder exhaustively searches every topological order (bounded by
+// maxOrders) and returns the globally optimal serialization: the
+// yardstick the strategies are measured against on small workflows.
+func OptimalOrder(alg core.Algorithm, g *Graph, p platform.Platform, maxOrders int) (*Result, error) {
+	orders, err := g.AllOrders(maxOrders)
+	if err != nil {
+		return nil, err
+	}
+	best := math.Inf(1)
+	var out *Result
+	for _, order := range orders {
+		c, err := g.ChainFor(order)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Plan(alg, c, p)
+		if err != nil {
+			return nil, err
+		}
+		if res.ExpectedMakespan < best {
+			best = res.ExpectedMakespan
+			out = &Result{Strategy: "exhaustive", Order: g.IDs(order), Plan: res}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package evaluate
+
+import (
+	"math/rand"
+	"testing"
+
+	"chainckpt/internal/bruteforce"
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/sim"
+	"chainckpt/internal/workload"
+)
+
+func scaledCosts(t *testing.T, rng *rand.Rand, p platform.Platform, n int) *platform.Costs {
+	t.Helper()
+	sizes := make([]float64, n)
+	for i := range sizes {
+		sizes[i] = 0.1 + 4*rng.Float64()
+	}
+	costs, err := platform.ScaledCosts(p, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return costs
+}
+
+// TestOraclesAgreeUnderHeterogeneousCosts extends the differential
+// validation to per-boundary cost tables: renewal oracle vs Markov oracle
+// on random schedules, and the closed forms on partial-free ones.
+func TestOraclesAgreeUnderHeterogeneousCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2021))
+	p := platform.Hera()
+	p.LambdaF *= 80
+	p.LambdaS *= 80
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(10)
+		c, err := workload.Random(rng, n, 25000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := scaledCosts(t, rng, p, n)
+		s := randomSchedule(rng, n)
+		exact, err := ExactWithCosts(c, p, costs, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		markov, err := MarkovExactWithCosts(c, p, costs, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relDiff(exact, markov) > 1e-8 {
+			t.Errorf("trial %d: exact %.8f vs markov %.8f", trial, exact, markov)
+		}
+		hasPartial := s.Counts().Partial > 0
+		if !hasPartial {
+			closed, err := core.EvaluateWithCosts(c, p, costs, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relDiff(exact, closed) > 1e-9 {
+				t.Errorf("trial %d: exact %.8f vs closed %.8f", trial, exact, closed)
+			}
+		}
+	}
+}
+
+// TestDPOptimalUnderHeterogeneousCosts brute-forces small instances with
+// random cost tables: the costs-aware DP must match the enumerated
+// minimum of the costs-aware closed forms.
+func TestDPOptimalUnderHeterogeneousCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := platform.Hera()
+	p.LambdaF *= 60
+	p.LambdaS *= 60
+	for trial := 0; trial < 4; trial++ {
+		n := 2 + rng.Intn(4)
+		c, err := workload.Random(rng, n, 25000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := scaledCosts(t, rng, p, n)
+		eval := func(cc *chain.Chain, pp platform.Platform, ss *schedule.Schedule) (float64, error) {
+			return core.EvaluateWithCosts(cc, pp, costs, ss)
+		}
+		for _, alg := range core.Algorithms() {
+			dp, err := core.PlanWithCosts(alg, c, p, costs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bf, err := bruteforce.Optimal(alg, c, p, eval)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relDiff(dp.ExpectedMakespan, bf.Value) > 1e-10 {
+				t.Errorf("trial %d %s: DP %.8f vs brute force %.8f\nDP: %v\nBF: %v",
+					trial, alg, dp.ExpectedMakespan, bf.Value, dp.Schedule, bf.Best)
+			}
+		}
+	}
+}
+
+// TestSimulatorMatchesOracleUnderHeterogeneousCosts closes the loop with
+// Monte Carlo on a cost-skewed instance.
+func TestSimulatorMatchesOracleUnderHeterogeneousCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	n := 10
+	c, _ := workload.Uniform(n, 25000)
+	p := platform.Hera()
+	p.LambdaF *= 40
+	p.LambdaS *= 40
+	costs := scaledCosts(t, rng, p, n)
+	res, err := core.PlanWithCosts(core.AlgADMV, c, p, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExactWithCosts(c, p, costs, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := sim.Run(c, p, res.Schedule, sim.Options{
+		Replications: 50000, Seed: 9, Workers: 8, Costs: costs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sres.MeanWithin(want, 4.5) {
+		t.Errorf("simulated %.2f +- %.2f vs exact %.2f",
+			sres.Mean(), sres.Makespan.StdErr(), want)
+	}
+}

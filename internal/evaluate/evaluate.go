@@ -1,0 +1,300 @@
+// Package evaluate computes the exact expected makespan of a fixed
+// resilience schedule directly from the semantics of the execution model,
+// independently of the paper's closed-form algebra.
+//
+// Model semantics (paper Section II): fail-stop and silent errors strike
+// computation as independent Poisson processes. A fail-stop error destroys
+// memory; execution restarts from the last disk checkpoint after paying
+// R_D (zero if that checkpoint is the virtual task T0). Silent errors
+// corrupt the data silently; the corruption survives until a verification
+// catches it — always for a guaranteed verification, with probability r
+// for a partial one — at which point execution rolls back to the last
+// memory checkpoint after paying R_M (zero at T0). Verifications,
+// checkpoints and recoveries are themselves failure-free, and checkpoints
+// are never corrupted (every memory checkpoint sits behind a guaranteed
+// verification).
+//
+// Two independent evaluators are provided:
+//
+//   - Exact: per-memory-level renewal-reward analysis. O(n) per segment,
+//     suitable for any instance size.
+//   - MarkovExact: builds the full absorbing Markov chain over
+//     (memory level, position, corruption flag) states and solves the
+//     linear system with internal/linalg. O(k^3) per segment; used to
+//     cross-validate Exact on small instances.
+//
+// Together with internal/core.Evaluate (the paper's closed forms) and
+// internal/sim (Monte Carlo), this gives four independent routes to the
+// same quantity; the test suites assert they agree.
+package evaluate
+
+import (
+	"errors"
+	"fmt"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/expmath"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+)
+
+// ErrNoProgress reports a schedule/platform combination under which a
+// segment can never complete (probability of success is zero).
+var ErrNoProgress = errors.New("evaluate: schedule cannot make progress")
+
+// Exact returns the exact model-expected makespan of the fixed schedule.
+func Exact(c *chain.Chain, p platform.Platform, sched *schedule.Schedule) (float64, error) {
+	return ExactWithCosts(c, p, nil, sched)
+}
+
+// ExactWithCosts is Exact with per-boundary checkpoint, recovery and
+// verification costs (nil for the platform constants).
+func ExactWithCosts(c *chain.Chain, p platform.Platform, costs *platform.Costs, sched *schedule.Schedule) (float64, error) {
+	segs, err := split(c, p, costs, sched)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, seg := range segs {
+		v, err := seg.renewalValue()
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// segment is the portion of the execution between two consecutive disk
+// checkpoints (dPrev excluded, dNext included). Fail-stop errors anywhere
+// in the segment roll back to dPrev; completion of dNext's disk
+// checkpoint commits the segment permanently.
+type segment struct {
+	c      *chain.Chain
+	p      platform.Platform
+	costs  *platform.Costs // nil means platform constants
+	dPrev  int
+	dNext  int
+	levels []level
+	rd     float64 // disk recovery cost on reset (0 when dPrev == 0)
+}
+
+// boundaryCosts returns the effective costs of boundary i.
+func (s *segment) boundaryCosts(i int) platform.BoundaryCosts {
+	if s.costs != nil {
+		return s.costs.At(i)
+	}
+	return platform.BoundaryCosts{CD: s.p.CD, CM: s.p.CM, RD: s.p.RD, RM: s.p.RM, VStar: s.p.VStar, V: s.p.V}
+}
+
+// level is the portion of a segment governed by one memory checkpoint:
+// detected silent errors roll back to the level's base position. points
+// holds base = points[0] < ... < points[K], where points[K] is the next
+// memory (or disk) station and interior points are verification-only
+// stations.
+type level struct {
+	base    int
+	points  []int
+	actions []schedule.Action // actions[i] is the action at points[i]; actions[0] unused
+	rm      float64           // memory recovery cost (0 when base == 0)
+}
+
+// split decomposes a complete schedule into disk segments and memory
+// levels.
+func split(c *chain.Chain, p platform.Platform, costs *platform.Costs, sched *schedule.Schedule) ([]*segment, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("evaluate: empty chain")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("evaluate: %w", err)
+	}
+	if sched.Len() != c.Len() {
+		return nil, fmt.Errorf("evaluate: schedule for %d tasks but chain has %d", sched.Len(), c.Len())
+	}
+	if costs != nil {
+		if costs.Len() != c.Len() {
+			return nil, fmt.Errorf("evaluate: cost table for %d tasks but chain has %d", costs.Len(), c.Len())
+		}
+		if err := costs.Validate(); err != nil {
+			return nil, fmt.Errorf("evaluate: %w", err)
+		}
+	}
+	if err := sched.ValidateComplete(); err != nil {
+		return nil, fmt.Errorf("evaluate: %w", err)
+	}
+
+	var segs []*segment
+	dPrev := 0
+	var cur *segment
+	newSegment := func(dPrev int) *segment {
+		s := &segment{c: c, p: p, costs: costs, dPrev: dPrev}
+		if dPrev > 0 {
+			if costs != nil {
+				s.rd = costs.At(dPrev).RD
+			} else {
+				s.rd = p.RD
+			}
+		}
+		return s
+	}
+	newLevel := func(base int) level {
+		l := level{base: base, points: []int{base}, actions: []schedule.Action{schedule.None}}
+		if base > 0 {
+			if costs != nil {
+				l.rm = costs.At(base).RM
+			} else {
+				l.rm = p.RM
+			}
+		}
+		return l
+	}
+	cur = newSegment(0)
+	lvl := newLevel(0)
+	for i := 1; i <= sched.Len(); i++ {
+		a := sched.At(i)
+		if a == schedule.None {
+			continue
+		}
+		lvl.points = append(lvl.points, i)
+		lvl.actions = append(lvl.actions, a)
+		if a.Has(schedule.Memory) {
+			// Close the level; a new one starts at i.
+			cur.levels = append(cur.levels, lvl)
+			if a.Has(schedule.Disk) {
+				cur.dNext = i
+				segs = append(segs, cur)
+				dPrev = i
+				cur = newSegment(dPrev)
+			}
+			lvl = newLevel(i)
+		}
+	}
+	return segs, nil
+}
+
+// stepOutcome aggregates, for a within-level state, the expected time
+// until the next terminal event and the probabilities of each terminal:
+// rollback to the level base, reset to the segment start (fail-stop), and
+// clean forward exit at the closing memory/disk station.
+type stepOutcome struct {
+	t  float64 // expected time until a terminal event
+	rb float64 // P(rollback to level base)
+	rs float64 // P(fail-stop reset to segment start)
+	fw float64 // P(clean forward exit)
+}
+
+// levelStats runs the backward pass over a level's points and returns the
+// renewal-aggregated expected time spent in the level per entry, with the
+// conditional exit probabilities (forward vs reset).
+func (s *segment) levelStats(l level) (u, pFw, pRs float64, err error) {
+	k := len(l.points) - 1 // number of intervals
+	lf, ls := s.p.LambdaF, s.p.LambdaS
+	r := s.p.Recall
+	g := 1 - r
+
+	// states[i][c]: at points[i] with corruption flag c, about to traverse
+	// interval i -> i+1. Computed backward.
+	states := make([][2]stepOutcome, k)
+	for i := k - 1; i >= 0; i-- {
+		w := s.c.SegmentWeight(l.points[i], l.points[i+1])
+		act := l.actions[i+1]
+		bc := s.boundaryCosts(l.points[i+1])
+		isLast := i+1 == k
+		pf := expmath.ProbError(lf, w)
+		ps := expmath.ProbError(ls, w)
+		tl := expmath.TLost(lf, w)
+		for c := 0; c <= 1; c++ {
+			var o stepOutcome
+			// Fail-stop during the interval: lose tl, pay R_D, reset.
+			o.t = pf * (tl + s.rd)
+			o.rs = pf
+			pn := 1 - pf
+			// Corruption flag on arrival (a silent error may strike even
+			// if one is already latent; the flag is idempotent).
+			probCorr := ps
+			if c == 1 {
+				probCorr = 1
+			}
+			arrClean := pn * (1 - probCorr)
+			arrCorr := pn * probCorr
+			switch {
+			case act.Has(schedule.Guaranteed):
+				o.t += pn * (w + bc.VStar)
+				// Corrupted arrivals are always caught: roll back.
+				o.t += arrCorr * l.rm
+				o.rb += arrCorr
+				if isLast {
+					// Clean arrival takes the checkpoint(s) and exits.
+					cost := bc.CM
+					if act.Has(schedule.Disk) {
+						cost += bc.CD
+					}
+					o.t += arrClean * cost
+					o.fw += arrClean
+				} else {
+					nxt := states[i+1][0]
+					o.t += arrClean * nxt.t
+					o.rb += arrClean * nxt.rb
+					o.rs += arrClean * nxt.rs
+					o.fw += arrClean * nxt.fw
+				}
+			case act.Has(schedule.Partial):
+				if isLast {
+					return 0, 0, 0, fmt.Errorf("evaluate: level closed by a partial verification at %d", l.points[i+1])
+				}
+				o.t += pn * (w + bc.V)
+				// Detected corruption (prob r): roll back.
+				o.t += arrCorr * r * l.rm
+				o.rb += arrCorr * r
+				// Missed corruption (prob g): continue latent.
+				nxt1 := states[i+1][1]
+				o.t += arrCorr * g * nxt1.t
+				o.rb += arrCorr * g * nxt1.rb
+				o.rs += arrCorr * g * nxt1.rs
+				o.fw += arrCorr * g * nxt1.fw
+				// Clean: continue clean.
+				nxt0 := states[i+1][0]
+				o.t += arrClean * nxt0.t
+				o.rb += arrClean * nxt0.rb
+				o.rs += arrClean * nxt0.rs
+				o.fw += arrClean * nxt0.fw
+			default:
+				return 0, 0, 0, fmt.Errorf("evaluate: station at %d has no verification", l.points[i+1])
+			}
+			states[i][c] = o
+		}
+	}
+
+	entry := states[0][0]
+	denom := 1 - entry.rb
+	if denom <= 0 {
+		return 0, 0, 0, ErrNoProgress
+	}
+	// Renewal-reward: every rollback regenerates the entry state.
+	return entry.t / denom, entry.fw / denom, entry.rs / denom, nil
+}
+
+// renewalValue returns the expected time to traverse the whole segment,
+// chaining the levels and closing the fail-stop reset loop analytically.
+func (s *segment) renewalValue() (float64, error) {
+	L := len(s.levels)
+	if L == 0 {
+		return 0, fmt.Errorf("evaluate: segment (%d,%d] has no levels", s.dPrev, s.dNext)
+	}
+	// A_j = U_j + pFw_j*A_{j+1} + pRs_j*A_0, with A_L = 0.
+	// Express A_j = a_j + b_j*A_0 backward.
+	a, b := 0.0, 0.0
+	for j := L - 1; j >= 0; j-- {
+		u, pFw, pRs, err := s.levelStats(s.levels[j])
+		if err != nil {
+			return 0, err
+		}
+		a = u + pFw*a
+		b = pRs + pFw*b
+	}
+	denom := 1 - b
+	if denom <= 0 {
+		return 0, ErrNoProgress
+	}
+	return a / denom, nil
+}

@@ -1,0 +1,90 @@
+package evaluate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
+)
+
+// FuzzEvaluatorsAgree differentially fuzzes the two independent exact
+// oracles (renewal-reward vs absorbing-chain linear solve) and, for
+// partial-free schedules, the paper's closed forms, across random chains,
+// schedules and platform parameters — including degenerate ones (zero
+// rates, zero costs, zero recall).
+func FuzzEvaluatorsAgree(f *testing.F) {
+	f.Add(int64(1), uint8(6), false, false, false)
+	f.Add(int64(2), uint8(1), true, false, true)
+	f.Add(int64(3), uint8(12), false, true, false)
+	f.Add(int64(4), uint8(9), true, true, true)
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8, zeroF, zeroS, zeroCosts bool) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw%12)
+		c, err := workload.Random(rng, n, 100+rng.Float64()*50000)
+		if err != nil {
+			t.Skip()
+		}
+		p := platform.Hera()
+		p.LambdaF *= math.Pow(10, 2*rng.Float64()) // 1x..100x
+		p.LambdaS *= math.Pow(10, 2*rng.Float64())
+		p.Recall = rng.Float64()
+		if zeroF {
+			p.LambdaF = 0
+		}
+		if zeroS {
+			p.LambdaS = 0
+		}
+		if zeroCosts {
+			p.CM, p.RM, p.V, p.VStar = 0, 0, 0, 0
+		}
+
+		s := schedule.MustNew(n)
+		hasPartial := false
+		for i := 1; i < n; i++ {
+			switch rng.Intn(5) {
+			case 1:
+				s.Set(i, schedule.Partial)
+				hasPartial = true
+			case 2:
+				s.Set(i, schedule.Guaranteed)
+			case 3:
+				s.Set(i, schedule.Memory)
+			case 4:
+				s.Set(i, schedule.Disk)
+			}
+		}
+		s.Set(n, schedule.Disk)
+
+		exact, err := Exact(c, p, s)
+		if err != nil {
+			t.Skip() // e.g. no-progress configurations
+		}
+		markov, err := MarkovExact(c, p, s)
+		if err != nil {
+			t.Fatalf("Exact succeeded but MarkovExact failed: %v", err)
+		}
+		if !agree(exact, markov, 1e-6) {
+			t.Fatalf("oracles disagree: exact=%.10g markov=%.10g", exact, markov)
+		}
+		if !hasPartial {
+			closed, err := core.Evaluate(c, p, s)
+			if err != nil {
+				t.Fatalf("closed-form evaluation failed: %v", err)
+			}
+			if !agree(exact, closed, 1e-7) {
+				t.Fatalf("closed forms disagree on partial-free schedule: exact=%.10g closed=%.10g", exact, closed)
+			}
+		}
+	})
+}
+
+func agree(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+}

@@ -1,0 +1,135 @@
+package evaluate
+
+import (
+	"fmt"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/expmath"
+	"chainckpt/internal/linalg"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+)
+
+// MarkovExact returns the exact model-expected makespan of the fixed
+// schedule by building, for every disk segment, the full absorbing Markov
+// chain over states (memory level, position, corruption flag) and solving
+// the first-step linear system (I - P) E = t with Gaussian elimination.
+//
+// It computes the same quantity as Exact through entirely different
+// machinery (no renewal argument, no per-level factorization) and is used
+// to cross-validate it. State count grows with the square of the number
+// of stations per segment, so prefer Exact outside of tests.
+func MarkovExact(c *chain.Chain, p platform.Platform, sched *schedule.Schedule) (float64, error) {
+	return MarkovExactWithCosts(c, p, nil, sched)
+}
+
+// MarkovExactWithCosts is MarkovExact with per-boundary costs (nil for
+// the platform constants).
+func MarkovExactWithCosts(c *chain.Chain, p platform.Platform, costs *platform.Costs, sched *schedule.Schedule) (float64, error) {
+	segs, err := split(c, p, costs, sched)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, seg := range segs {
+		v, err := seg.markovValue()
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// markovValue solves the segment's absorbing chain. Variables are indexed
+// by (level j, interval index i in 0..K_j-1, corruption flag c); the
+// entry state is (0, 0, clean) and absorption happens on clean arrival at
+// the segment's closing disk station.
+func (s *segment) markovValue() (float64, error) {
+	type key struct{ j, i, c int }
+	index := make(map[key]int)
+	var order []key
+	for j, l := range s.levels {
+		for i := 0; i < len(l.points)-1; i++ {
+			for c := 0; c <= 1; c++ {
+				index[key{j, i, c}] = len(order)
+				order = append(order, key{j, i, c})
+			}
+		}
+	}
+	n := len(order)
+	if n == 0 {
+		return 0, fmt.Errorf("evaluate: segment (%d,%d] has no states", s.dPrev, s.dNext)
+	}
+
+	a := linalg.NewMatrix(n, n) // I - P
+	b := make([]float64, n)     // immediate expected time per state
+	lf, ls := s.p.LambdaF, s.p.LambdaS
+	r := s.p.Recall
+	g := 1 - r
+	resetIdx := index[key{0, 0, 0}]
+
+	for x, k := range order {
+		l := s.levels[k.j]
+		kIntervals := len(l.points) - 1
+		isLast := k.i+1 == kIntervals
+		w := s.c.SegmentWeight(l.points[k.i], l.points[k.i+1])
+		act := l.actions[k.i+1]
+		bc := s.boundaryCosts(l.points[k.i+1])
+		pf := expmath.ProbError(lf, w)
+		ps := expmath.ProbError(ls, w)
+		tl := expmath.TLost(lf, w)
+		pn := 1 - pf
+		probCorr := ps
+		if k.c == 1 {
+			probCorr = 1
+		}
+		arrClean := pn * (1 - probCorr)
+		arrCorr := pn * probCorr
+
+		a[x][x] = 1
+		addEdge := func(y int, prob float64) { a[x][y] -= prob }
+
+		// Fail-stop: reset to the segment entry state.
+		b[x] += pf * (tl + s.rd)
+		addEdge(resetIdx, pf)
+
+		rollbackIdx := index[key{k.j, 0, 0}]
+		switch {
+		case act.Has(schedule.Guaranteed):
+			b[x] += pn * (w + bc.VStar)
+			b[x] += arrCorr * l.rm
+			addEdge(rollbackIdx, arrCorr)
+			if isLast {
+				cost := bc.CM
+				if act.Has(schedule.Disk) {
+					cost += bc.CD
+				}
+				b[x] += arrClean * cost
+				if k.j+1 < len(s.levels) {
+					addEdge(index[key{k.j + 1, 0, 0}], arrClean)
+				}
+				// Otherwise clean arrival at the disk station absorbs.
+			} else {
+				addEdge(index[key{k.j, k.i + 1, 0}], arrClean)
+			}
+		case act.Has(schedule.Partial):
+			if isLast {
+				return 0, fmt.Errorf("evaluate: level closed by a partial verification at %d", l.points[k.i+1])
+			}
+			b[x] += pn * (w + bc.V)
+			b[x] += arrCorr * r * l.rm
+			addEdge(rollbackIdx, arrCorr*r)
+			addEdge(index[key{k.j, k.i + 1, 1}], arrCorr*g)
+			addEdge(index[key{k.j, k.i + 1, 0}], arrClean)
+		default:
+			return 0, fmt.Errorf("evaluate: station at %d has no verification", l.points[k.i+1])
+		}
+	}
+
+	e, err := linalg.Solve(a, b)
+	if err != nil {
+		return 0, fmt.Errorf("evaluate: markov solve: %w", err)
+	}
+	return e[resetIdx], nil
+}

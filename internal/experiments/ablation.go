@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"chainckpt/internal/ascii"
+	"chainckpt/internal/core"
+	"chainckpt/internal/evaluate"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+// SweepPoint is one measurement of a single-parameter ablation sweep.
+type SweepPoint struct {
+	Param      float64
+	Expected   float64
+	Normalized float64
+	Partials   int // partial verifications placed (where meaningful)
+}
+
+// RecallSweep runs ADMV with varying partial-verification recall r on one
+// platform: it shows when (and how strongly) imperfect detectors pay off.
+func RecallSweep(plat platform.Platform, pat workload.Pattern, n int, recalls []float64) ([]SweepPoint, error) {
+	c, err := workload.Generate(pat, n, workload.PaperTotalWeight)
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	for _, r := range recalls {
+		p := plat
+		p.Recall = r
+		res, err := core.PlanADMV(c, p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: recall %g: %w", r, err)
+		}
+		out = append(out, SweepPoint{
+			Param:      r,
+			Expected:   res.ExpectedMakespan,
+			Normalized: res.NormalizedMakespan(c),
+			Partials:   res.Schedule.Counts().Partial,
+		})
+	}
+	return out, nil
+}
+
+// PartialCostSweep runs ADMV with V = frac * V* for each frac: it locates
+// the cost threshold under which partial verifications enter the optimal
+// schedule (the paper uses frac = 0.01).
+func PartialCostSweep(plat platform.Platform, pat workload.Pattern, n int, fracs []float64) ([]SweepPoint, error) {
+	c, err := workload.Generate(pat, n, workload.PaperTotalWeight)
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	for _, f := range fracs {
+		p := plat
+		p.V = f * p.VStar
+		res, err := core.PlanADMV(c, p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cost fraction %g: %w", f, err)
+		}
+		out = append(out, SweepPoint{
+			Param:      f,
+			Expected:   res.ExpectedMakespan,
+			Normalized: res.NormalizedMakespan(c),
+			Partials:   res.Schedule.Counts().Partial,
+		})
+	}
+	return out, nil
+}
+
+// RatePoint is one measurement of the error-rate ablation.
+type RatePoint struct {
+	Multiplier float64
+	Normalized map[core.Algorithm]float64
+}
+
+// RateSweep scales both error rates by each multiplier and replans with
+// all three algorithms: the two-level gain grows with the error rate.
+func RateSweep(plat platform.Platform, pat workload.Pattern, n int, mults []float64) ([]RatePoint, error) {
+	c, err := workload.Generate(pat, n, workload.PaperTotalWeight)
+	if err != nil {
+		return nil, err
+	}
+	var out []RatePoint
+	for _, m := range mults {
+		p := plat
+		p.LambdaF *= m
+		p.LambdaS *= m
+		pt := RatePoint{Multiplier: m, Normalized: make(map[core.Algorithm]float64)}
+		for _, alg := range core.Algorithms() {
+			res, err := core.Plan(alg, c, p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: rate x%g %s: %w", m, alg, err)
+			}
+			pt.Normalized[alg] = res.NormalizedMakespan(c)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// BlindPenalty is the X3 experiment result: the cost of planning as if
+// silent errors did not exist.
+type BlindPenalty struct {
+	Platform string
+	Pattern  workload.Pattern
+	N        int
+	// Aware is the exact expectation of the schedule planned with the true
+	// rates (ADMV* planner).
+	Aware float64
+	// Blind is the exact expectation, under the true platform, of the
+	// schedule planned with lambda_s = 0 (fail-stop-only planning in the
+	// tradition of Toueg/Babaoglu-style checkpoint placement).
+	Blind float64
+	// PenaltyPct is 100*(Blind/Aware - 1).
+	PenaltyPct float64
+}
+
+// BlindPlanningPenalty plans with lambda_s forced to zero, then evaluates
+// the resulting schedule under the true platform with the exact oracle.
+func BlindPlanningPenalty(plat platform.Platform, pat workload.Pattern, n int) (*BlindPenalty, error) {
+	c, err := workload.Generate(pat, n, workload.PaperTotalWeight)
+	if err != nil {
+		return nil, err
+	}
+	aware, err := core.PlanADMVStar(c, plat)
+	if err != nil {
+		return nil, err
+	}
+	awareExact, err := evaluate.Exact(c, plat, aware.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	blindPlat := plat
+	blindPlat.LambdaS = 0
+	blind, err := core.PlanADMVStar(c, blindPlat)
+	if err != nil {
+		return nil, err
+	}
+	blindExact, err := evaluate.Exact(c, plat, blind.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	return &BlindPenalty{
+		Platform:   plat.Name,
+		Pattern:    pat,
+		N:          n,
+		Aware:      awareExact,
+		Blind:      blindExact,
+		PenaltyPct: 100 * (blindExact/awareExact - 1),
+	}, nil
+}
+
+// SweepTable renders sweep points with the given parameter name.
+func SweepTable(param string, pts []SweepPoint) string {
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", p.Param),
+			fmt.Sprintf("%.2f", p.Expected),
+			fmt.Sprintf("%.5f", p.Normalized),
+			fmt.Sprintf("%d", p.Partials),
+		})
+	}
+	return ascii.Table([]string{param, "E[makespan]", "normalized", "#partials"}, rows)
+}
+
+// RateTable renders rate-sweep points.
+func RateTable(pts []RatePoint) string {
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("x%g", p.Multiplier),
+			fmt.Sprintf("%.5f", p.Normalized[core.AlgADV]),
+			fmt.Sprintf("%.5f", p.Normalized[core.AlgADMVStar]),
+			fmt.Sprintf("%.5f", p.Normalized[core.AlgADMV]),
+			fmt.Sprintf("%.2f%%", 100*(1-p.Normalized[core.AlgADMVStar]/p.Normalized[core.AlgADV])),
+		})
+	}
+	return ascii.Table([]string{"rate mult", "ADV*", "ADMV*", "ADMV", "two-level gain"}, rows)
+}
+
+// SweepCSV renders sweep points as CSV.
+func SweepCSV(param string, pts []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,expected_makespan,normalized,partials\n", param)
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%g,%.6f,%.8f,%d\n", p.Param, p.Expected, p.Normalized, p.Partials)
+	}
+	return b.String()
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+// smallCfg keeps unit tests fast; the full paper scale runs in the
+// benchmark harness.
+var smallCfg = Config{MaxTasks: 12, Step: 1}
+
+func TestRunFigureShape(t *testing.T) {
+	fig, err := Run("test", workload.PatternUniform, platform.Hera(), smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Ns) != 12 {
+		t.Errorf("Ns = %v", fig.Ns)
+	}
+	if len(fig.Points) != 12*3 {
+		t.Errorf("points = %d, want 36", len(fig.Points))
+	}
+	if len(fig.Schedules) != 3 {
+		t.Errorf("schedules at max n = %d, want 3", len(fig.Schedules))
+	}
+	for _, alg := range core.Algorithms() {
+		if fig.Schedules[alg].Len() != 12 {
+			t.Errorf("%s schedule len = %d", alg, fig.Schedules[alg].Len())
+		}
+	}
+}
+
+func TestFigureDominanceAcrossSweep(t *testing.T) {
+	fig, err := Run("dom", workload.PatternUniform, platform.Atlas(), smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range fig.Ns {
+		adv := fig.point(n, core.AlgADV)
+		star := fig.point(n, core.AlgADMVStar)
+		admv := fig.point(n, core.AlgADMV)
+		if star.Expected > adv.Expected*(1+1e-12) || admv.Expected > star.Expected*(1+1e-12) {
+			t.Errorf("n=%d: dominance violated: %f / %f / %f",
+				n, adv.Expected, star.Expected, admv.Expected)
+		}
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	fig, err := Run("render", workload.PatternHighLow, platform.CoastalSSD(), Config{MaxTasks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := fig.NormalizedChart()
+	for _, want := range []string{"HighLow", "Coastal SSD", "ADV*", "ADMV"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	table := fig.CountsTable(core.AlgADMV)
+	if !strings.Contains(table, "#partial") || !strings.Contains(table, "8") {
+		t.Errorf("counts table:\n%s", table)
+	}
+	strip := fig.Strip(core.AlgADMV)
+	if !strings.Contains(strip, "Disk ckpts") {
+		t.Errorf("strip:\n%s", strip)
+	}
+	if got := fig.Strip("nonexistent"); !strings.Contains(got, "no schedule") {
+		t.Errorf("missing-schedule strip: %q", got)
+	}
+	csv := fig.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+8*3 {
+		t.Errorf("csv has %d lines, want 25", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "pattern,platform,n,") {
+		t.Errorf("csv header: %q", lines[0])
+	}
+}
+
+func TestTable1ContainsAllPlatforms(t *testing.T) {
+	out := Table1()
+	for _, name := range []string{"Hera", "Atlas", "Coastal", "Coastal SSD", "12.2", "3.4"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table1 missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestGainSummaryPositiveGains(t *testing.T) {
+	fig, err := Run("gain", workload.PatternUniform, platform.Atlas(), Config{MaxTasks: 30, Step: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := GainSummary([]*Figure{fig})
+	if !strings.Contains(out, "Atlas") {
+		t.Errorf("gain summary:\n%s", out)
+	}
+	// On Atlas with n=30 the two-level gain is strongly positive (~5%).
+	adv := fig.point(30, core.AlgADV)
+	star := fig.point(30, core.AlgADMVStar)
+	if gain := 1 - star.Expected/adv.Expected; gain < 0.02 {
+		t.Errorf("two-level gain on Atlas at n=30 = %.4f, want >= 0.02", gain)
+	}
+}
+
+func TestValidationRowsConsistent(t *testing.T) {
+	rows, err := Validation(8, 4000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*2*3 { // patterns x platforms x algorithms
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		relClosed := abs(r.DP-r.Closed) / r.DP
+		if relClosed > 1e-9 {
+			t.Errorf("%s/%s/%s: DP vs closed rel diff %.2e", r.Pattern, r.Platform, r.Algorithm, relClosed)
+		}
+		relOracle := abs(r.DP-r.Oracle) / r.DP
+		if relOracle > 1e-4 {
+			t.Errorf("%s/%s/%s: DP vs oracle rel diff %.2e", r.Pattern, r.Platform, r.Algorithm, relOracle)
+		}
+		if r.Sigma > 5 {
+			t.Errorf("%s/%s/%s: simulation %0.1f sigma from oracle", r.Pattern, r.Platform, r.Algorithm, r.Sigma)
+		}
+	}
+	table := ValidationTable(rows)
+	if !strings.Contains(table, "sigma") {
+		t.Errorf("validation table:\n%s", table)
+	}
+	csv := ValidationCSV(rows)
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != len(rows)+1 {
+		t.Error("validation csv row count mismatch")
+	}
+}
+
+func TestRecallSweepMonotone(t *testing.T) {
+	pts, err := RecallSweep(platform.CoastalSSD(), workload.PatternUniform, 15,
+		[]float64{0, 0.4, 0.8, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Expected > pts[i-1].Expected*(1+1e-12) {
+			t.Errorf("makespan increased with recall: %v -> %v", pts[i-1], pts[i])
+		}
+	}
+	out := SweepTable("recall", pts)
+	if !strings.Contains(out, "recall") {
+		t.Errorf("sweep table:\n%s", out)
+	}
+	if csv := SweepCSV("recall", pts); !strings.HasPrefix(csv, "recall,") {
+		t.Errorf("sweep csv:\n%s", csv)
+	}
+}
+
+func TestPartialCostSweepMonotone(t *testing.T) {
+	pts, err := PartialCostSweep(platform.CoastalSSD(), workload.PatternUniform, 15,
+		[]float64{0.001, 0.01, 0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheaper partial verifications can only help.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Expected < pts[i-1].Expected*(1-1e-12) {
+			t.Errorf("makespan decreased with costlier partials: %v -> %v", pts[i-1], pts[i])
+		}
+	}
+	// At V = V* partial verifications are dominated (same cost, worse
+	// recall); the planner should place none.
+	if last := pts[len(pts)-1]; last.Partials != 0 {
+		t.Errorf("V = V* still placed %d partials", last.Partials)
+	}
+}
+
+func TestRateSweepGainGrows(t *testing.T) {
+	pts, err := RateSweep(platform.Hera(), workload.PatternUniform, 15, []float64{0.5, 1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGain := -1.0
+	for _, p := range pts {
+		gain := 1 - p.Normalized[core.AlgADMVStar]/p.Normalized[core.AlgADV]
+		if gain < prevGain-1e-9 {
+			t.Errorf("two-level gain shrank at x%g: %f < %f", p.Multiplier, gain, prevGain)
+		}
+		prevGain = gain
+	}
+	if !strings.Contains(RateTable(pts), "two-level gain") {
+		t.Error("rate table missing header")
+	}
+}
+
+func TestBlindPlanningPenalty(t *testing.T) {
+	bp, err := BlindPlanningPenalty(platform.Hera(), workload.PatternUniform, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.PenaltyPct < 0 {
+		t.Errorf("blind planning beat aware planning: %+v", bp)
+	}
+	// On Hera, ignoring silent errors must cost something measurable.
+	if bp.PenaltyPct < 0.1 {
+		t.Errorf("penalty suspiciously small: %+v", bp)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden compares got against the named golden file, rewriting it when
+// the -update flag is set. Golden files pin the exact experiment outputs
+// (both numbers and formatting), so an accidental change to the DP, the
+// model constants or a renderer shows up as a diff.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run Golden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	golden(t, "table1.golden", Table1())
+}
+
+func TestGoldenSmallFigureCSV(t *testing.T) {
+	fig, err := Run("golden", workload.PatternUniform, platform.Hera(), Config{MaxTasks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig_small.csv.golden", fig.CSV())
+}
+
+func TestGoldenStrip(t *testing.T) {
+	fig, err := Run("golden", workload.PatternHighLow, platform.CoastalSSD(), Config{MaxTasks: 10, Step: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "strip.golden", fig.Strip("ADMV"))
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chainckpt/internal/ascii"
+	"chainckpt/internal/core"
+	"chainckpt/internal/heuristics"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+// HeuristicRow is one strategy's result in the X4 comparison.
+type HeuristicRow struct {
+	Name        string
+	Expected    float64
+	OverheadPct float64 // over the error-free compute time
+	GapPct      float64 // over the DP optimum (ADMV)
+	Optimal     bool    // true for the DP rows
+}
+
+// HeuristicComparison runs the X4 experiment on one instance: the three
+// optimal planners against every baseline heuristic, all valued by the
+// same closed-form objective, sorted by expected makespan.
+func HeuristicComparison(plat platform.Platform, pat workload.Pattern, n int) ([]HeuristicRow, error) {
+	c, err := workload.Generate(pat, n, workload.PaperTotalWeight)
+	if err != nil {
+		return nil, err
+	}
+	var rows []HeuristicRow
+	opt := 0.0
+	for _, alg := range core.Algorithms() {
+		res, err := core.Plan(alg, c, plat)
+		if err != nil {
+			return nil, err
+		}
+		if alg == core.AlgADMV {
+			opt = res.ExpectedMakespan
+		}
+		rows = append(rows, HeuristicRow{
+			Name:     "DP " + string(alg),
+			Expected: res.ExpectedMakespan,
+			Optimal:  true,
+		})
+	}
+	for _, h := range heuristics.All() {
+		res, err := h(c, plat)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HeuristicRow{Name: res.Name, Expected: res.ExpectedMakespan})
+	}
+	for i := range rows {
+		rows[i].OverheadPct = 100 * (rows[i].Expected/c.TotalWeight() - 1)
+		rows[i].GapPct = 100 * (rows[i].Expected/opt - 1)
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Expected < rows[j].Expected })
+	return rows, nil
+}
+
+// HeuristicTable renders X4 rows.
+func HeuristicTable(rows []HeuristicRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		kind := "heuristic"
+		if r.Optimal {
+			kind = "optimal DP"
+		}
+		out = append(out, []string{
+			r.Name, kind,
+			fmt.Sprintf("%.2f", r.Expected),
+			fmt.Sprintf("%.2f%%", r.OverheadPct),
+			fmt.Sprintf("%.3f%%", r.GapPct),
+		})
+	}
+	return ascii.Table([]string{"strategy", "kind", "E[makespan]", "overhead", "gap vs ADMV"}, out)
+}
+
+// HeuristicCSV renders X4 rows as CSV.
+func HeuristicCSV(platName string, pat workload.Pattern, n int, rows []HeuristicRow) string {
+	var b strings.Builder
+	b.WriteString("platform,pattern,n,strategy,expected_makespan,overhead_pct,gap_pct\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%d,%s,%.6f,%.4f,%.4f\n",
+			platName, pat, n, r.Name, r.Expected, r.OverheadPct, r.GapPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+func TestHeuristicComparisonOrderingAndGaps(t *testing.T) {
+	rows, err := HeuristicComparison(platform.Hera(), workload.PatternHighLow, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3+5 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	// Sorted ascending; the first row must match the optimum (a heuristic
+	// may tie it exactly, e.g. GreedyInsert on easy instances).
+	if rows[0].GapPct > 1e-9 {
+		t.Errorf("first row should match the optimum: %+v", rows[0])
+	}
+	foundDP := false
+	prev := 0.0
+	for _, r := range rows {
+		if r.Expected < prev {
+			t.Errorf("rows not sorted: %+v", rows)
+		}
+		prev = r.Expected
+		if r.GapPct < -1e-9 {
+			t.Errorf("%s beats the optimum beyond rounding: gap %f", r.Name, r.GapPct)
+		}
+		if r.Name == "DP ADMV" && r.GapPct < 1e-9 {
+			foundDP = true
+		}
+	}
+	if !foundDP {
+		t.Error("DP ADMV row missing or not at gap zero")
+	}
+	table := HeuristicTable(rows)
+	for _, want := range []string{"DP ADMV", "GreedyInsert", "FinalOnly", "gap vs ADMV"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := HeuristicCSV("Hera", workload.PatternHighLow, 20, rows)
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != len(rows)+1 {
+		t.Error("csv row count mismatch")
+	}
+}
+
+func TestHeuristicComparisonFinalOnlyWorstOnHera(t *testing.T) {
+	rows, err := HeuristicComparison(platform.Hera(), workload.PatternUniform, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[len(rows)-1].Name != "FinalOnly" {
+		t.Errorf("expected FinalOnly to trail on Hera, got order: %v", names(rows))
+	}
+}
+
+func names(rows []HeuristicRow) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Name
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"chainckpt/internal/ascii"
+	"chainckpt/internal/core"
+	"chainckpt/internal/evaluate"
+	"chainckpt/internal/pattern"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+// PatternRow is one line of the X5 experiment: the first-order periodic
+// pattern (divisible-load analysis, companion paper [7]) against the
+// exact dynamic program, both valued by the exact oracle.
+type PatternRow struct {
+	Platform  string
+	Workload  workload.Pattern
+	N         int
+	W         float64 // pattern length (s)
+	M         int     // memory segments per disk checkpoint
+	V         int     // partial verifications per memory segment
+	Predicted float64 // first-order predicted overhead (fraction)
+	Measured  float64 // oracle overhead of the rounded pattern (fraction)
+	DP        float64 // oracle overhead of the DP-ADMV schedule (fraction)
+	GapPct    float64 // 100*(pattern/DP makespan - 1)
+}
+
+// PatternComparison runs X5 on every Table I platform and workload
+// pattern at the given chain length.
+func PatternComparison(n int) ([]PatternRow, error) {
+	var out []PatternRow
+	for _, plat := range platform.All() {
+		pat, err := pattern.Optimal(plat)
+		if err != nil {
+			return nil, err
+		}
+		for _, wl := range workload.Patterns() {
+			c, err := workload.Generate(wl, n, workload.PaperTotalWeight)
+			if err != nil {
+				return nil, err
+			}
+			s, err := pat.Apply(c)
+			if err != nil {
+				return nil, err
+			}
+			patExact, err := evaluate.Exact(c, plat, s)
+			if err != nil {
+				return nil, err
+			}
+			dp, err := core.PlanADMV(c, plat)
+			if err != nil {
+				return nil, err
+			}
+			dpExact, err := evaluate.Exact(c, plat, dp.Schedule)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PatternRow{
+				Platform:  plat.Name,
+				Workload:  wl,
+				N:         n,
+				W:         pat.W,
+				M:         pat.M,
+				V:         pat.V,
+				Predicted: pat.Overhead + plat.LambdaF*plat.RD + plat.LambdaS*plat.RM,
+				Measured:  patExact/c.TotalWeight() - 1,
+				DP:        dpExact/c.TotalWeight() - 1,
+				GapPct:    100 * (patExact/dpExact - 1),
+			})
+		}
+	}
+	return out, nil
+}
+
+// PatternTable renders X5 rows.
+func PatternTable(rows []PatternRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Platform, string(r.Workload),
+			fmt.Sprintf("%.0f", r.W),
+			fmt.Sprintf("%d", r.M),
+			fmt.Sprintf("%d", r.V),
+			fmt.Sprintf("%.3f%%", 100*r.Predicted),
+			fmt.Sprintf("%.3f%%", 100*r.Measured),
+			fmt.Sprintf("%.3f%%", 100*r.DP),
+			fmt.Sprintf("%.3f%%", r.GapPct),
+		})
+	}
+	return ascii.Table(
+		[]string{"platform", "workload", "W*(s)", "M", "V", "predicted ovh", "pattern ovh", "DP ovh", "gap"},
+		out)
+}
+
+// PatternCSV renders X5 rows as CSV.
+func PatternCSV(rows []PatternRow) string {
+	var b strings.Builder
+	b.WriteString("platform,workload,n,w,m,v,predicted_overhead,pattern_overhead,dp_overhead,gap_pct\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%d,%.3f,%d,%d,%.8f,%.8f,%.8f,%.4f\n",
+			r.Platform, r.Workload, r.N, r.W, r.M, r.V, r.Predicted, r.Measured, r.DP, r.GapPct)
+	}
+	return b.String()
+}

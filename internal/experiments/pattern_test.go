@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPatternComparison(t *testing.T) {
+	rows, err := PatternComparison(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*3 { // platforms x workload patterns
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.GapPct < -1e-4 {
+			t.Errorf("%s/%s: pattern beats the DP optimum by %.4f%%", r.Platform, r.Workload, -r.GapPct)
+		}
+		if r.Measured <= 0 || r.DP <= 0 {
+			t.Errorf("%s/%s: non-positive overheads %+v", r.Platform, r.Workload, r)
+		}
+		if r.W <= 0 {
+			t.Errorf("%s/%s: bad pattern length %g", r.Platform, r.Workload, r.W)
+		}
+	}
+	table := PatternTable(rows)
+	for _, want := range []string{"Hera", "HighLow", "gap", "W*(s)"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("pattern table missing %q:\n%s", want, table)
+		}
+	}
+	csv := PatternCSV(rows)
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != len(rows)+1 {
+		t.Error("pattern csv row count mismatch")
+	}
+}
+
+func TestPatternGapLargerOnSkewedChains(t *testing.T) {
+	// The DP's raison d'être versus periodic patterns: on irregular
+	// chains the rigid pattern must trail by more than on uniform ones
+	// (where it is asymptotically optimal).
+	rows, err := PatternComparison(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := map[string]float64{}
+	for _, r := range rows {
+		if r.Platform == "Hera" {
+			gap[string(r.Workload)] = r.GapPct
+		}
+	}
+	if gap["HighLow"] <= gap["Uniform"] {
+		t.Errorf("HighLow gap (%.3f%%) should exceed Uniform gap (%.3f%%)",
+			gap["HighLow"], gap["Uniform"])
+	}
+}

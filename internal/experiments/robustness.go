@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"chainckpt/internal/ascii"
+	"chainckpt/internal/core"
+	"chainckpt/internal/evaluate"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/sim"
+	"chainckpt/internal/workload"
+)
+
+// RobustnessRow is one line of the X7 experiment: the exponential-optimal
+// schedule simulated under Weibull error arrivals of the given shape
+// (same mean time between errors).
+type RobustnessRow struct {
+	Shape     float64
+	SimMean   float64
+	SimHW95   float64
+	Predicted float64 // the exponential model's expectation for the schedule
+	DeltaPct  float64 // 100*(SimMean/Predicted - 1)
+}
+
+// Robustness runs X7: plan with the paper's exponential model, then
+// simulate the schedule under increasingly non-exponential (Weibull)
+// arrivals with unchanged MTBFs. Shape 1 recovers the model; shapes
+// below 1 are the bursty regime reported for production systems.
+func Robustness(plat platform.Platform, pat workload.Pattern, n int,
+	shapes []float64, reps int, seed uint64) ([]RobustnessRow, error) {
+	c, err := workload.Generate(pat, n, workload.PaperTotalWeight)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.PlanADMV(c, plat)
+	if err != nil {
+		return nil, err
+	}
+	predicted, err := evaluate.Exact(c, plat, res.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	var out []RobustnessRow
+	for _, shape := range shapes {
+		sres, err := sim.Run(c, plat, res.Schedule, sim.Options{
+			Replications: reps,
+			Seed:         seed,
+			Shapes:       sim.Shapes{FailStop: shape, Silent: shape},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: shape %g: %w", shape, err)
+		}
+		out = append(out, RobustnessRow{
+			Shape:     shape,
+			SimMean:   sres.Mean(),
+			SimHW95:   sres.HalfWidth95(),
+			Predicted: predicted,
+			DeltaPct:  100 * (sres.Mean()/predicted - 1),
+		})
+	}
+	return out, nil
+}
+
+// RobustnessTable renders X7 rows.
+func RobustnessTable(rows []RobustnessRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%g", r.Shape),
+			fmt.Sprintf("%.2f±%.2f", r.SimMean, r.SimHW95),
+			fmt.Sprintf("%.2f", r.Predicted),
+			fmt.Sprintf("%+.3f%%", r.DeltaPct),
+		})
+	}
+	return ascii.Table([]string{"weibull shape", "simulated makespan", "model prediction", "delta"}, out)
+}
+
+// RobustnessCSV renders X7 rows as CSV.
+func RobustnessCSV(platName string, rows []RobustnessRow) string {
+	var b strings.Builder
+	b.WriteString("platform,shape,sim_mean,sim_hw95,predicted,delta_pct\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%g,%.6f,%.6f,%.6f,%.4f\n",
+			platName, r.Shape, r.SimMean, r.SimHW95, r.Predicted, r.DeltaPct)
+	}
+	return b.String()
+}

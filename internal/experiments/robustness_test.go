@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+func TestRobustnessShapeOneMatchesModel(t *testing.T) {
+	// At shape 1 the Weibull renewal process IS the model's Poisson
+	// process: the simulated mean must validate the prediction.
+	p := platform.Hera()
+	p.LambdaF *= 30
+	p.LambdaS *= 30
+	rows, err := Robustness(p, workload.PatternUniform, 12, []float64{1}, 30000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if math.Abs(r.SimMean-r.Predicted) > 2*r.SimHW95 {
+		t.Errorf("shape 1: simulated %.2f±%.2f vs predicted %.2f",
+			r.SimMean, r.SimHW95, r.Predicted)
+	}
+}
+
+func TestRobustnessBurstyDiffers(t *testing.T) {
+	p := platform.Hera()
+	p.LambdaF *= 60
+	p.LambdaS *= 60
+	rows, err := Robustness(p, workload.PatternUniform, 12, []float64{0.5, 1}, 40000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, expo := rows[0], rows[1]
+	if math.Abs(bursty.SimMean-expo.SimMean) < 2*(bursty.SimHW95+expo.SimHW95) {
+		t.Errorf("shape 0.5 (%.2f) and shape 1 (%.2f) should differ measurably",
+			bursty.SimMean, expo.SimMean)
+	}
+	table := RobustnessTable(rows)
+	if !strings.Contains(table, "weibull shape") {
+		t.Errorf("table:\n%s", table)
+	}
+	csv := RobustnessCSV("Hera", rows)
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 3 {
+		t.Error("csv rows")
+	}
+}

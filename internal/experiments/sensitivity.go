@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"chainckpt/internal/ascii"
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/sensitivity"
+	"chainckpt/internal/workload"
+)
+
+// SensitivityReport computes, for one platform, the parameter
+// elasticities of the ADMV-optimal expected makespan (X6): which knob
+// dominates the resilience overhead once the schedule is optimal.
+func SensitivityReport(plat platform.Platform, pat workload.Pattern, n int) ([]sensitivity.Result, error) {
+	c, err := workload.Generate(pat, n, workload.PaperTotalWeight)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.PlanADMV(c, plat)
+	if err != nil {
+		return nil, err
+	}
+	return sensitivity.FixedSchedule(c, plat, res.Schedule)
+}
+
+// SensitivityTable renders elasticity rows.
+func SensitivityTable(rows []sensitivity.Result) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			string(r.Parameter),
+			fmt.Sprintf("%.4g", r.Base),
+			fmt.Sprintf("%+.5f", r.Elasticity),
+			fmt.Sprintf("%+.3f s", r.PerPercent),
+		})
+	}
+	return ascii.Table([]string{"parameter", "value", "elasticity", "per +1%"}, out)
+}
+
+// SensitivityCSV renders elasticity rows as CSV.
+func SensitivityCSV(platName string, rows []sensitivity.Result) string {
+	var b strings.Builder
+	b.WriteString("platform,parameter,value,elasticity,per_percent_s\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%g,%.8f,%.6f\n", platName, r.Parameter, r.Base, r.Elasticity, r.PerPercent)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/sensitivity"
+	"chainckpt/internal/workload"
+)
+
+var tinyCfg = Config{MaxTasks: 6, Step: 2}
+
+func TestFig5Wrapper(t *testing.T) {
+	figs, err := Fig5(tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("Fig5 returned %d figures", len(figs))
+	}
+	names := map[string]bool{}
+	for _, f := range figs {
+		names[f.Platform.Name] = true
+		if f.Pattern != workload.PatternUniform {
+			t.Errorf("%s: pattern %s", f.ID, f.Pattern)
+		}
+		if len(f.Ns) != 3 { // 1, 3, 5
+			t.Errorf("%s: Ns = %v", f.ID, f.Ns)
+		}
+	}
+	for _, want := range []string{"Hera", "Atlas", "Coastal", "Coastal SSD"} {
+		if !names[want] {
+			t.Errorf("missing platform %s", want)
+		}
+	}
+}
+
+func TestFig7AndFig8Wrappers(t *testing.T) {
+	for name, f := range map[string]func(Config) ([]*Figure, error){"fig7": Fig7, "fig8": Fig8} {
+		figs, err := f(tinyCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(figs) != 2 {
+			t.Fatalf("%s returned %d figures", name, len(figs))
+		}
+		if figs[0].Platform.Name != "Hera" || figs[1].Platform.Name != "Coastal SSD" {
+			t.Errorf("%s platforms: %s, %s", name, figs[0].Platform.Name, figs[1].Platform.Name)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.normalized()
+	if cfg.MaxTasks != workload.PaperMaxTasks || cfg.Step != 1 ||
+		cfg.TotalWeight != workload.PaperTotalWeight || len(cfg.Algorithms) != 3 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func TestSensitivityReportAndRenderers(t *testing.T) {
+	rows, err := SensitivityReport(platform.Hera(), workload.PatternUniform, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(sensitivity.Parameters()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	table := SensitivityTable(rows)
+	for _, want := range []string{"lambda_f", "elasticity", "recall"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := SensitivityCSV("Hera", rows)
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != len(rows)+1 {
+		t.Error("csv row count mismatch")
+	}
+	if !strings.HasPrefix(csv, "platform,parameter,") {
+		t.Errorf("csv header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+}
+
+func TestGainSummarySkipsMissingAlgorithms(t *testing.T) {
+	fig, err := Run("partial-algs", workload.PatternUniform, platform.Hera(), Config{
+		MaxTasks:   4,
+		Algorithms: []core.Algorithm{core.AlgADV},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := GainSummary([]*Figure{fig})
+	if strings.Contains(out, "Hera") {
+		t.Errorf("summary should skip figures without all three algorithms:\n%s", out)
+	}
+	if got := fig.Algorithms(); len(got) != 1 || got[0] != core.AlgADV {
+		t.Errorf("Algorithms() = %v", got)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if got := Slug("Coastal SSD"); got != "coastal-ssd" {
+		t.Errorf("Slug = %q", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Package expmath provides numerically careful primitives for the
+// exponential-failure model shared by every component of chainckpt: the
+// dynamic programs of internal/core, the exact schedule evaluators of
+// internal/evaluate, and the Monte-Carlo simulator of internal/sim.
+//
+// All formulas stem from the assumption that fail-stop errors and silent
+// errors arrive as independent Poisson processes with rates lambda_f and
+// lambda_s (errors per second of computation). Probabilities are therefore
+// of the form 1-exp(-lambda*w) and expected re-execution factors of the
+// form exp(lambda*w); for realistic HPC platforms lambda*w is tiny (1e-6
+// to 1e-2), so every function below is written with math.Expm1 to avoid
+// catastrophic cancellation.
+package expmath
+
+import (
+	"errors"
+	"math"
+)
+
+// seriesThreshold is the lambda*w value below which TLost switches to its
+// Taylor expansion. At 1e-4 the dropped x^3 term is below 1e-13 relative
+// error while the direct formula already loses ~1e-12 to cancellation.
+const seriesThreshold = 1e-4
+
+// ErrInvalidRate reports a negative or non-finite error rate.
+var ErrInvalidRate = errors.New("expmath: rate must be finite and non-negative")
+
+// ErrInvalidDuration reports a negative or non-finite work duration.
+var ErrInvalidDuration = errors.New("expmath: duration must be finite and non-negative")
+
+// ProbError returns the probability 1 - exp(-rate*w) that at least one
+// error strikes during w seconds of computation under a Poisson process
+// with the given rate. It is the paper's p^f_{i,j} (resp. p^s_{i,j}) when
+// called with lambda_f (resp. lambda_s) and w = W_{i,j}.
+func ProbError(rate, w float64) float64 {
+	return -math.Expm1(-rate * w)
+}
+
+// SurvivalProb returns exp(-rate*w), the probability that no error strikes
+// during w seconds of computation.
+func SurvivalProb(rate, w float64) float64 {
+	return math.Exp(-rate * w)
+}
+
+// Growth returns exp(rate*w), the expected re-execution factor of a
+// segment of length w that must be redone until it completes without an
+// error of the given rate.
+func Growth(rate, w float64) float64 {
+	return math.Exp(rate * w)
+}
+
+// GrowthM1 returns exp(rate*w) - 1 without cancellation for small rate*w.
+func GrowthM1(rate, w float64) float64 {
+	return math.Expm1(rate * w)
+}
+
+// IntExpGrowth returns the integral of exp(rate*x) for x in [0,w], that is
+// (exp(rate*w)-1)/rate, extended by continuity to w when rate == 0. It is
+// the paper's term (e^{lambda_f W} - 1)/lambda_f appearing in Equation (4).
+func IntExpGrowth(rate, w float64) float64 {
+	if rate == 0 {
+		return w
+	}
+	return math.Expm1(rate*w) / rate
+}
+
+// TLost returns the expected amount of work lost when a fail-stop error is
+// known to strike during w seconds of computation (paper Equation (3)):
+//
+//	T^lost = 1/rate - w / (exp(rate*w) - 1)
+//
+// extended by continuity to w/2 when rate*w tends to 0. The value is the
+// mean of an Exp(rate) variable conditioned to be smaller than w.
+func TLost(rate, w float64) float64 {
+	if w == 0 {
+		return 0
+	}
+	x := rate * w
+	if x < seriesThreshold {
+		// 1/r - w/expm1(x) = w/2 - x*w/12 + x^3*w/720 - ...
+		return w/2 - x*w/12
+	}
+	return 1/rate - w/math.Expm1(x)
+}
+
+// MTBF returns the mean time between errors, 1/rate, or +Inf if rate == 0.
+func MTBF(rate float64) float64 {
+	if rate == 0 {
+		return math.Inf(1)
+	}
+	return 1 / rate
+}
+
+// CheckRate validates that rate is a usable Poisson rate.
+func CheckRate(rate float64) error {
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+		return ErrInvalidRate
+	}
+	return nil
+}
+
+// CheckDuration validates that w is a usable amount of work (seconds).
+func CheckDuration(w float64) error {
+	if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+		return ErrInvalidDuration
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package expmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return diff < tol
+	}
+	return diff/scale < tol
+}
+
+func TestProbErrorKnownValues(t *testing.T) {
+	tests := []struct {
+		name    string
+		rate, w float64
+		want    float64
+	}{
+		{"zero work", 1e-6, 0, 0},
+		{"zero rate", 0, 1000, 0},
+		{"unit product", 1e-3, 1000, 1 - math.Exp(-1)},
+		{"tiny product", 1e-9, 1, 1e-9}, // expm1 keeps precision here
+		{"hera task", 9.46e-7, 500, 1 - math.Exp(-9.46e-7*500)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ProbError(tc.rate, tc.w)
+			if !almostEqual(got, tc.want, 1e-12) {
+				t.Errorf("ProbError(%g,%g) = %g, want %g", tc.rate, tc.w, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestProbErrorBounds(t *testing.T) {
+	f := func(rate, w float64) bool {
+		rate = math.Abs(rate)
+		w = math.Abs(w)
+		if math.IsInf(rate, 0) || math.IsInf(w, 0) || math.IsNaN(rate) || math.IsNaN(w) {
+			return true
+		}
+		p := ProbError(rate, w)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbErrorMonotoneInWork(t *testing.T) {
+	rate := 3.38e-6
+	prev := -1.0
+	for w := 0.0; w <= 25000; w += 250 {
+		p := ProbError(rate, w)
+		if p < prev {
+			t.Fatalf("ProbError not monotone at w=%g: %g < %g", w, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestSurvivalComplementsProb(t *testing.T) {
+	f := func(rate, w float64) bool {
+		rate = math.Mod(math.Abs(rate), 1e-2)
+		w = math.Mod(math.Abs(w), 1e6)
+		if math.IsNaN(rate) || math.IsNaN(w) {
+			return true
+		}
+		return almostEqual(ProbError(rate, w)+SurvivalProb(rate, w), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrowthM1MatchesGrowth(t *testing.T) {
+	for _, x := range []struct{ rate, w float64 }{
+		{1e-6, 25000}, {3.38e-6, 500}, {0.1, 10}, {0, 100},
+	} {
+		want := Growth(x.rate, x.w) - 1
+		got := GrowthM1(x.rate, x.w)
+		if !almostEqual(got, want, 1e-9) {
+			t.Errorf("GrowthM1(%g,%g) = %g, want %g", x.rate, x.w, got, want)
+		}
+	}
+}
+
+func TestIntExpGrowthZeroRate(t *testing.T) {
+	if got := IntExpGrowth(0, 123.5); got != 123.5 {
+		t.Errorf("IntExpGrowth(0, 123.5) = %g, want 123.5", got)
+	}
+}
+
+func TestIntExpGrowthMatchesQuadrature(t *testing.T) {
+	// Compare against trapezoidal integration of exp(rate*x).
+	rate, w := 2.5e-4, 4000.0
+	const steps = 200000
+	sum := 0.0
+	h := w / steps
+	for i := 0; i <= steps; i++ {
+		v := math.Exp(rate * float64(i) * h)
+		if i == 0 || i == steps {
+			v /= 2
+		}
+		sum += v
+	}
+	sum *= h
+	got := IntExpGrowth(rate, w)
+	if !almostEqual(got, sum, 1e-8) {
+		t.Errorf("IntExpGrowth = %g, quadrature = %g", got, sum)
+	}
+}
+
+func TestIntExpGrowthLowerBound(t *testing.T) {
+	// The integrand is >= 1, so the integral is >= w.
+	f := func(rate, w float64) bool {
+		rate = math.Mod(math.Abs(rate), 1e-3)
+		w = math.Mod(math.Abs(w), 1e5)
+		if math.IsNaN(rate) || math.IsNaN(w) {
+			return true
+		}
+		return IntExpGrowth(rate, w) >= w-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLostKnownValues(t *testing.T) {
+	tests := []struct {
+		name    string
+		rate, w float64
+		want    float64
+	}{
+		{"zero work", 1e-6, 0, 0},
+		{"zero rate limit", 0, 1000, 500},
+		{"large product", 1.0, 100, 1}, // ~1/rate when rate*w >> 1
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := TLost(tc.rate, tc.w)
+			if !almostEqual(got, tc.want, 1e-6) {
+				t.Errorf("TLost(%g,%g) = %g, want %g", tc.rate, tc.w, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTLostPaperExample(t *testing.T) {
+	// Section IV, HighLow discussion: a 3000 s task on Hera loses about
+	// 1500 s on average to a fail-stop error.
+	got := TLost(9.46e-7, 3000)
+	if math.Abs(got-1500) > 2 {
+		t.Errorf("TLost(hera, 3000) = %g, want about 1500", got)
+	}
+}
+
+func TestTLostSeriesMatchesDirect(t *testing.T) {
+	// Around the series threshold both branches must agree.
+	rate := 1e-7
+	for _, w := range []float64{500, 999, 1000, 1001, 2000, 5000} {
+		x := rate * w
+		direct := 1/rate - w/math.Expm1(x)
+		got := TLost(rate, w)
+		if !almostEqual(got, direct, 1e-9) {
+			t.Errorf("TLost(%g,%g) = %.15g, direct = %.15g", rate, w, got, direct)
+		}
+	}
+}
+
+func TestTLostBounds(t *testing.T) {
+	// Conditional expected loss is in (0, w/2] for any positive rate: the
+	// exponential density is decreasing, so the conditional mean is below
+	// the midpoint.
+	f := func(rate, w float64) bool {
+		rate = math.Mod(math.Abs(rate), 1e-2)
+		w = math.Mod(math.Abs(w), 1e6)
+		if math.IsNaN(rate) || math.IsNaN(w) || w == 0 {
+			return true
+		}
+		l := TLost(rate, w)
+		return l >= 0 && l <= w/2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLostMonotoneDecreasingInRate(t *testing.T) {
+	w := 3000.0
+	prev := math.Inf(1)
+	for _, rate := range []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2} {
+		l := TLost(rate, w)
+		if l > prev+1e-9 {
+			t.Fatalf("TLost increased at rate=%g: %g > %g", rate, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestMTBF(t *testing.T) {
+	if got := MTBF(9.46e-7); !almostEqual(got, 1.0570824524312896e6, 1e-12) {
+		t.Errorf("MTBF = %g", got)
+	}
+	if !math.IsInf(MTBF(0), 1) {
+		t.Error("MTBF(0) should be +Inf")
+	}
+	// Paper: Hera has a fail-stop MTBF of 12.2 days.
+	days := MTBF(9.46e-7) / 86400
+	if math.Abs(days-12.2) > 0.05 {
+		t.Errorf("Hera MTBF = %.2f days, want about 12.2", days)
+	}
+	// and a silent-error MTBF of 3.4 days.
+	days = MTBF(3.38e-6) / 86400
+	if math.Abs(days-3.4) > 0.05 {
+		t.Errorf("Hera silent MTBF = %.2f days, want about 3.4", days)
+	}
+}
+
+func TestCheckRate(t *testing.T) {
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := CheckRate(bad); err == nil {
+			t.Errorf("CheckRate(%v) = nil, want error", bad)
+		}
+	}
+	for _, good := range []float64{0, 1e-9, 1} {
+		if err := CheckRate(good); err != nil {
+			t.Errorf("CheckRate(%v) = %v, want nil", good, err)
+		}
+	}
+}
+
+func TestCheckDuration(t *testing.T) {
+	for _, bad := range []float64{-0.5, math.NaN(), math.Inf(1)} {
+		if err := CheckDuration(bad); err == nil {
+			t.Errorf("CheckDuration(%v) = nil, want error", bad)
+		}
+	}
+	if err := CheckDuration(25000); err != nil {
+		t.Errorf("CheckDuration(25000) = %v", err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package heuristics implements baseline checkpoint/verification
+// placement strategies for linear task graphs. The paper's dynamic
+// programs are optimal but specific to linear chains; its conclusion
+// calls for heuristics for general workflows. The strategies here are the
+// natural contenders a practitioner would reach for first — they give the
+// experiments a meaningful yardstick for how much optimality is worth
+// (experiment X4 in EXPERIMENTS.md).
+//
+// All heuristics return complete schedules valued with the paper's
+// closed-form model (core.Evaluate), so they are directly comparable to
+// the planners of internal/core.
+package heuristics
+
+import (
+	"fmt"
+	"math"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/pattern"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+)
+
+// Result is one heuristic's placement and its model-expected makespan.
+type Result struct {
+	Name             string
+	ExpectedMakespan float64
+	Schedule         *schedule.Schedule
+}
+
+// Heuristic is a placement strategy.
+type Heuristic func(*chain.Chain, platform.Platform) (*Result, error)
+
+// All returns the implemented heuristics in increasing order of
+// sophistication.
+func All() []Heuristic {
+	return []Heuristic{FinalOnly, DalyPeriodic, FirstOrderPattern, PeriodicScan, GreedyInsert}
+}
+
+// FirstOrderPattern computes the first-order optimal periodic pattern of
+// internal/pattern (the divisible-load analysis of the paper's companion
+// work [7]) and rounds it onto the chain's boundaries: the strongest
+// analytic baseline, asymptotically optimal for long uniform chains.
+func FirstOrderPattern(c *chain.Chain, p platform.Platform) (*Result, error) {
+	pat, err := pattern.Optimal(p)
+	if err != nil {
+		return nil, fmt.Errorf("heuristics: FirstOrderPattern: %w", err)
+	}
+	s, err := pat.Apply(c)
+	if err != nil {
+		return nil, fmt.Errorf("heuristics: FirstOrderPattern: %w", err)
+	}
+	return finish("FirstOrderPattern", c, p, s)
+}
+
+// FinalOnly places nothing but the mandatory final V*+M+D: the
+// no-resilience baseline every strategy must beat on failure-prone
+// platforms.
+func FinalOnly(c *chain.Chain, p platform.Platform) (*Result, error) {
+	s, err := schedule.New(c.Len())
+	if err != nil {
+		return nil, err
+	}
+	s.Set(c.Len(), schedule.Disk)
+	return finish("FinalOnly", c, p, s)
+}
+
+// DalyPeriodic places mechanisms at the boundaries nearest to the
+// multiples of first-order optimal periods, in the tradition of Young and
+// Daly's checkpointing period sqrt(2*C/lambda):
+//
+//   - disk checkpoints every T_D = sqrt(2*C_D/lambda_f) seconds of work
+//     (fail-stop errors lose on average half a period and cost C_D per
+//     period);
+//   - memory checkpoints every T_M = sqrt(2*(C_M+V*)/lambda_s) (a memory
+//     checkpoint unit includes its guaranteed verification);
+//   - guaranteed verifications every T_V = sqrt(2*V*/lambda_s).
+//
+// A disabled error source (rate 0) disables the corresponding level.
+func DalyPeriodic(c *chain.Chain, p platform.Platform) (*Result, error) {
+	s, err := schedule.New(c.Len())
+	if err != nil {
+		return nil, err
+	}
+	markPeriod := func(period float64, a schedule.Action) {
+		if math.IsInf(period, 1) || period <= 0 {
+			return
+		}
+		for k := 1; ; k++ {
+			target := float64(k) * period
+			if target >= c.TotalWeight() {
+				return
+			}
+			i := nearestBoundary(c, target)
+			if i >= 1 && i < c.Len() {
+				s.Add(i, a)
+			}
+		}
+	}
+	markPeriod(period(2*p.VStar, p.LambdaS), schedule.Guaranteed)
+	markPeriod(period(2*(p.CM+p.VStar), p.LambdaS), schedule.Memory)
+	markPeriod(period(2*p.CD, p.LambdaF), schedule.Disk)
+	s.Set(c.Len(), schedule.Disk)
+	return finish("DalyPeriodic", c, p, s)
+}
+
+func period(cost, rate float64) float64 {
+	if rate == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(cost / rate)
+}
+
+// nearestBoundary returns the boundary whose cumulative weight is closest
+// to target (binary search over the prefix sums).
+func nearestBoundary(c *chain.Chain, target float64) int {
+	lo, hi := 0, c.Len()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.SegmentWeight(0, mid) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > 0 {
+		below := c.SegmentWeight(0, lo-1)
+		at := c.SegmentWeight(0, lo)
+		if target-below < at-target {
+			return lo - 1
+		}
+	}
+	return lo
+}
+
+// PeriodicScan evaluates every task-periodic schedule "disk checkpoint
+// every kD tasks, memory checkpoint every kM tasks" (verifications
+// co-located) and keeps the best: the strongest simple pattern family,
+// found by exhaustive scan over the O(n^2) period pairs.
+func PeriodicScan(c *chain.Chain, p platform.Platform) (*Result, error) {
+	n := c.Len()
+	eval, err := core.NewEvaluator(c, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	var best *Result
+	for kD := 1; kD <= n; kD++ {
+		for kM := 1; kM <= kD; kM++ {
+			s, err := schedule.New(n)
+			if err != nil {
+				return nil, err
+			}
+			for i := 1; i < n; i++ {
+				switch {
+				case i%kD == 0:
+					s.Set(i, schedule.Disk)
+				case i%kM == 0:
+					s.Set(i, schedule.Memory)
+				}
+			}
+			s.Set(n, schedule.Disk)
+			v, err := eval.Evaluate(s)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || v < best.ExpectedMakespan {
+				best = &Result{Name: "PeriodicScan", ExpectedMakespan: v, Schedule: s}
+			}
+		}
+	}
+	return best, nil
+}
+
+// GreedyInsert starts from the final-only schedule and repeatedly applies
+// the single action change (upgrading one boundary to V, V*, V*+M or
+// V*+M+D) that reduces the evaluated makespan the most, stopping at a
+// local optimum. This is the classic marginal-gain insertion heuristic.
+func GreedyInsert(c *chain.Chain, p platform.Platform) (*Result, error) {
+	n := c.Len()
+	eval, err := core.NewEvaluator(c, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	s, err := schedule.New(n)
+	if err != nil {
+		return nil, err
+	}
+	s.Set(n, schedule.Disk)
+	cur, err := eval.Evaluate(s)
+	if err != nil {
+		return nil, err
+	}
+	upgrades := []schedule.Action{
+		schedule.Partial,
+		schedule.Guaranteed,
+		schedule.Guaranteed | schedule.Memory,
+		schedule.Guaranteed | schedule.Memory | schedule.Disk,
+	}
+	for {
+		bestGain := 0.0
+		bestI, bestA := 0, schedule.None
+		for i := 1; i < n; i++ {
+			prev := s.At(i)
+			for _, a := range upgrades {
+				if a == prev || a&prev != prev {
+					continue // only strict upgrades, never removals
+				}
+				s.Set(i, a)
+				v, err := eval.Evaluate(s)
+				if err != nil {
+					s.Set(i, prev)
+					return nil, err
+				}
+				if gain := cur - v; gain > bestGain+1e-9 {
+					bestGain, bestI, bestA = gain, i, a
+				}
+				s.Set(i, prev)
+			}
+		}
+		if bestI == 0 {
+			break
+		}
+		s.Set(bestI, bestA)
+		cur -= bestGain
+	}
+	// Re-evaluate once to shed accumulated floating-point drift.
+	final, err := eval.Evaluate(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Name: "GreedyInsert", ExpectedMakespan: final, Schedule: s}, nil
+}
+
+func finish(name string, c *chain.Chain, p platform.Platform, s *schedule.Schedule) (*Result, error) {
+	v, err := core.Evaluate(c, p, s)
+	if err != nil {
+		return nil, fmt.Errorf("heuristics: %s: %w", name, err)
+	}
+	return &Result{Name: name, ExpectedMakespan: v, Schedule: s}, nil
+}

@@ -1,0 +1,174 @@
+package heuristics
+
+import (
+	"math"
+	"testing"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+func run(t *testing.T, h Heuristic, c *chain.Chain, p platform.Platform) *Result {
+	t.Helper()
+	res, err := h(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.ValidateComplete(); err != nil {
+		t.Fatalf("%s produced invalid schedule: %v", res.Name, err)
+	}
+	return res
+}
+
+func TestAllProduceValidSchedules(t *testing.T) {
+	for _, pat := range workload.Patterns() {
+		c, err := workload.Generate(pat, 20, 25000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range platform.All() {
+			for _, h := range All() {
+				res := run(t, h, c, p)
+				if res.ExpectedMakespan < c.TotalWeight() {
+					t.Errorf("%s on %s: makespan %f below compute time", res.Name, p.Name, res.ExpectedMakespan)
+				}
+				// The value must be consistent with the evaluator.
+				v, err := core.Evaluate(c, p, res.Schedule)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(v-res.ExpectedMakespan) > 1e-6 {
+					t.Errorf("%s: reported %f but evaluates to %f", res.Name, res.ExpectedMakespan, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDPOptimalBeatsEveryHeuristic(t *testing.T) {
+	// The whole point: the DP optimum lower-bounds every heuristic under
+	// the same objective.
+	for _, pat := range workload.Patterns() {
+		c, err := workload.Generate(pat, 25, 25000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []platform.Platform{platform.Hera(), platform.CoastalSSD()} {
+			opt, err := core.PlanADMV(c, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, h := range All() {
+				res := run(t, h, c, p)
+				if res.ExpectedMakespan < opt.ExpectedMakespan*(1-1e-9) {
+					t.Errorf("%s/%s: heuristic %s (%f) beats the optimum (%f)",
+						pat, p.Name, res.Name, res.ExpectedMakespan, opt.ExpectedMakespan)
+				}
+			}
+		}
+	}
+}
+
+func TestGreedyBeatsFinalOnly(t *testing.T) {
+	c, _ := workload.Uniform(20, 25000)
+	p := platform.Hera()
+	final := run(t, FinalOnly, c, p)
+	greedy := run(t, GreedyInsert, c, p)
+	if greedy.ExpectedMakespan >= final.ExpectedMakespan {
+		t.Errorf("greedy (%f) did not improve on final-only (%f)",
+			greedy.ExpectedMakespan, final.ExpectedMakespan)
+	}
+}
+
+func TestGreedyNearOptimalOnUniform(t *testing.T) {
+	// Greedy insertion is strong on uniform chains; it should land within
+	// a couple percent of the optimum.
+	c, _ := workload.Uniform(20, 25000)
+	for _, p := range []platform.Platform{platform.Hera(), platform.Atlas()} {
+		opt, err := core.PlanADMV(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy := run(t, GreedyInsert, c, p)
+		gap := greedy.ExpectedMakespan/opt.ExpectedMakespan - 1
+		if gap > 0.02 {
+			t.Errorf("%s: greedy gap %.4f above 2%%", p.Name, gap)
+		}
+	}
+}
+
+func TestPeriodicScanBeatsFinalOnlyUnderErrors(t *testing.T) {
+	c, _ := workload.Uniform(24, 25000)
+	p := platform.Hera()
+	p.LambdaF *= 10
+	p.LambdaS *= 10
+	final := run(t, FinalOnly, c, p)
+	scan := run(t, PeriodicScan, c, p)
+	if scan.ExpectedMakespan >= final.ExpectedMakespan {
+		t.Errorf("periodic scan (%f) did not beat final-only (%f) at 10x rates",
+			scan.ExpectedMakespan, final.ExpectedMakespan)
+	}
+}
+
+func TestDalyPeriodicStructure(t *testing.T) {
+	c, _ := workload.Uniform(40, 25000)
+	p := platform.Hera()
+	res := run(t, DalyPeriodic, c, p)
+	counts := res.Schedule.Counts()
+	// With Hera's rates the Daly periods put several memory checkpoints
+	// and verifications inside 25000 s but few (if any) disk checkpoints.
+	if counts.Guaranteed == 0 {
+		t.Error("DalyPeriodic placed no verifications on Hera")
+	}
+	if counts.Memory < 2 {
+		t.Errorf("DalyPeriodic placed %d memory checkpoints, want >= 2", counts.Memory)
+	}
+}
+
+func TestDalyPeriodicDisabledSources(t *testing.T) {
+	c, _ := workload.Uniform(10, 25000)
+	p := platform.Hera()
+	p.LambdaF, p.LambdaS = 0, 0
+	res := run(t, DalyPeriodic, c, p)
+	counts := res.Schedule.Counts()
+	if counts != (res.Schedule.Counts()) { // self-consistency
+		t.Fatal("unreachable")
+	}
+	if counts.Disk != 1 || counts.Memory != 1 || counts.Guaranteed != 1 {
+		t.Errorf("error-free platform should yield final-only, got %+v", counts)
+	}
+}
+
+func TestNearestBoundary(t *testing.T) {
+	c := chain.MustFromWeights(100, 100, 100, 100) // prefixes 100,200,300,400
+	tests := []struct {
+		target float64
+		want   int
+	}{
+		{0, 0}, {40, 0}, {60, 1}, {100, 1}, {149, 1}, {151, 2}, {390, 4}, {1000, 4},
+	}
+	for _, tc := range tests {
+		if got := nearestBoundary(c, tc.target); got != tc.want {
+			t.Errorf("nearestBoundary(%g) = %d, want %d", tc.target, got, tc.want)
+		}
+	}
+}
+
+func TestHeuristicGapOnSkewedChainIsReal(t *testing.T) {
+	// On the HighLow pattern the rigid periodic patterns must trail the
+	// DP noticeably more than greedy does: position-aware placement
+	// matters on skewed chains. (This is the X4 story.)
+	c, _ := workload.HighLow(30, 25000, 0.10, 0.60)
+	p := platform.Hera()
+	opt, err := core.PlanADMV(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daly := run(t, DalyPeriodic, c, p)
+	if daly.ExpectedMakespan <= opt.ExpectedMakespan {
+		t.Errorf("Daly (%f) should trail the optimum (%f) on HighLow",
+			daly.ExpectedMakespan, opt.ExpectedMakespan)
+	}
+}

@@ -1,0 +1,120 @@
+// Package instance defines the on-disk JSON bundle the command-line
+// tools exchange: a task chain, a platform, optional per-boundary data
+// sizes (cost multipliers) and an optional schedule. It lets users plan
+// once and re-simulate, archive planning inputs next to experiment
+// results, and hand-edit instances — the workflow the paper's released
+// simulator supported with MATLAB scripts.
+package instance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+)
+
+// Instance bundles everything needed to reproduce one planning or
+// simulation run.
+type Instance struct {
+	// Name labels the instance in reports.
+	Name string `json:"name,omitempty"`
+	// Chain is the task graph.
+	Chain *chain.Chain `json:"chain"`
+	// Platform carries error rates and baseline costs.
+	Platform platform.Platform `json:"platform"`
+	// Sizes, when present, scales the platform costs per boundary (the
+	// relative data volume at each boundary; see platform.ScaledCosts).
+	Sizes []float64 `json:"boundary_sizes,omitempty"`
+	// Schedule, when present, is a previously planned placement.
+	Schedule *schedule.Schedule `json:"schedule,omitempty"`
+}
+
+// Validate checks internal consistency.
+func (in *Instance) Validate() error {
+	if in.Chain == nil || in.Chain.Len() == 0 {
+		return fmt.Errorf("instance: missing chain")
+	}
+	if err := in.Platform.Validate(); err != nil {
+		return fmt.Errorf("instance: %w", err)
+	}
+	if in.Sizes != nil && len(in.Sizes) != in.Chain.Len() {
+		return fmt.Errorf("instance: %d boundary sizes for %d tasks", len(in.Sizes), in.Chain.Len())
+	}
+	if in.Schedule != nil {
+		if in.Schedule.Len() != in.Chain.Len() {
+			return fmt.Errorf("instance: schedule for %d tasks but chain has %d",
+				in.Schedule.Len(), in.Chain.Len())
+		}
+		if err := in.Schedule.Validate(); err != nil {
+			return fmt.Errorf("instance: %w", err)
+		}
+	}
+	if _, err := in.Costs(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Costs derives the per-boundary cost table, or nil when the instance
+// uses the platform constants.
+func (in *Instance) Costs() (*platform.Costs, error) {
+	if in.Sizes == nil {
+		return nil, nil
+	}
+	costs, err := platform.ScaledCosts(in.Platform, in.Sizes)
+	if err != nil {
+		return nil, fmt.Errorf("instance: %w", err)
+	}
+	return costs, nil
+}
+
+// Load reads and validates an instance from r.
+func Load(r io.Reader) (*Instance, error) {
+	var in Instance
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("instance: %w", err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}
+
+// Save writes the instance as indented JSON.
+func (in *Instance) Save(w io.Writer) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// LoadFile reads an instance from a file.
+func LoadFile(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("instance: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// SaveFile writes an instance to a file.
+func (in *Instance) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("instance: %w", err)
+	}
+	if err := in.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

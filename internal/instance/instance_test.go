@@ -1,0 +1,145 @@
+package instance
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
+)
+
+func sample(t *testing.T) *Instance {
+	t.Helper()
+	c, err := workload.HighLow(10, 25000, 0.1, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.PlanADMVStar(c, platform.Hera())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Instance{
+		Name:     "sample",
+		Chain:    c,
+		Platform: platform.Hera(),
+		Sizes:    []float64{1, 1, 2, 2, 1, 1, 1, 0.5, 0.5, 1},
+		Schedule: res.Schedule,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := sample(t)
+	var buf bytes.Buffer
+	if err := in.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != in.Name || back.Chain.Len() != 10 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Platform != in.Platform {
+		t.Error("platform mismatch")
+	}
+	if !back.Schedule.Equal(in.Schedule) {
+		t.Error("schedule mismatch")
+	}
+	if back.Chain.TotalWeight() != in.Chain.TotalWeight() {
+		t.Error("chain weights mismatch")
+	}
+	costs, err := back.Costs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs == nil || costs.At(3).CM != 2*platform.Hera().CM {
+		t.Error("costs not derived from sizes")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	in := sample(t)
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := in.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Chain.Len() != in.Chain.Len() {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestNilCostsWhenNoSizes(t *testing.T) {
+	in := sample(t)
+	in.Sizes = nil
+	costs, err := in.Costs()
+	if err != nil || costs != nil {
+		t.Errorf("Costs() = %v, %v; want nil, nil", costs, err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Instance)
+	}{
+		{"no chain", func(in *Instance) { in.Chain = nil }},
+		{"bad platform", func(in *Instance) { in.Platform.LambdaF = -1 }},
+		{"size mismatch", func(in *Instance) { in.Sizes = []float64{1, 2} }},
+		{"negative size", func(in *Instance) { in.Sizes[0] = -1 }},
+		{"schedule mismatch", func(in *Instance) {
+			in.Schedule = schedule.MustNew(3)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := sample(t)
+			tc.mut(in)
+			if err := in.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+			var buf bytes.Buffer
+			if err := in.Save(&buf); err == nil {
+				t.Error("Save must validate")
+			}
+		})
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	js := `{"chain":[{"weight":1}],"platform":{"name":"x","recall":0.8},"bogus":1}`
+	if _, err := Load(strings.NewReader(js)); err == nil {
+		t.Error("unknown fields should fail")
+	}
+}
+
+func TestLoadMinimal(t *testing.T) {
+	js := `{
+		"chain": [{"weight": 100}, {"weight": 200}],
+		"platform": {"name": "tiny", "lambda_f": 1e-6, "lambda_s": 1e-6,
+			"c_d": 10, "c_m": 1, "r_d": 10, "r_m": 1,
+			"v_star": 1, "v": 0.01, "recall": 0.8}
+	}`
+	in, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Chain.Len() != 2 || in.Schedule != nil || in.Sizes != nil {
+		t.Errorf("minimal instance: %+v", in)
+	}
+	// A loaded chain must have working prefix sums.
+	if got := in.Chain.SegmentWeight(0, 2); got != 300 {
+		t.Errorf("SegmentWeight = %g", got)
+	}
+}

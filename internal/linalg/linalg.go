@@ -1,0 +1,119 @@
+// Package linalg provides the small dense linear-algebra kernel needed by
+// the absorbing-Markov-chain schedule evaluator: LU factorization with
+// partial pivoting and a linear solver, plus residual helpers used by the
+// tests. Matrices are represented row-major as [][]float64.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports a (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// NewMatrix allocates an n x m zero matrix with one backing array.
+func NewMatrix(n, m int) [][]float64 {
+	backing := make([]float64, n*m)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i], backing = backing[:m:m], backing[m:]
+	}
+	return rows
+}
+
+// CloneMatrix deep-copies a matrix.
+func CloneMatrix(a [][]float64) [][]float64 {
+	out := NewMatrix(len(a), len(a[0]))
+	for i := range a {
+		copy(out[i], a[i])
+	}
+	return out
+}
+
+// Solve solves the linear system A x = b by Gaussian elimination with
+// partial pivoting. A must be square with len(A) == len(b). A and b are
+// left unmodified.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, fmt.Errorf("linalg: empty system")
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: A is %dx%d but b has %d entries", n, len(a[0]), len(b))
+	}
+	m := CloneMatrix(a)
+	for i := range m {
+		if len(m[i]) != n {
+			return nil, fmt.Errorf("linalg: A is not square (row %d has %d entries)", i, len(m[i]))
+		}
+	}
+	x := make([]float64, n)
+	copy(x, b)
+
+	// Forward elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 || math.IsNaN(best) {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			m[col], m[pivot] = m[pivot], m[col]
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			m[r][col] = 0
+			for k := col + 1; k < n; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for k := i + 1; k < n; k++ {
+			sum -= m[i][k] * x[k]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// MatVec returns A x.
+func MatVec(a [][]float64, x []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, row := range a {
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Residual returns the infinity norm of A x - b.
+func Residual(a [][]float64, x, b []float64) float64 {
+	ax := MatVec(a, x)
+	worst := 0.0
+	for i := range ax {
+		if d := math.Abs(ax[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

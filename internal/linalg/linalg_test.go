@@ -1,0 +1,172 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %.15f, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveIdentity(t *testing.T) {
+	n := 5
+	a := NewMatrix(n, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i][i] = 1
+		b[i] = float64(i) * 1.5
+	}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], b[i])
+		}
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Zero on the initial diagonal forces a row swap.
+	a := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	b := []float64{3, 7}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 7 || x[1] != 3 {
+		t.Errorf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4},
+	}
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("singular matrix should fail")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve([][]float64{}, nil); err == nil {
+		t.Error("empty system should fail")
+	}
+	if _, err := Solve([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square matrix should fail")
+	}
+	if _, err := Solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched b should fail")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := [][]float64{{4, 1}, {1, 3}}
+	b := []float64{1, 2}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 4 || a[1][0] != 1 || b[0] != 1 {
+		t.Error("Solve mutated its inputs")
+	}
+}
+
+func TestSolveRandomResiduals(t *testing.T) {
+	// Property: for random diagonally dominant systems (well-conditioned),
+	// the residual of the computed solution is tiny.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		a := NewMatrix(n, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				a[i][j] = rng.NormFloat64()
+				rowSum += math.Abs(a[i][j])
+			}
+			a[i][i] += rowSum + 1 // ensure dominance
+			b[i] = rng.NormFloat64() * 10
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return Residual(a, x, b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveRoundTrip(t *testing.T) {
+	// Property: solving A x = A y recovers y for well-conditioned A.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(15)
+		a := NewMatrix(n, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				a[i][j] = rng.NormFloat64()
+				rowSum += math.Abs(a[i][j])
+			}
+			a[i][i] += rowSum + 1
+			y[i] = rng.NormFloat64()
+		}
+		b := MatVec(a, y)
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range y {
+			if math.Abs(x[i]-y[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, x[i], y[i])
+			}
+		}
+	}
+}
+
+func TestNewMatrixContiguous(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if len(m) != 3 || len(m[0]) != 4 {
+		t.Fatalf("shape = %dx%d", len(m), len(m[0]))
+	}
+	m[1][2] = 5
+	if m[0][2] != 0 || m[2][2] != 0 {
+		t.Error("rows alias each other")
+	}
+}
+
+func TestCloneMatrixDeep(t *testing.T) {
+	a := [][]float64{{1, 2}, {3, 4}}
+	c := CloneMatrix(a)
+	c[0][0] = 99
+	if a[0][0] != 1 {
+		t.Error("CloneMatrix is shallow")
+	}
+}

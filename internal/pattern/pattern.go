@@ -1,0 +1,195 @@
+// Package pattern implements first-order-optimal periodic resilience
+// patterns for divisible loads, in the spirit of the paper's companion
+// work (Benoit, Cavelan, Robert, Sun, "Optimal resilience patterns to
+// cope with fail-stop and silent errors", IPDPS 2016 — reference [7] of
+// the reproduced paper). The paper positions its dynamic programs
+// *against* this approach: periodic patterns are asymptotically optimal
+// for long divisible applications but cannot exploit task boundaries or
+// irregular weights. This package makes that comparison measurable
+// (experiment X5): it computes the first-order optimal pattern, rounds it
+// onto a task chain, and the experiments evaluate the result against the
+// exact DP optimum with the exact oracle.
+//
+// # Model
+//
+// A pattern of work length W ends with a disk checkpoint and contains M
+// equal memory segments (each ending with a guaranteed verification and a
+// memory checkpoint), each split by V partial verifications into V+1
+// equal sub-intervals. Its first-order overhead per unit of work is
+//
+//	H(W,M,V) = O/W + (lambda_f/2 + lambda_s*c(V,r)/M) * W
+//	           + lambda_f*R_D + lambda_s*R_M
+//
+// where O = C_D + M*(C_M+V*) + M*V*V_cost is the pattern's error-free
+// cost and c(V,r) is the expected detection offset of a silent error
+// within its memory segment, as a fraction of the segment length.
+// Minimizing over W gives W* = sqrt(O / (lambda_f/2 + lambda_s*c/M));
+// the discrete (M, V) pair is found by scanning.
+package pattern
+
+import (
+	"fmt"
+	"math"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+)
+
+// Pattern is a first-order-optimal periodic resilience pattern.
+type Pattern struct {
+	// W is the work length of one pattern in seconds (+Inf when the
+	// platform is error-free and no interior action pays off).
+	W float64
+	// M is the number of memory segments per disk checkpoint.
+	M int
+	// V is the number of partial verifications per memory segment.
+	V int
+	// Overhead is the predicted first-order overhead H* (expected extra
+	// time per unit of work, excluding the rate-independent recovery
+	// terms common to all patterns).
+	Overhead float64
+}
+
+// searchLimits bound the (M, V) scan; first-order optima on realistic
+// platforms sit far inside.
+const (
+	maxSegments = 64
+	maxPartials = 256
+)
+
+// Optimal computes the first-order optimal pattern for the platform.
+func Optimal(p platform.Platform) (Pattern, error) {
+	if err := p.Validate(); err != nil {
+		return Pattern{}, fmt.Errorf("pattern: %w", err)
+	}
+	if p.LambdaF == 0 && p.LambdaS == 0 {
+		return Pattern{W: math.Inf(1), M: 1, V: 0}, nil
+	}
+	best := Pattern{Overhead: math.Inf(1)}
+	r := p.Recall
+	for m := 1; m <= maxSegments; m++ {
+		for v := 0; v <= maxPartials; v++ {
+			cost := p.CD + float64(m)*(p.CM+p.VStar) + float64(m)*float64(v)*p.V
+			slope := p.LambdaF/2 + p.LambdaS*cDetect(v, r)/float64(m)
+			if slope == 0 {
+				continue
+			}
+			h := 2 * math.Sqrt(cost*slope)
+			if h < best.Overhead {
+				best = Pattern{
+					W:        math.Sqrt(cost / slope),
+					M:        m,
+					V:        v,
+					Overhead: h,
+				}
+			}
+			// Adding partial verifications past the point where the cost
+			// term dominates cannot help; break early once v*V alone
+			// exceeds the current best's total cost.
+			if float64(m)*float64(v)*p.V > 4*cost {
+				break
+			}
+		}
+	}
+	if math.IsInf(best.Overhead, 1) {
+		return Pattern{}, fmt.Errorf("pattern: no finite pattern found")
+	}
+	return best, nil
+}
+
+// cDetect returns the expected detection offset of a silent error within
+// its memory segment, as a fraction of the segment length: the error
+// strikes uniformly, the v partial verifications at the interior
+// sub-interval boundaries each catch it with probability r, and the
+// closing guaranteed verification catches whatever slipped through.
+//
+// cDetect(0, r) = 1 (detection only at the segment end) and
+// cDetect(v, 1) -> 1/2 as v grows (detection at the next boundary).
+func cDetect(v int, r float64) float64 {
+	if v < 0 {
+		return 1
+	}
+	g := 1 - r
+	u := 1 / float64(v+1)
+	total := 0.0
+	for k := 0; k <= v; k++ {
+		// Error in sub-interval k: detected at the end of sub-interval
+		// j >= k (a partial for j < v) after j-k misses, else at the
+		// closing guaranteed verification (offset 1).
+		d := 0.0
+		miss := 1.0
+		for j := k; j < v; j++ {
+			d += r * miss * float64(j+1) * u
+			miss *= g
+		}
+		d += miss * 1
+		total += d
+	}
+	return total * u // average over the v+1 equally likely sub-intervals
+}
+
+// Apply rounds the pattern onto a task chain: every multiple of the
+// sub-interval length maps to the nearest task boundary, with disk marks
+// at pattern ends, memory marks at segment ends and partial marks at
+// sub-interval ends. The final boundary always receives the mandatory
+// disk checkpoint. Positions colliding after rounding keep the strongest
+// mechanism.
+func (pat Pattern) Apply(c *chain.Chain) (*schedule.Schedule, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("pattern: empty chain")
+	}
+	s, err := schedule.New(c.Len())
+	if err != nil {
+		return nil, err
+	}
+	if !math.IsInf(pat.W, 1) {
+		if pat.M < 1 || pat.V < 0 || pat.W <= 0 {
+			return nil, fmt.Errorf("pattern: invalid pattern %+v", pat)
+		}
+		sub := pat.W / (float64(pat.M) * float64(pat.V+1))
+		perDisk := pat.M * (pat.V + 1)
+		for k := 1; ; k++ {
+			target := float64(k) * sub
+			if target >= c.TotalWeight() {
+				break
+			}
+			i := nearestBoundary(c, target)
+			if i < 1 || i >= c.Len() {
+				continue
+			}
+			switch {
+			case k%perDisk == 0:
+				s.Add(i, schedule.Disk)
+			case k%(pat.V+1) == 0:
+				s.Add(i, schedule.Memory)
+			default:
+				s.Add(i, schedule.Partial)
+			}
+		}
+	}
+	s.Set(c.Len(), s.At(c.Len())|schedule.Disk)
+	return s, nil
+}
+
+// nearestBoundary returns the boundary whose cumulative weight is closest
+// to target.
+func nearestBoundary(c *chain.Chain, target float64) int {
+	lo, hi := 0, c.Len()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.SegmentWeight(0, mid) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > 0 {
+		below := c.SegmentWeight(0, lo-1)
+		at := c.SegmentWeight(0, lo)
+		if target-below < at-target {
+			return lo - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,194 @@
+package pattern
+
+import (
+	"math"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/evaluate"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+func TestCDetectBoundaryCases(t *testing.T) {
+	if got := cDetect(0, 0.8); math.Abs(got-1) > 1e-12 {
+		t.Errorf("cDetect(0, r) = %g, want 1", got)
+	}
+	// With recall 0 every partial is useless: detection at the segment
+	// end regardless of v.
+	for _, v := range []int{1, 5, 20} {
+		if got := cDetect(v, 0); math.Abs(got-1) > 1e-12 {
+			t.Errorf("cDetect(%d, 0) = %g, want 1", v, got)
+		}
+	}
+	// With perfect recall and many partials, detection happens at the
+	// next boundary: c -> 1/2.
+	if got := cDetect(200, 1); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("cDetect(200, 1) = %g, want about 0.5", got)
+	}
+	// Exact value for v=1, r=1: sub-interval length 1/2; error in first
+	// half detected at 1/2, in second half at 1: c = 3/4.
+	if got := cDetect(1, 1); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("cDetect(1, 1) = %g, want 0.75", got)
+	}
+}
+
+func TestCDetectMonotone(t *testing.T) {
+	// More partials and better recall can only reduce the detection
+	// offset.
+	prev := math.Inf(1)
+	for v := 0; v <= 30; v++ {
+		c := cDetect(v, 0.8)
+		if c > prev+1e-12 {
+			t.Fatalf("cDetect not monotone in v at %d: %g > %g", v, c, prev)
+		}
+		prev = c
+	}
+	prev = math.Inf(1)
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		c := cDetect(5, r)
+		if c > prev+1e-12 {
+			t.Fatalf("cDetect not monotone in r at %g: %g > %g", r, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestOptimalOnTableIPlatforms(t *testing.T) {
+	for _, p := range platform.All() {
+		pat, err := Optimal(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !(pat.W > 0) || math.IsInf(pat.W, 1) {
+			t.Errorf("%s: W = %g", p.Name, pat.W)
+		}
+		if pat.M < 1 || pat.V < 0 {
+			t.Errorf("%s: degenerate pattern %+v", p.Name, pat)
+		}
+		if pat.Overhead <= 0 || pat.Overhead > 0.5 {
+			t.Errorf("%s: implausible overhead %g", p.Name, pat.Overhead)
+		}
+		// The disk period must exceed the memory period's worth of work.
+		if pat.M > 1 && pat.W/float64(pat.M) <= 0 {
+			t.Errorf("%s: bad segmentation %+v", p.Name, pat)
+		}
+	}
+}
+
+func TestOptimalErrorFree(t *testing.T) {
+	p := platform.Hera()
+	p.LambdaF, p.LambdaS = 0, 0
+	pat, err := Optimal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(pat.W, 1) {
+		t.Errorf("error-free pattern should be infinite, got %+v", pat)
+	}
+	c, _ := workload.Uniform(10, 1000)
+	s, err := pat.Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := s.Counts()
+	if counts.Disk != 1 || counts.Partial != 0 {
+		t.Errorf("error-free apply: %+v", counts)
+	}
+}
+
+func TestOptimalRejectsInvalidPlatform(t *testing.T) {
+	p := platform.Hera()
+	p.Recall = -2
+	if _, err := Optimal(p); err == nil {
+		t.Error("invalid platform should fail")
+	}
+}
+
+func TestApplyProducesValidSchedules(t *testing.T) {
+	for _, p := range platform.All() {
+		pat, err := Optimal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pattern := range workload.Patterns() {
+			c, err := workload.Generate(pattern, 50, workload.PaperTotalWeight)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := pat.Apply(c)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, pattern, err)
+			}
+			if err := s.ValidateComplete(); err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, pattern, err)
+			}
+		}
+	}
+}
+
+func TestPatternPredictionMatchesOracle(t *testing.T) {
+	// The first-order overhead prediction should agree with the exact
+	// oracle's valuation of the applied pattern within ~35% on a dense
+	// uniform chain (first-order accuracy plus rounding losses).
+	c, _ := workload.Uniform(50, workload.PaperTotalWeight)
+	for _, p := range []platform.Platform{platform.Hera(), platform.Atlas()} {
+		pat, err := Optimal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := pat.Apply(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := evaluate.Exact(c, p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := exact/c.TotalWeight() - 1
+		predicted := pat.Overhead + p.LambdaF*p.RD + p.LambdaS*p.RM
+		if actual <= 0 {
+			t.Fatalf("%s: non-positive measured overhead %g", p.Name, actual)
+		}
+		if rel := math.Abs(actual-predicted) / actual; rel > 0.35 {
+			t.Errorf("%s: predicted overhead %.4f vs measured %.4f (rel %.2f)",
+				p.Name, predicted, actual, rel)
+		}
+	}
+}
+
+func TestPatternTrailsDPButStaysClose(t *testing.T) {
+	// X5 in miniature: on a dense uniform chain the rounded pattern must
+	// be within about one percentage point of overhead of the exact DP
+	// optimum, and never beat it (the DP is optimal per boundary).
+	c, _ := workload.Uniform(50, workload.PaperTotalWeight)
+	p := platform.Hera()
+	pat, err := Optimal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pat.Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patExact, err := evaluate.Exact(c, p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := core.PlanADMV(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpExact, err := evaluate.Exact(c, p, dp.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patExact < dpExact*(1-1e-6) {
+		t.Fatalf("pattern (%f) beats the DP optimum (%f)", patExact, dpExact)
+	}
+	gap := patExact/dpExact - 1
+	if gap > 0.02 {
+		t.Errorf("pattern gap vs DP = %.4f, want < 2%% on dense uniform chains", gap)
+	}
+	t.Logf("pattern W*=%.0fs M=%d V=%d; gap vs DP = %.3f%%", pat.W, pat.M, pat.V, 100*gap)
+}

@@ -1,0 +1,113 @@
+package platform
+
+import (
+	"fmt"
+
+	"chainckpt/internal/expmath"
+)
+
+// BoundaryCosts holds the six cost parameters of one task boundary.
+type BoundaryCosts struct {
+	CD    float64 `json:"c_d"`
+	CM    float64 `json:"c_m"`
+	RD    float64 `json:"r_d"`
+	RM    float64 `json:"r_m"`
+	VStar float64 `json:"v_star"`
+	V     float64 `json:"v"`
+}
+
+// Costs assigns checkpoint, recovery and verification costs to every task
+// boundary of an n-task chain. The paper's model uses platform-wide
+// constants, but in practice these costs scale with the data volume alive
+// at each boundary (a checkpoint after a reduction is much cheaper than
+// one after a mesh refinement). Every planner, evaluator and the
+// simulator accept a Costs table; a nil table means "use the platform
+// constants everywhere".
+//
+// Boundary 0 is the virtual task T0: its recovery costs are always zero
+// (restarting from scratch is free) and it carries no checkpoint costs.
+type Costs struct {
+	n   int
+	per []BoundaryCosts // index 1..n; [0] unused
+}
+
+// UniformCosts builds the paper's constant-cost table from a platform.
+func UniformCosts(p Platform, n int) (*Costs, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("platform: costs need at least one task")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Costs{n: n, per: make([]BoundaryCosts, n+1)}
+	for i := 1; i <= n; i++ {
+		c.per[i] = BoundaryCosts{CD: p.CD, CM: p.CM, RD: p.RD, RM: p.RM, VStar: p.VStar, V: p.V}
+	}
+	return c, nil
+}
+
+// ScaledCosts builds a table where boundary i's costs are the platform
+// constants multiplied by size[i-1] — the natural model when costs are
+// proportional to the data volume crossing each boundary (size 1 means
+// "the platform's reference volume").
+func ScaledCosts(p Platform, sizes []float64) (*Costs, error) {
+	c, err := UniformCosts(p, len(sizes))
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range sizes {
+		if err := expmath.CheckDuration(s); err != nil {
+			return nil, fmt.Errorf("platform: size of boundary %d: %w", i+1, err)
+		}
+		b := &c.per[i+1]
+		b.CD *= s
+		b.CM *= s
+		b.RD *= s
+		b.RM *= s
+		b.VStar *= s
+		b.V *= s
+	}
+	return c, nil
+}
+
+// Len returns the number of task boundaries n.
+func (c *Costs) Len() int { return c.n }
+
+// Set overrides the costs of boundary i (1 <= i <= n).
+func (c *Costs) Set(i int, b BoundaryCosts) error {
+	if i < 1 || i > c.n {
+		return fmt.Errorf("platform: boundary %d out of range [1, %d]", i, c.n)
+	}
+	c.per[i] = b
+	return nil
+}
+
+// At returns the costs of boundary i (1 <= i <= n).
+func (c *Costs) At(i int) BoundaryCosts {
+	if i < 1 || i > c.n {
+		panic(fmt.Sprintf("platform: boundary %d out of range [1, %d]", i, c.n))
+	}
+	return c.per[i]
+}
+
+// Validate checks that every boundary cost is finite and non-negative.
+func (c *Costs) Validate() error {
+	if c.n < 1 || len(c.per) != c.n+1 {
+		return fmt.Errorf("platform: inconsistent cost table")
+	}
+	for i := 1; i <= c.n; i++ {
+		b := c.per[i]
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"C_D", b.CD}, {"C_M", b.CM}, {"R_D", b.RD},
+			{"R_M", b.RM}, {"V*", b.VStar}, {"V", b.V},
+		} {
+			if err := expmath.CheckDuration(f.v); err != nil {
+				return fmt.Errorf("platform: boundary %d: %s: %w", i, f.name, err)
+			}
+		}
+	}
+	return nil
+}

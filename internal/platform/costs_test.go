@@ -1,0 +1,102 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformCostsMatchesPlatform(t *testing.T) {
+	p := Atlas()
+	c, err := UniformCosts(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 7 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i := 1; i <= 7; i++ {
+		b := c.At(i)
+		if b.CD != p.CD || b.CM != p.CM || b.RD != p.RD || b.RM != p.RM ||
+			b.VStar != p.VStar || b.V != p.V {
+			t.Errorf("boundary %d: %+v", i, b)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestUniformCostsRejects(t *testing.T) {
+	if _, err := UniformCosts(Hera(), 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	bad := Hera()
+	bad.CD = -1
+	if _, err := UniformCosts(bad, 3); err == nil {
+		t.Error("invalid platform should fail")
+	}
+}
+
+func TestScaledCosts(t *testing.T) {
+	p := Hera()
+	c, err := ScaledCosts(p, []float64{0.5, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(1).CD; got != p.CD/2 {
+		t.Errorf("boundary 1 CD = %g", got)
+	}
+	if got := c.At(2).VStar; got != 2*p.VStar {
+		t.Errorf("boundary 2 V* = %g", got)
+	}
+	if got := c.At(3).CM; got != 0 {
+		t.Errorf("zero-size boundary CM = %g", got)
+	}
+	for _, bad := range [][]float64{{-1}, {math.NaN()}, {math.Inf(1)}} {
+		if _, err := ScaledCosts(p, bad); err == nil {
+			t.Errorf("sizes %v should fail", bad)
+		}
+	}
+	if _, err := ScaledCosts(p, nil); err == nil {
+		t.Error("empty sizes should fail")
+	}
+}
+
+func TestCostsSetAndBounds(t *testing.T) {
+	c, _ := UniformCosts(Hera(), 3)
+	override := BoundaryCosts{CD: 1, CM: 2, RD: 3, RM: 4, VStar: 5, V: 6}
+	if err := c.Set(2, override); err != nil {
+		t.Fatal(err)
+	}
+	if c.At(2) != override {
+		t.Errorf("At(2) = %+v", c.At(2))
+	}
+	if err := c.Set(0, override); err == nil {
+		t.Error("Set(0) should fail")
+	}
+	if err := c.Set(4, override); err == nil {
+		t.Error("Set(4) should fail")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(0) should panic")
+			}
+		}()
+		c.At(0)
+	}()
+}
+
+func TestCostsValidateCatchesBadEntries(t *testing.T) {
+	c, _ := UniformCosts(Hera(), 2)
+	if err := c.Set(1, BoundaryCosts{RM: math.Inf(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err == nil {
+		t.Error("infinite R_M must fail validation")
+	}
+	var empty Costs
+	if err := empty.Validate(); err == nil {
+		t.Error("zero-value table must fail validation")
+	}
+}

@@ -1,0 +1,172 @@
+// Package platform describes the resilience parameters of an execution
+// platform: error rates, checkpoint and recovery costs, and verification
+// costs. It ships the four platforms of the paper's Table I, whose error
+// rates and checkpoint costs were measured on real applications by the
+// Scalable Checkpoint/Restart (SCR) study of Moody et al. (SC'10).
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"chainckpt/internal/expmath"
+)
+
+// Platform bundles every model parameter of Section II of the paper. All
+// rates are platform-level errors per second; all costs are seconds.
+type Platform struct {
+	// Name identifies the platform in reports.
+	Name string `json:"name"`
+	// Nodes is the machine size; informational only.
+	Nodes int `json:"nodes,omitempty"`
+
+	// LambdaF is the fail-stop (hardware crash) Poisson arrival rate.
+	LambdaF float64 `json:"lambda_f"`
+	// LambdaS is the silent-data-corruption Poisson arrival rate.
+	LambdaS float64 `json:"lambda_s"`
+
+	// CD and CM are the disk and in-memory checkpoint costs.
+	CD float64 `json:"c_d"`
+	CM float64 `json:"c_m"`
+	// RD and RM are the disk and in-memory recovery costs. RD includes the
+	// cost of restoring the memory state (the paper folds R_M into R_D).
+	RD float64 `json:"r_d"`
+	RM float64 `json:"r_m"`
+
+	// VStar is the cost of a guaranteed verification (recall 1).
+	VStar float64 `json:"v_star"`
+	// V is the cost of a partial verification with recall Recall.
+	V float64 `json:"v"`
+	// Recall is the fraction r of silent errors a partial verification
+	// detects; the paper uses r = 0.8.
+	Recall float64 `json:"recall"`
+}
+
+// G returns g = 1 - r, the fraction of silent errors a partial
+// verification misses.
+func (p Platform) G() float64 { return 1 - p.Recall }
+
+// FailStopMTBF returns the platform mean time between fail-stop errors in
+// seconds.
+func (p Platform) FailStopMTBF() float64 { return expmath.MTBF(p.LambdaF) }
+
+// SilentMTBF returns the platform mean time between silent errors in
+// seconds.
+func (p Platform) SilentMTBF() float64 { return expmath.MTBF(p.LambdaS) }
+
+// Validate checks that every parameter is usable by the model.
+func (p Platform) Validate() error {
+	if err := expmath.CheckRate(p.LambdaF); err != nil {
+		return fmt.Errorf("platform %q: lambda_f: %w", p.Name, err)
+	}
+	if err := expmath.CheckRate(p.LambdaS); err != nil {
+		return fmt.Errorf("platform %q: lambda_s: %w", p.Name, err)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"C_D", p.CD}, {"C_M", p.CM}, {"R_D", p.RD}, {"R_M", p.RM},
+		{"V*", p.VStar}, {"V", p.V},
+	} {
+		if err := expmath.CheckDuration(c.v); err != nil {
+			return fmt.Errorf("platform %q: %s: %w", p.Name, c.name, err)
+		}
+	}
+	if math.IsNaN(p.Recall) || p.Recall < 0 || p.Recall > 1 {
+		return fmt.Errorf("platform %q: recall %v outside [0,1]", p.Name, p.Recall)
+	}
+	return nil
+}
+
+// String renders a one-line summary.
+func (p Platform) String() string {
+	return fmt.Sprintf("%s{lambda_f=%.3g lambda_s=%.3g C_D=%g C_M=%g V*=%g V=%g r=%g}",
+		p.Name, p.LambdaF, p.LambdaS, p.CD, p.CM, p.VStar, p.V, p.Recall)
+}
+
+// withPaperDefaults applies the simulation assumptions of Section IV:
+// recovery costs equal checkpoint costs (R_D = C_D, R_M = C_M), a
+// guaranteed verification checks all of memory (V* = C_M), partial
+// verifications cost V = V*/100 and have recall r = 0.8.
+func withPaperDefaults(p Platform) Platform {
+	p.RD = p.CD
+	p.RM = p.CM
+	p.VStar = p.CM
+	p.V = p.VStar / 100
+	p.Recall = 0.8
+	return p
+}
+
+// Hera returns the 256-node Hera platform of Table I (worst error rates:
+// fail-stop MTBF 12.2 days, silent MTBF 3.4 days).
+func Hera() Platform {
+	return withPaperDefaults(Platform{
+		Name: "Hera", Nodes: 256,
+		LambdaF: 9.46e-7, LambdaS: 3.38e-6,
+		CD: 300, CM: 15.4,
+	})
+}
+
+// Atlas returns the 512-node Atlas platform of Table I (highest silent
+// error rate).
+func Atlas() Platform {
+	return withPaperDefaults(Platform{
+		Name: "Atlas", Nodes: 512,
+		LambdaF: 5.19e-7, LambdaS: 7.78e-6,
+		CD: 439, CM: 9.1,
+	})
+}
+
+// Coastal returns the 1024-node Coastal platform of Table I (fail-stop
+// MTBF 28.8 days, silent MTBF 5.8 days).
+func Coastal() Platform {
+	return withPaperDefaults(Platform{
+		Name: "Coastal", Nodes: 1024,
+		LambdaF: 4.02e-7, LambdaS: 2.01e-6,
+		CD: 1051, CM: 4.5,
+	})
+}
+
+// CoastalSSD returns the Coastal platform with SSD-based in-memory
+// checkpointing: more space, much higher checkpoint costs.
+func CoastalSSD() Platform {
+	return withPaperDefaults(Platform{
+		Name: "Coastal SSD", Nodes: 1024,
+		LambdaF: 4.02e-7, LambdaS: 2.01e-6,
+		CD: 2500, CM: 180.0,
+	})
+}
+
+// All returns the four platforms of Table I in paper order.
+func All() []Platform {
+	return []Platform{Hera(), Atlas(), Coastal(), CoastalSSD()}
+}
+
+// ByName looks a platform up by its Table I name (case-sensitive). It
+// also accepts the compact alias "CoastalSSD".
+func ByName(name string) (Platform, error) {
+	if name == "CoastalSSD" {
+		return CoastalSSD(), nil
+	}
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("platform: unknown platform %q", name)
+}
+
+// FromJSON decodes and validates a platform description, so users can
+// experiment with their own parameters as the paper invites.
+func FromJSON(data []byte) (Platform, error) {
+	var p Platform
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Platform{}, fmt.Errorf("platform: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Platform{}, err
+	}
+	return p, nil
+}

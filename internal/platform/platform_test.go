@@ -1,0 +1,161 @@
+package platform
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableIValues(t *testing.T) {
+	tests := []struct {
+		p                  Platform
+		nodes              int
+		lambdaF, lambdaS   float64
+		cd, cm             float64
+		mtbfDays, sMTBFDay float64 // paper-quoted MTBFs, where given
+	}{
+		{Hera(), 256, 9.46e-7, 3.38e-6, 300, 15.4, 12.2, 3.4},
+		{Atlas(), 512, 5.19e-7, 7.78e-6, 439, 9.1, 0, 0},
+		{Coastal(), 1024, 4.02e-7, 2.01e-6, 1051, 4.5, 28.8, 5.8},
+		{CoastalSSD(), 1024, 4.02e-7, 2.01e-6, 2500, 180.0, 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.p.Name, func(t *testing.T) {
+			if tc.p.Nodes != tc.nodes {
+				t.Errorf("Nodes = %d, want %d", tc.p.Nodes, tc.nodes)
+			}
+			if tc.p.LambdaF != tc.lambdaF || tc.p.LambdaS != tc.lambdaS {
+				t.Errorf("rates = (%g, %g), want (%g, %g)",
+					tc.p.LambdaF, tc.p.LambdaS, tc.lambdaF, tc.lambdaS)
+			}
+			if tc.p.CD != tc.cd || tc.p.CM != tc.cm {
+				t.Errorf("costs = (%g, %g), want (%g, %g)", tc.p.CD, tc.p.CM, tc.cd, tc.cm)
+			}
+			if tc.mtbfDays > 0 {
+				days := tc.p.FailStopMTBF() / 86400
+				if math.Abs(days-tc.mtbfDays) > 0.05 {
+					t.Errorf("fail-stop MTBF = %.2f days, want %.1f", days, tc.mtbfDays)
+				}
+			}
+			if tc.sMTBFDay > 0 {
+				days := tc.p.SilentMTBF() / 86400
+				if math.Abs(days-tc.sMTBFDay) > 0.05 {
+					t.Errorf("silent MTBF = %.2f days, want %.1f", days, tc.sMTBFDay)
+				}
+			}
+		})
+	}
+}
+
+func TestPaperDefaults(t *testing.T) {
+	for _, p := range All() {
+		if p.RD != p.CD {
+			t.Errorf("%s: R_D = %g, want C_D = %g", p.Name, p.RD, p.CD)
+		}
+		if p.RM != p.CM {
+			t.Errorf("%s: R_M = %g, want C_M = %g", p.Name, p.RM, p.CM)
+		}
+		if p.VStar != p.CM {
+			t.Errorf("%s: V* = %g, want C_M = %g", p.Name, p.VStar, p.CM)
+		}
+		if math.Abs(p.V-p.VStar/100) > 1e-12 {
+			t.Errorf("%s: V = %g, want V*/100 = %g", p.Name, p.V, p.VStar/100)
+		}
+		if p.Recall != 0.8 {
+			t.Errorf("%s: recall = %g, want 0.8", p.Name, p.Recall)
+		}
+		if math.Abs(p.G()-0.2) > 1e-12 {
+			t.Errorf("%s: g = %g, want 0.2", p.Name, p.G())
+		}
+	}
+}
+
+func TestAllValid(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("All() returned %d platforms, want 4", len(all))
+	}
+	for _, p := range all {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := Hera()
+	cases := []struct {
+		name string
+		mut  func(*Platform)
+	}{
+		{"negative lambda_f", func(p *Platform) { p.LambdaF = -1 }},
+		{"nan lambda_s", func(p *Platform) { p.LambdaS = math.NaN() }},
+		{"negative C_D", func(p *Platform) { p.CD = -5 }},
+		{"negative C_M", func(p *Platform) { p.CM = -5 }},
+		{"negative R_D", func(p *Platform) { p.RD = -5 }},
+		{"negative R_M", func(p *Platform) { p.RM = -5 }},
+		{"negative V*", func(p *Platform) { p.VStar = -5 }},
+		{"inf V", func(p *Platform) { p.V = math.Inf(1) }},
+		{"recall above 1", func(p *Platform) { p.Recall = 1.5 }},
+		{"negative recall", func(p *Platform) { p.Recall = -0.1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mut(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Hera", "Atlas", "Coastal", "Coastal SSD", "CoastalSSD"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name == "" {
+			t.Errorf("ByName(%q) returned empty platform", name)
+		}
+	}
+	if _, err := ByName("Summit"); err == nil {
+		t.Error("ByName(Summit) should fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := Atlas()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, p)
+	}
+}
+
+func TestFromJSONRejectsInvalid(t *testing.T) {
+	if _, err := FromJSON([]byte(`{"name":"x","lambda_f":-1}`)); err == nil {
+		t.Error("invalid platform must not decode")
+	}
+	if _, err := FromJSON([]byte(`{bad json`)); err == nil {
+		t.Error("bad json must not decode")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Hera().String()
+	for _, want := range []string{"Hera", "lambda_f", "C_D=300"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

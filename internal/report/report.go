@@ -1,0 +1,101 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"math"
+
+	"chainckpt/internal/ascii"
+	"chainckpt/internal/core"
+	"chainckpt/internal/experiments"
+)
+
+// Section is one titled block of the report: an optional chart and an
+// optional preformatted text body (tables, strips).
+type Section struct {
+	Title string
+	SVG   template.HTML // already-sanitized chart markup
+	Pre   string        // monospace body, escaped by the template
+}
+
+// Data is the full report content.
+type Data struct {
+	Title    string
+	Subtitle string
+	Sections []Section
+}
+
+var page = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; max-width: 980px; margin: 2em auto; color: #222; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em; }
+pre { background: #f6f6f6; padding: 0.8em; overflow-x: auto; font-size: 12px; }
+.subtitle { color: #666; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p class="subtitle">{{.Subtitle}}</p>
+{{range .Sections}}
+<h2>{{.Title}}</h2>
+{{if .SVG}}{{.SVG}}{{end}}
+{{if .Pre}}<pre>{{.Pre}}</pre>{{end}}
+{{end}}
+</body>
+</html>
+`))
+
+// Render writes the report as HTML.
+func Render(w io.Writer, d Data) error {
+	return page.Execute(w, d)
+}
+
+// FromFigures builds the standard report from regenerated figures: one
+// chart per figure (normalized makespan vs n), its ADMV placement strip,
+// plus the Table I and gain-summary sections.
+func FromFigures(title string, figs []*experiments.Figure) Data {
+	d := Data{
+		Title: title,
+		Subtitle: "Reproduction of Benoit, Cavelan, Robert, Sun: " +
+			"Two-Level Checkpointing and Verifications for Linear Task Graphs (PDSEC 2016)",
+	}
+	d.Sections = append(d.Sections, Section{
+		Title: "Table I — platform parameters",
+		Pre:   experiments.Table1(),
+	})
+	for _, f := range figs {
+		xs := make([]float64, len(f.Ns))
+		for i, n := range f.Ns {
+			xs[i] = float64(n)
+		}
+		var series []ascii.Series
+		for _, alg := range f.Algorithms() {
+			ys := make([]float64, len(f.Ns))
+			for i, n := range f.Ns {
+				ys[i] = math.NaN()
+				for _, p := range f.Points {
+					if p.N == n && p.Algorithm == alg {
+						ys[i] = p.Normalized
+					}
+				}
+			}
+			series = append(series, ascii.Series{Label: string(alg), Y: ys})
+		}
+		chartTitle := fmt.Sprintf("%s pattern on %s: normalized makespan vs n", f.Pattern, f.Platform.Name)
+		d.Sections = append(d.Sections, Section{
+			Title: fmt.Sprintf("%s — %s on %s", f.ID, f.Pattern, f.Platform.Name),
+			SVG:   template.HTML(LineChartSVG(chartTitle, xs, series, 860, 300)),
+			Pre:   f.Strip(core.AlgADMV),
+		})
+	}
+	d.Sections = append(d.Sections, Section{
+		Title: "Headline gains at the largest n",
+		Pre:   experiments.GainSummary(figs),
+	})
+	return d
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+
+	"chainckpt/internal/ascii"
+	"chainckpt/internal/experiments"
+)
+
+func TestLineChartSVGWellFormed(t *testing.T) {
+	svg := LineChartSVG("t < & test", []float64{1, 2, 3}, []ascii.Series{
+		{Label: "a & b", Y: []float64{1, 2, 3}},
+		{Label: "c", Y: []float64{3, math.NaN(), 1}},
+	}, 400, 200)
+	// Must parse as XML (well-formed, properly escaped).
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 3 {
+		// series c has a NaN gap: two polylines; series a: one.
+		t.Errorf("polylines = %d, want 3:\n%s", got, svg)
+	}
+	if !strings.Contains(svg, "a &amp; b") {
+		t.Error("legend not escaped")
+	}
+}
+
+func TestLineChartSVGDegenerate(t *testing.T) {
+	if svg := LineChartSVG("x", nil, nil, 10, 10); !strings.Contains(svg, "no data") {
+		t.Error("empty chart should say no data")
+	}
+	svg := LineChartSVG("x", []float64{5}, []ascii.Series{{Label: "p", Y: []float64{7}}}, 400, 200)
+	if !strings.Contains(svg, "polyline") {
+		t.Error("single point should still emit a polyline")
+	}
+	allNaN := LineChartSVG("x", []float64{1}, []ascii.Series{{Label: "n", Y: []float64{math.NaN()}}}, 400, 200)
+	if !strings.Contains(allNaN, "no data") {
+		t.Error("all-NaN should say no data")
+	}
+}
+
+func TestRenderFullReport(t *testing.T) {
+	figs, err := experiments.Fig5(experiments.Config{MaxTasks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := FromFigures("chainckpt report", figs)
+	var buf bytes.Buffer
+	if err := Render(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "chainckpt report", "Table I", "Hera", "Coastal SSD",
+		"<svg", "Headline gains", "Disk ckpts",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if got := strings.Count(html, "<svg"); got != 4 {
+		t.Errorf("expected 4 charts, got %d", got)
+	}
+}

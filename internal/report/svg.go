@@ -1,0 +1,115 @@
+// Package report renders the reproduction's experiment results as a
+// single self-contained HTML file with inline SVG charts — the shareable
+// companion to the terminal output of cmd/chainexp. Only the standard
+// library is used: the charts are hand-built SVG, the page is an
+// html/template.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"chainckpt/internal/ascii"
+)
+
+// svgPalette cycles across series.
+var svgPalette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// LineChartSVG renders series sharing the x axis as an SVG line chart.
+// NaN values break the polyline (series that exist only for some x).
+func LineChartSVG(title string, xs []float64, series []ascii.Series, width, height int) string {
+	if width < 100 {
+		width = 100
+	}
+	if height < 80 {
+		height = 80
+	}
+	const margin = 46
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13" font-family="sans-serif">%s</text>`,
+		margin, escape(title))
+
+	if len(xs) == 0 || len(series) == 0 {
+		b.WriteString(`<text x="50" y="50" font-size="12">no data</text></svg>`)
+		return b.String()
+	}
+
+	xmin, xmax := xs[0], xs[0]
+	for _, x := range xs {
+		xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Y {
+			if !math.IsNaN(y) {
+				ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+			}
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		b.WriteString(`<text x="50" y="50" font-size="12">no data</text></svg>`)
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	px := func(x float64) float64 { return float64(margin) + plotW*(x-xmin)/(xmax-xmin) }
+	py := func(y float64) float64 { return float64(margin) + plotH*(1-(y-ymin)/(ymax-ymin)) }
+
+	// Axes and labels.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#999"/>`,
+		margin, margin, plotW, plotH)
+	fmt.Fprintf(&b, `<text x="%d" y="%.0f" font-size="10" font-family="sans-serif">%.4g</text>`,
+		2, py(ymax)+4, ymax)
+	fmt.Fprintf(&b, `<text x="%d" y="%.0f" font-size="10" font-family="sans-serif">%.4g</text>`,
+		2, py(ymin)+4, ymin)
+	fmt.Fprintf(&b, `<text x="%.0f" y="%d" font-size="10" font-family="sans-serif">%.4g</text>`,
+		px(xmin), height-margin+14, xmin)
+	fmt.Fprintf(&b, `<text x="%.0f" y="%d" font-size="10" font-family="sans-serif" text-anchor="end">%.4g</text>`,
+		px(xmax), height-margin+14, xmax)
+
+	// Series polylines (broken at NaN gaps) and legend.
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		flush := func() {
+			if len(pts) > 0 {
+				fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`,
+					color, strings.Join(pts, " "))
+				pts = pts[:0]
+			}
+		}
+		for i, y := range s.Y {
+			if i >= len(xs) {
+				break
+			}
+			if math.IsNaN(y) {
+				flush()
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(xs[i]), py(y)))
+		}
+		flush()
+		lx := margin + 110*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`,
+			lx, height-18, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="sans-serif">%s</text>`,
+			lx+14, height-9, escape(s.Label))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

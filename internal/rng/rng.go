@@ -1,0 +1,98 @@
+// Package rng provides a small, fast, deterministic random number
+// generator for the Monte-Carlo fault simulator: xoshiro256** seeded via
+// SplitMix64, with splittable streams so that parallel simulation workers
+// get statistically independent, reproducible sequences.
+//
+// The standard library's math/rand would work too, but a local generator
+// pins the exact sequence across Go versions (math/rand's stream is not
+// guaranteed stable), which keeps recorded experiment outputs exactly
+// reproducible.
+package rng
+
+import "math"
+
+// Source is a xoshiro256** generator. It is not safe for concurrent use;
+// give each goroutine its own Source via Split.
+type Source struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output; it
+// is the recommended seeder for xoshiro generators.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded deterministically from seed.
+func New(seed uint64) *Source {
+	var src Source
+	state := seed
+	for i := range src.s {
+		src.s[i] = splitMix64(&state)
+	}
+	// xoshiro must not start at the all-zero state; SplitMix64 cannot
+	// produce four zero outputs in a row, but keep the guard explicit.
+	if src.s == [4]uint64{} {
+		src.s[0] = 0x9E3779B97F4A7C15
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponential variate with the given rate (mean
+// 1/rate) by inversion. A rate of zero returns +Inf: the event never
+// happens, which is exactly how the simulator treats a disabled error
+// source.
+func (r *Source) ExpFloat64(rate float64) float64 {
+	if rate == 0 {
+		return math.Inf(1)
+	}
+	// 1 - Float64() is in (0, 1], so Log never sees zero.
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Bernoulli returns true with probability p.
+func (r *Source) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Weibull returns a Weibull variate with the given shape k and scale
+// lambda (mean lambda*Gamma(1+1/k)) by inversion. Shape 1 reduces to the
+// exponential distribution with mean equal to the scale.
+func (r *Source) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		return math.Inf(1)
+	}
+	return scale * math.Pow(-math.Log(1-r.Float64()), 1/shape)
+}
+
+// Split returns a new Source seeded from the stream of r. The child's
+// trajectory is statistically independent of the parent's subsequent
+// outputs (distinct SplitMix64 seeding path).
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}

@@ -1,0 +1,207 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between differently seeded streams", same)
+	}
+}
+
+func TestSplitMix64KnownVector(t *testing.T) {
+	// Canonical first output of SplitMix64 for seed 0.
+	state := uint64(0)
+	if got := splitMix64(&state); got != 0xE220A8397B1DCDAF {
+		t.Errorf("splitMix64(0) = %#x, want 0xE220A8397B1DCDAF", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean = %v, want about 0.5", mean)
+	}
+}
+
+func TestUint64BitBalance(t *testing.T) {
+	// Every bit position should be set about half the time.
+	r := New(13)
+	const n = 100000
+	counts := [64]int{}
+	for i := 0; i < n; i++ {
+		v := r.Uint64()
+		for b := 0; b < 64; b++ {
+			if v&(1<<uint(b)) != 0 {
+				counts[b]++
+			}
+		}
+	}
+	for b, cnt := range counts {
+		frac := float64(cnt) / n
+		if math.Abs(frac-0.5) > 0.01 {
+			t.Errorf("bit %d set fraction %v", b, frac)
+		}
+	}
+}
+
+func TestExpFloat64MeanAndPositivity(t *testing.T) {
+	r := New(17)
+	const n = 300000
+	rate := 2.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.ExpFloat64(rate)
+		if x < 0 || math.IsNaN(x) {
+			t.Fatalf("ExpFloat64 = %v", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01/rate {
+		t.Errorf("mean = %v, want about %v", mean, 1/rate)
+	}
+}
+
+func TestExpFloat64TailProbability(t *testing.T) {
+	// P(X > 1/rate) = 1/e.
+	r := New(19)
+	const n = 200000
+	rate := 0.7
+	over := 0
+	for i := 0; i < n; i++ {
+		if r.ExpFloat64(rate) > 1/rate {
+			over++
+		}
+	}
+	frac := float64(over) / n
+	if math.Abs(frac-1/math.E) > 0.01 {
+		t.Errorf("tail fraction = %v, want about %v", frac, 1/math.E)
+	}
+}
+
+func TestExpFloat64ZeroRate(t *testing.T) {
+	r := New(23)
+	if !math.IsInf(r.ExpFloat64(0), 1) {
+		t.Error("ExpFloat64(0) should be +Inf")
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(29)
+	const n = 200000
+	p := 0.8
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-p) > 0.005 {
+		t.Errorf("Bernoulli(%v) frequency = %v", p, frac)
+	}
+	rr := New(31)
+	for i := 0; i < 1000; i++ {
+		if rr.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !rr.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	// Same inversion, so shape 1 must reproduce ExpFloat64 exactly for
+	// the same stream position.
+	a, b := New(41), New(41)
+	for i := 0; i < 1000; i++ {
+		x := a.Weibull(1, 2.5)
+		y := b.ExpFloat64(1 / 2.5)
+		if math.Abs(x-y) > 1e-12*(1+y) {
+			t.Fatalf("step %d: weibull %v vs exp %v", i, x, y)
+		}
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	// Mean is scale * Gamma(1 + 1/shape).
+	r := New(43)
+	const n = 300000
+	shape, scale := 0.7, 100.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Weibull(shape, scale)
+	}
+	want := scale * math.Gamma(1+1/shape)
+	if got := sum / n; math.Abs(got-want)/want > 0.02 {
+		t.Errorf("mean = %v, want about %v", got, want)
+	}
+}
+
+func TestWeibullDegenerate(t *testing.T) {
+	r := New(47)
+	if !math.IsInf(r.Weibull(0, 1), 1) || !math.IsInf(r.Weibull(1, 0), 1) {
+		t.Error("non-positive parameters should disable the source (+Inf)")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	// Child and parent must not produce identical streams.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between parent and child", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(5).Split()
+	b := New(5).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split not deterministic")
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package schedule
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseAction checks that arbitrary action strings never panic and
+// that accepted ones round-trip through String.
+func FuzzParseAction(f *testing.F) {
+	for _, seed := range []string{"-", "V", "V*", "V*+M", "V*+M+D", "M", "D+V", "", "V*+M+D+V", "x"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAction(s)
+		if err != nil {
+			return
+		}
+		if !a.Valid() {
+			t.Fatalf("ParseAction(%q) accepted invalid action %04b", s, a)
+		}
+		back, err := ParseAction(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip failed for %q: %v -> %v (%v)", s, a, back, err)
+		}
+	})
+}
+
+// FuzzScheduleJSON checks that arbitrary JSON never panics the decoder
+// and that accepted schedules are valid and re-encode losslessly.
+func FuzzScheduleJSON(f *testing.F) {
+	good := MustNew(3)
+	good.Set(1, Partial)
+	good.Set(3, Disk)
+	data, _ := json.Marshal(good)
+	f.Add(data)
+	f.Add([]byte(`{"n":2,"actions":["M","-"]}`))
+	f.Add([]byte(`{"n":1,"actions":["V*+M+D"]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Schedule
+		if err := json.Unmarshal(data, &s); err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid schedule: %v", err)
+		}
+		out, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var back Schedule
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !s.Equal(&back) {
+			t.Fatalf("lossy round trip: %v vs %v", &s, &back)
+		}
+	})
+}

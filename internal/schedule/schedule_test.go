@@ -1,0 +1,285 @@
+package schedule
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestActionNormalize(t *testing.T) {
+	tests := []struct {
+		in, want Action
+	}{
+		{None, None},
+		{Partial, Partial},
+		{Guaranteed, Guaranteed},
+		{Memory, Memory | Guaranteed},
+		{Disk, Disk | Memory | Guaranteed},
+		{Disk | Partial, Disk | Memory | Guaranteed},
+		{Guaranteed | Partial, Guaranteed},
+	}
+	for _, tc := range tests {
+		if got := tc.in.Normalize(); got != tc.want {
+			t.Errorf("Normalize(%04b) = %04b, want %04b", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestActionValid(t *testing.T) {
+	valid := []Action{None, Partial, Guaranteed, Guaranteed | Memory, Guaranteed | Memory | Disk}
+	for _, a := range valid {
+		if !a.Valid() {
+			t.Errorf("%v should be valid", a)
+		}
+	}
+	invalid := []Action{Memory, Disk, Disk | Memory, Memory | Partial, Guaranteed | Partial, Disk | Guaranteed}
+	for _, a := range invalid {
+		if a.Valid() {
+			t.Errorf("%04b should be invalid", a)
+		}
+	}
+}
+
+func TestNormalizeAlwaysValid(t *testing.T) {
+	f := func(raw uint8) bool {
+		return Action(raw & 0x0f).Normalize().Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	tests := []struct {
+		a    Action
+		want string
+	}{
+		{None, "-"},
+		{Partial, "V"},
+		{Guaranteed, "V*"},
+		{Guaranteed | Memory, "V*+M"},
+		{Guaranteed | Memory | Disk, "V*+M+D"},
+	}
+	for _, tc := range tests {
+		if got := tc.a.String(); got != tc.want {
+			t.Errorf("String(%04b) = %q, want %q", tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestParseActionRoundTrip(t *testing.T) {
+	for _, a := range []Action{None, Partial, Guaranteed, Guaranteed | Memory, Guaranteed | Memory | Disk} {
+		back, err := ParseAction(a.String())
+		if err != nil {
+			t.Errorf("ParseAction(%q): %v", a.String(), err)
+			continue
+		}
+		if back != a {
+			t.Errorf("round trip %v -> %v", a, back)
+		}
+	}
+	if _, err := ParseAction("V*+X"); err == nil {
+		t.Error("unknown mechanism should fail")
+	}
+	if _, err := ParseAction("M"); err == nil {
+		t.Error("bare memory checkpoint should be invalid")
+	}
+}
+
+func TestNewSchedule(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) should fail")
+	}
+	s := MustNew(5)
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.At(0) != Guaranteed|Memory|Disk {
+		t.Errorf("boundary 0 = %v", s.At(0))
+	}
+	for i := 1; i <= 5; i++ {
+		if s.At(i) != None {
+			t.Errorf("boundary %d = %v, want None", i, s.At(i))
+		}
+	}
+}
+
+func TestSetNormalizesAndGuards(t *testing.T) {
+	s := MustNew(3)
+	s.Set(2, Disk)
+	if s.At(2) != Disk|Memory|Guaranteed {
+		t.Errorf("Set(Disk) stored %v", s.At(2))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Set(0, ...) should panic")
+			}
+		}()
+		s.Set(0, Partial)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Set(4, ...) out of range should panic")
+			}
+		}()
+		s.Set(4, Partial)
+	}()
+}
+
+func TestAdd(t *testing.T) {
+	s := MustNew(3)
+	s.Set(1, Guaranteed)
+	s.Add(1, Memory)
+	if s.At(1) != Guaranteed|Memory {
+		t.Errorf("Add = %v", s.At(1))
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	s := MustNew(4)
+	s.Set(2, Guaranteed)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(3, Partial)
+	if s.Equal(c) {
+		t.Fatal("Equal must detect differences")
+	}
+	if s.At(3) != None {
+		t.Fatal("Clone must be deep")
+	}
+	if s.Equal(MustNew(5)) {
+		t.Fatal("different lengths cannot be equal")
+	}
+}
+
+func TestValidateComplete(t *testing.T) {
+	s := MustNew(3)
+	if err := s.Validate(); err != nil {
+		t.Errorf("fresh schedule invalid: %v", err)
+	}
+	if err := s.ValidateComplete(); err == nil {
+		t.Error("no final disk checkpoint: ValidateComplete should fail")
+	}
+	s.Set(3, Disk)
+	if err := s.ValidateComplete(); err != nil {
+		t.Errorf("ValidateComplete: %v", err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := MustNew(2)
+	s.actions[1] = Memory // bypass Set's normalization
+	if err := s.Validate(); err == nil {
+		t.Error("bare Memory action must fail validation")
+	}
+	s = MustNew(2)
+	s.actions[0] = None
+	if err := s.Validate(); err == nil {
+		t.Error("clobbered virtual boundary must fail validation")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s := MustNew(10)
+	s.Set(2, Partial)
+	s.Set(4, Guaranteed)
+	s.Set(6, Guaranteed|Memory)
+	s.Set(8, Partial)
+	s.Set(10, Disk)
+	got := s.Counts()
+	want := Counts{Disk: 1, Memory: 2, Guaranteed: 3, Partial: 2}
+	if got != want {
+		t.Errorf("Counts = %+v, want %+v", got, want)
+	}
+}
+
+func TestIndicesAndStations(t *testing.T) {
+	s := MustNew(6)
+	s.Set(2, Partial)
+	s.Set(4, Guaranteed|Memory)
+	s.Set(6, Disk)
+	if got := s.Indices(Memory); len(got) != 2 || got[0] != 4 || got[1] != 6 {
+		t.Errorf("Indices(Memory) = %v", got)
+	}
+	if got := s.Indices(Disk); len(got) != 1 || got[0] != 6 {
+		t.Errorf("Indices(Disk) = %v", got)
+	}
+	st := s.Stations()
+	if len(st) != 3 || st[0].Pos != 2 || st[2].Pos != 6 {
+		t.Errorf("Stations = %v", st)
+	}
+	if !st[1].Action.Has(Memory) {
+		t.Errorf("station 4 action = %v", st[1].Action)
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	s := MustNew(4)
+	s.Set(1, Partial)
+	s.Set(2, Guaranteed)
+	s.Set(4, Disk) // V* + M + D
+	got := s.TotalCost(1, 10, 100, 1000)
+	want := 1.0 + 10 + (10 + 100 + 1000)
+	if got != want {
+		t.Errorf("TotalCost = %g, want %g", got, want)
+	}
+}
+
+func TestStringAndStrip(t *testing.T) {
+	s := MustNew(5)
+	s.Set(2, Partial)
+	s.Set(5, Disk)
+	str := s.String()
+	if !strings.Contains(str, "2:V") || !strings.Contains(str, "5:V*+M+D") {
+		t.Errorf("String = %q", str)
+	}
+	strip := s.Strip()
+	lines := strings.Split(strip, "\n")
+	if len(lines) != 4 {
+		t.Fatalf("Strip has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "....D") {
+		t.Errorf("disk row = %q", lines[0])
+	}
+	if !strings.Contains(lines[3], ".v...") {
+		t.Errorf("partial row = %q", lines[3])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := MustNew(4)
+	s.Set(1, Partial)
+	s.Set(3, Guaranteed|Memory)
+	s.Set(4, Disk)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(&back) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", &back, s)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var s Schedule
+	bad := []string{
+		`{"n":2,"actions":["M","-"]}`,     // bare memory ckpt
+		`{"n":3,"actions":["-","-"]}`,     // length mismatch
+		`{"n":0,"actions":[]}`,            // empty
+		`{"n":1,"actions":["spaghetti"]}`, // unparsable
+	}
+	for _, js := range bad {
+		if err := json.Unmarshal([]byte(js), &s); err == nil {
+			t.Errorf("decoding %s should fail", js)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package sensitivity quantifies how the expected makespan of a resilience
+// schedule responds to the platform parameters: error rates, checkpoint,
+// recovery and verification costs, and the partial-verification recall.
+//
+// For each parameter x it reports the elasticity
+//
+//	elas(x) = (x / E) * dE/dx
+//
+// estimated by central finite differences on the closed-form model
+// (internal/core.Evaluate). Elasticities answer the operator's question
+// "which knob dominates my resilience overhead?": an elasticity of 0.02
+// means a 10% parameter increase costs about 0.2% makespan.
+//
+// Two modes are provided: fixed-schedule sensitivity (the schedule stays
+// as planned; the right model for short-term parameter drift) and
+// replanned sensitivity (the planner re-optimizes for the perturbed
+// parameter; by the envelope theorem the two agree to first order at the
+// optimum, which the tests verify).
+package sensitivity
+
+import (
+	"fmt"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+)
+
+// Parameter identifies one model parameter.
+type Parameter string
+
+// The parameters of Section II.
+const (
+	LambdaF Parameter = "lambda_f"
+	LambdaS Parameter = "lambda_s"
+	CD      Parameter = "C_D"
+	CM      Parameter = "C_M"
+	RD      Parameter = "R_D"
+	RM      Parameter = "R_M"
+	VStar   Parameter = "V*"
+	V       Parameter = "V"
+	Recall  Parameter = "recall"
+)
+
+// Parameters lists every supported parameter in report order.
+func Parameters() []Parameter {
+	return []Parameter{LambdaF, LambdaS, CD, CM, RD, RM, VStar, V, Recall}
+}
+
+// apply returns p with the parameter scaled by factor.
+func apply(p platform.Platform, which Parameter, factor float64) (platform.Platform, error) {
+	switch which {
+	case LambdaF:
+		p.LambdaF *= factor
+	case LambdaS:
+		p.LambdaS *= factor
+	case CD:
+		p.CD *= factor
+	case CM:
+		p.CM *= factor
+	case RD:
+		p.RD *= factor
+	case RM:
+		p.RM *= factor
+	case VStar:
+		p.VStar *= factor
+	case V:
+		p.V *= factor
+	case Recall:
+		p.Recall *= factor
+		if p.Recall > 1 {
+			p.Recall = 1
+		}
+	default:
+		return p, fmt.Errorf("sensitivity: unknown parameter %q", which)
+	}
+	return p, nil
+}
+
+// Result is the sensitivity of one parameter.
+type Result struct {
+	Parameter  Parameter
+	Base       float64 // the parameter's current value
+	Elasticity float64 // (x/E) dE/dx
+	PerPercent float64 // absolute makespan change (s) per +1% parameter change
+}
+
+// relStep is the relative finite-difference step. 1e-4 balances
+// truncation against cancellation for the ~1e-9-accurate evaluator.
+const relStep = 1e-4
+
+// FixedSchedule computes the elasticity of the expected makespan with
+// respect to each parameter, holding the schedule fixed.
+func FixedSchedule(c *chain.Chain, p platform.Platform, s *schedule.Schedule) ([]Result, error) {
+	eval := func(pp platform.Platform) (float64, error) {
+		return core.Evaluate(c, pp, s)
+	}
+	return sweep(p, eval)
+}
+
+// Replanned computes the elasticity of the *optimal* expected makespan:
+// the planner re-optimizes for every perturbed parameter value.
+func Replanned(alg core.Algorithm, c *chain.Chain, p platform.Platform) ([]Result, error) {
+	eval := func(pp platform.Platform) (float64, error) {
+		res, err := core.Plan(alg, c, pp)
+		if err != nil {
+			return 0, err
+		}
+		return res.ExpectedMakespan, nil
+	}
+	return sweep(p, eval)
+}
+
+func sweep(p platform.Platform, eval func(platform.Platform) (float64, error)) ([]Result, error) {
+	base, err := eval(p)
+	if err != nil {
+		return nil, err
+	}
+	if base <= 0 {
+		return nil, fmt.Errorf("sensitivity: non-positive base makespan %g", base)
+	}
+	var out []Result
+	for _, which := range Parameters() {
+		cur := value(p, which)
+		if cur == 0 {
+			// A zero parameter has no scale; report zero sensitivity.
+			out = append(out, Result{Parameter: which, Base: 0})
+			continue
+		}
+		up, err := apply(p, which, 1+relStep)
+		if err != nil {
+			return nil, err
+		}
+		down, err := apply(p, which, 1-relStep)
+		if err != nil {
+			return nil, err
+		}
+		eUp, err := eval(up)
+		if err != nil {
+			return nil, err
+		}
+		eDown, err := eval(down)
+		if err != nil {
+			return nil, err
+		}
+		deriv := (eUp - eDown) / (2 * relStep) // dE / d(log x) = x dE/dx
+		elas := deriv / base
+		out = append(out, Result{
+			Parameter:  which,
+			Base:       cur,
+			Elasticity: elas,
+			PerPercent: deriv / 100,
+		})
+	}
+	return out, nil
+}
+
+func value(p platform.Platform, which Parameter) float64 {
+	switch which {
+	case LambdaF:
+		return p.LambdaF
+	case LambdaS:
+		return p.LambdaS
+	case CD:
+		return p.CD
+	case CM:
+		return p.CM
+	case RD:
+		return p.RD
+	case RM:
+		return p.RM
+	case VStar:
+		return p.VStar
+	case V:
+		return p.V
+	case Recall:
+		return p.Recall
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Breakdown splits simulated execution time into its model components.
+// UsefulCompute + WastedCompute + Verification + Checkpoint + Recovery
+// equals the total makespan exactly for every replication.
+type Breakdown struct {
+	// UsefulCompute is time spent computing work that was never rolled
+	// back (exactly the chain's total weight per successful replication).
+	UsefulCompute float64
+	// WastedCompute is computation lost to rollbacks and fail-stop
+	// interruptions (re-executed or corrupted work).
+	WastedCompute float64
+	// Verification is time spent running partial and guaranteed
+	// verifications.
+	Verification float64
+	// Checkpoint is time spent taking memory and disk checkpoints.
+	Checkpoint float64
+	// Recovery is time spent restoring from memory or disk checkpoints.
+	Recovery float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 {
+	return b.UsefulCompute + b.WastedCompute + b.Verification + b.Checkpoint + b.Recovery
+}
+
+func (b *Breakdown) add(o Breakdown) {
+	b.UsefulCompute += o.UsefulCompute
+	b.WastedCompute += o.WastedCompute
+	b.Verification += o.Verification
+	b.Checkpoint += o.Checkpoint
+	b.Recovery += o.Recovery
+}
+
+// scale divides every component by k (for per-replication averages).
+func (b Breakdown) scale(k float64) Breakdown {
+	return Breakdown{
+		UsefulCompute: b.UsefulCompute / k,
+		WastedCompute: b.WastedCompute / k,
+		Verification:  b.Verification / k,
+		Checkpoint:    b.Checkpoint / k,
+		Recovery:      b.Recovery / k,
+	}
+}
+
+// String renders the breakdown with percentages of the total.
+func (b Breakdown) String() string {
+	t := b.Total()
+	if t == 0 {
+		return "(empty breakdown)"
+	}
+	var sb strings.Builder
+	rows := []struct {
+		label string
+		v     float64
+	}{
+		{"useful compute", b.UsefulCompute},
+		{"wasted compute", b.WastedCompute},
+		{"verification", b.Verification},
+		{"checkpointing", b.Checkpoint},
+		{"recovery", b.Recovery},
+	}
+	for i, r := range rows {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "%-15s %14.2f s  (%5.2f%%)", r.label, r.v, 100*r.v/t)
+	}
+	return sb.String()
+}

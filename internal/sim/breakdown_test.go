@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
+)
+
+func TestBreakdownSumsToMakespan(t *testing.T) {
+	c, _ := workload.Uniform(12, 25000)
+	p := platform.Hera()
+	p.LambdaF *= 40
+	p.LambdaS *= 40
+	s := completeSchedule(12)
+	for i := 3; i < 12; i += 3 {
+		s.Set(i, schedule.Memory)
+	}
+	s.Set(6, schedule.Disk)
+	res, err := Run(c, p, s, Options{Replications: 20000, Seed: 11, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(res.Breakdown.Total() - res.Mean()); diff > 1e-6*res.Mean() {
+		t.Errorf("breakdown total %f vs mean makespan %f", res.Breakdown.Total(), res.Mean())
+	}
+	if math.Abs(res.Breakdown.UsefulCompute-25000) > 1e-9 {
+		t.Errorf("useful compute = %f, want exactly the chain weight", res.Breakdown.UsefulCompute)
+	}
+	if res.Breakdown.WastedCompute <= 0 {
+		t.Error("expected wasted compute at 40x error rates")
+	}
+	if res.Breakdown.Recovery <= 0 || res.Breakdown.Checkpoint <= 0 || res.Breakdown.Verification <= 0 {
+		t.Errorf("all overhead categories should be positive: %+v", res.Breakdown)
+	}
+}
+
+func TestBreakdownErrorFree(t *testing.T) {
+	c, _ := workload.Uniform(5, 1000)
+	p := platform.Hera()
+	p.LambdaF, p.LambdaS = 0, 0
+	s := completeSchedule(5)
+	res, err := Run(c, p, s, Options{Replications: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := res.Breakdown
+	if bd.WastedCompute != 0 || bd.Recovery != 0 {
+		t.Errorf("error-free run has waste/recovery: %+v", bd)
+	}
+	// Aggregation divides the per-worker sums by N, so compare with a
+	// rounding tolerance.
+	const tol = 1e-9
+	if math.Abs(bd.UsefulCompute-1000) > tol ||
+		math.Abs(bd.Verification-p.VStar) > tol ||
+		math.Abs(bd.Checkpoint-(p.CM+p.CD)) > tol {
+		t.Errorf("unexpected breakdown: %+v", bd)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	bd := Breakdown{UsefulCompute: 80, WastedCompute: 10, Verification: 5, Checkpoint: 4, Recovery: 1}
+	out := bd.String()
+	for _, want := range []string{"useful compute", "80.00", "wasted compute", "(10.00%)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown string missing %q:\n%s", want, out)
+		}
+	}
+	var empty Breakdown
+	if !strings.Contains(empty.String(), "empty") {
+		t.Error("empty breakdown should say so")
+	}
+}
+
+func TestTraceReplaysOneExecution(t *testing.T) {
+	c, _ := workload.Uniform(6, 25000)
+	p := platform.Hera()
+	p.LambdaF *= 100
+	p.LambdaS *= 100
+	s := completeSchedule(6)
+	s.Set(3, schedule.Memory)
+	events, err := Trace(c, p, s, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 3 {
+		t.Fatalf("trace too short: %v", events)
+	}
+	last := events[len(events)-1]
+	if last.Kind != "done" || last.Pos != 6 {
+		t.Errorf("last event = %+v, want done at 6", last)
+	}
+	// Clock must be non-decreasing.
+	prev := 0.0
+	for _, ev := range events {
+		if ev.T < prev {
+			t.Fatalf("clock went backwards at %+v", ev)
+		}
+		prev = ev.T
+	}
+	// A trace is deterministic per seed.
+	again, err := Trace(c, p, s, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(events) {
+		t.Error("trace not deterministic")
+	}
+	out := FormatTrace(events)
+	if !strings.Contains(out, "done") || !strings.Contains(out, "t=") {
+		t.Errorf("formatted trace:\n%s", out)
+	}
+}
+
+func TestTraceValidatesInputs(t *testing.T) {
+	c, _ := workload.Uniform(3, 100)
+	if _, err := Trace(c, platform.Hera(), schedule.MustNew(3), 1); err == nil {
+		t.Error("incomplete schedule should fail")
+	}
+}

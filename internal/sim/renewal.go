@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"chainckpt/internal/rng"
+	"chainckpt/internal/schedule"
+)
+
+// Shapes selects non-exponential error inter-arrival laws for the
+// simulator. The dynamic programs assume Poisson arrivals (memoryless
+// exponential gaps); studies of production systems report Weibull
+// inter-arrivals with shape below 1 (bursty failures). Setting a shape
+// different from 1 keeps each source's mean time between errors equal to
+// the platform's 1/lambda but changes the burstiness, which quantifies
+// how robust the exponential-optimal schedules are to model
+// misspecification (experiment X7).
+type Shapes struct {
+	// FailStop is the Weibull shape of fail-stop inter-arrival times
+	// (0 or 1 = exponential).
+	FailStop float64
+	// Silent is the Weibull shape of silent-error inter-arrival times.
+	Silent float64
+}
+
+func (s Shapes) exponential() bool {
+	return (s.FailStop == 0 || s.FailStop == 1) && (s.Silent == 0 || s.Silent == 1)
+}
+
+func (s Shapes) validate() error {
+	if s.FailStop < 0 || math.IsNaN(s.FailStop) || math.IsInf(s.FailStop, 0) {
+		return fmt.Errorf("sim: invalid fail-stop shape %v", s.FailStop)
+	}
+	if s.Silent < 0 || math.IsNaN(s.Silent) || math.IsInf(s.Silent, 0) {
+		return fmt.Errorf("sim: invalid silent shape %v", s.Silent)
+	}
+	return nil
+}
+
+// errorClock generates a renewal process of error arrivals measured in
+// accumulated compute time: gaps are Weibull(shape, scale) with the scale
+// chosen so the mean gap matches the requested MTBF.
+type errorClock struct {
+	shape     float64
+	scale     float64
+	remaining float64 // compute time until the next arrival
+}
+
+// newErrorClock builds a clock for a source with the given rate (mean
+// 1/rate arrivals per second of compute). A zero rate never fires.
+func newErrorClock(rate, shape float64, src *rng.Source) *errorClock {
+	c := &errorClock{}
+	if shape == 0 {
+		shape = 1
+	}
+	c.shape = shape
+	if rate > 0 {
+		c.scale = (1 / rate) / math.Gamma(1+1/shape)
+	} else {
+		c.scale = 0 // Weibull() returns +Inf for scale 0: disabled
+	}
+	c.remaining = src.Weibull(c.shape, c.scale)
+	return c
+}
+
+// advance consumes w seconds of compute and reports whether at least one
+// error arrived, with the compute time of the first arrival. All
+// arrivals within the window are consumed (the corruption flag and the
+// fail-stop interruption are idempotent per window).
+func (c *errorClock) advance(w float64, src *rng.Source) (fired bool, first float64) {
+	if c.remaining >= w {
+		c.remaining -= w
+		return false, 0
+	}
+	first = c.remaining
+	left := w - c.remaining
+	for {
+		gap := src.Weibull(c.shape, c.scale)
+		if gap > left {
+			c.remaining = gap - left
+			return true, first
+		}
+		left -= gap
+	}
+}
+
+// reset resamples the next arrival; called after a fail-stop error, when
+// the machine restarts and both error processes begin anew.
+func (c *errorClock) reset(src *rng.Source) {
+	c.remaining = src.Weibull(c.shape, c.scale)
+}
+
+// replicateRenewal simulates one execution with renewal-process error
+// arrivals. It generalizes replicate: with exponential shapes the two
+// paths agree statistically (the exponential path remains the default
+// because it is faster and preserves the recorded streams of the
+// regression tests).
+func (w *walker) replicateRenewal(src *rng.Source, shapes Shapes) (float64, Counters, Breakdown) {
+	var ev Counters
+	var bd Breakdown
+	p := w.p
+	t := 0.0
+	cur := 0
+	memContent := 0
+	diskContent := 0
+	corrupted := false
+	i := 0
+	compute := 0.0
+	fail := newErrorClock(p.LambdaF, shapes.FailStop, src)
+	silent := newErrorClock(p.LambdaS, shapes.Silent, src)
+
+	for i < len(w.stations) {
+		st := w.stations[i]
+		weight := w.c.SegmentWeight(cur, st.Pos)
+
+		// The fail-stop clock interrupts at its first arrival; silent
+		// arrivals before that point are irrelevant (memory is lost).
+		if fired, first := fail.advance(weight, src); fired {
+			t += first
+			compute += first
+			ev.FailStop++
+			if diskContent > 0 {
+				rd := w.at(diskContent).RD
+				t += rd
+				bd.Recovery += rd
+			}
+			ev.DiskRecoveries++
+			cur = diskContent
+			memContent = diskContent
+			corrupted = false
+			i = w.nextIdx[cur]
+			fail.reset(src)
+			silent.reset(src)
+			continue
+		}
+		// Silent arrivals during the surviving window corrupt the data.
+		// The silent clock must only consume the computed window; it was
+		// not advanced by the fail-stop branch above.
+		if fired, _ := silent.advance(weight, src); fired {
+			corrupted = true
+			ev.Silent++
+		}
+		t += weight
+		compute += weight
+
+		ev.VerificationsRun++
+		if st.Action.Has(schedule.Guaranteed) {
+			vstar := w.at(st.Pos).VStar
+			t += vstar
+			bd.Verification += vstar
+			if corrupted {
+				ev.GuaranteedDetected++
+				if memContent > 0 {
+					rm := w.at(memContent).RM
+					t += rm
+					bd.Recovery += rm
+				}
+				ev.MemoryRecoveries++
+				cur = memContent
+				corrupted = false
+				i = w.nextIdx[cur]
+				continue
+			}
+			if st.Action.Has(schedule.Memory) {
+				cm := w.at(st.Pos).CM
+				t += cm
+				bd.Checkpoint += cm
+				ev.CheckpointsMemory++
+				memContent = st.Pos
+			}
+			if st.Action.Has(schedule.Disk) {
+				cd := w.at(st.Pos).CD
+				t += cd
+				bd.Checkpoint += cd
+				ev.CheckpointsDisk++
+				diskContent = st.Pos
+			}
+		} else {
+			v := w.at(st.Pos).V
+			t += v
+			bd.Verification += v
+			if corrupted {
+				if src.Bernoulli(p.Recall) {
+					ev.PartialDetected++
+					if memContent > 0 {
+						rm := w.at(memContent).RM
+						t += rm
+						bd.Recovery += rm
+					}
+					ev.MemoryRecoveries++
+					cur = memContent
+					corrupted = false
+					i = w.nextIdx[cur]
+					continue
+				}
+				ev.PartialMissed++
+			}
+		}
+		cur = st.Pos
+		i++
+	}
+	bd.UsefulCompute = w.c.TotalWeight()
+	bd.WastedCompute = compute - bd.UsefulCompute
+	return t, ev, bd
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"chainckpt/internal/evaluate"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/rng"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
+)
+
+func TestErrorClockFiringStatistics(t *testing.T) {
+	// Count windows with at least one arrival over many fixed windows.
+	src := rng.New(31)
+	rate := 1.0 / 500 // MTBF 500 s
+	const windows = 400000
+	const w = 100.0
+	frac := func(shape float64) float64 {
+		clock := newErrorClock(rate, shape, src)
+		fired := 0
+		for i := 0; i < windows; i++ {
+			if ok, _ := clock.advance(w, src); ok {
+				fired++
+			}
+		}
+		return float64(fired) / windows
+	}
+	// Exponential arrivals have the closed-form firing fraction
+	// 1 - e^{-w/MTBF} (the DP's p^f), a direct consistency check between
+	// the renewal clock and the analytic model.
+	expo := frac(1)
+	want := 1 - math.Exp(-w/500)
+	if math.Abs(expo-want)/want > 0.02 {
+		t.Errorf("shape 1 firing fraction %v, want %v", expo, want)
+	}
+	// Bursty arrivals (shape < 1) cluster inside fewer windows; regular
+	// arrivals (shape > 1) spread across more windows. Same mean rate.
+	bursty := frac(0.5)
+	regular := frac(2)
+	if !(bursty < expo && expo < regular) {
+		t.Errorf("firing fractions not ordered: shape0.5=%v shape1=%v shape2=%v",
+			bursty, expo, regular)
+	}
+}
+
+func TestErrorClockDisabled(t *testing.T) {
+	src := rng.New(37)
+	clock := newErrorClock(0, 1, src)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := clock.advance(1e12, src); ok {
+			t.Fatal("disabled clock fired")
+		}
+	}
+}
+
+func TestShapesValidate(t *testing.T) {
+	for _, bad := range []Shapes{{FailStop: -1}, {Silent: math.NaN()}, {FailStop: math.Inf(1)}} {
+		if err := bad.validate(); err == nil {
+			t.Errorf("shapes %+v should fail", bad)
+		}
+	}
+	if err := (Shapes{FailStop: 0.7, Silent: 2}).validate(); err != nil {
+		t.Error(err)
+	}
+	if !(Shapes{}).exponential() || !(Shapes{FailStop: 1, Silent: 1}).exponential() {
+		t.Error("exponential detection wrong")
+	}
+	if (Shapes{FailStop: 0.7}).exponential() {
+		t.Error("weibull shape detected as exponential")
+	}
+}
+
+// TestRenewalPathMatchesOracleAtShapeOne validates the renewal simulation
+// path against the exact oracle: with shape 1 the Weibull renewal process
+// is exactly the model's Poisson process, so the means must agree.
+func TestRenewalPathMatchesOracleAtShapeOne(t *testing.T) {
+	c, _ := workload.Uniform(10, 25000)
+	p := platform.Hera()
+	p.LambdaF *= 40
+	p.LambdaS *= 40
+	s := completeSchedule(10)
+	s.Set(3, schedule.Memory)
+	s.Set(5, schedule.Partial)
+	s.Set(7, schedule.Memory)
+	want, err := evaluate.Exact(c, p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, p, s, Options{
+		Replications: 60000, Seed: 12, Workers: 8,
+		Shapes: Shapes{FailStop: 1, Silent: 1}, // forces the renewal path
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MeanWithin(want, 4) {
+		t.Errorf("renewal path mean %.2f +- %.2f vs exact %.2f",
+			res.Mean(), res.Makespan.StdErr(), want)
+	}
+	if diff := math.Abs(res.Breakdown.Total() - res.Mean()); diff > 1e-6*res.Mean() {
+		t.Errorf("breakdown total %f vs mean %f", res.Breakdown.Total(), res.Mean())
+	}
+}
+
+// TestWeibullShapeChangesMakespan is the X7 effect: bursty failures
+// (shape < 1) produce a different expected makespan than the exponential
+// model predicts, for the very same schedule and MTBFs.
+func TestWeibullShapeChangesMakespan(t *testing.T) {
+	c, _ := workload.Uniform(12, 25000)
+	p := platform.Hera()
+	p.LambdaF *= 60
+	p.LambdaS *= 60
+	s := completeSchedule(12)
+	for i := 3; i < 12; i += 3 {
+		s.Set(i, schedule.Memory)
+	}
+	run := func(shape float64) *Result {
+		res, err := Run(c, p, s, Options{
+			Replications: 60000, Seed: 13, Workers: 8,
+			Shapes: Shapes{FailStop: shape, Silent: shape},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	expo := run(1)
+	bursty := run(0.5)
+	diff := math.Abs(bursty.Mean() - expo.Mean())
+	threshold := 5 * (expo.Makespan.StdErr() + bursty.Makespan.StdErr())
+	if diff < threshold {
+		t.Errorf("shape 0.5 vs 1: means %.2f vs %.2f differ by %.2f, expected > %.2f",
+			bursty.Mean(), expo.Mean(), diff, threshold)
+	}
+}
+
+func TestRunRejectsBadShapes(t *testing.T) {
+	c, _ := workload.Uniform(3, 100)
+	s := completeSchedule(3)
+	if _, err := Run(c, platform.Hera(), s, Options{
+		Replications: 10, Shapes: Shapes{FailStop: -2},
+	}); err == nil {
+		t.Error("invalid shapes should fail")
+	}
+}

@@ -1,0 +1,397 @@
+// Package sim is a discrete-event Monte-Carlo simulator of a scheduled
+// linear task graph executing under fail-stop and silent errors. It
+// implements the execution model of the paper's Section II directly —
+// exponential inter-arrival sampling, disk/memory rollbacks, partial and
+// guaranteed verifications — and is the end-to-end check of both the
+// dynamic programs and the analytic evaluators: simulated mean makespans
+// must land inside their confidence intervals around the model
+// expectation.
+//
+// Replications run in parallel on a worker pool; each worker draws an
+// independent, reproducible random stream, so a fixed (Seed, Workers)
+// pair yields bit-identical results regardless of goroutine interleaving.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/expmath"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/rng"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/stats"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Replications is the number of independent executions to simulate.
+	Replications int
+	// Seed selects the random stream; the same seed reproduces the run.
+	Seed uint64
+	// Workers is the parallelism (default GOMAXPROCS). The result is
+	// deterministic for a fixed (Seed, Workers) pair.
+	Workers int
+	// Costs, when non-nil, overrides the platform's constant costs with
+	// per-boundary values (see platform.Costs).
+	Costs *platform.Costs
+	// Shapes selects Weibull inter-arrival laws for the error sources
+	// (zero value = the model's exponential arrivals); see Shapes.
+	Shapes Shapes
+}
+
+func (o *Options) normalize() error {
+	if o.Replications <= 0 {
+		return fmt.Errorf("sim: Replications must be positive, got %d", o.Replications)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > o.Replications {
+		o.Workers = o.Replications
+	}
+	return nil
+}
+
+// Counters tallies simulated events across all replications.
+type Counters struct {
+	FailStop            int64 // fail-stop errors (each causes a disk rollback)
+	Silent              int64 // silent errors injected
+	GuaranteedDetected  int64 // corruptions caught by guaranteed verifications
+	PartialDetected     int64 // corruptions caught by partial verifications
+	PartialMissed       int64 // corruptions that slipped past a partial verification
+	DiskRecoveries      int64
+	MemoryRecoveries    int64
+	CheckpointsMemory   int64 // memory checkpoints taken (incl. co-located)
+	CheckpointsDisk     int64
+	VerificationsRun    int64 // verifications executed (both kinds)
+	CorruptedCompletion int64 // replications finishing with undetected corruption
+}
+
+func (c *Counters) add(o Counters) {
+	c.FailStop += o.FailStop
+	c.Silent += o.Silent
+	c.GuaranteedDetected += o.GuaranteedDetected
+	c.PartialDetected += o.PartialDetected
+	c.PartialMissed += o.PartialMissed
+	c.DiskRecoveries += o.DiskRecoveries
+	c.MemoryRecoveries += o.MemoryRecoveries
+	c.CheckpointsMemory += o.CheckpointsMemory
+	c.CheckpointsDisk += o.CheckpointsDisk
+	c.VerificationsRun += o.VerificationsRun
+	c.CorruptedCompletion += o.CorruptedCompletion
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Makespan stats.Welford // per-replication makespans
+	Events   Counters
+	// Breakdown is the mean per-replication split of execution time into
+	// useful compute, wasted compute, verification, checkpointing and
+	// recovery; its Total equals Makespan.Mean() up to rounding.
+	Breakdown Breakdown
+}
+
+// Mean returns the mean simulated makespan.
+func (r *Result) Mean() float64 { return r.Makespan.Mean() }
+
+// HalfWidth95 returns the 95% confidence half-width of the mean.
+func (r *Result) HalfWidth95() float64 { return r.Makespan.HalfWidth(stats.Z95) }
+
+// Run simulates the schedule opts.Replications times and aggregates the
+// results. The schedule must be complete (final disk checkpoint).
+func Run(c *chain.Chain, p platform.Platform, sched *schedule.Schedule, opts Options) (*Result, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	if err := opts.Shapes.validate(); err != nil {
+		return nil, err
+	}
+	w, err := newWalker(c, p, opts.Costs, sched)
+	if err != nil {
+		return nil, err
+	}
+	renewal := !opts.Shapes.exponential()
+
+	type partial struct {
+		acc stats.Welford
+		ev  Counters
+		bd  Breakdown
+	}
+	parts := make([]partial, opts.Workers)
+	root := rng.New(opts.Seed)
+	streams := make([]*rng.Source, opts.Workers)
+	for i := range streams {
+		streams[i] = root.Split()
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Workers; i++ {
+		reps := opts.Replications / opts.Workers
+		if i < opts.Replications%opts.Workers {
+			reps++
+		}
+		wg.Add(1)
+		go func(i, reps int) {
+			defer wg.Done()
+			src := streams[i]
+			for r := 0; r < reps; r++ {
+				var makespan float64
+				var ev Counters
+				var bd Breakdown
+				if renewal {
+					makespan, ev, bd = w.replicateRenewal(src, opts.Shapes)
+				} else {
+					makespan, ev, bd = w.replicate(src, nil)
+				}
+				parts[i].acc.Add(makespan)
+				parts[i].ev.add(ev)
+				parts[i].bd.add(bd)
+			}
+		}(i, reps)
+	}
+	wg.Wait()
+
+	res := &Result{}
+	for i := range parts {
+		res.Makespan.Merge(parts[i].acc)
+		res.Events.add(parts[i].ev)
+		res.Breakdown.add(parts[i].bd)
+	}
+	res.Breakdown = res.Breakdown.scale(float64(res.Makespan.N()))
+	return res, nil
+}
+
+// walker holds the immutable, precomputed simulation structure shared by
+// all workers.
+type walker struct {
+	c        *chain.Chain
+	p        platform.Platform
+	costs    *platform.Costs // nil means platform constants
+	stations []schedule.Station
+	// nextIdx[pos] is the index of the first station strictly after the
+	// boundary pos, for every rollback target (0 and every checkpoint).
+	nextIdx []int
+}
+
+func newWalker(c *chain.Chain, p platform.Platform, costs *platform.Costs, sched *schedule.Schedule) (*walker, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("sim: empty chain")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if sched.Len() != c.Len() {
+		return nil, fmt.Errorf("sim: schedule for %d tasks but chain has %d", sched.Len(), c.Len())
+	}
+	if costs != nil {
+		if costs.Len() != c.Len() {
+			return nil, fmt.Errorf("sim: cost table for %d tasks but chain has %d", costs.Len(), c.Len())
+		}
+		if err := costs.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	if err := sched.ValidateComplete(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	st := sched.Stations()
+	next := make([]int, c.Len()+1)
+	idx := 0
+	for pos := 0; pos <= c.Len(); pos++ {
+		for idx < len(st) && st[idx].Pos <= pos {
+			idx++
+		}
+		next[pos] = idx
+	}
+	return &walker{c: c, p: p, costs: costs, stations: st, nextIdx: next}, nil
+}
+
+// at returns the effective costs of boundary i.
+func (w *walker) at(i int) platform.BoundaryCosts {
+	if w.costs != nil {
+		return w.costs.At(i)
+	}
+	return platform.BoundaryCosts{CD: w.p.CD, CM: w.p.CM, RD: w.p.RD, RM: w.p.RM, VStar: w.p.VStar, V: w.p.V}
+}
+
+// TraceEvent is one step of a replayed execution (see Trace).
+type TraceEvent struct {
+	// T is the simulated clock after the event completed, in seconds.
+	T float64
+	// Kind is one of compute, failstop, reset, silent, verify, detect,
+	// miss, rollback, ckpt-mem, ckpt-disk, done.
+	Kind string
+	// Pos is the boundary the event relates to.
+	Pos int
+}
+
+// replicate simulates one full execution and returns its makespan,
+// event counters and time breakdown. A non-nil observer receives every
+// event as it happens (used by Trace; nil on the Monte-Carlo hot path).
+func (w *walker) replicate(src *rng.Source, obs func(TraceEvent)) (float64, Counters, Breakdown) {
+	var ev Counters
+	var bd Breakdown
+	p := w.p
+	t := 0.0
+	cur := 0         // current boundary position
+	memContent := 0  // position stored in the memory checkpoint
+	diskContent := 0 // position stored in the disk checkpoint
+	corrupted := false
+	i := 0 // index of the next station
+	compute := 0.0
+	emit := func(kind string, pos int) {
+		if obs != nil {
+			obs(TraceEvent{T: t, Kind: kind, Pos: pos})
+		}
+	}
+
+	for i < len(w.stations) {
+		st := w.stations[i]
+		weight := w.c.SegmentWeight(cur, st.Pos)
+
+		// Fail-stop errors interrupt the computation immediately.
+		if x := src.ExpFloat64(p.LambdaF); x < weight {
+			t += x
+			compute += x
+			ev.FailStop++
+			emit("failstop", st.Pos)
+			if diskContent > 0 {
+				rd := w.at(diskContent).RD
+				t += rd
+				bd.Recovery += rd
+			}
+			ev.DiskRecoveries++
+			cur = diskContent
+			memContent = diskContent
+			corrupted = false
+			i = w.nextIdx[cur]
+			emit("reset", cur)
+			continue
+		}
+		t += weight
+		compute += weight
+		emit("compute", st.Pos)
+
+		// Silent errors corrupt the data without symptoms.
+		if src.Bernoulli(expmath.ProbError(p.LambdaS, weight)) {
+			corrupted = true
+			ev.Silent++
+			emit("silent", st.Pos)
+		}
+
+		// Arrive at the station and run its verification.
+		ev.VerificationsRun++
+		if st.Action.Has(schedule.Guaranteed) {
+			vstar := w.at(st.Pos).VStar
+			t += vstar
+			bd.Verification += vstar
+			emit("verify", st.Pos)
+			if corrupted {
+				ev.GuaranteedDetected++
+				emit("detect", st.Pos)
+				if memContent > 0 {
+					rm := w.at(memContent).RM
+					t += rm
+					bd.Recovery += rm
+				}
+				ev.MemoryRecoveries++
+				cur = memContent
+				corrupted = false
+				i = w.nextIdx[cur]
+				emit("rollback", cur)
+				continue
+			}
+			if st.Action.Has(schedule.Memory) {
+				cm := w.at(st.Pos).CM
+				t += cm
+				bd.Checkpoint += cm
+				ev.CheckpointsMemory++
+				memContent = st.Pos
+				emit("ckpt-mem", st.Pos)
+			}
+			if st.Action.Has(schedule.Disk) {
+				cd := w.at(st.Pos).CD
+				t += cd
+				bd.Checkpoint += cd
+				ev.CheckpointsDisk++
+				diskContent = st.Pos
+				emit("ckpt-disk", st.Pos)
+			}
+		} else { // partial verification
+			v := w.at(st.Pos).V
+			t += v
+			bd.Verification += v
+			emit("verify", st.Pos)
+			if corrupted {
+				if src.Bernoulli(p.Recall) {
+					ev.PartialDetected++
+					emit("detect", st.Pos)
+					if memContent > 0 {
+						rm := w.at(memContent).RM
+						t += rm
+						bd.Recovery += rm
+					}
+					ev.MemoryRecoveries++
+					cur = memContent
+					corrupted = false
+					i = w.nextIdx[cur]
+					emit("rollback", cur)
+					continue
+				}
+				ev.PartialMissed++
+				emit("miss", st.Pos)
+			}
+		}
+		cur = st.Pos
+		i++
+	}
+	if corrupted {
+		// Cannot happen for complete schedules (the final disk checkpoint
+		// carries a guaranteed verification) but kept for experiments
+		// that disable verification.
+		ev.CorruptedCompletion++
+	}
+	// All computed seconds beyond one clean pass over the chain were
+	// rolled back or lost.
+	bd.UsefulCompute = w.c.TotalWeight()
+	bd.WastedCompute = compute - bd.UsefulCompute
+	emit("done", w.c.Len())
+	return t, ev, bd
+}
+
+// Trace replays a single execution with the given seed and returns its
+// event log; a debugging and teaching aid (chainsim -trace renders it).
+func Trace(c *chain.Chain, p platform.Platform, sched *schedule.Schedule, seed uint64) ([]TraceEvent, error) {
+	w, err := newWalker(c, p, nil, sched)
+	if err != nil {
+		return nil, err
+	}
+	var events []TraceEvent
+	w.replicate(rng.New(seed), func(ev TraceEvent) { events = append(events, ev) })
+	return events, nil
+}
+
+// FormatTrace renders an event log, one line per event.
+func FormatTrace(events []TraceEvent) string {
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "t=%12.2f  %-9s at boundary %d\n", ev.T, ev.Kind, ev.Pos)
+	}
+	return b.String()
+}
+
+// MeanWithin reports whether the simulated mean is within k standard
+// errors of the analytic expectation; helper for validation tests and
+// the experiment harness.
+func (r *Result) MeanWithin(expected float64, k float64) bool {
+	se := r.Makespan.StdErr()
+	if se == 0 {
+		return r.Mean() == expected
+	}
+	return math.Abs(r.Mean()-expected) <= k*se
+}

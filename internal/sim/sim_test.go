@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/evaluate"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
+)
+
+func completeSchedule(n int) *schedule.Schedule {
+	s := schedule.MustNew(n)
+	s.Set(n, schedule.Disk)
+	return s
+}
+
+func TestNoErrorsDeterministicMakespan(t *testing.T) {
+	p := platform.Hera()
+	p.LambdaF, p.LambdaS = 0, 0
+	c := chain.MustFromWeights(100, 200, 300)
+	s := completeSchedule(3)
+	res, err := Run(c, p, s, Options{Replications: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 600 + p.VStar + p.CM + p.CD
+	if res.Makespan.Min() != want || res.Makespan.Max() != want {
+		t.Errorf("makespan range [%v, %v], want exactly %v",
+			res.Makespan.Min(), res.Makespan.Max(), want)
+	}
+	if res.Events.FailStop != 0 || res.Events.Silent != 0 {
+		t.Errorf("events without error rates: %+v", res.Events)
+	}
+	if res.Events.CheckpointsDisk != 50 || res.Events.CheckpointsMemory != 50 {
+		t.Errorf("checkpoint counters: %+v", res.Events)
+	}
+}
+
+func TestDeterministicForSeedAndWorkers(t *testing.T) {
+	c, _ := workload.Uniform(10, 25000)
+	p := platform.Hera()
+	p.LambdaF *= 50
+	p.LambdaS *= 50
+	res, err := core.PlanADMVStar(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Replications: 2000, Seed: 77, Workers: 4}
+	a, err := Run(c, p, res.Schedule, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, p, res.Schedule, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean() != b.Mean() || a.Makespan.Variance() != b.Makespan.Variance() {
+		t.Error("same seed and workers must reproduce results exactly")
+	}
+	if a.Events != b.Events {
+		t.Error("event counters must reproduce exactly")
+	}
+}
+
+func TestMeanMatchesOracleModerateRates(t *testing.T) {
+	// End-to-end validation: simulated means must agree with the exact
+	// analytic expectation within 4 standard errors. Rates are inflated
+	// so errors actually occur within few replications.
+	cases := []struct {
+		name  string
+		mult  float64
+		build func(n int) *schedule.Schedule
+	}{
+		{"checkpoint-free", 40, func(n int) *schedule.Schedule { return completeSchedule(n) }},
+		{"memory-every-3", 40, func(n int) *schedule.Schedule {
+			s := completeSchedule(n)
+			for i := 3; i < n; i += 3 {
+				s.Set(i, schedule.Memory)
+			}
+			return s
+		}},
+		{"mixed-with-partials", 60, func(n int) *schedule.Schedule {
+			s := completeSchedule(n)
+			for i := 1; i < n; i++ {
+				switch i % 4 {
+				case 1, 3:
+					s.Set(i, schedule.Partial)
+				case 2:
+					s.Set(i, schedule.Guaranteed)
+				case 0:
+					s.Set(i, schedule.Memory)
+				}
+			}
+			return s
+		}},
+		{"two-disk-segments", 40, func(n int) *schedule.Schedule {
+			s := completeSchedule(n)
+			s.Set(n/2, schedule.Disk)
+			return s
+		}},
+	}
+	const n = 12
+	c, _ := workload.Uniform(n, 25000)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := platform.Hera()
+			p.LambdaF *= tc.mult
+			p.LambdaS *= tc.mult
+			s := tc.build(n)
+			want, err := evaluate.Exact(c, p, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(c, p, s, Options{Replications: 60000, Seed: 2016, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.MeanWithin(want, 4) {
+				t.Errorf("simulated mean %.2f +- %.2f vs exact %.2f (%.1f sigma)",
+					res.Mean(), res.Makespan.StdErr(), want,
+					math.Abs(res.Mean()-want)/res.Makespan.StdErr())
+			}
+		})
+	}
+}
+
+func TestMeanMatchesDPOptimum(t *testing.T) {
+	// Simulate the ADMV-optimal schedule on a realistic platform.
+	c, _ := workload.Uniform(20, workload.PaperTotalWeight)
+	p := platform.Hera()
+	res, err := core.PlanADMV(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := evaluate.Exact(c, p, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simres, err := Run(c, p, res.Schedule, Options{Replications: 40000, Seed: 5, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simres.MeanWithin(want, 4) {
+		t.Errorf("simulated %.2f +- %.2f vs exact %.2f",
+			simres.Mean(), simres.Makespan.StdErr(), want)
+	}
+}
+
+func TestFailStopOnlyNeverDetectsSilent(t *testing.T) {
+	c, _ := workload.Uniform(8, 25000)
+	p := platform.Hera()
+	p.LambdaS = 0
+	p.LambdaF *= 100
+	s := completeSchedule(8)
+	s.Set(4, schedule.Disk)
+	res, err := Run(c, p, s, Options{Replications: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events.Silent != 0 || res.Events.GuaranteedDetected != 0 || res.Events.MemoryRecoveries != 0 {
+		t.Errorf("silent-related events with lambda_s = 0: %+v", res.Events)
+	}
+	if res.Events.FailStop == 0 {
+		t.Error("expected fail-stop errors at 100x rate")
+	}
+	if res.Events.FailStop != res.Events.DiskRecoveries {
+		t.Errorf("every fail-stop must trigger a disk recovery: %+v", res.Events)
+	}
+}
+
+func TestSilentOnlyNeverFailStops(t *testing.T) {
+	c, _ := workload.Uniform(8, 25000)
+	p := platform.Hera()
+	p.LambdaF = 0
+	p.LambdaS *= 100
+	s := completeSchedule(8)
+	for i := 2; i < 8; i += 2 {
+		s.Set(i, schedule.Memory)
+	}
+	res, err := Run(c, p, s, Options{Replications: 5000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events.FailStop != 0 || res.Events.DiskRecoveries != 0 {
+		t.Errorf("fail-stop events with lambda_f = 0: %+v", res.Events)
+	}
+	if res.Events.Silent == 0 {
+		t.Error("expected silent errors at 100x rate")
+	}
+	if res.Events.GuaranteedDetected+res.Events.PartialDetected != res.Events.MemoryRecoveries {
+		t.Errorf("every detection must trigger a memory recovery: %+v", res.Events)
+	}
+	if res.Events.CorruptedCompletion != 0 {
+		t.Error("complete schedules can never finish corrupted")
+	}
+}
+
+func TestPartialRecallStatistics(t *testing.T) {
+	// With recall r, detected/(detected+missed) at partial verifications
+	// should approach r.
+	c, _ := workload.Uniform(6, 25000)
+	p := platform.Hera()
+	p.LambdaF = 0
+	p.LambdaS *= 80
+	s := completeSchedule(6)
+	for i := 1; i < 6; i++ {
+		s.Set(i, schedule.Partial)
+	}
+	res, err := Run(c, p, s, Options{Replications: 30000, Seed: 6, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, miss := float64(res.Events.PartialDetected), float64(res.Events.PartialMissed)
+	if det+miss < 1000 {
+		t.Fatalf("too few partial-verification encounters: %v", det+miss)
+	}
+	frac := det / (det + miss)
+	if math.Abs(frac-p.Recall) > 0.02 {
+		t.Errorf("observed recall %.4f, want about %.2f", frac, p.Recall)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	c := chain.MustFromWeights(1)
+	s := completeSchedule(1)
+	if _, err := Run(c, platform.Hera(), s, Options{Replications: 0}); err == nil {
+		t.Error("zero replications should fail")
+	}
+	if _, err := Run(nil, platform.Hera(), s, Options{Replications: 1}); err == nil {
+		t.Error("nil chain should fail")
+	}
+	incomplete := schedule.MustNew(1)
+	if _, err := Run(c, platform.Hera(), incomplete, Options{Replications: 1}); err == nil {
+		t.Error("incomplete schedule should fail")
+	}
+	wrong := completeSchedule(2)
+	if _, err := Run(c, platform.Hera(), wrong, Options{Replications: 1}); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	bad := platform.Hera()
+	bad.CD = -1
+	if _, err := Run(c, bad, s, Options{Replications: 1}); err == nil {
+		t.Error("invalid platform should fail")
+	}
+}
+
+func TestWorkerCountDoesNotBiasMean(t *testing.T) {
+	// Different worker counts use different stream partitions; both must
+	// stay consistent with the oracle (no stream-reuse bugs).
+	c, _ := workload.Uniform(10, 25000)
+	p := platform.Hera()
+	p.LambdaF *= 50
+	p.LambdaS *= 50
+	s := completeSchedule(10)
+	s.Set(5, schedule.Memory)
+	want, err := evaluate.Exact(c, p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 16} {
+		res, err := Run(c, p, s, Options{Replications: 30000, Seed: 8, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.MeanWithin(want, 4.5) {
+			t.Errorf("workers=%d: mean %.2f vs exact %.2f (se %.2f)",
+				workers, res.Mean(), want, res.Makespan.StdErr())
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package stats provides the streaming statistics used to aggregate
+// Monte-Carlo simulation results: Welford's online mean/variance with
+// exact parallel merging, normal-approximation confidence intervals, and
+// fixed-bin histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford accumulates mean and variance in a numerically stable single
+// pass. The zero value is an empty accumulator ready for use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Merge folds another accumulator into this one (Chan et al.'s parallel
+// update), so per-worker accumulators can be combined exactly.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n1, n2 := float64(w.n), float64(o.n)
+	delta := o.mean - w.mean
+	total := n1 + n2
+	w.mean += delta * n2 / total
+	w.m2 += o.m2 + delta*delta*n1*n2/total
+	w.n += o.n
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// HalfWidth returns the half-width of the normal-approximation confidence
+// interval at the given z value (1.96 for 95%, 2.58 for 99%).
+func (w *Welford) HalfWidth(z float64) float64 { return z * w.StdErr() }
+
+// String renders a compact summary.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g [%.6g, %.6g]",
+		w.n, w.Mean(), w.StdDev(), w.min, w.max)
+}
+
+// Z95 and Z99 are the usual two-sided normal quantiles.
+const (
+	Z95 = 1.959963984540054
+	Z99 = 2.5758293035489004
+)
+
+// Histogram counts observations into uniform bins over [Lo, Hi);
+// observations outside the range go to the Under/Over counters.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int64
+	Under  int64
+	Over   int64
+}
+
+// NewHistogram builds a histogram with the given range and bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if !(lo < hi) || bins < 1 {
+		return nil, fmt.Errorf("stats: invalid histogram range [%g, %g) with %d bins", lo, hi, bins)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int64, bins)}, nil
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Bins) { // guard against rounding at the top edge
+			i--
+		}
+		h.Bins[i]++
+	}
+}
+
+// Total returns the number of observations inside the range.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Bins {
+		t += c
+	}
+	return t
+}
+
+// Merge adds another histogram with identical geometry.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Bins) != len(h.Bins) {
+		return fmt.Errorf("stats: histogram geometries differ")
+	}
+	for i, c := range o.Bins {
+		h.Bins[i] += c
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	return nil
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(w.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", w.Variance(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Error("empty accumulator should be all zeros")
+	}
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Variance() != 0 {
+		t.Errorf("single value: mean=%v var=%v", w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		cut := rng.Intn(n + 1)
+		var all, a, b Welford
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64()*10 + 3
+			all.Add(x)
+			if i < cut {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-9 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeEmptyCases(t *testing.T) {
+	var a, b Welford
+	a.Merge(b) // empty into empty
+	if a.N() != 0 {
+		t.Error("merging empties should stay empty")
+	}
+	b.Add(5)
+	a.Merge(b) // non-empty into empty
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Errorf("merge into empty: %v", a.String())
+	}
+	var c Welford
+	a.Merge(c) // empty into non-empty
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Errorf("merge of empty changed state: %v", a.String())
+	}
+}
+
+func TestHalfWidthShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var small, large Welford
+	for i := 0; i < 100; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.HalfWidth(Z95) >= small.HalfWidth(Z95) {
+		t.Error("confidence interval should shrink with more samples")
+	}
+}
+
+func TestCoverage95(t *testing.T) {
+	// The 95% CI should contain the true mean about 95% of the time.
+	rng := rand.New(rand.NewSource(42))
+	trials, covered := 400, 0
+	for trial := 0; trial < trials; trial++ {
+		var w Welford
+		for i := 0; i < 400; i++ {
+			w.Add(rng.ExpFloat64()) // true mean 1
+		}
+		h := w.HalfWidth(Z95)
+		if math.Abs(w.Mean()-1) <= h {
+			covered++
+		}
+	}
+	frac := float64(covered) / float64(trials)
+	if frac < 0.90 || frac > 0.99 {
+		t.Errorf("95%% CI coverage = %v", frac)
+	}
+}
+
+func TestString(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	if s := w.String(); !strings.Contains(s, "n=2") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	want := []int64{2, 1, 1, 0, 1}
+	for i, c := range want {
+		if h.Bins[i] != c {
+			t.Errorf("bin %d = %d, want %d", i, h.Bins[i], c)
+		}
+	}
+}
+
+func TestHistogramEdgeRounding(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 3)
+	h.Add(math.Nextafter(1, 0)) // just below the top edge
+	if h.Bins[2] != 1 || h.Over != 0 {
+		t.Errorf("top-edge value misplaced: %+v", h)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram(0, 10, 2)
+	b, _ := NewHistogram(0, 10, 2)
+	a.Add(1)
+	b.Add(6)
+	b.Add(-5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Bins[0] != 1 || a.Bins[1] != 1 || a.Under != 1 {
+		t.Errorf("merge result: %+v", a)
+	}
+	c, _ := NewHistogram(0, 5, 2)
+	if err := a.Merge(c); err == nil {
+		t.Error("mismatched geometry should fail")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range should fail")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+}

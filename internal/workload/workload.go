@@ -1,0 +1,158 @@
+// Package workload generates the task-weight patterns used in the paper's
+// evaluation (Section IV): Uniform, Decrease and HighLow, all normalized
+// to a prescribed total computational weight (25000 s in the paper), plus
+// random chains for property-based testing.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chainckpt/internal/chain"
+)
+
+// PaperTotalWeight is the total computational weight of every experiment
+// in Section IV, in seconds.
+const PaperTotalWeight = 25000.0
+
+// PaperMaxTasks is the largest chain length evaluated in the paper.
+const PaperMaxTasks = 50
+
+// Pattern names a generator so experiments can iterate over all of them.
+type Pattern string
+
+// The three patterns of Section IV.
+const (
+	PatternUniform  Pattern = "Uniform"
+	PatternDecrease Pattern = "Decrease"
+	PatternHighLow  Pattern = "HighLow"
+)
+
+// Patterns lists the paper's patterns in presentation order.
+func Patterns() []Pattern {
+	return []Pattern{PatternUniform, PatternDecrease, PatternHighLow}
+}
+
+// Generate builds an n-task chain of total weight total following the
+// named pattern. HighLow uses the paper's 10%-large/60%-weight split.
+func Generate(p Pattern, n int, total float64) (*chain.Chain, error) {
+	switch p {
+	case PatternUniform:
+		return Uniform(n, total)
+	case PatternDecrease:
+		return Decrease(n, total)
+	case PatternHighLow:
+		return HighLow(n, total, 0.10, 0.60)
+	default:
+		return nil, fmt.Errorf("workload: unknown pattern %q", p)
+	}
+}
+
+// Uniform returns n tasks of identical weight total/n, as in matrix
+// multiplication or iterative stencil kernels.
+func Uniform(n int, total float64) (*chain.Chain, error) {
+	if err := checkArgs(n, total); err != nil {
+		return nil, err
+	}
+	w := make([]float64, n)
+	per := total / float64(n)
+	for i := range w {
+		w[i] = per
+	}
+	return chain.FromWeights(w...)
+}
+
+// Decrease returns n tasks with quadratically decreasing weights
+// w_i = alpha*(n+1-i)^2, resembling dense matrix solvers such as LU or QR
+// factorization. alpha is chosen so the weights sum exactly to total
+// (the paper's alpha ~ 3W/n^3 is this normalization's leading term, since
+// sum k^2 = n(n+1)(2n+1)/6 ~ n^3/3).
+func Decrease(n int, total float64) (*chain.Chain, error) {
+	if err := checkArgs(n, total); err != nil {
+		return nil, err
+	}
+	sumSquares := float64(n) * float64(n+1) * float64(2*n+1) / 6
+	alpha := total / sumSquares
+	w := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		k := float64(n + 1 - i)
+		w[i-1] = alpha * k * k
+	}
+	return chain.FromWeights(w...)
+}
+
+// HighLow returns a chain whose first ceil(largeFrac*n) tasks ("large"
+// tasks) share largeWeightFrac of the total weight, the remaining tasks
+// sharing the rest. The paper uses largeFrac = 0.10 and
+// largeWeightFrac = 0.60: with n = 50 and W = 25000 s, the 5 head tasks
+// weigh 3000 s each and the 45 tail tasks about 222 s each. At least one
+// task is always large; if every task is large the chain is uniform.
+func HighLow(n int, total, largeFrac, largeWeightFrac float64) (*chain.Chain, error) {
+	if err := checkArgs(n, total); err != nil {
+		return nil, err
+	}
+	if largeFrac < 0 || largeFrac > 1 || math.IsNaN(largeFrac) {
+		return nil, fmt.Errorf("workload: largeFrac %v outside [0,1]", largeFrac)
+	}
+	if largeWeightFrac < 0 || largeWeightFrac > 1 || math.IsNaN(largeWeightFrac) {
+		return nil, fmt.Errorf("workload: largeWeightFrac %v outside [0,1]", largeWeightFrac)
+	}
+	nLarge := int(math.Ceil(largeFrac * float64(n)))
+	if nLarge < 1 {
+		nLarge = 1
+	}
+	if nLarge > n {
+		nLarge = n
+	}
+	w := make([]float64, n)
+	if nLarge == n {
+		per := total / float64(n)
+		for i := range w {
+			w[i] = per
+		}
+	} else {
+		big := total * largeWeightFrac / float64(nLarge)
+		small := total * (1 - largeWeightFrac) / float64(n-nLarge)
+		for i := range w {
+			if i < nLarge {
+				w[i] = big
+			} else {
+				w[i] = small
+			}
+		}
+	}
+	return chain.FromWeights(w...)
+}
+
+// Random returns a chain of n tasks with independent weights drawn
+// uniformly from [0, 2*total/n) and then rescaled to sum to total; for
+// fuzzing the planners with irregular instances.
+func Random(rng *rand.Rand, n int, total float64) (*chain.Chain, error) {
+	if err := checkArgs(n, total); err != nil {
+		return nil, err
+	}
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = rng.Float64()
+		sum += w[i]
+	}
+	if sum == 0 {
+		return Uniform(n, total)
+	}
+	for i := range w {
+		w[i] *= total / sum
+	}
+	return chain.FromWeights(w...)
+}
+
+func checkArgs(n int, total float64) error {
+	if n < 1 {
+		return fmt.Errorf("workload: need at least 1 task, got %d", n)
+	}
+	if math.IsNaN(total) || math.IsInf(total, 0) || total < 0 {
+		return fmt.Errorf("workload: invalid total weight %v", total)
+	}
+	return nil
+}

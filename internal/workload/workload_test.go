@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func totalClose(t *testing.T, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-6*want+1e-9 {
+		t.Errorf("total weight = %.12g, want %.12g", got, want)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	c, err := Uniform(50, PaperTotalWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalClose(t, c.TotalWeight(), PaperTotalWeight)
+	for i := 1; i <= 50; i++ {
+		if got := c.Weight(i); math.Abs(got-500) > 1e-9 {
+			t.Fatalf("w_%d = %g, want 500", i, got)
+		}
+	}
+}
+
+func TestDecreaseNormalizationAndShape(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 17, 50} {
+		c, err := Decrease(n, PaperTotalWeight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalClose(t, c.TotalWeight(), PaperTotalWeight)
+		// Strictly decreasing weights for n > 1.
+		for i := 2; i <= n; i++ {
+			if c.Weight(i) >= c.Weight(i-1) {
+				t.Fatalf("n=%d: weights not decreasing at i=%d", n, i)
+			}
+		}
+	}
+}
+
+func TestDecreaseQuadraticRatio(t *testing.T) {
+	// w_1/w_n = n^2 for the quadratic law.
+	c, err := Decrease(10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := c.Weight(1) / c.Weight(10)
+	if math.Abs(ratio-100) > 1e-9 {
+		t.Errorf("w_1/w_10 = %g, want 100", ratio)
+	}
+}
+
+func TestDecreaseAlphaMatchesPaperApproximation(t *testing.T) {
+	// Paper: alpha ~ 3W/n^3. Exact alpha = W/(n(n+1)(2n+1)/6); for n=50
+	// these agree within about 3%.
+	n := 50
+	c, err := Decrease(n, PaperTotalWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphaExact := c.Weight(n) // w_n = alpha * 1^2
+	alphaPaper := 3 * PaperTotalWeight / float64(n*n*n)
+	if rel := math.Abs(alphaExact-alphaPaper) / alphaPaper; rel > 0.05 {
+		t.Errorf("alpha = %g vs paper approx %g (rel %g)", alphaExact, alphaPaper, rel)
+	}
+}
+
+func TestHighLowPaperNumbers(t *testing.T) {
+	// Paper: n=50, W=25000 -> 5 large tasks of 3000 s, 45 small of ~222 s.
+	c, err := HighLow(50, PaperTotalWeight, 0.10, 0.60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalClose(t, c.TotalWeight(), PaperTotalWeight)
+	for i := 1; i <= 5; i++ {
+		if math.Abs(c.Weight(i)-3000) > 1e-9 {
+			t.Fatalf("large task %d = %g, want 3000", i, c.Weight(i))
+		}
+	}
+	for i := 6; i <= 50; i++ {
+		if math.Abs(c.Weight(i)-25000*0.4/45) > 1e-9 {
+			t.Fatalf("small task %d = %g, want %g", i, c.Weight(i), 25000*0.4/45)
+		}
+	}
+}
+
+func TestHighLowSmallN(t *testing.T) {
+	// n < 10 still gets at least one large task.
+	c, err := HighLow(5, 1000, 0.10, 0.60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalClose(t, c.TotalWeight(), 1000)
+	if math.Abs(c.Weight(1)-600) > 1e-9 {
+		t.Errorf("w_1 = %g, want 600", c.Weight(1))
+	}
+	if math.Abs(c.Weight(2)-100) > 1e-9 {
+		t.Errorf("w_2 = %g, want 100", c.Weight(2))
+	}
+}
+
+func TestHighLowAllLarge(t *testing.T) {
+	// largeFrac = 1 degenerates to uniform.
+	c, err := HighLow(4, 400, 1.0, 0.60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if math.Abs(c.Weight(i)-100) > 1e-9 {
+			t.Errorf("w_%d = %g, want 100", i, c.Weight(i))
+		}
+	}
+}
+
+func TestHighLowRejectsBadFractions(t *testing.T) {
+	for _, tc := range [][2]float64{{-0.1, 0.6}, {1.1, 0.6}, {0.1, -0.2}, {0.1, 2}, {math.NaN(), 0.6}, {0.1, math.NaN()}} {
+		if _, err := HighLow(10, 100, tc[0], tc[1]); err == nil {
+			t.Errorf("HighLow with fractions %v should fail", tc)
+		}
+	}
+}
+
+func TestGenerateDispatch(t *testing.T) {
+	for _, p := range Patterns() {
+		c, err := Generate(p, 20, PaperTotalWeight)
+		if err != nil {
+			t.Errorf("Generate(%s): %v", p, err)
+			continue
+		}
+		if c.Len() != 20 {
+			t.Errorf("Generate(%s) len = %d", p, c.Len())
+		}
+		totalClose(t, c.TotalWeight(), PaperTotalWeight)
+	}
+	if _, err := Generate("Zigzag", 10, 100); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+}
+
+func TestRandomNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c, err := Random(rng, 33, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalClose(t, c.TotalWeight(), 9000)
+	if c.Len() != 33 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a, _ := Random(rand.New(rand.NewSource(7)), 10, 100)
+	b, _ := Random(rand.New(rand.NewSource(7)), 10, 100)
+	for i := 1; i <= 10; i++ {
+		if a.Weight(i) != b.Weight(i) {
+			t.Fatal("Random not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	if _, err := Uniform(0, 100); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := Decrease(5, math.Inf(1)); err == nil {
+		t.Error("inf total should fail")
+	}
+	if _, err := Uniform(5, -1); err == nil {
+		t.Error("negative total should fail")
+	}
+	if _, err := Random(rand.New(rand.NewSource(1)), -2, 100); err == nil {
+		t.Error("negative n should fail")
+	}
+}
