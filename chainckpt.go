@@ -24,11 +24,25 @@
 //	res, _ := chainckpt.PlanADMV(c, p)             // full two-level + partial verifs
 //	fmt.Println(res.ExpectedMakespan, res.Schedule)
 //
+// # Batch planning
+//
+// Many requests at once — experiment sweeps, services — plan through an
+// Engine: a bounded worker pool with an LRU memo of solved instances, so
+// instances solve concurrently and repeated or near-duplicate requests
+// are served from cache (see NewEngine, PlanMany, PlanAsync, Stream).
+// cmd/chainserve exposes the engine over HTTP/JSON with health and
+// metrics endpoints.
+//
+//	eng := chainckpt.NewEngine(chainckpt.EngineOptions{})
+//	defer eng.Close()
+//	resps := eng.PlanMany(ctx, reqs)
+//
 // Beyond the planners, the package exposes the machinery used to validate
 // them: an analytic evaluator for fixed schedules (Evaluate), an exact
 // Markov-renewal oracle (ExactMakespan), and a parallel Monte-Carlo fault
-// simulator (Simulate). The four routes agree with each other — see
-// EXPERIMENTS.md for the recorded cross-validation.
+// simulator (Simulate). The four routes agree with each other — the
+// cross-validation suite in crossval_test.go enforces it on randomized
+// chains against an exhaustive search (internal/bruteforce).
 //
 // All heavy types are aliases of the implementation packages under
 // internal/, so their documentation and methods apply directly.
@@ -40,6 +54,7 @@ import (
 	"chainckpt/internal/chain"
 	"chainckpt/internal/core"
 	"chainckpt/internal/dag"
+	"chainckpt/internal/engine"
 	"chainckpt/internal/evaluate"
 	"chainckpt/internal/heuristics"
 	"chainckpt/internal/platform"
@@ -300,6 +315,37 @@ func ExactMakespan(c *Chain, p Platform, s *Schedule) (float64, error) {
 func Simulate(c *Chain, p Platform, s *Schedule, opts SimOptions) (*SimResult, error) {
 	return sim.Run(c, p, s, opts)
 }
+
+// Engine is a concurrent batch planner: a bounded worker pool with an
+// LRU memo of solved instances keyed by canonical fingerprint. Use it
+// when serving many plan requests (cmd/chainserve) or sweeping many
+// instances (internal/experiments); see internal/engine.
+type Engine = engine.Engine
+
+// EngineOptions sizes an Engine's worker pool and plan memo.
+type EngineOptions = engine.Options
+
+// PlanRequest is one planning job submitted to an Engine.
+type PlanRequest = engine.Request
+
+// PlanResponse is the outcome of one PlanRequest, carrying the batch
+// index, the result or error, and whether the memo served it.
+type PlanResponse = engine.Response
+
+// EngineStats is a snapshot of an Engine's request and cache counters.
+type EngineStats = engine.Stats
+
+// NewEngine starts a batch planning engine; Close it to release its
+// workers.
+//
+//	eng := chainckpt.NewEngine(chainckpt.EngineOptions{})
+//	defer eng.Close()
+//	resps := eng.PlanMany(ctx, reqs)   // or PlanAsync / Stream
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// DefaultEngine returns the shared process-wide engine used by the
+// experiment harness and the command-line tools.
+func DefaultEngine() *Engine { return engine.Default() }
 
 // TraceEvent is one step of a replayed execution.
 type TraceEvent = sim.TraceEvent

@@ -15,6 +15,11 @@
 //	-reps r     Monte-Carlo replications for validation/robustness (default 20000)
 //	-out dir    directory for CSV output (optional)
 //	-html path  write a self-contained HTML report (figures + summary)
+//	-workers k  planning worker pool size (default GOMAXPROCS)
+//
+// All planning goes through the shared batch engine (internal/engine):
+// sweeps run at instance-level parallelism and repeated instances are
+// served from its memo.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"path/filepath"
 
 	"chainckpt/internal/core"
+	"chainckpt/internal/engine"
 	"chainckpt/internal/experiments"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/report"
@@ -41,7 +47,16 @@ func main() {
 	reps := flag.Int("reps", 20000, "Monte-Carlo replications for validation")
 	outDir := flag.String("out", "", "directory for CSV output")
 	htmlPath := flag.String("html", "", "write an HTML report (figures 5/7/8 + summary) to this file")
+	workers := flag.Int("workers", 0, "planning worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	// Every sweep plans through the shared batch engine; sizing it here
+	// also sizes the validation and robustness fan-outs. The memo means
+	// overlapping experiments (fig5 and fig6, the HTML report) reuse
+	// already-solved instances instead of replanning them.
+	if *workers > 0 {
+		engine.SetDefault(engine.New(engine.Options{Workers: *workers}))
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -1,0 +1,362 @@
+// Command chainserve exposes the batch planning engine over HTTP/JSON,
+// turning the library into a deployable service: clients POST planning
+// requests (singly or in batches) and receive optimal schedules; health
+// and metrics endpoints make it fit for a load balancer and a scraper.
+//
+// Usage:
+//
+//	chainserve [flags]
+//
+//	-addr host:port   listen address (default :8080)
+//	-workers k        planning worker pool size (default GOMAXPROCS)
+//	-cache k          plan memo capacity in entries (default 4096, 0 disables)
+//
+// Endpoints:
+//
+//	POST /v1/plan        one planning request  -> one plan
+//	POST /v1/plan/batch  {"requests":[...]}    -> {"responses":[...]}
+//	GET  /v1/platforms   the Table I platforms
+//	GET  /healthz        liveness probe
+//	GET  /metrics        Prometheus-style counters
+//
+// A request names a Table I platform or embeds a custom one, and gives
+// the chain either as explicit weights or as a (pattern, n, total)
+// triple:
+//
+//	curl -s localhost:8080/v1/plan -d '{
+//	  "algorithm": "ADMV", "platform": "Hera",
+//	  "pattern": "uniform", "n": 50, "total": 25000
+//	}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/engine"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chainserve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "planning worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 4096, "plan memo capacity in entries (0 disables the memo)")
+	flag.Parse()
+
+	memo := *cacheSize
+	if memo <= 0 {
+		memo = -1 // engine.Options uses negative for "disabled"
+	}
+	srv := newServer(engine.New(engine.Options{Workers: *workers, CacheSize: memo}))
+	defer srv.eng.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("listening on %s (workers=%d, cache=%d)", *addr, *workers, *cacheSize)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// Wait for Shutdown to finish draining in-flight handlers before the
+	// deferred engine Close tears the pool down under them.
+	<-shutdownDone
+}
+
+// server bundles the engine with the HTTP-level counters.
+type server struct {
+	eng     *engine.Engine
+	started time.Time
+
+	httpRequests atomic.Uint64
+	planErrors   atomic.Uint64
+}
+
+func newServer(eng *engine.Engine) *server {
+	return &server{eng: eng, started: time.Now()}
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.count(s.handlePlan))
+	mux.HandleFunc("POST /v1/plan/batch", s.count(s.handleBatch))
+	mux.HandleFunc("GET /v1/platforms", s.count(s.handlePlatforms))
+	mux.HandleFunc("GET /healthz", s.count(s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
+	return mux
+}
+
+func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.httpRequests.Add(1)
+		h(w, r)
+	}
+}
+
+// planRequest is the JSON shape of one planning request.
+type planRequest struct {
+	// Algorithm is ADV*, ADMV* or ADMV (default ADMV).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Platform names a Table I platform; PlatformSpec embeds a custom one
+	// instead (exactly one must be given).
+	Platform     string             `json:"platform,omitempty"`
+	PlatformSpec *platform.Platform `json:"platform_spec,omitempty"`
+	// Weights gives the chain explicitly; or Pattern/N/Total generate it
+	// (pattern uniform, decrease or highlow).
+	Weights []float64 `json:"weights,omitempty"`
+	Pattern string    `json:"pattern,omitempty"`
+	N       int       `json:"n,omitempty"`
+	Total   float64   `json:"total,omitempty"`
+	// Sizes scales the platform costs per boundary (data volume).
+	Sizes []float64 `json:"boundary_sizes,omitempty"`
+	// MaxDiskCheckpoints bounds the disk checkpoints (0 = unlimited).
+	MaxDiskCheckpoints int `json:"max_disk_checkpoints,omitempty"`
+	// Tag is echoed in the response.
+	Tag string `json:"tag,omitempty"`
+}
+
+// toEngine compiles the wire request into an engine request.
+func (pr *planRequest) toEngine() (engine.Request, *chain.Chain, error) {
+	var req engine.Request
+	alg := core.Algorithm(pr.Algorithm)
+	if pr.Algorithm == "" {
+		alg = core.AlgADMV
+	}
+
+	var plat platform.Platform
+	switch {
+	case pr.Platform != "" && pr.PlatformSpec != nil:
+		return req, nil, fmt.Errorf("give either platform or platform_spec, not both")
+	case pr.Platform != "":
+		p, err := platform.ByName(pr.Platform)
+		if err != nil {
+			return req, nil, err
+		}
+		plat = p
+	case pr.PlatformSpec != nil:
+		plat = *pr.PlatformSpec
+		if err := plat.Validate(); err != nil {
+			return req, nil, err
+		}
+	default:
+		return req, nil, fmt.Errorf("missing platform (or platform_spec)")
+	}
+
+	var c *chain.Chain
+	var err error
+	switch {
+	case len(pr.Weights) > 0:
+		c, err = chain.FromWeights(pr.Weights...)
+	case pr.Pattern != "":
+		total := pr.Total
+		if total == 0 {
+			total = workload.PaperTotalWeight
+		}
+		var pat workload.Pattern
+		if pat, err = parsePattern(pr.Pattern); err == nil {
+			c, err = workload.Generate(pat, pr.N, total)
+		}
+	default:
+		err = fmt.Errorf("missing chain: give weights or pattern/n/total")
+	}
+	if err != nil {
+		return req, nil, err
+	}
+
+	opts := core.Options{MaxDiskCheckpoints: pr.MaxDiskCheckpoints}
+	if pr.Sizes != nil {
+		costs, err := platform.ScaledCosts(plat, pr.Sizes)
+		if err != nil {
+			return req, nil, err
+		}
+		opts.Costs = costs
+	}
+	return engine.Request{Algorithm: alg, Chain: c, Platform: plat, Opts: opts, Tag: pr.Tag}, c, nil
+}
+
+// parsePattern matches a pattern name case-insensitively.
+func parsePattern(name string) (workload.Pattern, error) {
+	for _, p := range workload.Patterns() {
+		if strings.EqualFold(name, string(p)) {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("unknown pattern %q (want Uniform, Decrease or HighLow)", name)
+}
+
+// planResponse is the JSON shape of one plan outcome.
+type planResponse struct {
+	Tag                string             `json:"tag,omitempty"`
+	Algorithm          string             `json:"algorithm,omitempty"`
+	ExpectedMakespan   float64            `json:"expected_makespan,omitempty"`
+	NormalizedMakespan float64            `json:"normalized_makespan,omitempty"`
+	Counts             *schedule.Counts   `json:"counts,omitempty"`
+	Schedule           *schedule.Schedule `json:"schedule,omitempty"`
+	Cached             bool               `json:"cached,omitempty"`
+	Error              string             `json:"error,omitempty"`
+}
+
+func (s *server) respond(res *core.Result, c *chain.Chain, cached bool, tag string, err error) planResponse {
+	if err != nil {
+		s.planErrors.Add(1)
+		return planResponse{Tag: tag, Error: err.Error()}
+	}
+	counts := res.Schedule.Counts()
+	return planResponse{
+		Tag:                tag,
+		Algorithm:          string(res.Algorithm),
+		ExpectedMakespan:   res.ExpectedMakespan,
+		NormalizedMakespan: res.NormalizedMakespan(c),
+		Counts:             &counts,
+		Schedule:           res.Schedule,
+		Cached:             cached,
+	}
+}
+
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var pr planRequest
+	if err := decodeJSON(r, &pr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, c, err := pr.toEngine()
+	if err != nil {
+		s.planErrors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := s.eng.PlanMany(r.Context(), []engine.Request{req})[0]
+	out := s.respond(resp.Result, c, resp.Cached, pr.Tag, resp.Err)
+	status := http.StatusOK
+	if resp.Err != nil {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, out)
+}
+
+type batchRequest struct {
+	Requests []planRequest `json:"requests"`
+}
+
+type batchResponse struct {
+	Responses []planResponse `json:"responses"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var br batchRequest
+	if err := decodeJSON(r, &br); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(br.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	start := time.Now()
+	reqs := make([]engine.Request, len(br.Requests))
+	chains := make([]*chain.Chain, len(br.Requests))
+	compileErrs := make([]error, len(br.Requests))
+	for i := range br.Requests {
+		reqs[i], chains[i], compileErrs[i] = br.Requests[i].toEngine()
+	}
+	// Plan the compilable subset as one engine batch; broken requests
+	// keep their compile error and cost nothing.
+	var live []engine.Request
+	var liveIdx []int
+	for i, err := range compileErrs {
+		if err == nil {
+			live = append(live, reqs[i])
+			liveIdx = append(liveIdx, i)
+		}
+	}
+	resps := make([]engine.Response, len(br.Requests))
+	for j, resp := range s.eng.PlanMany(r.Context(), live) {
+		resps[liveIdx[j]] = resp
+	}
+	out := batchResponse{Responses: make([]planResponse, len(br.Requests))}
+	for i := range br.Requests {
+		err := compileErrs[i]
+		if err == nil {
+			err = resps[i].Err
+		}
+		out.Responses[i] = s.respond(resps[i].Result, chains[i], resps[i].Cached, br.Requests[i].Tag, err)
+	}
+	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, platform.All())
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("chainserve_http_requests_total", "HTTP requests received.", s.httpRequests.Load())
+	counter("chainserve_plan_errors_total", "Planning requests that failed.", s.planErrors.Load())
+	counter("chainserve_engine_requests_total", "Planning requests accepted by the engine.", st.Requests)
+	counter("chainserve_engine_cache_hits_total", "Plans served from the memo.", st.CacheHits)
+	counter("chainserve_engine_cache_misses_total", "Plans that ran a solver.", st.CacheMisses)
+	counter("chainserve_engine_cache_evictions_total", "Memo entries evicted.", st.Evictions)
+	fmt.Fprintf(w, "# HELP chainserve_engine_cache_entries Current memo entries.\n"+
+		"# TYPE chainserve_engine_cache_entries gauge\nchainserve_engine_cache_entries %d\n", st.Entries)
+	fmt.Fprintf(w, "# HELP chainserve_uptime_seconds Seconds since start.\n"+
+		"# TYPE chainserve_uptime_seconds gauge\nchainserve_uptime_seconds %.0f\n", time.Since(s.started).Seconds())
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

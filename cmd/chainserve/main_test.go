@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/engine"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	eng := engine.New(engine.Options{Workers: 4})
+	t.Cleanup(eng.Close)
+	srv := newServer(eng)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, []byte(readAll(t, resp))
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestPlanEndpointMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/plan",
+		`{"algorithm":"ADMV","platform":"Hera","pattern":"uniform","n":20,"tag":"t1"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out planResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if out.Tag != "t1" || out.Algorithm != "ADMV" || out.Error != "" {
+		t.Fatalf("response: %+v", out)
+	}
+
+	c, err := workload.Uniform(20, workload.PaperTotalWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.PlanADMV(c, platform.Hera())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.ExpectedMakespan-want.ExpectedMakespan) > 1e-9*want.ExpectedMakespan {
+		t.Errorf("expected makespan %.6f, want %.6f", out.ExpectedMakespan, want.ExpectedMakespan)
+	}
+	if out.Schedule == nil || !out.Schedule.Equal(want.Schedule) {
+		t.Errorf("schedule mismatch: got %v want %v", out.Schedule, want.Schedule)
+	}
+}
+
+func TestPlanEndpointExplicitWeightsAndSpec(t *testing.T) {
+	_, ts := newTestServer(t)
+	spec, err := json.Marshal(platform.Hera())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/plan",
+		`{"algorithm":"ADMV*","platform_spec":`+string(spec)+`,"weights":[100,200,300,400]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out planResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error != "" || out.Counts == nil || out.Counts.Disk < 1 {
+		t.Fatalf("response: %+v", out)
+	}
+}
+
+func TestPlanEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		body   string
+		status int
+	}{
+		{`{not json`, http.StatusBadRequest},
+		{`{"platform":"NoSuch","weights":[1,2]}`, http.StatusBadRequest},
+		{`{"platform":"Hera"}`, http.StatusBadRequest},
+		{`{"platform":"Hera","pattern":"zigzag","n":5}`, http.StatusBadRequest},
+		{`{"platform":"Hera","weights":[1,2],"algorithm":"NOPE"}`, http.StatusUnprocessableEntity},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/plan", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.body, resp.StatusCode, tc.status, body)
+		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	batch := `{"requests":[
+		{"platform":"Hera","pattern":"uniform","n":10,"tag":"a"},
+		{"platform":"Hera","pattern":"uniform","n":10,"tag":"b"},
+		{"platform":"BadName","weights":[1],"tag":"c"}
+	]}`
+	resp, body := postJSON(t, ts.URL+"/v1/plan/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out batchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Responses) != 3 {
+		t.Fatalf("responses: %d", len(out.Responses))
+	}
+	a, b, c := out.Responses[0], out.Responses[1], out.Responses[2]
+	if a.Error != "" || b.Error != "" {
+		t.Fatalf("unexpected errors: %+v %+v", a, b)
+	}
+	if a.ExpectedMakespan != b.ExpectedMakespan {
+		t.Errorf("identical requests disagree: %f vs %f", a.ExpectedMakespan, b.ExpectedMakespan)
+	}
+	if !b.Cached && !a.Cached {
+		t.Errorf("identical requests in one batch should coalesce onto the memo")
+	}
+	if c.Error == "" || c.Tag != "c" {
+		t.Errorf("bad request should carry its error: %+v", c)
+	}
+	if st := srv.eng.Stats(); st.CacheHits == 0 {
+		t.Errorf("engine stats show no cache hit: %+v", st)
+	}
+}
+
+func TestHealthMetricsPlatforms(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	postJSON(t, ts.URL+"/v1/plan", `{"platform":"Hera","pattern":"uniform","n":5}`)
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp)
+	for _, want := range []string{
+		"chainserve_http_requests_total",
+		"chainserve_engine_requests_total 1",
+		"chainserve_engine_cache_misses_total 1",
+		"chainserve_uptime_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/platforms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plats []platform.Platform
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &plats); err != nil {
+		t.Fatal(err)
+	}
+	if len(plats) != 4 {
+		t.Errorf("platforms: %d, want 4", len(plats))
+	}
+}

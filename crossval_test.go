@@ -1,0 +1,172 @@
+package chainckpt
+
+// The always-green cross-validation suite: on randomized small chains
+// the dynamic program must match an exhaustive search over its own
+// schedule space, and the four independent expectation routes — DP
+// optimum, closed-form evaluator, Markov-renewal oracle, Monte-Carlo
+// simulator — must agree on the chosen schedule. This is the test-suite
+// form of the X1 validation experiment (in the spirit of Aupy et al.,
+// "On the Combination of Silent Error Detection and Checkpointing").
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chainckpt/internal/bruteforce"
+	"chainckpt/internal/core"
+)
+
+// randomPlatform jitters Hera's parameters so the property is exercised
+// away from the paper's exact constants: error rates scale by up to 8x
+// either way (small chains need hotter rates for mechanisms to matter),
+// costs by up to 2x, recall in [0.5, 0.95].
+func randomPlatform(rng *rand.Rand) Platform {
+	p := Hera()
+	jitter := func(v float64, lo, hi float64) float64 {
+		return v * math.Exp((lo+rng.Float64()*(hi-lo))*math.Ln2)
+	}
+	p.LambdaF = jitter(p.LambdaF*50, -3, 3)
+	p.LambdaS = jitter(p.LambdaS*50, -3, 3)
+	p.CD = jitter(p.CD, -1, 1)
+	p.CM = jitter(p.CM, -1, 1)
+	p.RD = p.CD
+	p.RM = p.CM
+	p.VStar = p.CM
+	p.V = p.VStar / 100
+	p.Recall = 0.5 + 0.45*rng.Float64()
+	return p
+}
+
+func TestCrossValidationRandomSmallChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(20160516))
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(7) // n in [2, 8]
+		c, err := RandomChain(rng, n, 2000+3000*rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := randomPlatform(rng)
+
+		for _, alg := range []Algorithm{ADV, ADMVStar, ADMV} {
+			res, err := Plan(alg, c, p)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, alg, err)
+			}
+
+			// The DP optimum must equal the brute-force optimum over the
+			// algorithm's admissible action set under the same closed
+			// forms.
+			bf, err := bruteforce.Optimal(alg, c, p, core.Evaluate)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, alg, err)
+			}
+			if rel := math.Abs(res.ExpectedMakespan-bf.Value) / bf.Value; rel > 1e-9 {
+				t.Errorf("trial %d %s (n=%d): DP %.9f vs brute force %.9f (rel %.2e over %d schedules)",
+					trial, alg, n, res.ExpectedMakespan, bf.Value, rel, bf.Enumerated)
+			}
+
+			// The closed-form evaluator must reproduce the DP's own value
+			// for the DP's own schedule.
+			closed, err := Evaluate(c, p, res.Schedule)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, alg, err)
+			}
+			if rel := math.Abs(res.ExpectedMakespan-closed) / closed; rel > 1e-9 {
+				t.Errorf("trial %d %s: DP %.9f vs closed form %.9f", trial, alg, res.ExpectedMakespan, closed)
+			}
+
+			// The independent Markov-renewal oracle agrees exactly for the
+			// two-level algorithms; ADMV carries the paper's Section III-B
+			// accounting residual (see internal/bruteforce), so allow a
+			// small relative tolerance there.
+			oracle, err := ExactMakespan(c, p, res.Schedule)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, alg, err)
+			}
+			tol := 1e-9
+			if alg == ADMV {
+				tol = 2e-2
+			}
+			if rel := math.Abs(closed-oracle) / oracle; rel > tol {
+				t.Errorf("trial %d %s (n=%d): closed form %.9f vs oracle %.9f (rel %.2e)",
+					trial, alg, n, closed, oracle, rel)
+			}
+		}
+	}
+}
+
+func TestCrossValidationSimulatorAgrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo cross-validation skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 3; trial++ {
+		n := 4 + rng.Intn(5) // n in [4, 8]
+		c, err := RandomChain(rng, n, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := randomPlatform(rng)
+		res, err := PlanADMV(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := ExactMakespan(c, p, res.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres, err := Simulate(c, p, res.Schedule, SimOptions{
+			Replications: 60000,
+			Seed:         uint64(1000 + trial),
+			Workers:      2, // fixed for cross-machine reproducibility
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Five standard errors: loose enough to be always-green, tight
+		// enough that a model/simulator divergence cannot hide.
+		if !sres.MeanWithin(oracle, 5) {
+			t.Errorf("trial %d (n=%d): simulated %.2f±%.2f vs oracle %.2f (%.1f sigma)",
+				trial, n, sres.Mean(), sres.HalfWidth95(), oracle,
+				math.Abs(sres.Mean()-oracle)/sres.Makespan.StdErr())
+		}
+	}
+}
+
+func TestCrossValidationEngineMatchesPlan(t *testing.T) {
+	// The engine facade must be a pure accelerator: batched plans equal
+	// the sequential planner on every instance.
+	rng := rand.New(rand.NewSource(9))
+	eng := NewEngine(EngineOptions{Workers: 4})
+	defer eng.Close()
+
+	var reqs []PlanRequest
+	for i := 0; i < 10; i++ {
+		n := 2 + rng.Intn(7)
+		c, err := RandomChain(rng, n, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, PlanRequest{
+			Algorithm: []Algorithm{ADV, ADMVStar, ADMV}[i%3],
+			Chain:     c,
+			Platform:  randomPlatform(rng),
+		})
+	}
+	for _, resp := range eng.PlanMany(t.Context(), reqs) {
+		if resp.Err != nil {
+			t.Fatalf("request %d: %v", resp.Index, resp.Err)
+		}
+		req := reqs[resp.Index]
+		want, err := Plan(req.Algorithm, req.Chain, req.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Result.ExpectedMakespan != want.ExpectedMakespan ||
+			!resp.Result.Schedule.Equal(want.Schedule) {
+			t.Errorf("request %d: engine and sequential planner disagree", resp.Index)
+		}
+	}
+}

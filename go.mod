@@ -1,0 +1,3 @@
+module chainckpt
+
+go 1.24

@@ -48,6 +48,9 @@ func (c *Constraints) Forbid(i int, mechanisms schedule.Action) {
 	c.allowed[i] &^= mechanisms
 }
 
+// Len returns the number of task boundaries the constraints cover.
+func (c *Constraints) Len() int { return c.n }
+
 // Allowed reports the mechanisms boundary i may carry.
 func (c *Constraints) Allowed(i int) schedule.Action {
 	c.check(i)
@@ -109,6 +112,12 @@ type Options struct {
 	// parallel file system). Zero means unlimited; otherwise it must be
 	// at least 1.
 	MaxDiskCheckpoints int
+	// Workers bounds the solver's internal parallelism (the per-disk-
+	// position dynamic-program rows). Zero means GOMAXPROCS; 1 runs the
+	// solver fully serially, which is what batch schedulers such as
+	// internal/engine want when they already parallelize across
+	// instances. Workers never changes the result, only the wall clock.
+	Workers int
 }
 
 // PlanOpts runs the named algorithm under the given options.
@@ -136,6 +145,10 @@ func PlanOpts(alg Algorithm, c *chain.Chain, p platform.Platform, opts Options) 
 			s.maxDisk = opts.MaxDiskCheckpoints
 		}
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("core: Workers must be non-negative, got %d", opts.Workers)
+	}
+	s.workers = opts.Workers
 	return s.run()
 }
 

@@ -30,6 +30,9 @@ type solver struct {
 	// maxDisk bounds the number of disk checkpoints (boundaries 1..n,
 	// including the mandatory final one). Always in [1, n].
 	maxDisk int
+	// workers bounds the parallelism of run() across disk positions;
+	// zero means GOMAXPROCS. The result is identical for any value.
+	workers int
 
 	// Per-segment exponential tables, indexed by idx(i,j) for the segment
 	// weight W_{i,j}. They depend only on the interval, not on checkpoint
@@ -341,32 +344,48 @@ func (s *solver) run() (*Result, error) {
 	ememAll := make([][]float64, n)
 	memPrevAll := make([][]int, n)
 
-	workers := runtime.GOMAXPROCS(0)
+	row := func(d1 int) {
+		emem := make([]float64, n+1)
+		mprev := make([]int, n+1)
+		s.memLevel(d1, emem, mprev)
+		ememAll[d1] = emem
+		memPrevAll[d1] = mprev
+	}
+	workers := s.workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for d1 := range jobs {
-				emem := make([]float64, n+1)
-				mprev := make([]int, n+1)
-				s.memLevel(d1, emem, mprev)
-				ememAll[d1] = emem
-				memPrevAll[d1] = mprev
+	if workers == 1 {
+		// Serial fast path: no goroutines or channel traffic. Batch
+		// schedulers that already run one solver per worker use this.
+		for d1 := 0; d1 < n; d1++ {
+			if s.mayDisk(d1) {
+				row(d1)
 			}
-		}()
-	}
-	for d1 := 0; d1 < n; d1++ {
-		if s.mayDisk(d1) {
-			jobs <- d1
 		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for d1 := range jobs {
+					row(d1)
+				}
+			}()
+		}
+		for d1 := 0; d1 < n; d1++ {
+			if s.mayDisk(d1) {
+				jobs <- d1
+			}
+		}
+		close(jobs)
+		wg.Wait()
 	}
-	close(jobs)
-	wg.Wait()
 
 	// Level 1: place disk checkpoints. The extra dimension k counts the
 	// disk checkpoints used so far, bounding them by the budget; with the

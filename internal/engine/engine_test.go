@@ -1,0 +1,377 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+func testRequests(t testing.TB, count int) []Request {
+	t.Helper()
+	var reqs []Request
+	plats := platform.All()
+	for i := 0; i < count; i++ {
+		n := 3 + i%12
+		c, err := workload.Uniform(n, 1000+50*float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, Request{
+			Algorithm: core.Algorithms()[i%3],
+			Chain:     c,
+			Platform:  plats[i%len(plats)],
+			Tag:       fmt.Sprintf("req-%d", i),
+		})
+	}
+	return reqs
+}
+
+func TestPlanManyMatchesSequentialPlan(t *testing.T) {
+	eng := New(Options{Workers: 8})
+	defer eng.Close()
+	reqs := testRequests(t, 24)
+
+	resps := eng.PlanMany(context.Background(), reqs)
+	if len(resps) != len(reqs) {
+		t.Fatalf("responses: %d, want %d", len(resps), len(reqs))
+	}
+	for i, resp := range resps {
+		if resp.Err != nil {
+			t.Fatalf("request %d: %v", i, resp.Err)
+		}
+		if resp.Index != i || resp.Tag != reqs[i].Tag {
+			t.Errorf("response %d misrouted: index %d tag %q", i, resp.Index, resp.Tag)
+		}
+		want, err := core.Plan(reqs[i].Algorithm, reqs[i].Chain, reqs[i].Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(resp.Result.ExpectedMakespan-want.ExpectedMakespan) > 1e-12*want.ExpectedMakespan {
+			t.Errorf("request %d: engine %.9f vs sequential %.9f",
+				i, resp.Result.ExpectedMakespan, want.ExpectedMakespan)
+		}
+		if !resp.Result.Schedule.Equal(want.Schedule) {
+			t.Errorf("request %d: schedule mismatch", i)
+		}
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	eng := New(Options{Workers: 2, CacheSize: 64})
+	defer eng.Close()
+	reqs := testRequests(t, 6)
+	ctx := context.Background()
+
+	for _, req := range reqs {
+		if _, err := eng.Plan(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.CacheMisses != 6 || st.CacheHits != 0 || st.Entries != 6 {
+		t.Fatalf("after distinct requests: %+v", st)
+	}
+
+	// Same instances again: all hits, including ones that differ only in
+	// labels the fingerprint canonicalizes away.
+	for _, req := range reqs {
+		req.Tag = "relabeled"
+		res, err := eng.Plan(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == nil || res.Schedule == nil {
+			t.Fatal("cached plan is empty")
+		}
+	}
+	st = eng.Stats()
+	if st.CacheMisses != 6 || st.CacheHits != 6 {
+		t.Fatalf("after repeats: %+v", st)
+	}
+	if st.Requests != 12 || st.Errors != 0 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+func TestCacheReturnsIndependentCopies(t *testing.T) {
+	eng := New(Options{Workers: 2})
+	defer eng.Close()
+	req := testRequests(t, 1)[0]
+	ctx := context.Background()
+
+	first, err := eng.Plan(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupting the caller's copy must not poison the memo.
+	first.Schedule.Set(1, 0)
+	first.ExpectedMakespan = -1
+
+	second, err := eng.Plan(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Plan(req.Algorithm, req.Chain, req.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Schedule.Equal(want.Schedule) || second.ExpectedMakespan != want.ExpectedMakespan {
+		t.Error("cached result was corrupted by a caller mutation")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	eng := New(Options{Workers: 2, CacheSize: 4})
+	defer eng.Close()
+	reqs := testRequests(t, 8)
+	ctx := context.Background()
+	for _, req := range reqs {
+		if _, err := eng.Plan(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Entries != 4 || st.Evictions != 4 {
+		t.Fatalf("eviction accounting: %+v", st)
+	}
+	// The oldest entry was evicted, so replanning it is a miss.
+	if _, err := eng.Plan(ctx, reqs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st = eng.Stats(); st.CacheMisses != 9 {
+		t.Fatalf("evicted entry should miss: %+v", st)
+	}
+}
+
+func TestDeterministicUnderConcurrency(t *testing.T) {
+	// Many goroutines planning overlapping instances against one engine:
+	// every response must equal the serial answer regardless of
+	// interleaving (run with -race).
+	eng := New(Options{Workers: 4, CacheSize: 8})
+	defer eng.Close()
+	reqs := testRequests(t, 12)
+	want := make([]*core.Result, len(reqs))
+	for i, req := range reqs {
+		res, err := core.Plan(req.Algorithm, req.Chain, req.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				resps := eng.PlanMany(context.Background(), reqs)
+				for i, resp := range resps {
+					if resp.Err != nil {
+						t.Errorf("goroutine %d round %d req %d: %v", g, round, i, resp.Err)
+						return
+					}
+					if resp.Result.ExpectedMakespan != want[i].ExpectedMakespan ||
+						!resp.Result.Schedule.Equal(want[i].Schedule) {
+						t.Errorf("goroutine %d round %d req %d: nondeterministic result", g, round, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestStreamDeliversAllResponses(t *testing.T) {
+	eng := New(Options{Workers: 4})
+	defer eng.Close()
+	reqs := testRequests(t, 10)
+	seen := make(map[int]bool)
+	for resp := range eng.Stream(context.Background(), reqs) {
+		if resp.Err != nil {
+			t.Fatalf("request %d: %v", resp.Index, resp.Err)
+		}
+		if seen[resp.Index] {
+			t.Fatalf("request %d delivered twice", resp.Index)
+		}
+		seen[resp.Index] = true
+	}
+	if len(seen) != len(reqs) {
+		t.Fatalf("delivered %d of %d responses", len(seen), len(reqs))
+	}
+}
+
+func TestPlanAsync(t *testing.T) {
+	eng := New(Options{Workers: 2})
+	defer eng.Close()
+	req := testRequests(t, 1)[0]
+	ch := eng.PlanAsync(context.Background(), req)
+	resp := <-ch
+	if resp.Err != nil || resp.Result == nil {
+		t.Fatalf("async response: %+v", resp)
+	}
+	if _, more := <-ch; more {
+		t.Error("async channel should close after its single response")
+	}
+}
+
+func TestErrorsAndInvalidRequests(t *testing.T) {
+	eng := New(Options{Workers: 2})
+	defer eng.Close()
+	ctx := context.Background()
+
+	if _, err := eng.Plan(ctx, Request{Algorithm: core.AlgADMV}); err == nil {
+		t.Error("nil chain should fail")
+	}
+	req := testRequests(t, 1)[0]
+	req.Algorithm = "bogus"
+	if _, err := eng.Plan(ctx, req); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	// A constraints table sized for another chain must come back as an
+	// error, not a panic in the fingerprint (it is not fingerprintable).
+	small, err := core.NewConstraints(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := testRequests(t, 4)[3] // n >= 3
+	big.Opts.Constraints = small
+	if _, err := eng.Plan(ctx, big); err == nil {
+		t.Error("mismatched constraints should fail")
+	}
+	if st := eng.Stats(); st.Errors != 3 {
+		t.Errorf("error accounting: %+v", st)
+	}
+	// Failed solves must not linger in the memo (they would let invalid
+	// traffic evict valid plans).
+	if st := eng.Stats(); st.Entries != 0 {
+		t.Errorf("error entries cached: %+v", st)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	eng := New(Options{Workers: 1})
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A pre-cancelled context must not hang even when the pool is busy.
+	resps := eng.PlanMany(ctx, testRequests(t, 4))
+	for _, resp := range resps {
+		if resp.Err == nil {
+			continue // the job may have finished before the cancel was seen
+		}
+		if !errors.Is(resp.Err, context.Canceled) {
+			t.Errorf("unexpected error: %v", resp.Err)
+		}
+	}
+}
+
+func TestCloseRejectsFurtherWork(t *testing.T) {
+	eng := New(Options{Workers: 2})
+	req := testRequests(t, 1)[0]
+	if _, err := eng.Plan(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	// Even a request the memo could serve must see ErrClosed.
+	if _, err := eng.Plan(context.Background(), req); !errors.Is(err, ErrClosed) {
+		t.Errorf("cached plan after close: %v, want ErrClosed", err)
+	}
+	req2 := testRequests(t, 2)[1]
+	if _, err := eng.Plan(context.Background(), req2); !errors.Is(err, ErrClosed) {
+		t.Errorf("plan after close: %v, want ErrClosed", err)
+	}
+	if err := eng.Run(context.Background(), 1, func(int) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("run after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestRunFanOut(t *testing.T) {
+	eng := New(Options{Workers: 4})
+	defer eng.Close()
+	hits := make([]int, 100)
+	err := eng.Run(context.Background(), len(hits), func(i int) error {
+		hits[i]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times", i, h)
+		}
+	}
+	boom := errors.New("boom")
+	err = eng.Run(context.Background(), 10, func(i int) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("run error: %v, want boom", err)
+	}
+}
+
+func TestFingerprintCanonicalization(t *testing.T) {
+	reqs := testRequests(t, 2)
+	a, err := Fingerprint(reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint(reqs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("distinct instances share a fingerprint")
+	}
+	relabeled := reqs[0]
+	relabeled.Tag = "other"
+	relabeled.Opts.Workers = 7 // tuning knobs must not split the memo
+	c, err := Fingerprint(relabeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Error("labels or tuning knobs changed the fingerprint")
+	}
+	budget := reqs[0]
+	budget.Opts.MaxDiskCheckpoints = 2
+	d, err := Fingerprint(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == d {
+		t.Error("a disk budget must change the fingerprint")
+	}
+	if _, err := Fingerprint(Request{}); err == nil {
+		t.Error("empty request should not fingerprint")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	eng := New(Options{Workers: 2, CacheSize: -1})
+	defer eng.Close()
+	req := testRequests(t, 1)[0]
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Plan(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 3 || st.Entries != 0 {
+		t.Fatalf("disabled cache stats: %+v", st)
+	}
+}

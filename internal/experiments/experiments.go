@@ -17,18 +17,37 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 
 	"chainckpt/internal/ascii"
+	"chainckpt/internal/chain"
 	"chainckpt/internal/core"
+	"chainckpt/internal/engine"
 	"chainckpt/internal/evaluate"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/schedule"
 	"chainckpt/internal/sim"
 	"chainckpt/internal/workload"
 )
+
+// simWorkers sizes each Monte-Carlo job of an engine fan-out over rows
+// concurrent jobs: at least two streams per job, growing to cover the
+// whole machine when the fan-out is narrower than the core count.
+// sim.Run is deterministic for a fixed (Seed, Workers) pair, so a given
+// machine reproduces its results exactly (as with the seed's
+// GOMAXPROCS-wide default, cross-machine runs may differ in the stream
+// split).
+func simWorkers(rows int) int {
+	w := runtime.GOMAXPROCS(0) / rows
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
 
 // Config bounds a figure sweep. The zero value reproduces the paper
 // (n = 1..50 in steps of 1, total weight 25000 s, all three algorithms).
@@ -76,7 +95,11 @@ type Figure struct {
 	Schedules map[core.Algorithm]*schedule.Schedule
 }
 
-// Run sweeps n for one pattern/platform pair.
+// Run sweeps n for one pattern/platform pair. All (n, algorithm) points
+// are planned concurrently through the shared batch engine
+// (engine.Default), so a sweep saturates the machine and repeated
+// figures (fig5 and fig6 plan the same instances) hit the memo instead
+// of re-solving.
 func Run(id string, pat workload.Pattern, plat platform.Platform, cfg Config) (*Figure, error) {
 	cfg = cfg.normalized()
 	fig := &Figure{
@@ -85,6 +108,7 @@ func Run(id string, pat workload.Pattern, plat platform.Platform, cfg Config) (*
 		Platform:  plat,
 		Schedules: make(map[core.Algorithm]*schedule.Schedule),
 	}
+	var reqs []engine.Request
 	for n := 1; n <= cfg.MaxTasks; n += cfg.Step {
 		c, err := workload.Generate(pat, n, cfg.TotalWeight)
 		if err != nil {
@@ -92,20 +116,25 @@ func Run(id string, pat workload.Pattern, plat platform.Platform, cfg Config) (*
 		}
 		fig.Ns = append(fig.Ns, n)
 		for _, alg := range cfg.Algorithms {
-			res, err := core.Plan(alg, c, plat)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s n=%d %s: %w", id, n, alg, err)
-			}
-			fig.Points = append(fig.Points, Point{
-				N:          n,
-				Algorithm:  alg,
-				Expected:   res.ExpectedMakespan,
-				Normalized: res.NormalizedMakespan(c),
-				Counts:     res.Schedule.Counts(),
-			})
-			if n+cfg.Step > cfg.MaxTasks {
-				fig.Schedules[alg] = res.Schedule
-			}
+			reqs = append(reqs, engine.Request{Algorithm: alg, Chain: c, Platform: plat})
+		}
+	}
+	resps := engine.Default().PlanMany(context.Background(), reqs)
+	for i, resp := range resps {
+		c, alg := reqs[i].Chain, reqs[i].Algorithm
+		if resp.Err != nil {
+			return nil, fmt.Errorf("experiments: %s n=%d %s: %w", id, c.Len(), alg, resp.Err)
+		}
+		res := resp.Result
+		fig.Points = append(fig.Points, Point{
+			N:          c.Len(),
+			Algorithm:  alg,
+			Expected:   res.ExpectedMakespan,
+			Normalized: res.NormalizedMakespan(c),
+			Counts:     res.Schedule.Counts(),
+		})
+		if c.Len()+cfg.Step > cfg.MaxTasks {
+			fig.Schedules[alg] = res.Schedule
 		}
 	}
 	return fig, nil
@@ -305,9 +334,18 @@ type ValidationRow struct {
 
 // Validation runs the X1 experiment: for each pattern/platform/algorithm,
 // plan at the given n, then recompute the expectation along the three
-// independent routes and simulate.
+// independent routes and simulate. All plans resolve through the shared
+// batch engine in one PlanMany call, and the per-row evaluation and
+// Monte-Carlo pipelines fan out on the same worker pool, so the whole
+// cross-validation runs at instance-level parallelism.
 func Validation(n int, replications int, seed uint64) ([]ValidationRow, error) {
-	var out []ValidationRow
+	type combo struct {
+		pat  workload.Pattern
+		c    *chain.Chain
+		plat platform.Platform
+	}
+	var combos []combo
+	var reqs []engine.Request
 	for _, pat := range workload.Patterns() {
 		c, err := workload.Generate(pat, n, workload.PaperTotalWeight)
 		if err != nil {
@@ -315,44 +353,72 @@ func Validation(n int, replications int, seed uint64) ([]ValidationRow, error) {
 		}
 		for _, plat := range []platform.Platform{platform.Hera(), platform.CoastalSSD()} {
 			for _, alg := range core.Algorithms() {
-				res, err := core.Plan(alg, c, plat)
-				if err != nil {
-					return nil, err
-				}
-				closed, err := core.Evaluate(c, plat, res.Schedule)
-				if err != nil {
-					return nil, err
-				}
-				oracle, err := evaluate.Exact(c, plat, res.Schedule)
-				if err != nil {
-					return nil, err
-				}
-				sres, err := sim.Run(c, plat, res.Schedule, sim.Options{
-					Replications: replications, Seed: seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				sigma := 0.0
-				if se := sres.Makespan.StdErr(); se > 0 {
-					sigma = math.Abs(sres.Mean()-oracle) / se
-				}
-				out = append(out, ValidationRow{
-					Pattern:   pat,
-					Platform:  plat.Name,
-					Algorithm: alg,
-					N:         n,
-					DP:        res.ExpectedMakespan,
-					Closed:    closed,
-					Oracle:    oracle,
-					SimMean:   sres.Mean(),
-					SimHW95:   sres.HalfWidth95(),
-					Sigma:     sigma,
-				})
+				combos = append(combos, combo{pat: pat, c: c, plat: plat})
+				reqs = append(reqs, engine.Request{Algorithm: alg, Chain: c, Platform: plat})
 			}
 		}
 	}
+
+	eng := engine.Default()
+	resps := eng.PlanMany(context.Background(), reqs)
+	out := make([]ValidationRow, len(combos))
+	row := func(i int) error {
+		if resps[i].Err != nil {
+			return resps[i].Err
+		}
+		res := resps[i].Result
+		cb := combos[i]
+		closed, err := core.Evaluate(cb.c, cb.plat, res.Schedule)
+		if err != nil {
+			return err
+		}
+		oracle, err := evaluate.Exact(cb.c, cb.plat, res.Schedule)
+		if err != nil {
+			return err
+		}
+		sres, err := sim.Run(cb.c, cb.plat, res.Schedule, sim.Options{
+			Replications: replications, Seed: seed, Workers: simWorkers(len(combos)),
+		})
+		if err != nil {
+			return err
+		}
+		sigma := 0.0
+		if se := sres.Makespan.StdErr(); se > 0 {
+			sigma = math.Abs(sres.Mean()-oracle) / se
+		}
+		out[i] = ValidationRow{
+			Pattern:   cb.pat,
+			Platform:  cb.plat.Name,
+			Algorithm: res.Algorithm,
+			N:         n,
+			DP:        res.ExpectedMakespan,
+			Closed:    closed,
+			Oracle:    oracle,
+			SimMean:   sres.Mean(),
+			SimHW95:   sres.HalfWidth95(),
+			Sigma:     sigma,
+		}
+		return nil
+	}
+	if err := runCancelling(eng, len(combos), row); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// runCancelling fans fn out on the engine's pool, cancelling the rows
+// that have not started as soon as one fails: one broken row must not
+// pay for the remaining Monte-Carlo work.
+func runCancelling(eng *engine.Engine, n int, fn func(i int) error) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return eng.Run(ctx, n, func(i int) error {
+		if err := fn(i); err != nil {
+			cancel()
+			return err
+		}
+		return nil
+	})
 }
 
 // ValidationTable renders validation rows.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"chainckpt/internal/ascii"
 	"chainckpt/internal/core"
+	"chainckpt/internal/engine"
 	"chainckpt/internal/evaluate"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/sim"
@@ -26,14 +28,19 @@ type RobustnessRow struct {
 // Robustness runs X7: plan with the paper's exponential model, then
 // simulate the schedule under increasingly non-exponential (Weibull)
 // arrivals with unchanged MTBFs. Shape 1 recovers the model; shapes
-// below 1 are the bursty regime reported for production systems.
+// below 1 are the bursty regime reported for production systems. The
+// plan resolves through the shared batch engine (so sweeps reuse the
+// memo) and the per-shape Monte-Carlo runs fan out on its pool.
 func Robustness(plat platform.Platform, pat workload.Pattern, n int,
 	shapes []float64, reps int, seed uint64) ([]RobustnessRow, error) {
 	c, err := workload.Generate(pat, n, workload.PaperTotalWeight)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.PlanADMV(c, plat)
+	eng := engine.Default()
+	res, err := eng.Plan(context.Background(), engine.Request{
+		Algorithm: core.AlgADMV, Chain: c, Platform: plat,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -41,23 +48,29 @@ func Robustness(plat platform.Platform, pat workload.Pattern, n int,
 	if err != nil {
 		return nil, err
 	}
-	var out []RobustnessRow
-	for _, shape := range shapes {
+	out := make([]RobustnessRow, len(shapes))
+	err = runCancelling(eng, len(shapes), func(i int) error {
+		shape := shapes[i]
 		sres, err := sim.Run(c, plat, res.Schedule, sim.Options{
 			Replications: reps,
 			Seed:         seed,
+			Workers:      simWorkers(len(shapes)),
 			Shapes:       sim.Shapes{FailStop: shape, Silent: shape},
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: shape %g: %w", shape, err)
+			return fmt.Errorf("experiments: shape %g: %w", shape, err)
 		}
-		out = append(out, RobustnessRow{
+		out[i] = RobustnessRow{
 			Shape:     shape,
 			SimMean:   sres.Mean(),
 			SimHW95:   sres.HalfWidth95(),
 			Predicted: predicted,
 			DeltaPct:  100 * (sres.Mean()/predicted - 1),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
