@@ -58,6 +58,7 @@ import (
 	"chainckpt/internal/evaluate"
 	"chainckpt/internal/heuristics"
 	"chainckpt/internal/platform"
+	"chainckpt/internal/runtime"
 	"chainckpt/internal/schedule"
 	"chainckpt/internal/sensitivity"
 	"chainckpt/internal/sim"
@@ -347,7 +348,77 @@ func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 // experiment harness and the command-line tools.
 func DefaultEngine() *Engine { return engine.Default() }
 
-// TraceEvent is one step of a replayed execution.
+// Supervisor executes scheduled chains for real: it drives tasks
+// through a pluggable TaskRunner, owns a two-tier checkpoint store,
+// implements the paper's recovery semantics (fail-stop => restore the
+// last disk checkpoint, detected silent error => roll back to the last
+// verified in-memory checkpoint), and can adapt the schedule mid-run
+// when the observed error rates drift from the model (see RunAdaptive
+// and internal/runtime).
+type Supervisor = runtime.Supervisor
+
+// SupervisorOptions configures a Supervisor.
+type SupervisorOptions = runtime.Options
+
+// RunJob describes one chain execution submitted to a Supervisor.
+type RunJob = runtime.Job
+
+// RunReport summarizes one supervised execution.
+type RunReport = runtime.Report
+
+// RunCounters tallies the events of one supervised execution.
+type RunCounters = runtime.Counters
+
+// AdaptPolicy tunes adaptive re-planning (zero value = defaults).
+type AdaptPolicy = runtime.AdaptPolicy
+
+// TaskRunner is the pluggable execution backend of the Supervisor.
+type TaskRunner = runtime.TaskRunner
+
+// TaskSpec and TaskResult are one task execution request and outcome.
+type TaskSpec = runtime.TaskSpec
+type TaskResult = runtime.TaskResult
+
+// TaskState is the opaque application payload flowing between tasks.
+type TaskState = runtime.State
+
+// CheckpointStore is the supervisor's two-tier checkpoint store: a
+// single in-memory checkpoint plus fingerprinted disk checkpoints.
+type CheckpointStore = runtime.Store
+
+// SimTaskRunner injects faults from the simulator's error model; see
+// NewSimRunner and NewMisspecifiedRunner.
+type SimTaskRunner = runtime.SimRunner
+
+// NopTaskRunner executes tasks instantly and perfectly; SleepTaskRunner
+// sleeps Scale wall seconds per modeled second, for watchable demos.
+type NopTaskRunner = runtime.NopRunner
+type SleepTaskRunner = runtime.SleepRunner
+
+// NewSupervisor builds an execution supervisor.
+//
+//	sup := chainckpt.NewSupervisor(chainckpt.SupervisorOptions{})
+//	rep, err := sup.Run(ctx, chainckpt.RunJob{Chain: c, Platform: p})
+//	rep, err = sup.RunAdaptive(ctx, job, chainckpt.AdaptPolicy{})
+func NewSupervisor(opts SupervisorOptions) *Supervisor { return runtime.New(opts) }
+
+// NewCheckpointStore opens a checkpoint store; dir "" keeps the disk
+// tier in process memory (simulations, tests), a path persists
+// fingerprinted checkpoint files under it.
+func NewCheckpointStore(dir string) (*CheckpointStore, error) { return runtime.NewStore(dir) }
+
+// NewSimRunner builds a fault-injecting task runner whose true rates
+// come from p; the seed fixes the fault sequence.
+func NewSimRunner(p Platform, seed uint64) *SimTaskRunner { return runtime.NewSimRunner(p, seed) }
+
+// NewMisspecifiedRunner builds a fault-injecting runner whose true
+// rates are the platform's scaled by factorF and factorS, for
+// robustness studies of stale schedules.
+func NewMisspecifiedRunner(p Platform, factorF, factorS float64, seed uint64) *SimTaskRunner {
+	return runtime.NewMisspecifiedRunner(p, factorF, factorS, seed)
+}
+
+// TraceEvent is one step of a replayed or supervised execution.
 type TraceEvent = sim.TraceEvent
 
 // TraceExecution replays a single execution with the given seed and

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompileValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  string
+		fn   func() (*config, error)
+	}{
+		{"bad platform", "unknown platform", func() (*config, error) {
+			return compile("NoSuch", "Uniform", 10, 1000, "", "ADMV", "sim", 1, 1, false, 1, 1, "", false, false)
+		}},
+		{"bad runner", "unknown runner", func() (*config, error) {
+			return compile("Hera", "Uniform", 10, 1000, "", "ADMV", "warp", 1, 1, false, 1, 1, "", false, false)
+		}},
+		{"bad scale", "must be positive", func() (*config, error) {
+			return compile("Hera", "Uniform", 10, 1000, "", "ADMV", "sim", 0, 1, false, 1, 1, "", false, false)
+		}},
+		{"trace with reps", "-trace needs", func() (*config, error) {
+			return compile("Hera", "Uniform", 10, 1000, "", "ADMV", "sim", 1, 1, false, 5, 1, "", true, false)
+		}},
+		{"bad weights", "bad weight", func() (*config, error) {
+			return compile("Hera", "Uniform", 10, 1000, "1,zap,3", "ADMV", "sim", 1, 1, false, 1, 1, "", false, false)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.fn()
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Fatalf("want error containing %q, got %v", tc.err, err)
+			}
+		})
+	}
+}
+
+func TestRunSingleReplicationWithTrace(t *testing.T) {
+	cfg, err := compile("Hera", "Uniform", 8, 8000, "", "ADMV*", "sim", 1, 1, false, 1, 42, "", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := captureRun(t, cfg)
+	for _, want := range []string{"model prediction:", "observed makespan:", "estimated rates:", "done"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunReplicationsAdaptiveWithStore(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := compile("Hera", "Uniform", 8, 8000, "", "ADMV*", "sim", 4, 4, true, 3, 7, dir, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := captureRun(t, cfg)
+	if !strings.Contains(out, "over 3 runs") || !strings.Contains(out, "replans:") {
+		t.Errorf("aggregate output:\n%s", out)
+	}
+	// The store directory holds fingerprinted checkpoint files.
+	files, err := filepath.Glob(filepath.Join(dir, "ckpt-*.bin"))
+	if err != nil || len(files) == 0 {
+		t.Errorf("no checkpoint files in -store dir (%v, %v)", files, err)
+	}
+}
+
+func captureRun(t *testing.T, cfg *config) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(cfg, f); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

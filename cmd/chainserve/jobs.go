@@ -1,0 +1,338 @@
+// Job endpoints: chainserve doesn't just hand out schedules, it
+// executes them. POST /v1/jobs plans a chain and runs it through the
+// runtime supervisor with a fault-injecting runner (optionally with
+// misspecified true rates and adaptive re-planning); GET /v1/jobs/{id}
+// reports status and the final report; GET /v1/jobs/{id}/events streams
+// the execution's event log as NDJSON while it happens.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"chainckpt/internal/runtime"
+	"chainckpt/internal/sim"
+)
+
+// jobRequest is the JSON shape of one execution request: a planning
+// request plus runtime knobs.
+type jobRequest struct {
+	planRequest
+	// Adaptive enables mid-run suffix re-planning on rate drift.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Seed fixes the fault sequence (default: derived from the job id).
+	Seed uint64 `json:"seed,omitempty"`
+	// ScaleF and ScaleS set the injected true error rates as multiples
+	// of the platform's modeled rates (default 1: well-specified).
+	ScaleF float64 `json:"true_rate_scale_f,omitempty"`
+	ScaleS float64 `json:"true_rate_scale_s,omitempty"`
+}
+
+// jobStatus is the wire representation of a job.
+type jobStatus struct {
+	ID        string          `json:"id"`
+	Status    string          `json:"status"` // running | done | failed
+	Adaptive  bool            `json:"adaptive,omitempty"`
+	Algorithm string          `json:"algorithm,omitempty"`
+	Predicted float64         `json:"predicted_makespan,omitempty"`
+	CreatedAt time.Time       `json:"created_at"`
+	Report    *runtime.Report `json:"report,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// job is one tracked execution. Event followers block on cond until new
+// events arrive or the run finishes.
+type job struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	status jobStatus
+	events []sim.TraceEvent
+	done   bool
+}
+
+func newJob(st jobStatus) *job {
+	j := &job{status: st}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// append records one event and wakes followers.
+func (j *job) append(ev sim.TraceEvent) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// finish seals the job and wakes followers.
+func (j *job) finish(rep *runtime.Report, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.status.Status = "failed"
+		j.status.Error = err.Error()
+	} else {
+		j.status.Status = "done"
+		j.status.Report = rep
+	}
+	j.done = true
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// next returns events[from:] once new data or completion is available,
+// blocking otherwise. The returned done flag is true when no further
+// events will come. A cancelled ctx unblocks with done=true.
+func (j *job) next(ctx context.Context, from int) ([]sim.TraceEvent, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.events) <= from && !j.done && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	if ctx.Err() != nil {
+		return nil, true
+	}
+	out := make([]sim.TraceEvent, len(j.events)-from)
+	copy(out, j.events[from:])
+	return out, j.done && from+len(out) == len(j.events)
+}
+
+func (j *job) snapshot() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// summary is snapshot without the event trace, for listings: a full
+// report of a hot run carries thousands of events.
+func (j *job) summary() jobStatus {
+	st := j.snapshot()
+	if st.Report != nil && st.Report.Trace != nil {
+		rep := *st.Report
+		rep.Trace = nil
+		st.Report = &rep
+	}
+	return st
+}
+
+func (j *job) isDone() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
+}
+
+// errTooManyJobs is the backpressure signal of the job manager.
+var errTooManyJobs = fmt.Errorf("too many jobs executing; retry later")
+
+// jobManager tracks jobs by id. Finished jobs are retained (newest
+// first) up to maxJobs; concurrent executions are capped at maxRunning
+// so a request burst cannot spawn unbounded goroutines.
+type jobManager struct {
+	mu         sync.Mutex
+	seq        uint64
+	jobs       map[string]*job
+	order      []string // creation order, for eviction
+	maxJobs    int
+	maxRunning int
+}
+
+func newJobManager() *jobManager {
+	return &jobManager{jobs: make(map[string]*job), maxJobs: 512, maxRunning: 32}
+}
+
+func (m *jobManager) create(st jobStatus) (*job, uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	running := 0
+	for _, j := range m.jobs {
+		if !j.isDone() {
+			running++
+		}
+	}
+	if running >= m.maxRunning {
+		return nil, 0, errTooManyJobs
+	}
+	// Evict the oldest finished jobs beyond the retention bound.
+	for len(m.jobs) >= m.maxJobs {
+		evicted := false
+		for i, id := range m.order {
+			if j, ok := m.jobs[id]; ok && j.isDone() {
+				delete(m.jobs, id)
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything retained is still running
+		}
+	}
+	m.seq++
+	st.ID = fmt.Sprintf("job-%d", m.seq)
+	st.Status = "running"
+	st.CreatedAt = time.Now().UTC()
+	j := newJob(st)
+	m.jobs[st.ID] = j
+	m.order = append(m.order, st.ID)
+	return j, m.seq, nil
+}
+
+func (m *jobManager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+func (m *jobManager) list() []jobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]jobStatus, 0, len(m.jobs))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok {
+			out = append(out, j.summary())
+		}
+	}
+	return out
+}
+
+func (m *jobManager) counts() (total, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if !j.done {
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return len(m.jobs), running
+}
+
+func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	var jr jobRequest
+	if err := decodeJSON(r, &jr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if jr.ScaleF < 0 || jr.ScaleS < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("rate scales must be non-negative"))
+		return
+	}
+	if jr.ScaleF == 0 {
+		jr.ScaleF = 1
+	}
+	if jr.ScaleS == 0 {
+		jr.ScaleS = 1
+	}
+	req, c, err := jr.toEngine()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Plan up front (through the shared memo) so the job status can show
+	// the model prediction from the start, and budget/cost options apply.
+	res, err := s.eng.Plan(r.Context(), req)
+	if err != nil {
+		s.planErrors.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	j, seq, err := s.jobs.create(jobStatus{
+		Adaptive:  jr.Adaptive,
+		Algorithm: string(res.Algorithm),
+		Predicted: res.ExpectedMakespan,
+	})
+	if err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	seed := jr.Seed
+	if seed == 0 {
+		seed = seq
+	}
+	runJob := runtime.Job{
+		Chain:              c,
+		Platform:           req.Platform,
+		Schedule:           res.Schedule,
+		Algorithm:          req.Algorithm,
+		Costs:              req.Opts.Costs,
+		MaxDiskCheckpoints: req.Opts.MaxDiskCheckpoints,
+		Runner:             runtime.NewMisspecifiedRunner(req.Platform, jr.ScaleF, jr.ScaleS, seed),
+		Observer:           j.append,
+		Record:             true,
+	}
+	go func() {
+		var rep *runtime.Report
+		var err error
+		if jr.Adaptive {
+			rep, err = s.sup.RunAdaptive(context.Background(), runJob, runtime.AdaptPolicy{})
+		} else {
+			rep, err = s.sup.Run(context.Background(), runJob)
+		}
+		if err != nil {
+			s.jobErrors.Add(1)
+		}
+		j.finish(rep, err)
+	}()
+
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+// handleJobEvents streams the job's event log as NDJSON, following the
+// execution live until it completes (or the client goes away).
+func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// Unblock next() when the client disconnects.
+	ctx := r.Context()
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+
+	enc := json.NewEncoder(w)
+	from := 0
+	for {
+		events, done := j.next(ctx, from)
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		from += len(events)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+	}
+}

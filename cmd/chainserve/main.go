@@ -10,14 +10,22 @@
 //	-addr host:port   listen address (default :8080)
 //	-workers k        planning worker pool size (default GOMAXPROCS)
 //	-cache k          plan memo capacity in entries (default 4096, 0 disables)
+//	-drain d          graceful-shutdown drain timeout (default 10s, or
+//	                  $CHAINSERVE_DRAIN_TIMEOUT)
 //
 // Endpoints:
 //
-//	POST /v1/plan        one planning request  -> one plan
-//	POST /v1/plan/batch  {"requests":[...]}    -> {"responses":[...]}
-//	GET  /v1/platforms   the Table I platforms
-//	GET  /healthz        liveness probe
-//	GET  /metrics        Prometheus-style counters
+//	POST /v1/plan            one planning request  -> one plan
+//	POST /v1/plan/batch      {"requests":[...]}    -> {"responses":[...]}
+//	POST /v1/jobs            plan and execute a chain through the runtime
+//	                         supervisor (fault-injecting runner; optional
+//	                         adaptive re-planning)
+//	GET  /v1/jobs            list jobs
+//	GET  /v1/jobs/{id}       job status and final report
+//	GET  /v1/jobs/{id}/events  NDJSON event stream, live until done
+//	GET  /v1/platforms       the Table I platforms
+//	GET  /healthz            liveness probe
+//	GET  /metrics            Prometheus-style counters
 //
 // A request names a Table I platform or embeds a custom one, and gives
 // the chain either as explicit weights or as a (pattern, n, total)
@@ -48,6 +56,7 @@ import (
 	"chainckpt/internal/core"
 	"chainckpt/internal/engine"
 	"chainckpt/internal/platform"
+	"chainckpt/internal/runtime"
 	"chainckpt/internal/schedule"
 	"chainckpt/internal/workload"
 )
@@ -59,6 +68,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "planning worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 4096, "plan memo capacity in entries (0 disables the memo)")
+	drain := flag.Duration("drain", defaultDrainTimeout(os.Getenv), "graceful-shutdown drain timeout")
 	flag.Parse()
 
 	memo := *cacheSize
@@ -80,12 +90,12 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("listening on %s (workers=%d, cache=%d)", *addr, *workers, *cacheSize)
+	log.Printf("listening on %s (workers=%d, cache=%d, drain=%s)", *addr, *workers, *cacheSize, *drain)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -94,23 +104,49 @@ func main() {
 	<-shutdownDone
 }
 
-// server bundles the engine with the HTTP-level counters.
+// defaultDrainTimeout resolves the graceful-drain default: the
+// CHAINSERVE_DRAIN_TIMEOUT environment variable when it parses as a
+// positive duration, 10s otherwise. The -drain flag overrides both.
+func defaultDrainTimeout(getenv func(string) string) time.Duration {
+	if v := getenv("CHAINSERVE_DRAIN_TIMEOUT"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			return d
+		}
+		log.Printf("ignoring invalid CHAINSERVE_DRAIN_TIMEOUT %q", v)
+	}
+	return 10 * time.Second
+}
+
+// server bundles the engine and runtime supervisor with the HTTP-level
+// counters.
 type server struct {
 	eng     *engine.Engine
+	sup     *runtime.Supervisor
+	jobs    *jobManager
 	started time.Time
 
 	httpRequests atomic.Uint64
 	planErrors   atomic.Uint64
+	jobErrors    atomic.Uint64
 }
 
 func newServer(eng *engine.Engine) *server {
-	return &server{eng: eng, started: time.Now()}
+	return &server{
+		eng:     eng,
+		sup:     runtime.New(runtime.Options{Engine: eng}),
+		jobs:    newJobManager(),
+		started: time.Now(),
+	}
 }
 
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.count(s.handlePlan))
 	mux.HandleFunc("POST /v1/plan/batch", s.count(s.handleBatch))
+	mux.HandleFunc("POST /v1/jobs", s.count(s.handleJobCreate))
+	mux.HandleFunc("GET /v1/jobs", s.count(s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.count(s.handleJobGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.count(s.handleJobEvents))
 	mux.HandleFunc("GET /v1/platforms", s.count(s.handlePlatforms))
 	mux.HandleFunc("GET /healthz", s.count(s.handleHealth))
 	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
@@ -337,8 +373,23 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("chainserve_engine_cache_hits_total", "Plans served from the memo.", st.CacheHits)
 	counter("chainserve_engine_cache_misses_total", "Plans that ran a solver.", st.CacheMisses)
 	counter("chainserve_engine_cache_evictions_total", "Memo entries evicted.", st.Evictions)
+	fmt.Fprintf(w, "# HELP chainserve_engine_plans_total Planning requests per algorithm.\n"+
+		"# TYPE chainserve_engine_plans_total counter\n")
+	for _, alg := range core.Algorithms() {
+		fmt.Fprintf(w, "chainserve_engine_plans_total{algorithm=%q} %d\n", alg, st.Algorithms[string(alg)])
+	}
+	fmt.Fprintf(w, "# HELP chainserve_engine_cache_hit_ratio Fraction of planning requests served from the memo.\n"+
+		"# TYPE chainserve_engine_cache_hit_ratio gauge\nchainserve_engine_cache_hit_ratio %.6f\n", st.HitRatio())
 	fmt.Fprintf(w, "# HELP chainserve_engine_cache_entries Current memo entries.\n"+
 		"# TYPE chainserve_engine_cache_entries gauge\nchainserve_engine_cache_entries %d\n", st.Entries)
+
+	sst := s.sup.Stats()
+	jobsTotal, jobsRunning := s.jobs.counts()
+	counter("chainserve_jobs_total", "Execution jobs accepted.", uint64(jobsTotal))
+	counter("chainserve_job_errors_total", "Execution jobs that failed.", s.jobErrors.Load())
+	counter("chainserve_supervisor_replans_total", "Adaptive suffix re-plans across all jobs.", sst.Replans)
+	fmt.Fprintf(w, "# HELP chainserve_jobs_running Jobs currently executing.\n"+
+		"# TYPE chainserve_jobs_running gauge\nchainserve_jobs_running %d\n", jobsRunning)
 	fmt.Fprintf(w, "# HELP chainserve_uptime_seconds Seconds since start.\n"+
 		"# TYPE chainserve_uptime_seconds gauge\nchainserve_uptime_seconds %.0f\n", time.Since(s.started).Seconds())
 }

@@ -8,10 +8,13 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"chainckpt/internal/core"
 	"chainckpt/internal/engine"
 	"chainckpt/internal/platform"
+	"chainckpt/internal/runtime"
+	"chainckpt/internal/sim"
 	"chainckpt/internal/workload"
 )
 
@@ -189,5 +192,243 @@ func TestHealthMetricsPlatforms(t *testing.T) {
 	}
 	if len(plats) != 4 {
 		t.Errorf("platforms: %d, want 4", len(plats))
+	}
+}
+
+func TestDefaultDrainTimeout(t *testing.T) {
+	env := func(vals map[string]string) func(string) string {
+		return func(k string) string { return vals[k] }
+	}
+	for _, tc := range []struct {
+		name string
+		env  map[string]string
+		want time.Duration
+	}{
+		{"default", nil, 10 * time.Second},
+		{"from env", map[string]string{"CHAINSERVE_DRAIN_TIMEOUT": "30s"}, 30 * time.Second},
+		{"sub-second", map[string]string{"CHAINSERVE_DRAIN_TIMEOUT": "250ms"}, 250 * time.Millisecond},
+		{"invalid falls back", map[string]string{"CHAINSERVE_DRAIN_TIMEOUT": "soon"}, 10 * time.Second},
+		{"negative falls back", map[string]string{"CHAINSERVE_DRAIN_TIMEOUT": "-5s"}, 10 * time.Second},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := defaultDrainTimeout(env(tc.env)); got != tc.want {
+				t.Errorf("defaultDrainTimeout = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func waitForJob(t *testing.T, url string) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobStatus
+		if err := json.Unmarshal([]byte(readAll(t, resp)), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Status != "running" {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+	return jobStatus{}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/jobs",
+		`{"algorithm":"ADMV*","platform":"Hera","pattern":"uniform","n":10,"seed":3}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var created jobStatus
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.ID == "" || created.Status != "running" || created.Predicted <= 0 {
+		t.Fatalf("created job: %+v", created)
+	}
+
+	final := waitForJob(t, ts.URL+"/v1/jobs/"+created.ID)
+	if final.Status != "done" || final.Report == nil {
+		t.Fatalf("final job: %+v", final)
+	}
+	if final.Report.Makespan <= 0 || final.Report.Events.TasksRun < 10 {
+		t.Fatalf("report: %+v", final.Report)
+	}
+
+	// The NDJSON stream replays the full event log, one JSON event per
+	// line, ending with the done event.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + created.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(readAll(t, resp)), "\n")
+	if len(lines) != len(final.Report.Trace) {
+		t.Fatalf("streamed %d events, report has %d", len(lines), len(final.Report.Trace))
+	}
+	var last struct {
+		T    float64 `json:"t"`
+		Kind string  `json:"kind"`
+		Pos  int     `json:"pos"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Kind != "done" || last.Pos != 10 {
+		t.Fatalf("last streamed event: %+v", last)
+	}
+
+	// The job shows up in the listing.
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Jobs []jobStatus `json:"jobs"`
+	}
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 1 || listing.Jobs[0].ID != created.ID {
+		t.Fatalf("listing: %+v", listing)
+	}
+}
+
+func TestAdaptiveJobReplansUnderMisspecifiedRates(t *testing.T) {
+	_, ts := newTestServer(t)
+	spec := `{"name":"JobLab","lambda_f":1e-4,"lambda_s":4e-4,"c_d":100,"c_m":10,` +
+		`"r_d":100,"r_m":10,"v_star":10,"v":0.1,"recall":0.8}`
+	resp, body := postJSON(t, ts.URL+"/v1/jobs",
+		`{"algorithm":"ADMV*","platform_spec":`+spec+`,"pattern":"uniform","n":30,"total":25000,`+
+			`"adaptive":true,"true_rate_scale_f":4,"true_rate_scale_s":4,"seed":11}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var created jobStatus
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	final := waitForJob(t, ts.URL+"/v1/jobs/"+created.ID)
+	if final.Status != "done" {
+		t.Fatalf("job: %+v", final)
+	}
+	if final.Report.Events.Replans == 0 {
+		t.Fatalf("adaptive job under 4x rates never re-planned: %+v", final.Report.Events)
+	}
+	if final.Report.LambdaFEstimate <= 1e-4 {
+		t.Errorf("estimate %.3g did not rise above the modeled rate", final.Report.LambdaFEstimate)
+	}
+}
+
+func TestJobEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		body   string
+		status int
+	}{
+		{`{not json`, http.StatusBadRequest},
+		{`{"platform":"Hera"}`, http.StatusBadRequest},
+		{`{"platform":"Hera","weights":[1,2],"true_rate_scale_f":-1}`, http.StatusBadRequest},
+		{`{"platform":"Hera","weights":[1,2],"algorithm":"NOPE"}`, http.StatusUnprocessableEntity},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.body, resp.StatusCode, tc.status, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/job-999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job events status: %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsEngineAndJobGauges(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Two identical plans: one miss, one hit -> ratio 0.5 for ADMV.
+	postJSON(t, ts.URL+"/v1/plan", `{"platform":"Hera","pattern":"uniform","n":5}`)
+	postJSON(t, ts.URL+"/v1/plan", `{"platform":"Hera","pattern":"uniform","n":5}`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp)
+	for _, want := range []string{
+		`chainserve_engine_plans_total{algorithm="ADMV"} 2`,
+		`chainserve_engine_plans_total{algorithm="ADV*"} 0`,
+		"chainserve_engine_cache_hit_ratio 0.500000",
+		"chainserve_jobs_total 0",
+		"chainserve_jobs_running 0",
+		"chainserve_supervisor_replans_total",
+		"chainserve_job_errors_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestJobManagerRetentionAndBackpressure(t *testing.T) {
+	m := newJobManager()
+	m.maxJobs = 3
+	m.maxRunning = 2
+
+	mk := func() *job {
+		t.Helper()
+		j, _, err := m.create(jobStatus{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	a, b := mk(), mk()
+	// Both running: the cap rejects a third.
+	if _, _, err := m.create(jobStatus{}); err == nil {
+		t.Fatal("running cap did not reject")
+	}
+	a.finish(nil, nil)
+	b.finish(nil, nil)
+	c := mk()
+	c.finish(nil, nil)
+	// Retention (3): creating a fourth evicts the oldest finished job.
+	d := mk()
+	if _, ok := m.get("job-1"); ok {
+		t.Error("oldest finished job not evicted")
+	}
+	if _, ok := m.get(d.snapshot().ID); !ok {
+		t.Error("new job missing")
+	}
+	if got := len(m.list()); got != 3 {
+		t.Errorf("listing has %d jobs, want 3", got)
+	}
+	// Listings strip the trace but keep the report.
+	e := mk()
+	e.finish(&runtime.Report{Makespan: 1, Trace: []sim.TraceEvent{{Kind: "done"}}}, nil)
+	for _, st := range m.list() {
+		if st.Report != nil && st.Report.Trace != nil {
+			t.Error("listing leaked a full trace")
+		}
+	}
+	if full := e.snapshot(); full.Report == nil || len(full.Report.Trace) != 1 {
+		t.Error("direct snapshot lost the trace")
 	}
 }

@@ -1,6 +1,7 @@
 package chainckpt
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -172,5 +173,46 @@ func TestFacadeSensitivityAndTrace(t *testing.T) {
 	}
 	if d := math.Abs(sim.Breakdown.Total() - sim.Mean()); d > 1e-6*sim.Mean() {
 		t.Errorf("breakdown total %f vs mean %f", sim.Breakdown.Total(), sim.Mean())
+	}
+}
+
+func TestFacadeSupervisor(t *testing.T) {
+	c, _ := Uniform(10, 10000)
+	p := Hera()
+	sup := NewSupervisor(SupervisorOptions{})
+	ctx := context.Background()
+
+	// Static run with a fault-injecting runner: planned internally.
+	rep, err := sup.Run(ctx, RunJob{
+		Chain: c, Platform: p, Algorithm: ADMVStar,
+		Runner: NewSimRunner(p, 11), Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan <= c.TotalWeight() {
+		t.Errorf("makespan %.2f below the error-free compute time", rep.Makespan)
+	}
+	if err := rep.FinalSchedule.ValidateComplete(); err != nil {
+		t.Error(err)
+	}
+	if len(rep.Trace) == 0 || FormatTrace(rep.Trace) == "" {
+		t.Error("supervised run produced no trace")
+	}
+
+	// Adaptive run under misspecified rates, with a persistent store.
+	store, err := NewCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = sup.RunAdaptive(ctx, RunJob{
+		Chain: c, Platform: p, Algorithm: ADMVStar,
+		Runner: NewMisspecifiedRunner(p, 4, 4, 13), Store: store,
+	}, AdaptPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounds, err := store.Boundaries(); err != nil || len(bounds) == 0 {
+		t.Errorf("store boundaries: %v (%v)", bounds, err)
 	}
 }

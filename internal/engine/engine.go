@@ -104,6 +104,20 @@ type Stats struct {
 	Errors uint64
 	// Entries is the current number of memo entries.
 	Entries int
+	// Algorithms counts requests per algorithm name, so operators can
+	// see which planners their traffic actually uses. Unknown algorithm
+	// strings (requests the solver will reject) are lumped under
+	// "other", keeping the map bounded against hostile input.
+	Algorithms map[string]uint64
+}
+
+// HitRatio returns the fraction of requests served from the memo, 0
+// before any request.
+func (s Stats) HitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Requests)
 }
 
 // entry is one memo slot. done is closed once res/err are final; an
@@ -130,6 +144,9 @@ type Engine struct {
 	order  *list.List               // front = most recently used
 
 	requests, hits, misses, evictions, errors atomic.Uint64
+
+	algMu     sync.Mutex
+	algCounts map[string]uint64 // accepted requests per algorithm
 }
 
 // New starts an engine with opts.Workers pool goroutines. Callers must
@@ -137,10 +154,11 @@ type Engine struct {
 func New(opts Options) *Engine {
 	opts = opts.normalized()
 	e := &Engine{
-		opts:  opts,
-		jobs:  make(chan func()),
-		cache: make(map[string]*list.Element),
-		order: list.New(),
+		opts:      opts,
+		jobs:      make(chan func()),
+		cache:     make(map[string]*list.Element),
+		order:     list.New(),
+		algCounts: make(map[string]uint64),
 	}
 	for w := 0; w < opts.Workers; w++ {
 		e.workers.Add(1)
@@ -291,6 +309,14 @@ func (e *Engine) PlanAsync(ctx context.Context, req Request) <-chan Response {
 // planOne is the single-request path shared by every public method.
 func (e *Engine) planOne(ctx context.Context, index int, req Request) Response {
 	e.requests.Add(1)
+	algKey := "other"
+	switch req.Algorithm {
+	case core.AlgADV, core.AlgADMVStar, core.AlgADMV:
+		algKey = string(req.Algorithm)
+	}
+	e.algMu.Lock()
+	e.algCounts[algKey]++
+	e.algMu.Unlock()
 	resp := Response{Index: index, Tag: req.Tag}
 
 	// Honor the ErrClosed contract even for requests the memo could
@@ -441,6 +467,12 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	entries := e.order.Len()
 	e.mu.Unlock()
+	e.algMu.Lock()
+	algs := make(map[string]uint64, len(e.algCounts))
+	for k, v := range e.algCounts {
+		algs[k] = v
+	}
+	e.algMu.Unlock()
 	return Stats{
 		Requests:    e.requests.Load(),
 		CacheHits:   e.hits.Load(),
@@ -448,6 +480,7 @@ func (e *Engine) Stats() Stats {
 		Evictions:   e.evictions.Load(),
 		Errors:      e.errors.Load(),
 		Entries:     entries,
+		Algorithms:  algs,
 	}
 }
 

@@ -375,3 +375,58 @@ func TestCacheDisabled(t *testing.T) {
 		t.Fatalf("disabled cache stats: %+v", st)
 	}
 }
+
+func TestStatsPerAlgorithmCountersAndHitRatio(t *testing.T) {
+	eng := New(Options{Workers: 2, CacheSize: 64})
+	defer eng.Close()
+	ctx := context.Background()
+	c, err := workload.Uniform(6, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := platform.Hera()
+	plan := func(alg core.Algorithm) {
+		t.Helper()
+		if _, err := eng.Plan(ctx, Request{Algorithm: alg, Chain: c, Platform: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan(core.AlgADV)
+	plan(core.AlgADV) // memo hit, still counted per algorithm
+	plan(core.AlgADMVStar)
+	plan(core.AlgADMV)
+
+	st := eng.Stats()
+	want := map[string]uint64{"ADV*": 2, "ADMV*": 1, "ADMV": 1}
+	for alg, n := range want {
+		if st.Algorithms[alg] != n {
+			t.Errorf("Algorithms[%q] = %d, want %d (all: %v)", alg, st.Algorithms[alg], n, st.Algorithms)
+		}
+	}
+	if got := st.HitRatio(); got != 0.25 {
+		t.Errorf("HitRatio = %v, want 0.25 (stats %+v)", got, st)
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Error("empty stats hit ratio should be 0")
+	}
+}
+
+func TestStatsUnknownAlgorithmsLumpedAsOther(t *testing.T) {
+	eng := New(Options{Workers: 1, CacheSize: 8})
+	defer eng.Close()
+	c, err := workload.Uniform(3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"NOPE", "zzz", "NOPE"} {
+		if _, err := eng.Plan(context.Background(), Request{
+			Algorithm: core.Algorithm(alg), Chain: c, Platform: platform.Hera(),
+		}); err == nil {
+			t.Fatalf("algorithm %q should fail", alg)
+		}
+	}
+	st := eng.Stats()
+	if st.Algorithms["other"] != 3 || len(st.Algorithms) != 1 {
+		t.Fatalf("Algorithms = %v, want {other: 3}", st.Algorithms)
+	}
+}

@@ -1,0 +1,144 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/stats"
+	"chainckpt/internal/workload"
+)
+
+// TestAdaptiveBeatsStaticUnderMisspecifiedRates is the robustness
+// scenario of internal/experiments executed for real: the schedule is
+// planned against the modeled platform, but the true error rates are 4×
+// higher on both sources. The static run trusts the stale plan to the
+// end; the adaptive run notices the drift through its MLE estimates,
+// re-solves the DP for the remaining suffix, and splices denser
+// checkpointing in. Its mean makespan must come out lower.
+func TestAdaptiveBeatsStaticUnderMisspecifiedRates(t *testing.T) {
+	modeled := platform.Platform{
+		Name: "AdaptLab", LambdaF: 1e-4, LambdaS: 4e-4,
+		CD: 100, CM: 10, RD: 100, RM: 10, VStar: 10, V: 0.1, Recall: 0.8,
+	}
+	const misspecification = 4.0
+	truth := modeled
+	truth.LambdaF *= misspecification
+	truth.LambdaS *= misspecification
+
+	c, err := workload.Uniform(40, 25000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Plan(core.AlgADMVStar, c, modeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// What the stale plan truly costs, and what an oracle that knew the
+	// real rates could achieve: the gap adaptive re-planning can close.
+	staleCost, err := core.Evaluate(c, truth, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := core.Plan(core.AlgADMVStar, c, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("model-expected: stale plan under true rates %.0f, oracle plan %.0f (gap %.0f)",
+		staleCost, oracle.ExpectedMakespan, staleCost-oracle.ExpectedMakespan)
+
+	const reps = 150
+	sup := New(Options{})
+	var static, adaptive stats.Welford
+	var replans int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	staticMS := make([]float64, reps)
+	adaptiveMS := make([]float64, reps)
+	for r := 0; r < reps; r++ {
+		r := r
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Paired fault streams: the same seed drives both arms.
+			seed := uint64(4000 + r)
+			sRep, err := sup.Run(context.Background(), Job{
+				Chain: c, Platform: modeled, Schedule: res.Schedule, Algorithm: core.AlgADMVStar,
+				Runner: NewMisspecifiedRunner(modeled, misspecification, misspecification, seed),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			aRep, err := sup.RunAdaptive(context.Background(), Job{
+				Chain: c, Platform: modeled, Schedule: res.Schedule, Algorithm: core.AlgADMVStar,
+				Runner: NewMisspecifiedRunner(modeled, misspecification, misspecification, seed),
+			}, AdaptPolicy{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			staticMS[r] = sRep.Makespan
+			adaptiveMS[r] = aRep.Makespan
+			mu.Lock()
+			replans += aRep.Events.Replans
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("replication errors above")
+	}
+	for r := 0; r < reps; r++ {
+		static.Add(staticMS[r])
+		adaptive.Add(adaptiveMS[r])
+	}
+
+	t.Logf("static   mean %.0f ± %.0f", static.Mean(), static.HalfWidth(stats.Z95))
+	t.Logf("adaptive mean %.0f ± %.0f (%.0f replans over %d runs)",
+		adaptive.Mean(), adaptive.HalfWidth(stats.Z95), float64(replans), reps)
+	if replans == 0 {
+		t.Fatal("adaptive arm never re-planned: the drift detector is dead")
+	}
+	if adaptive.Mean() >= static.Mean() {
+		t.Fatalf("adaptive mean %.0f did not beat static mean %.0f under 4x misspecified rates",
+			adaptive.Mean(), static.Mean())
+	}
+}
+
+// TestAdaptiveReplanHonorsDiskBudget: a re-planned suffix must not blow
+// the run's disk-checkpoint budget, however hot the observed rates.
+func TestAdaptiveReplanHonorsDiskBudget(t *testing.T) {
+	modeled := platform.Platform{
+		Name: "BudgetLab", LambdaF: 1e-4, LambdaS: 4e-4,
+		CD: 100, CM: 10, RD: 100, RM: 10, VStar: 10, V: 0.1, Recall: 0.8,
+	}
+	// Short tasks keep the budgeted run feasible even at 4x rates (a
+	// long-task chain with this budget diverges — which the rollback
+	// guard turns into an error rather than a hang).
+	c, err := workload.Uniform(30, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 3
+	sup := New(Options{})
+	for seed := uint64(1); seed <= 20; seed++ {
+		rep, err := sup.RunAdaptive(context.Background(), Job{
+			Chain: c, Platform: modeled, Algorithm: core.AlgADMVStar,
+			MaxDiskCheckpoints: budget,
+			Runner:             NewMisspecifiedRunner(modeled, 4, 4, seed),
+		}, AdaptPolicy{Tolerance: 1.5, MinEvents: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.FinalSchedule.Counts().Disk; got > budget {
+			t.Fatalf("seed %d: final schedule has %d disk checkpoints, budget %d (replans %d)",
+				seed, got, budget, rep.Events.Replans)
+		}
+	}
+}

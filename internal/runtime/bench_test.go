@@ -1,0 +1,40 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+// BenchmarkSupervisorRun measures one full supervised execution under
+// the fault-injecting runner on a hot platform — the runtime's hot path
+// (segment walk, store saves, recovery bookkeeping) end to end.
+func BenchmarkSupervisorRun(b *testing.B) {
+	p := platform.Platform{
+		Name: "Bench", LambdaF: 5e-5, LambdaS: 2e-4,
+		CD: 100, CM: 10, RD: 100, RM: 10, VStar: 10, V: 0.1, Recall: 0.8,
+	}
+	c, err := workload.Uniform(30, 25000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.PlanADMVStar(c, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sup := New(Options{})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sup.Run(ctx, Job{
+			Chain: c, Platform: p, Schedule: res.Schedule,
+			Runner: NewSimRunner(p, uint64(i+1)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

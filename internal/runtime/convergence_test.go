@@ -1,0 +1,125 @@
+package runtime
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/evaluate"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/stats"
+	"chainckpt/internal/workload"
+)
+
+// supervisorMean executes the schedule reps times through the supervisor
+// with independent fault-injecting runners and returns the makespan
+// accumulator.
+func supervisorMean(t *testing.T, sup *Supervisor, c *chain.Chain, p platform.Platform,
+	sched *schedule.Schedule, truth func(seed uint64) TaskRunner, reps int) stats.Welford {
+	t.Helper()
+	makespans := make([]float64, reps)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	var mu sync.Mutex
+	var firstErr error
+	for r := 0; r < reps; r++ {
+		r := r
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rep, err := sup.Run(context.Background(), Job{
+				Chain: c, Platform: p, Schedule: sched,
+				Runner: truth(uint64(1000 + r)),
+			})
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			makespans[r] = rep.Makespan
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	var acc stats.Welford
+	for _, m := range makespans {
+		acc.Add(m)
+	}
+	return acc
+}
+
+// TestSupervisorConvergesToModelPrediction is the runtime's end-to-end
+// validation: executing an optimal schedule under the simulator's error
+// model, the supervisor's empirical mean makespan must land within 5% of
+// the analytic prediction (Evaluate, itself cross-checked against the
+// exact Markov-renewal oracle) on several (workload, platform)
+// scenarios.
+func TestSupervisorConvergesToModelPrediction(t *testing.T) {
+	hot := platform.Platform{
+		Name: "HotSilent", LambdaF: 2e-5, LambdaS: 1e-4,
+		CD: 200, CM: 20, RD: 200, RM: 20, VStar: 20, V: 0.2, Recall: 0.8,
+	}
+	hotFail := platform.Platform{
+		Name: "HotFail", LambdaF: 8e-5, LambdaS: 4e-5,
+		CD: 100, CM: 15, RD: 100, RM: 15, VStar: 15, V: 0.15, Recall: 0.8,
+	}
+	scenarios := []struct {
+		name    string
+		plat    platform.Platform
+		pattern workload.Pattern
+		n       int
+		total   float64
+		alg     core.Algorithm
+		reps    int
+	}{
+		{"Hera/Uniform25", platform.Hera(), workload.PatternUniform, 25, 25000, core.AlgADMV, 200},
+		{"HotSilent/Uniform30", hot, workload.PatternUniform, 30, 20000, core.AlgADMV, 400},
+		{"HotFail/HighLow20", hotFail, workload.PatternHighLow, 20, 15000, core.AlgADMVStar, 400},
+	}
+	sup := New(Options{})
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			c, err := workload.Generate(sc.pattern, sc.n, sc.total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Plan(sc.alg, c, sc.plat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			predicted, err := core.Evaluate(c, sc.plat, res.Schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := evaluate.Exact(c, sc.plat, res.Schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(predicted-exact) > 0.01*exact {
+				t.Fatalf("analytic routes disagree: Evaluate %.2f vs Exact %.2f", predicted, exact)
+			}
+
+			acc := supervisorMean(t, sup, c, sc.plat, res.Schedule,
+				func(seed uint64) TaskRunner { return NewSimRunner(sc.plat, seed) }, sc.reps)
+			relErr := math.Abs(acc.Mean()-predicted) / predicted
+			t.Logf("%s: supervisor mean %.2f ± %.2f over %d runs, model %.2f (%.2f%% off)",
+				sc.name, acc.Mean(), acc.HalfWidth(stats.Z95), sc.reps, predicted, 100*relErr)
+			if relErr > 0.05 {
+				t.Fatalf("empirical mean %.2f departs %.2f%% from the model prediction %.2f",
+					acc.Mean(), 100*relErr, predicted)
+			}
+		})
+	}
+}

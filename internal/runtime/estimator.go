@@ -1,0 +1,54 @@
+// Online maximum-likelihood estimation of the platform's error rates.
+// For a Poisson error source observed over T seconds of compute exposure
+// with k arrivals, the MLE of the rate is k/T; the supervisor keeps one
+// such estimator per source and compares the estimates against the rates
+// the current schedule was planned for to decide when re-planning pays.
+package runtime
+
+// rateEstimator tracks one error source.
+type rateEstimator struct {
+	exposure float64 // compute seconds observed
+	events   int64   // arrivals observed
+}
+
+func (e *rateEstimator) observe(seconds float64) { e.exposure += seconds }
+func (e *rateEstimator) event()                  { e.events++ }
+
+// rate returns the MLE k/T, or fallback before any exposure.
+func (e *rateEstimator) rate(fallback float64) float64 {
+	if e.exposure <= 0 || e.events == 0 {
+		return fallback
+	}
+	return float64(e.events) / e.exposure
+}
+
+// drifted reports whether the observed rate departs from planned by more
+// than a factor of tol, with at least minEvents arrivals backing the
+// estimate. Both directions count: a true rate far below the planned one
+// wastes checkpoints just as a far higher one wastes re-execution.
+func (e *rateEstimator) drifted(planned, tol float64, minEvents int) bool {
+	if e.events < int64(minEvents) || e.exposure <= 0 {
+		return false
+	}
+	est := float64(e.events) / e.exposure
+	if planned <= 0 {
+		return est > 0
+	}
+	ratio := est / planned
+	return ratio > tol || ratio < 1/tol
+}
+
+// estimator bundles the two sources. The silent-error estimator counts
+// detections (a corruption that slips past partial verifications is
+// counted once, when a later verification finally catches it), which
+// under-counts only when several corruptions strike one verified segment
+// — negligible at the rates where the model itself is meaningful.
+type estimator struct {
+	failStop rateEstimator
+	silent   rateEstimator
+}
+
+func (e *estimator) observeCompute(seconds float64) {
+	e.failStop.observe(seconds)
+	e.silent.observe(seconds)
+}

@@ -1,0 +1,585 @@
+// Package runtime executes scheduled linear task graphs: the missing
+// link between the planners (which decide where checkpoints and
+// verifications go) and reality (something has to run the tasks, take
+// the checkpoints, and recover). A Supervisor drives a chain through a
+// pluggable TaskRunner under a schedule, owning a two-tier checkpoint
+// store and implementing the paper's full recovery semantics:
+//
+//   - a fail-stop error destroys memory: restore the last disk
+//     checkpoint (cost R_D) and re-execute from there;
+//   - a verification that detects silent corruption rolls back to the
+//     last verified in-memory checkpoint (cost R_M);
+//   - verifications and checkpoints are charged at the boundary costs
+//     the schedule was planned with.
+//
+// Beyond faithful execution, the supervisor adapts: it keeps online MLE
+// estimates of the observed fail-stop and silent-error rates, and when
+// they drift beyond a tolerance from the rates the schedule was planned
+// for, it re-solves the dynamic program for the remaining suffix of the
+// chain (through the batch engine, so repeated re-plans memoize) and
+// splices the new schedule in mid-run — localized re-planning in the
+// spirit of localized recovery, instead of trusting a misspecified model
+// to the end.
+//
+// The event log uses sim.TraceEvent verbatim, so traces from real
+// executions and Monte-Carlo replays render and compare with the same
+// tools.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/engine"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/sim"
+)
+
+// Options configures a Supervisor.
+type Options struct {
+	// Engine plans and re-plans schedules (default: the shared
+	// process-wide engine).
+	Engine *engine.Engine
+}
+
+// Supervisor executes jobs. It is safe for concurrent use; each Run
+// gets its own execution state.
+type Supervisor struct {
+	eng *engine.Engine
+
+	jobs    atomic.Uint64
+	replans atomic.Uint64
+}
+
+// New builds a Supervisor.
+func New(opts Options) *Supervisor {
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.Default()
+	}
+	return &Supervisor{eng: eng}
+}
+
+// Job describes one chain execution.
+type Job struct {
+	// Chain is the task graph to execute.
+	Chain *chain.Chain
+	// Platform carries the modeled error rates and resilience costs the
+	// schedule is planned (and re-planned) against.
+	Platform platform.Platform
+	// Schedule fixes the resilience placements; nil plans one with
+	// Algorithm before executing.
+	Schedule *schedule.Schedule
+	// Algorithm selects the planner for Schedule == nil and for adaptive
+	// re-plans (default ADMV).
+	Algorithm core.Algorithm
+	// Costs overrides the platform's constant costs per boundary.
+	Costs *platform.Costs
+	// MaxDiskCheckpoints bounds the disk checkpoints of the whole run
+	// (0 = unlimited). It applies to the initial plan and is carried
+	// through adaptive re-plans: a suffix re-plan only gets the budget
+	// not yet spent on committed disk checkpoints.
+	MaxDiskCheckpoints int
+	// Runner executes the tasks (default NopRunner).
+	Runner TaskRunner
+	// Store holds the checkpoints (default: a fresh volatile store).
+	Store *Store
+	// Initial is the input state of task 1 (checkpointed at the virtual
+	// boundary 0).
+	Initial State
+	// Observer, when non-nil, receives every event as it happens.
+	Observer func(sim.TraceEvent)
+	// Record keeps the full event log in the report.
+	Record bool
+	// MaxRollbacks aborts runs that recover more than this many times
+	// (fail-stop and silent combined), a guard against runners whose
+	// true error rates make the schedule diverge. Zero means the
+	// default of 1e6; negative disables the guard.
+	MaxRollbacks int
+}
+
+// AdaptPolicy tunes adaptive re-planning. The zero value selects the
+// defaults.
+type AdaptPolicy struct {
+	// Tolerance is the drift factor that triggers a re-plan: re-plan
+	// when the observed rate of either source leaves
+	// [planned/Tolerance, planned*Tolerance]. Default 2.
+	Tolerance float64
+	// MinEvents is the minimum number of observed arrivals of a source
+	// before its estimate is trusted. Default 4.
+	MinEvents int
+	// MaxReplans bounds the re-plans of one run. Default 8.
+	MaxReplans int
+}
+
+func (p AdaptPolicy) normalized() AdaptPolicy {
+	if p.Tolerance <= 1 {
+		p.Tolerance = 2
+	}
+	if p.MinEvents <= 0 {
+		p.MinEvents = 4
+	}
+	if p.MaxReplans <= 0 {
+		p.MaxReplans = 8
+	}
+	return p
+}
+
+// Counters tallies the events of one run.
+type Counters struct {
+	TasksRun         int64 `json:"tasks_run"` // task executions, including re-executions
+	FailStop         int64 `json:"fail_stop"`
+	SilentDetected   int64 `json:"silent_detected"` // corruptions caught by any verification
+	DiskRecoveries   int64 `json:"disk_recoveries"`
+	MemoryRecoveries int64 `json:"memory_recoveries"`
+	CheckpointsMem   int64 `json:"checkpoints_memory"`
+	CheckpointsDisk  int64 `json:"checkpoints_disk"`
+	Verifications    int64 `json:"verifications"`
+	Replans          int64 `json:"replans"`
+}
+
+// Report summarizes one run.
+type Report struct {
+	// Makespan is the modeled execution time in seconds: compute charged
+	// by the runner plus every resilience cost, the quantity the
+	// planners minimize in expectation.
+	Makespan float64 `json:"makespan"`
+	// Wall is the real time the run took.
+	Wall time.Duration `json:"wall_ns"`
+	// Events tallies what happened.
+	Events Counters `json:"events"`
+	// FinalSchedule is the schedule after any adaptive splices (equal to
+	// the input schedule for static runs).
+	FinalSchedule *schedule.Schedule `json:"final_schedule"`
+	// LambdaFEstimate and LambdaSEstimate are the MLE error rates
+	// observed over the run (the modeled rates when no event was seen).
+	LambdaFEstimate float64 `json:"lambda_f_estimate"`
+	LambdaSEstimate float64 `json:"lambda_s_estimate"`
+	// Trace is the full event log (only when Job.Record was set).
+	Trace []sim.TraceEvent `json:"trace,omitempty"`
+}
+
+// Stats is a snapshot of a Supervisor's lifetime counters.
+type Stats struct {
+	Jobs    uint64 `json:"jobs"`
+	Replans uint64 `json:"replans"`
+}
+
+// Stats returns the supervisor's lifetime counters.
+func (s *Supervisor) Stats() Stats {
+	return Stats{Jobs: s.jobs.Load(), Replans: s.replans.Load()}
+}
+
+// Run executes the job under its (possibly freshly planned) schedule,
+// with recovery but without adaptive re-planning.
+func (s *Supervisor) Run(ctx context.Context, job Job) (*Report, error) {
+	return s.run(ctx, job, nil)
+}
+
+// RunAdaptive executes the job with adaptive re-planning under pol (zero
+// value = defaults).
+func (s *Supervisor) RunAdaptive(ctx context.Context, job Job, pol AdaptPolicy) (*Report, error) {
+	p := pol.normalized()
+	return s.run(ctx, job, &p)
+}
+
+// execution is the mutable state of one run.
+type execution struct {
+	sup   *Supervisor
+	job   Job
+	adapt *AdaptPolicy
+
+	c       *chain.Chain
+	planned platform.Platform // rates the current schedule is planned for
+	sched   *schedule.Schedule
+	runner  TaskRunner
+	store   *Store
+
+	stations []schedule.Station
+	nextIdx  []int
+
+	t        float64
+	cur      int
+	state    State
+	attempts []int
+	est      estimator
+	counters Counters
+	trace    []sim.TraceEvent
+}
+
+func (s *Supervisor) run(ctx context.Context, job Job, adapt *AdaptPolicy) (*Report, error) {
+	start := time.Now()
+	if job.Chain == nil || job.Chain.Len() == 0 {
+		return nil, fmt.Errorf("runtime: empty chain")
+	}
+	if err := job.Platform.Validate(); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	if job.Costs != nil {
+		if job.Costs.Len() != job.Chain.Len() {
+			return nil, fmt.Errorf("runtime: cost table for %d tasks but chain has %d",
+				job.Costs.Len(), job.Chain.Len())
+		}
+	}
+	if job.Algorithm == "" {
+		job.Algorithm = core.AlgADMV
+	}
+	if job.Runner == nil {
+		job.Runner = NopRunner{}
+	}
+	if job.Store == nil {
+		st, err := NewStore("")
+		if err != nil {
+			return nil, err
+		}
+		job.Store = st
+	}
+	if job.MaxRollbacks == 0 {
+		job.MaxRollbacks = 1_000_000
+	}
+
+	sched := job.Schedule
+	if sched == nil {
+		res, err := s.eng.Plan(ctx, engine.Request{
+			Algorithm: job.Algorithm, Chain: job.Chain, Platform: job.Platform,
+			Opts: core.Options{Costs: job.Costs, MaxDiskCheckpoints: job.MaxDiskCheckpoints},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: planning: %w", err)
+		}
+		sched = res.Schedule
+	} else {
+		if sched.Len() != job.Chain.Len() {
+			return nil, fmt.Errorf("runtime: schedule for %d tasks but chain has %d",
+				sched.Len(), job.Chain.Len())
+		}
+		if err := sched.ValidateComplete(); err != nil {
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
+		sched = sched.Clone()
+	}
+
+	e := &execution{
+		sup: s, job: job, adapt: adapt,
+		c: job.Chain, planned: job.Platform, sched: sched,
+		runner: job.Runner, store: job.Store,
+		state:    append(State(nil), job.Initial...),
+		attempts: make([]int, job.Chain.Len()+1),
+	}
+	e.rebuildStations()
+	s.jobs.Add(1)
+
+	rep, err := e.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// rebuildStations recomputes the station walk and the rollback index
+// (nextIdx[pos] = first station strictly after boundary pos) after the
+// schedule changes.
+func (e *execution) rebuildStations() {
+	e.stations = e.sched.Stations()
+	n := e.c.Len()
+	e.nextIdx = make([]int, n+1)
+	idx := 0
+	for pos := 0; pos <= n; pos++ {
+		for idx < len(e.stations) && e.stations[idx].Pos <= pos {
+			idx++
+		}
+		e.nextIdx[pos] = idx
+	}
+}
+
+// costAt returns the effective resilience costs of boundary i.
+func (e *execution) costAt(i int) platform.BoundaryCosts {
+	if e.job.Costs != nil {
+		return e.job.Costs.At(i)
+	}
+	p := e.job.Platform
+	return platform.BoundaryCosts{CD: p.CD, CM: p.CM, RD: p.RD, RM: p.RM, VStar: p.VStar, V: p.V}
+}
+
+func (e *execution) emit(kind string, pos int) {
+	ev := sim.TraceEvent{T: e.t, Kind: kind, Pos: pos}
+	if e.job.Observer != nil {
+		e.job.Observer(ev)
+	}
+	if e.job.Record {
+		e.trace = append(e.trace, ev)
+	}
+}
+
+func (e *execution) execute(ctx context.Context) (*Report, error) {
+	// The virtual task T0: its state is checkpointed everywhere at no
+	// cost, so recovery to boundary 0 is always possible.
+	e.store.SaveMemory(0, e.state)
+	if err := e.store.SaveDisk(0, e.state); err != nil {
+		return nil, err
+	}
+
+	i := e.nextIdx[0]
+	for i < len(e.stations) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if e.job.MaxRollbacks > 0 &&
+			e.counters.DiskRecoveries+e.counters.MemoryRecoveries > int64(e.job.MaxRollbacks) {
+			return nil, fmt.Errorf("runtime: aborted after %d rollbacks (diverging run)", e.job.MaxRollbacks)
+		}
+		st := e.stations[i]
+
+		recovered, err := e.runSegment(ctx, st.Pos)
+		if err != nil {
+			return nil, err
+		}
+		if recovered {
+			i = e.nextIdx[e.cur]
+			continue
+		}
+
+		next, err := e.verifyStation(ctx, st)
+		if err != nil {
+			return nil, err
+		}
+		i = next
+	}
+	e.emit("done", e.c.Len())
+
+	return &Report{
+		Makespan:        e.t,
+		Events:          e.counters,
+		FinalSchedule:   e.sched,
+		LambdaFEstimate: e.est.failStop.rate(e.job.Platform.LambdaF),
+		LambdaSEstimate: e.est.silent.rate(e.job.Platform.LambdaS),
+		Trace:           e.trace,
+	}, nil
+}
+
+// runSegment executes tasks cur+1..to. It reports recovered=true when a
+// fail-stop error interrupted the segment and the execution was restored
+// from the disk tier.
+func (e *execution) runSegment(ctx context.Context, to int) (recovered bool, err error) {
+	for k := e.cur + 1; k <= to; k++ {
+		task := e.c.Task(k)
+		res, err := e.runner.Run(ctx, TaskSpec{
+			Index: k, Name: task.Name, Weight: task.Weight,
+			Attempt: e.attempts[k], State: e.state,
+		})
+		if err != nil {
+			return false, fmt.Errorf("runtime: task %d: %w", k, err)
+		}
+		e.attempts[k]++
+		e.counters.TasksRun++
+		e.t += res.Elapsed
+		e.est.observeCompute(res.Elapsed)
+
+		if res.FailStop {
+			e.counters.FailStop++
+			e.est.failStop.event()
+			e.emit("failstop", k)
+			if err := e.recoverDisk(ctx); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		e.state = res.State
+		e.emit("compute", k)
+	}
+	return false, nil
+}
+
+// recoverDisk restores the last disk checkpoint after a fail-stop: the
+// memory tier is gone with the crash, so it is reseeded from the disk
+// state.
+func (e *execution) recoverDisk(ctx context.Context) error {
+	b, data, err := e.store.LoadDisk()
+	if err != nil {
+		return fmt.Errorf("runtime: fail-stop recovery: %w", err)
+	}
+	if b > 0 {
+		e.t += e.costAt(b).RD
+	}
+	e.counters.DiskRecoveries++
+	e.state = data
+	e.store.SaveMemory(b, data)
+	e.cur = b
+	e.emit("reset", b)
+	e.maybeReplan(ctx)
+	return nil
+}
+
+// recoverMemory rolls back to the last verified in-memory checkpoint
+// after a detected silent corruption.
+func (e *execution) recoverMemory() error {
+	b, data, err := e.store.LoadMemory()
+	if err != nil {
+		return fmt.Errorf("runtime: silent-error rollback: %w", err)
+	}
+	if b > 0 {
+		e.t += e.costAt(b).RM
+	}
+	e.counters.MemoryRecoveries++
+	e.state = data
+	e.cur = b
+	e.emit("rollback", b)
+	return nil
+}
+
+// verifyStation runs the station's verification and checkpoints,
+// returning the index of the next station to walk to.
+func (e *execution) verifyStation(ctx context.Context, st schedule.Station) (int, error) {
+	bc := e.costAt(st.Pos)
+	partial := !st.Action.Has(schedule.Guaranteed)
+	if partial {
+		e.t += bc.V
+	} else {
+		e.t += bc.VStar
+	}
+	e.counters.Verifications++
+	e.emit("verify", st.Pos)
+
+	ok, err := e.runner.Verify(ctx, st.Pos, e.state, partial)
+	if err != nil {
+		return 0, fmt.Errorf("runtime: verification at %d: %w", st.Pos, err)
+	}
+	if !ok {
+		e.counters.SilentDetected++
+		e.est.silent.event()
+		e.emit("detect", st.Pos)
+		if err := e.recoverMemory(); err != nil {
+			return 0, err
+		}
+		return e.nextIdx[e.cur], nil
+	}
+
+	if st.Action.Has(schedule.Memory) {
+		e.t += bc.CM
+		e.store.SaveMemory(st.Pos, e.state)
+		e.counters.CheckpointsMem++
+		e.emit("ckpt-mem", st.Pos)
+	}
+	if st.Action.Has(schedule.Disk) {
+		e.t += bc.CD
+		if err := e.store.SaveDisk(st.Pos, e.state); err != nil {
+			return 0, err
+		}
+		e.counters.CheckpointsDisk++
+		e.emit("ckpt-disk", st.Pos)
+	}
+	e.cur = st.Pos
+	next := e.nextIdx[e.cur]
+	if st.Action.Has(schedule.Disk) {
+		// A disk checkpoint is a natural splice point: everything behind
+		// it is committed, everything ahead is still plannable.
+		e.maybeReplan(ctx)
+		next = e.nextIdx[e.cur]
+	}
+	return next, nil
+}
+
+// maybeReplan re-solves the DP for the remaining suffix when the
+// observed error rates have drifted beyond the policy tolerance from the
+// rates the current schedule was planned for, and splices the new
+// schedule in. Called only at disk-checkpoint boundaries (including
+// right after a disk recovery), where the model's "start fresh from a
+// stored state" assumption holds.
+func (e *execution) maybeReplan(ctx context.Context) {
+	if e.adapt == nil || e.cur >= e.c.Len() {
+		return
+	}
+	if e.counters.Replans >= int64(e.adapt.MaxReplans) {
+		return
+	}
+	fDrift := e.est.failStop.drifted(e.planned.LambdaF, e.adapt.Tolerance, e.adapt.MinEvents)
+	sDrift := e.est.silent.drifted(e.planned.LambdaS, e.adapt.Tolerance, e.adapt.MinEvents)
+	if !fDrift && !sDrift {
+		return
+	}
+
+	// Re-plan the suffix under the observed rates (per source, only once
+	// enough arrivals back the estimate; the other keeps its planned
+	// value).
+	updated := e.planned
+	if fDrift {
+		updated.LambdaF = e.est.failStop.rate(updated.LambdaF)
+	}
+	if sDrift {
+		updated.LambdaS = e.est.silent.rate(updated.LambdaS)
+	}
+
+	n := e.c.Len()
+	m := n - e.cur
+	tasks := make([]chain.Task, m)
+	for j := 1; j <= m; j++ {
+		tasks[j-1] = e.c.Task(e.cur + j)
+	}
+	suffix, err := chain.New(tasks...)
+	if err != nil {
+		return
+	}
+	var opts core.Options
+	if e.job.Costs != nil {
+		sub, err := suffixCosts(e.job.Costs, e.job.Platform, e.cur, m)
+		if err != nil {
+			return
+		}
+		opts.Costs = sub
+	}
+	if e.job.MaxDiskCheckpoints > 0 {
+		// The suffix only gets the budget not yet spent on committed
+		// disk checkpoints behind the splice point.
+		used := 0
+		for pos := 1; pos <= e.cur; pos++ {
+			if e.sched.At(pos).Has(schedule.Disk) {
+				used++
+			}
+		}
+		rem := e.job.MaxDiskCheckpoints - used
+		if rem < 1 {
+			return // no budget left to re-plan the suffix under
+		}
+		if rem > m {
+			rem = m
+		}
+		opts.MaxDiskCheckpoints = rem
+	}
+	res, err := e.sup.eng.Plan(ctx, engine.Request{
+		Algorithm: e.job.Algorithm, Chain: suffix, Platform: updated, Opts: opts,
+	})
+	if err != nil {
+		// A failed re-plan is not fatal: keep executing the current
+		// schedule.
+		return
+	}
+	for j := 1; j <= m; j++ {
+		e.sched.Set(e.cur+j, res.Schedule.At(j))
+	}
+	e.planned = updated
+	e.rebuildStations()
+	e.counters.Replans++
+	e.sup.replans.Add(1)
+	e.emit("replan", e.cur)
+}
+
+// suffixCosts slices a per-boundary cost table to the suffix starting
+// after boundary cur (suffix boundary j maps to original cur+j).
+func suffixCosts(costs *platform.Costs, p platform.Platform, cur, m int) (*platform.Costs, error) {
+	out, err := platform.UniformCosts(p, m)
+	if err != nil {
+		return nil, err
+	}
+	for j := 1; j <= m; j++ {
+		if err := out.Set(j, costs.At(cur+j)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,390 @@
+package runtime
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/sim"
+)
+
+// testPlatform has round-number costs so expected makespans can be
+// written down exactly. Rates are negligible: faults come from scripts.
+func testPlatform() platform.Platform {
+	return platform.Platform{
+		Name: "TestLab", LambdaF: 1e-12, LambdaS: 1e-12,
+		CD: 30, CM: 5, RD: 20, RM: 3, VStar: 7, V: 1, Recall: 0.8,
+	}
+}
+
+// scriptRunner injects faults at scripted (task, attempt) points and
+// scripted partial-verification misses, using the SimRunner state
+// encoding so corruption survives checkpoint/restore cycles.
+type scriptRunner struct {
+	failAt    map[[2]int]float64 // {task, attempt} -> crash after this much compute
+	corruptAt map[[2]int]bool    // {task, attempt} -> corrupt the output
+	missAt    map[[2]int]bool    // {boundary, nth-partial-verify} -> miss
+	verifies  map[int]int        // partial verifies seen per boundary
+}
+
+func (r *scriptRunner) Run(_ context.Context, t TaskSpec) (TaskResult, error) {
+	if x, ok := r.failAt[[2]int{t.Index, t.Attempt}]; ok {
+		return TaskResult{Elapsed: x, FailStop: true}, nil
+	}
+	st := decodeSimState(t.State)
+	if r.corruptAt[[2]int{t.Index, t.Attempt}] {
+		st.Corrupt = true
+	}
+	st.Boundary = t.Index
+	st.Steps++
+	return TaskResult{State: st.encode(), Elapsed: t.Weight}, nil
+}
+
+func (r *scriptRunner) Verify(_ context.Context, boundary int, state State, partial bool) (bool, error) {
+	st := decodeSimState(state)
+	if !st.Corrupt {
+		return true, nil
+	}
+	if !partial {
+		return false, nil
+	}
+	if r.verifies == nil {
+		r.verifies = make(map[int]int)
+	}
+	nth := r.verifies[boundary]
+	r.verifies[boundary]++
+	return r.missAt[[2]int{boundary, nth}], nil
+}
+
+func mustSchedule(t *testing.T, n int, actions map[int]schedule.Action) *schedule.Schedule {
+	t.Helper()
+	s := schedule.MustNew(n)
+	for pos, a := range actions {
+		s.Set(pos, a)
+	}
+	if err := s.ValidateComplete(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func kinds(trace []sim.TraceEvent) []string {
+	out := make([]string, len(trace))
+	for i, ev := range trace {
+		out[i] = ev.Kind
+	}
+	return out
+}
+
+func TestErrorFreeRunMatchesScheduleCost(t *testing.T) {
+	c := chain.MustFromWeights(100, 200, 300, 400)
+	p := testPlatform()
+	sched := mustSchedule(t, 4, map[int]schedule.Action{
+		1: schedule.Partial,
+		2: schedule.Guaranteed | schedule.Memory,
+		4: schedule.Disk,
+	})
+	sup := New(Options{})
+	rep, err := sup.Run(context.Background(), Job{Chain: c, Platform: p, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.TotalWeight() + sched.TotalCost(p.V, p.VStar, p.CM, p.CD)
+	if math.Abs(rep.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan %.6f, want error-free cost %.6f", rep.Makespan, want)
+	}
+	if rep.Events.TasksRun != 4 || rep.Events.FailStop != 0 || rep.Events.Verifications != 3 {
+		t.Fatalf("counters: %+v", rep.Events)
+	}
+}
+
+func TestFailStopRestoresFromDiskCheckpoint(t *testing.T) {
+	c := chain.MustFromWeights(100, 200, 300, 400)
+	p := testPlatform()
+	sched := mustSchedule(t, 4, map[int]schedule.Action{
+		2: schedule.Disk,
+		4: schedule.Disk,
+	})
+	runner := &scriptRunner{failAt: map[[2]int]float64{{3, 0}: 50}}
+	sup := New(Options{})
+	rep, err := sup.Run(context.Background(), Job{
+		Chain: c, Platform: p, Schedule: sched, Runner: runner, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 300 compute + station 2 (V*+CM+CD = 42) + 50 lost + RD 20 +
+	// 700 compute + station 4 (42).
+	want := 300.0 + 42 + 50 + 20 + 700 + 42
+	if math.Abs(rep.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan %.6f, want %.6f", rep.Makespan, want)
+	}
+	ev := rep.Events
+	if ev.FailStop != 1 || ev.DiskRecoveries != 1 || ev.TasksRun != 5 ||
+		ev.CheckpointsDisk != 2 || ev.CheckpointsMem != 2 {
+		t.Fatalf("counters: %+v", ev)
+	}
+	wantKinds := []string{
+		"compute", "compute", "verify", "ckpt-mem", "ckpt-disk",
+		"failstop", "reset",
+		"compute", "compute", "verify", "ckpt-mem", "ckpt-disk", "done",
+	}
+	if !reflect.DeepEqual(kinds(rep.Trace), wantKinds) {
+		t.Fatalf("trace kinds %v, want %v", kinds(rep.Trace), wantKinds)
+	}
+	if rep.Trace[6].Pos != 2 {
+		t.Fatalf("reset at boundary %d, want 2", rep.Trace[6].Pos)
+	}
+}
+
+func TestDetectedSilentErrorRollsBackToMemoryCheckpoint(t *testing.T) {
+	c := chain.MustFromWeights(100, 200, 300)
+	p := testPlatform()
+	sched := mustSchedule(t, 3, map[int]schedule.Action{
+		1: schedule.Memory,
+		3: schedule.Disk,
+	})
+	runner := &scriptRunner{corruptAt: map[[2]int]bool{{2, 0}: true}}
+	sup := New(Options{})
+	rep, err := sup.Run(context.Background(), Job{
+		Chain: c, Platform: p, Schedule: sched, Runner: runner, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 + (V* 7 + CM 5) + 500 + V* 7 (detects) + RM 3 + 500 + (V* 7 +
+	// CM 5 + CD 30).
+	want := 100.0 + 12 + 500 + 7 + 3 + 500 + 42
+	if math.Abs(rep.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan %.6f, want %.6f", rep.Makespan, want)
+	}
+	ev := rep.Events
+	if ev.SilentDetected != 1 || ev.MemoryRecoveries != 1 || ev.DiskRecoveries != 0 {
+		t.Fatalf("counters: %+v", ev)
+	}
+	var rollbackPos = -1
+	for _, e := range rep.Trace {
+		if e.Kind == "rollback" {
+			rollbackPos = e.Pos
+		}
+	}
+	if rollbackPos != 1 {
+		t.Fatalf("rollback to boundary %d, want the memory checkpoint at 1", rollbackPos)
+	}
+}
+
+func TestPartialVerificationMissIsCaughtDownstream(t *testing.T) {
+	c := chain.MustFromWeights(100, 100)
+	p := testPlatform()
+	sched := mustSchedule(t, 2, map[int]schedule.Action{
+		1: schedule.Partial,
+		2: schedule.Disk,
+	})
+	runner := &scriptRunner{
+		corruptAt: map[[2]int]bool{{1, 0}: true},
+		missAt:    map[[2]int]bool{{1, 0}: true}, // first partial check misses
+	}
+	sup := New(Options{})
+	rep, err := sup.Run(context.Background(), Job{
+		Chain: c, Platform: p, Schedule: sched, Runner: runner, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pass 1: 100 + V 1 (miss) + 100 + V* 7 (detect), rollback to T0 is
+	// free. Pass 2: 100 + V 1 + 100 + V* 7 + CM 5 + CD 30.
+	want := 208.0 + 0 + 243
+	if math.Abs(rep.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan %.6f, want %.6f", rep.Makespan, want)
+	}
+	if rep.Events.SilentDetected != 1 || rep.Events.MemoryRecoveries != 1 {
+		t.Fatalf("counters: %+v", rep.Events)
+	}
+	// The rollback target is the virtual boundary 0.
+	joined := strings.Join(kinds(rep.Trace), " ")
+	if !strings.Contains(joined, "detect rollback") {
+		t.Fatalf("trace misses detect->rollback: %v", joined)
+	}
+}
+
+func TestRunPlansWhenScheduleMissing(t *testing.T) {
+	c := chain.MustFromWeights(500, 500, 500, 500, 500)
+	p := platform.Hera()
+	sup := New(Options{})
+	rep, err := sup.Run(context.Background(), Job{Chain: c, Platform: p, Algorithm: core.AlgADMVStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.PlanADMVStar(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FinalSchedule.Equal(want.Schedule) {
+		t.Fatalf("planned schedule %v, want %v", rep.FinalSchedule, want.Schedule)
+	}
+	// NopRunner: the makespan is the schedule's error-free cost.
+	wantT := c.TotalWeight() + want.Schedule.TotalCost(p.V, p.VStar, p.CM, p.CD)
+	if math.Abs(rep.Makespan-wantT) > 1e-9 {
+		t.Fatalf("makespan %.6f, want %.6f", rep.Makespan, wantT)
+	}
+}
+
+func TestSimRunnerRunsAreDeterministicPerSeed(t *testing.T) {
+	c := chain.MustFromWeights(2000, 3000, 2500, 1500, 3000)
+	p := platform.Platform{
+		Name: "Hot", LambdaF: 5e-5, LambdaS: 2e-4,
+		CD: 40, CM: 8, RD: 40, RM: 8, VStar: 8, V: 0.5, Recall: 0.8,
+	}
+	res, err := core.PlanADMV(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := New(Options{})
+	run := func(seed uint64) *Report {
+		rep, err := sup.Run(context.Background(), Job{
+			Chain: c, Platform: p, Schedule: res.Schedule,
+			Runner: NewSimRunner(p, seed), Record: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(7), run(7)
+	if a.Makespan != b.Makespan || !reflect.DeepEqual(a.Events, b.Events) ||
+		!reflect.DeepEqual(a.Trace, b.Trace) {
+		t.Fatalf("same seed diverged: %.3f vs %.3f", a.Makespan, b.Makespan)
+	}
+	other := run(8)
+	if reflect.DeepEqual(a.Trace, other.Trace) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	// The runtime event log renders with the simulator's formatter.
+	text := sim.FormatTrace(a.Trace)
+	if !strings.Contains(text, "compute") || !strings.Contains(text, "done") {
+		t.Fatalf("FormatTrace on runtime events:\n%s", text)
+	}
+}
+
+func TestRunWithFilesystemStoreAndSleepRunner(t *testing.T) {
+	c := chain.MustFromWeights(1, 2, 3)
+	p := testPlatform()
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := mustSchedule(t, 3, map[int]schedule.Action{
+		2: schedule.Disk,
+		3: schedule.Disk,
+	})
+	sup := New(Options{})
+	rep, err := sup.Run(context.Background(), Job{
+		Chain: c, Platform: p, Schedule: sched,
+		Runner: SleepRunner{Scale: 1e-4}, Store: store,
+		Initial: State("seed-input"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Wall <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+	// The disk tier holds the initial and both scheduled checkpoints.
+	bounds, err := store.Boundaries()
+	if err != nil || !reflect.DeepEqual(bounds, []int{0, 2, 3}) {
+		t.Fatalf("disk boundaries %v (%v), want [0 2 3]", bounds, err)
+	}
+	b, data, err := store.LoadDisk()
+	if err != nil || b != 3 {
+		t.Fatalf("LoadDisk = (%d, %v)", b, err)
+	}
+	if !strings.HasPrefix(string(data), "seed-input") || !strings.Contains(string(data), "|T3") {
+		t.Fatalf("final state %q lost the lineage", data)
+	}
+}
+
+func TestRunAbortsAfterMaxRollbacks(t *testing.T) {
+	c := chain.MustFromWeights(10, 10)
+	p := testPlatform()
+	sched := mustSchedule(t, 2, map[int]schedule.Action{2: schedule.Disk})
+	// Every attempt of task 1 crashes immediately: the run can never
+	// progress.
+	runner := &scriptRunner{failAt: map[[2]int]float64{}}
+	for a := 0; a < 100; a++ {
+		runner.failAt[[2]int{1, a}] = 0.5
+	}
+	sup := New(Options{})
+	_, err := sup.Run(context.Background(), Job{
+		Chain: c, Platform: p, Schedule: sched, Runner: runner, MaxRollbacks: 10,
+	})
+	if err == nil || !strings.Contains(err.Error(), "rollbacks") {
+		t.Fatalf("want rollback-guard error, got %v", err)
+	}
+}
+
+func TestRunHonorsContextCancellation(t *testing.T) {
+	c := chain.MustFromWeights(100, 100, 100)
+	p := testPlatform()
+	sched := mustSchedule(t, 3, map[int]schedule.Action{3: schedule.Disk})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sup := New(Options{})
+	if _, err := sup.Run(ctx, Job{Chain: c, Platform: p, Schedule: sched}); err == nil {
+		t.Fatal("cancelled context did not abort the run")
+	}
+}
+
+func TestAdaptiveReplanSplicesSuffix(t *testing.T) {
+	// Modeled rates are negligible, but the scripted runner crashes
+	// three times early on: the MLE drifts far above the model and a
+	// re-plan must fire at a disk boundary.
+	c := chain.MustFromWeights(100, 100, 100, 100, 100, 100, 100, 100)
+	p := platform.Platform{
+		Name: "Drifty", LambdaF: 1e-7, LambdaS: 1e-7,
+		CD: 20, CM: 4, RD: 20, RM: 4, VStar: 4, V: 0.2, Recall: 0.8,
+	}
+	sched := mustSchedule(t, 8, map[int]schedule.Action{
+		2: schedule.Disk,
+		8: schedule.Disk,
+	})
+	runner := &scriptRunner{failAt: map[[2]int]float64{
+		{1, 0}: 10, {1, 1}: 10, {2, 0}: 10,
+	}}
+	sup := New(Options{})
+	rep, err := sup.RunAdaptive(context.Background(), Job{
+		Chain: c, Platform: p, Schedule: sched, Runner: runner, Record: true,
+	}, AdaptPolicy{Tolerance: 1.5, MinEvents: 2, MaxReplans: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events.Replans == 0 {
+		t.Fatalf("no re-plan fired: %+v", rep.Events)
+	}
+	if rep.FinalSchedule.Equal(sched) {
+		t.Fatal("re-plan did not change the schedule")
+	}
+	if err := rep.FinalSchedule.ValidateComplete(); err != nil {
+		t.Fatalf("spliced schedule invalid: %v", err)
+	}
+	var sawReplan bool
+	for _, e := range rep.Trace {
+		if e.Kind == "replan" {
+			sawReplan = true
+		}
+	}
+	if !sawReplan {
+		t.Fatal("no replan event in the trace")
+	}
+	if rep.LambdaFEstimate <= p.LambdaF {
+		t.Fatalf("estimate %.3g did not move above the model %.3g", rep.LambdaFEstimate, p.LambdaF)
+	}
+	if got := sup.Stats(); got.Jobs != 1 || got.Replans == 0 {
+		t.Fatalf("supervisor stats: %+v", got)
+	}
+}

@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestStoreTwoTierRoundTrip(t *testing.T) {
+	for _, dir := range []string{"", t.TempDir()} {
+		name := "volatile"
+		if dir != "" {
+			name = "filesystem"
+		}
+		t.Run(name, func(t *testing.T) {
+			s, err := NewStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SaveMemory(0, []byte("init"))
+			if err := s.SaveDisk(0, []byte("init")); err != nil {
+				t.Fatal(err)
+			}
+			s.SaveMemory(3, []byte("after-3"))
+			if err := s.SaveDisk(5, []byte("after-5")); err != nil {
+				t.Fatal(err)
+			}
+
+			b, data, err := s.LoadMemory()
+			if err != nil || b != 3 || string(data) != "after-3" {
+				t.Fatalf("LoadMemory = (%d, %q, %v)", b, data, err)
+			}
+			b, data, err = s.LoadDisk()
+			if err != nil || b != 5 || string(data) != "after-5" {
+				t.Fatalf("LoadDisk = (%d, %q, %v)", b, data, err)
+			}
+			bounds, err := s.Boundaries()
+			if err != nil || !reflect.DeepEqual(bounds, []int{0, 5}) {
+				t.Fatalf("Boundaries = (%v, %v)", bounds, err)
+			}
+		})
+	}
+}
+
+func TestStoreLoadedDataIsACopy(t *testing.T) {
+	s, err := NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SaveMemory(1, []byte("abc"))
+	_, data, err := s.LoadMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	_, again, _ := s.LoadMemory()
+	if !bytes.Equal(again, []byte("abc")) {
+		t.Fatalf("mutating a loaded state leaked into the store: %q", again)
+	}
+}
+
+func TestStoreFingerprintDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveDisk(2, []byte("precious state")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte on disk behind the store's back.
+	path := filepath.Join(dir, "ckpt-000002.bin")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := s.LoadDisk(); err == nil {
+		t.Fatal("LoadDisk accepted a corrupted checkpoint")
+	}
+}
+
+func TestStoreRecoverLatestSkipsDamagedFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{0, 4, 9} {
+		if err := s.SaveDisk(b, []byte{byte('a' + b)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Damage the newest checkpoint; recovery must fall back to boundary 4.
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-000009.bin"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store simulates a supervisor cold-starting after a crash.
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, data, err := s2.RecoverLatest()
+	if err != nil || b != 4 || !bytes.Equal(data, []byte{'e'}) {
+		t.Fatalf("RecoverLatest = (%d, %q, %v), want (4, \"e\", nil)", b, data, err)
+	}
+
+	// After recovery both tiers serve the recovered state.
+	if mb, _, _ := s2.LoadMemory(); mb != 4 {
+		t.Errorf("memory tier at %d after recovery, want 4", mb)
+	}
+}
+
+func TestStoreRecoverLatestEmpty(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, data, err := s.RecoverLatest()
+	if err != nil || b != -1 || data != nil {
+		t.Fatalf("RecoverLatest on empty store = (%d, %q, %v), want (-1, nil, nil)", b, data, err)
+	}
+}
+
+func TestStoreRetention(t *testing.T) {
+	for _, dir := range []string{"", t.TempDir()} {
+		s, err := NewStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetRetention(2)
+		for b := 0; b <= 6; b += 2 {
+			if err := s.SaveDisk(b, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bounds, err := s.Boundaries()
+		if err != nil || !reflect.DeepEqual(bounds, []int{4, 6}) {
+			t.Fatalf("Boundaries after retention = (%v, %v), want [4 6]", bounds, err)
+		}
+		if b, _, err := s.LoadDisk(); err != nil || b != 6 {
+			t.Fatalf("LoadDisk after prune = (%d, %v)", b, err)
+		}
+	}
+}
+
+func TestStoreIgnoresLeftoverTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveDisk(3, []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	// A crash between write and rename leaves a temporary behind; it
+	// must not surface as a committed boundary.
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-000007.bin.tmp"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := s.Boundaries()
+	if err != nil || !reflect.DeepEqual(bounds, []int{3}) {
+		t.Fatalf("Boundaries = (%v, %v), want [3]", bounds, err)
+	}
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _, err := s2.RecoverLatest(); err != nil || b != 3 {
+		t.Fatalf("RecoverLatest = (%d, %v), want boundary 3", b, err)
+	}
+}

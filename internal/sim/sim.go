@@ -219,15 +219,18 @@ func (w *walker) at(i int) platform.BoundaryCosts {
 	return platform.BoundaryCosts{CD: w.p.CD, CM: w.p.CM, RD: w.p.RD, RM: w.p.RM, VStar: w.p.VStar, V: w.p.V}
 }
 
-// TraceEvent is one step of a replayed execution (see Trace).
+// TraceEvent is one step of a replayed or supervised execution (see
+// Trace and internal/runtime, which emits the same events from real
+// runs). The JSON form is what cmd/chainserve streams as NDJSON.
 type TraceEvent struct {
 	// T is the simulated clock after the event completed, in seconds.
-	T float64
+	T float64 `json:"t"`
 	// Kind is one of compute, failstop, reset, silent, verify, detect,
-	// miss, rollback, ckpt-mem, ckpt-disk, done.
-	Kind string
+	// miss, rollback, ckpt-mem, ckpt-disk, done (and replan, emitted by
+	// the runtime supervisor's adaptive mode).
+	Kind string `json:"kind"`
 	// Pos is the boundary the event relates to.
-	Pos int
+	Pos int `json:"pos"`
 }
 
 // replicate simulates one full execution and returns its makespan,

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+// traceFixture plans a schedule on a platform hot enough that a traced
+// execution contains failures and rollbacks, not just computes.
+func traceFixture(t *testing.T) (events []TraceEvent) {
+	t.Helper()
+	c, err := workload.Uniform(12, 24000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := platform.Platform{
+		Name: "TraceLab", LambdaF: 5e-5, LambdaS: 2e-4,
+		CD: 60, CM: 10, RD: 60, RM: 10, VStar: 10, V: 0.5, Recall: 0.8,
+	}
+	res, err := core.PlanADMV(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err = Trace(c, p, res.Schedule, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestTraceDeterministicPerSeed(t *testing.T) {
+	a := traceFixture(t)
+	b := traceFixture(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different event logs")
+	}
+	if len(a) == 0 || a[len(a)-1].Kind != "done" {
+		t.Fatalf("trace must end with done: %v", a)
+	}
+	// Clocks never run backwards.
+	for i := 1; i < len(a); i++ {
+		if a[i].T < a[i-1].T {
+			t.Fatalf("clock regressed at event %d: %v -> %v", i, a[i-1], a[i])
+		}
+	}
+}
+
+// TestFormatTraceRoundTripsOrdering parses the rendered trace back and
+// checks that every (time, kind, boundary) line appears in the original
+// order — the formatter must neither drop, reorder nor mangle events.
+func TestFormatTraceRoundTripsOrdering(t *testing.T) {
+	events := traceFixture(t)
+	text := FormatTrace(events)
+
+	var parsed []TraceEvent
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		var ev TraceEvent
+		if _, err := fmt.Sscanf(sc.Text(), "t=%f %s at boundary %d", &ev.T, &ev.Kind, &ev.Pos); err != nil {
+			t.Fatalf("unparseable line %q: %v", sc.Text(), err)
+		}
+		parsed = append(parsed, ev)
+	}
+	if len(parsed) != len(events) {
+		t.Fatalf("formatted %d events, parsed %d", len(events), len(parsed))
+	}
+	for i := range events {
+		if parsed[i].Kind != events[i].Kind || parsed[i].Pos != events[i].Pos {
+			t.Fatalf("event %d round-tripped as %+v, want %+v", i, parsed[i], events[i])
+		}
+		// T is rendered with two decimals; compare at that precision.
+		if diff := parsed[i].T - events[i].T; diff > 0.005 || diff < -0.005 {
+			t.Fatalf("event %d time %v drifted from %v", i, parsed[i].T, events[i].T)
+		}
+	}
+}
