@@ -348,6 +348,35 @@ func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 // experiment harness and the command-line tools.
 func DefaultEngine() *Engine { return engine.Default() }
 
+// Kernel is the long-lived solver kernel underneath every planner: it
+// owns size-bucketed pools of scratch arenas, so repeated planning
+// through one kernel runs the dynamic program allocation-free, and it
+// exposes incremental suffix re-solves (ReplanSuffix) that re-plan the
+// remainder of a chain in place — no suffix chain, cost-table slice or
+// constraint slice is materialized. The package-level Plan* functions
+// are thin wrappers over a shared default kernel; build your own when
+// you want isolated pool statistics or an allocation-free hot loop of
+// your own (see internal/core).
+type Kernel = core.Kernel
+
+// KernelStats snapshots a kernel's scratch-pool counters: solves,
+// arena reuses versus fresh allocations, per size bucket.
+type KernelStats = core.KernelStats
+
+// KernelBucketStats is one capacity class of a kernel's scratch pool.
+type KernelBucketStats = core.KernelBucketStats
+
+// NewKernel returns an empty solver kernel.
+//
+//	k := chainckpt.NewKernel()
+//	res, _ := k.PlanOpts(chainckpt.ADMV, c, p, chainckpt.PlanOptions{})
+//	upd, _ := k.ReplanSuffix(chainckpt.ADMV, c, newRates, from, chainckpt.PlanOptions{})
+func NewKernel() *Kernel { return core.NewKernel() }
+
+// DefaultKernel returns the shared process-wide kernel the package-level
+// Plan* functions solve through.
+func DefaultKernel() *Kernel { return core.DefaultKernel() }
+
 // Supervisor executes scheduled chains for real: it drives tasks
 // through a pluggable TaskRunner, owns a two-tier checkpoint store,
 // implements the paper's recovery semantics (fail-stop => restore the

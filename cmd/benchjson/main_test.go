@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: chainckpt/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernelPlan/ADMVStar-50    	     420	   2837029 ns/op	   23516 B/op	       6 allocs/op
+BenchmarkReplanSuffix-8            	    4810	    247545 ns/op	    6872 B/op	       6 allocs/op
+PASS
+ok  	chainckpt/internal/core	2.240s
+pkg: chainckpt
+BenchmarkFigure5Hera-8             	       2	 512345678 ns/op	        12.3 twolevel_gain_%	         4.56 partial_gain_%
+ok  	chainckpt	1.100s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("bad header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Package != "chainckpt/internal/core" || b.Name != "BenchmarkKernelPlan/ADMVStar-50" {
+		t.Errorf("bad identity: %+v", b)
+	}
+	if b.Runs != 420 || b.NsPerOp != 2837029 || b.BytesPerOp != 23516 || b.AllocsPerOp != 6 {
+		t.Errorf("bad values: %+v", b)
+	}
+	fig := rep.Benchmarks[2]
+	if fig.Package != "chainckpt" {
+		t.Errorf("pkg header not tracked across packages: %+v", fig)
+	}
+	if fig.Metrics["twolevel_gain_%"] != 12.3 || fig.Metrics["partial_gain_%"] != 4.56 {
+		t.Errorf("custom metrics lost: %+v", fig.Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok \tx\t0.1s\n")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -383,6 +383,19 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP chainserve_engine_cache_entries Current memo entries.\n"+
 		"# TYPE chainserve_engine_cache_entries gauge\nchainserve_engine_cache_entries %d\n", st.Entries)
 
+	kst := st.Kernel
+	counter("chainserve_kernel_solves_total", "Dynamic-program solves completed by the solver kernel.", kst.Solves)
+	counter("chainserve_kernel_scratch_reuses_total", "Solves served by a recycled scratch arena.", kst.ScratchReuses)
+	counter("chainserve_kernel_scratch_fresh_total", "Solves that allocated a fresh scratch arena.", kst.ScratchFresh)
+	fmt.Fprintf(w, "# HELP chainserve_kernel_scratch_buckets Scratch-pool size classes in use.\n"+
+		"# TYPE chainserve_kernel_scratch_buckets gauge\nchainserve_kernel_scratch_buckets %d\n", len(kst.Buckets))
+	fmt.Fprintf(w, "# HELP chainserve_kernel_scratch_bucket_arenas_total Arena acquisitions per size class (cap = bucket capacity in tasks).\n"+
+		"# TYPE chainserve_kernel_scratch_bucket_arenas_total counter\n")
+	for _, b := range kst.Buckets {
+		fmt.Fprintf(w, "chainserve_kernel_scratch_bucket_arenas_total{cap=\"%d\",kind=\"reused\"} %d\n", b.Cap, b.Reuses)
+		fmt.Fprintf(w, "chainserve_kernel_scratch_bucket_arenas_total{cap=\"%d\",kind=\"fresh\"} %d\n", b.Cap, b.Fresh)
+	}
+
 	sst := s.sup.Stats()
 	jobsTotal, jobsRunning := s.jobs.counts()
 	counter("chainserve_jobs_total", "Execution jobs accepted.", uint64(jobsTotal))

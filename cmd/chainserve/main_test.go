@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -384,6 +385,50 @@ func TestMetricsEngineAndJobGauges(t *testing.T) {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
 		}
+	}
+}
+
+func TestMetricsKernelScratchGauges(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Three distinct instances of one size class: the first solve
+	// allocates an arena, the repeats recycle it (the plans differ, so
+	// the engine memo cannot serve them).
+	postJSON(t, ts.URL+"/v1/plan", `{"platform":"Hera","pattern":"uniform","n":6}`)
+	postJSON(t, ts.URL+"/v1/plan", `{"platform":"Hera","pattern":"decrease","n":6}`)
+	postJSON(t, ts.URL+"/v1/plan", `{"platform":"Atlas","pattern":"uniform","n":6}`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp)
+	// Exact reuse counts depend on which worker's sync.Pool slot served
+	// each solve, so the split between fresh and reused is asserted only
+	// in aggregate (3 solves => 3 arena acquisitions, at least one
+	// fresh), while names, bucket gauge and labels are exact.
+	for _, want := range []string{
+		"chainserve_kernel_solves_total 3",
+		"chainserve_kernel_scratch_fresh_total ",
+		"chainserve_kernel_scratch_reuses_total ",
+		"chainserve_kernel_scratch_buckets 1",
+		`chainserve_kernel_scratch_bucket_arenas_total{cap="8",kind="reused"} `,
+		`chainserve_kernel_scratch_bucket_arenas_total{cap="8",kind="fresh"} `,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	var fresh, reuses uint64
+	for _, line := range strings.Split(metrics, "\n") {
+		if v, ok := strings.CutPrefix(line, "chainserve_kernel_scratch_fresh_total "); ok {
+			fmt.Sscanf(v, "%d", &fresh)
+		}
+		if v, ok := strings.CutPrefix(line, "chainserve_kernel_scratch_reuses_total "); ok {
+			fmt.Sscanf(v, "%d", &reuses)
+		}
+	}
+	if fresh < 1 || fresh+reuses != 3 {
+		t.Errorf("scratch accounting fresh=%d reuses=%d, want fresh>=1 and fresh+reuses=3", fresh, reuses)
 	}
 }
 

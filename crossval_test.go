@@ -170,3 +170,113 @@ func TestCrossValidationEngineMatchesPlan(t *testing.T) {
 		}
 	}
 }
+
+// TestCrossValidationKernelEquivalence is the pooled/incremental solver
+// property: a kernel that recycles dirty scratch arenas, and its
+// incremental suffix re-solves, must be byte-identical — same expected
+// makespan bits, same schedule actions — to fresh full solves of the
+// same instances, across randomized chains, platforms, per-boundary
+// costs, placement constraints and suffix split points.
+func TestCrossValidationKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	shared := NewKernel() // deliberately reused so every solve after the first sees dirty arenas
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(9)
+		c, err := RandomChain(rng, n, 2000+3000*rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := randomPlatform(rng)
+
+		var opts PlanOptions
+		if rng.Intn(2) == 0 {
+			sizes := make([]float64, n)
+			for i := range sizes {
+				sizes[i] = 0.25 + 1.5*rng.Float64()
+			}
+			if opts.Costs, err = ScaledCosts(p, sizes); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			cons, err := NewConstraints(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < n; i++ { // the final boundary must stay fully allowed
+				switch rng.Intn(5) {
+				case 0:
+					cons.Forbid(i, Partial)
+				case 1:
+					cons.Forbid(i, Memory)
+				case 2:
+					cons.Forbid(i, Disk)
+				case 3:
+					cons.Forbid(i, Guaranteed)
+				}
+			}
+			opts.Constraints = cons
+		}
+
+		for _, alg := range []Algorithm{ADV, ADMVStar, ADMV} {
+			// Pooled full solve vs a fresh kernel's full solve.
+			pooled, err := shared.PlanOpts(alg, c, p, opts)
+			if err != nil {
+				t.Fatalf("trial %d %s pooled: %v", trial, alg, err)
+			}
+			fresh, err := NewKernel().PlanOpts(alg, c, p, opts)
+			if err != nil {
+				t.Fatalf("trial %d %s fresh: %v", trial, alg, err)
+			}
+			if pooled.ExpectedMakespan != fresh.ExpectedMakespan || !pooled.Schedule.Equal(fresh.Schedule) {
+				t.Errorf("trial %d %s: pooled solve differs from fresh solve (%.12g vs %.12g)",
+					trial, alg, pooled.ExpectedMakespan, fresh.ExpectedMakespan)
+			}
+
+			// Incremental suffix re-solve under drifted rates vs planning
+			// the suffix as a standalone chain with sliced tables.
+			from := rng.Intn(n)
+			m := n - from
+			drifted := p
+			drifted.LambdaF *= math.Exp((rng.Float64()*4 - 2) * math.Ln2)
+			drifted.LambdaS *= math.Exp((rng.Float64()*4 - 2) * math.Ln2)
+			sOpts := PlanOptions{MaxDiskCheckpoints: 1 + rng.Intn(m)}
+			full := PlanOptions{Costs: opts.Costs, Constraints: opts.Constraints,
+				MaxDiskCheckpoints: sOpts.MaxDiskCheckpoints}
+			inc, err := shared.ReplanSuffix(alg, c, drifted, from, full)
+			if err != nil {
+				t.Fatalf("trial %d %s from=%d incremental: %v", trial, alg, from, err)
+			}
+			suffix, err := ChainFromWeights(c.Weights()[from:]...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if from == 0 {
+				sOpts.Costs, sOpts.Constraints = opts.Costs, opts.Constraints
+			} else {
+				if opts.Costs != nil {
+					if sOpts.Costs, err = opts.Costs.Suffix(from); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if opts.Constraints != nil {
+					if sOpts.Constraints, err = opts.Constraints.Suffix(from); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			standalone, err := NewKernel().PlanOpts(alg, suffix, drifted, sOpts)
+			if err != nil {
+				t.Fatalf("trial %d %s from=%d standalone: %v", trial, alg, from, err)
+			}
+			if inc.ExpectedMakespan != standalone.ExpectedMakespan || !inc.Schedule.Equal(standalone.Schedule) {
+				t.Errorf("trial %d %s from=%d: incremental re-solve differs from standalone suffix solve (%.12g vs %.12g)",
+					trial, alg, from, inc.ExpectedMakespan, standalone.ExpectedMakespan)
+			}
+		}
+	}
+	if st := shared.Stats(); st.ScratchReuses == 0 {
+		t.Errorf("property suite never exercised a dirty arena: %+v", st)
+	}
+}

@@ -63,6 +63,23 @@ func (c *Constraints) Permits(i int, a schedule.Action) bool {
 	return c.allowed[i]&a == a
 }
 
+// Suffix returns the constraints for the last n-from boundaries as a
+// standalone table (suffix boundary j maps to original boundary from+j).
+// It is the explicit-slicing counterpart of Kernel.ReplanSuffix, which
+// consumes the full table in place; the equivalence suite uses it to
+// prove both routes identical.
+func (c *Constraints) Suffix(from int) (*Constraints, error) {
+	if from < 0 || from >= c.n {
+		return nil, fmt.Errorf("core: suffix start %d out of range [0, %d)", from, c.n)
+	}
+	out, err := NewConstraints(c.n - from)
+	if err != nil {
+		return nil, err
+	}
+	copy(out.allowed[1:], c.allowed[from+1:])
+	return out, nil
+}
+
 // validate checks that the constraints leave at least one complete
 // schedule: the final boundary must accept a full disk checkpoint.
 func (c *Constraints) validate(n int) error {
@@ -120,66 +137,42 @@ type Options struct {
 	Workers int
 }
 
-// PlanOpts runs the named algorithm under the given options.
+// PlanOpts runs the named algorithm under the given options. It is a
+// thin wrapper over the process-wide solver kernel, so repeated calls
+// recycle their dynamic-program scratch (see Kernel).
 func PlanOpts(alg Algorithm, c *chain.Chain, p platform.Platform, opts Options) (*Result, error) {
-	switch alg {
-	case AlgADV, AlgADMVStar, AlgADMV:
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
-	}
-	s, err := newSolverWithCosts(c, p, alg, opts.Costs)
-	if err != nil {
-		return nil, err
-	}
-	if opts.Constraints != nil {
-		if err := opts.Constraints.validate(s.n); err != nil {
-			return nil, err
-		}
-		s.cons = opts.Constraints
-	}
-	if opts.MaxDiskCheckpoints != 0 {
-		if opts.MaxDiskCheckpoints < 1 {
-			return nil, fmt.Errorf("core: MaxDiskCheckpoints must be at least 1 (the final checkpoint is mandatory)")
-		}
-		if opts.MaxDiskCheckpoints < s.maxDisk {
-			s.maxDisk = opts.MaxDiskCheckpoints
-		}
-	}
-	if opts.Workers < 0 {
-		return nil, fmt.Errorf("core: Workers must be non-negative, got %d", opts.Workers)
-	}
-	s.workers = opts.Workers
-	return s.run()
+	return DefaultKernel().PlanOpts(alg, c, p, opts)
 }
 
-// The mask helpers below answer "may this boundary serve in this role";
-// boundary 0 is the virtual task T0 and always qualifies as an existing
-// checkpoint/verification position.
+// The mask helpers below answer "may this window boundary serve in this
+// role"; window boundary 0 is the virtual task T0 (or the committed disk
+// checkpoint a suffix re-plan starts from) and always qualifies as an
+// existing checkpoint/verification position.
 
 func (s *solver) mayDisk(i int) bool {
 	if i == 0 || s.cons == nil {
 		return true
 	}
-	return s.cons.Permits(i, schedule.Guaranteed|schedule.Memory|schedule.Disk)
+	return s.cons.Permits(s.lo+i, schedule.Guaranteed|schedule.Memory|schedule.Disk)
 }
 
 func (s *solver) mayMemory(i int) bool {
 	if i == 0 || s.cons == nil {
 		return true
 	}
-	return s.cons.Permits(i, schedule.Guaranteed|schedule.Memory)
+	return s.cons.Permits(s.lo+i, schedule.Guaranteed|schedule.Memory)
 }
 
 func (s *solver) mayGuaranteed(i int) bool {
 	if i == 0 || s.cons == nil {
 		return true
 	}
-	return s.cons.Permits(i, schedule.Guaranteed)
+	return s.cons.Permits(s.lo+i, schedule.Guaranteed)
 }
 
 func (s *solver) mayPartial(i int) bool {
 	if i == 0 || s.cons == nil {
 		return true
 	}
-	return s.cons.Permits(i, schedule.Partial)
+	return s.cons.Permits(s.lo+i, schedule.Partial)
 }

@@ -21,8 +21,6 @@
 package core
 
 import (
-	"fmt"
-
 	"chainckpt/internal/chain"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/schedule"
@@ -61,18 +59,11 @@ func (r *Result) NormalizedMakespan(c *chain.Chain) float64 {
 	return r.ExpectedMakespan / c.TotalWeight()
 }
 
-// Plan runs the named algorithm on the chain under the platform.
+// Plan runs the named algorithm on the chain under the platform. Like
+// every package-level planning function it is a thin wrapper over the
+// process-wide Kernel, so repeated planning recycles scratch arenas.
 func Plan(alg Algorithm, c *chain.Chain, p platform.Platform) (*Result, error) {
-	switch alg {
-	case AlgADV, AlgADMVStar, AlgADMV:
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
-	}
-	s, err := newSolver(c, p, alg)
-	if err != nil {
-		return nil, err
-	}
-	return s.run()
+	return PlanOpts(alg, c, p, Options{})
 }
 
 // PlanADV runs the single-level algorithm (disk checkpoints and

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+// benchChain returns the paper-scale uniform chain used by the kernel
+// benchmarks.
+func benchChain(b *testing.B, n int) *chain.Chain {
+	b.Helper()
+	c, err := workload.Uniform(n, workload.PaperTotalWeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkKernelPlan measures repeated planning through one long-lived
+// kernel (the engine-worker shape): every solve after the first runs the
+// dynamic program in recycled arenas, so allocs/op collapses to the
+// Result and its Schedule.
+func BenchmarkKernelPlan(b *testing.B) {
+	p := platform.Hera()
+	for _, bc := range []struct {
+		name string
+		alg  Algorithm
+		n    int
+	}{
+		{"ADMVStar-50", AlgADMVStar, 50},
+		{"ADMV-20", AlgADMV, 20},
+	} {
+		c := benchChain(b, bc.n)
+		b.Run(bc.name, func(b *testing.B) {
+			k := NewKernel()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.PlanOpts(bc.alg, c, p, Options{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelPlanCold is the allocation baseline for the same
+// instances: a brand-new kernel per solve has empty pools, so every
+// iteration pays the full arena construction the seed solver paid on
+// every call. Comparing allocs/op against BenchmarkKernelPlan is the
+// pooled-vs-unpooled headline.
+func BenchmarkKernelPlanCold(b *testing.B) {
+	p := platform.Hera()
+	for _, bc := range []struct {
+		name string
+		alg  Algorithm
+		n    int
+	}{
+		{"ADMVStar-50", AlgADMVStar, 50},
+		{"ADMV-20", AlgADMV, 20},
+	} {
+		c := benchChain(b, bc.n)
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewKernel().PlanOpts(bc.alg, c, p, Options{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplanSuffix measures the adaptive supervisor's hot path: a
+// mid-run rate drift forces the second half of a 50-task chain to be
+// re-planned. The incremental route re-solves the window in place with
+// pooled scratch.
+func BenchmarkReplanSuffix(b *testing.B) {
+	p := platform.Hera()
+	drifted := p
+	drifted.LambdaF *= 4
+	drifted.LambdaS *= 4
+	c := benchChain(b, 50)
+	const from = 25
+	k := NewKernel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.ReplanSuffix(AlgADMVStar, c, drifted, from, Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplanSuffixViaFreshChain is the pre-kernel route the
+// supervisor used to take: materialize the suffix as a new chain, then
+// run a full solve with cold arenas.
+func BenchmarkReplanSuffixViaFreshChain(b *testing.B) {
+	p := platform.Hera()
+	drifted := p
+	drifted.LambdaF *= 4
+	drifted.LambdaS *= 4
+	c := benchChain(b, 50)
+	const from = 25
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		suffix, err := chain.FromWeights(c.Weights()[from:]...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := NewKernel().PlanOpts(AlgADMVStar, suffix, drifted, Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

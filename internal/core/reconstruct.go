@@ -17,9 +17,11 @@ func (s *solver) reconstruct(kFinal int, diskPrev [][]int, memPrevAll [][]int, e
 		return nil, err
 	}
 
+	dp := s.sc.ensureDP(n)
+
 	// Disk checkpoint positions, in increasing order, walking the
 	// (position, checkpoints-used) argmin chain back from (n, kFinal).
-	var disks []int
+	disks := dp.posD[:0]
 	for d, k := n, kFinal; d != 0; k-- {
 		if d < 0 || k < 1 {
 			return nil, fmt.Errorf("core: broken disk argmin chain at (%d, %d)", d, k)
@@ -31,17 +33,17 @@ func (s *solver) reconstruct(kFinal int, diskPrev [][]int, memPrevAll [][]int, e
 
 	var sc *partialScratch
 	if s.alg == AlgADMV {
-		sc = newPartialScratch(n)
+		sc = s.sc.reconPartial()
 	}
-	row := make([]float64, n+1)
-	arg := make([]int, n+1)
+	row := dp.row[: n+1 : n+1]
+	arg := dp.arg[: n+1 : n+1]
 
 	d1 := 0
 	for _, d2 := range disks {
 		sched.Set(d2, schedule.Disk)
 
 		// Memory checkpoint positions in (d1, d2], increasing.
-		var mems []int
+		mems := dp.posM[:0]
 		for m := d2; m != d1; m = memPrevAll[d1][m] {
 			if m < d1 {
 				return nil, fmt.Errorf("core: broken memory argmin chain at %d (disk %d)", m, d1)
@@ -58,7 +60,7 @@ func (s *solver) reconstruct(kFinal int, diskPrev [][]int, memPrevAll [][]int, e
 
 			// Guaranteed verification positions in (m1, m2], increasing.
 			s.verifRow(d1, m1, ememAll[d1][m1], sc, row, arg)
-			var verifs []int
+			verifs := dp.posV[:0]
 			for v := m2; v != m1; v = arg[v] {
 				if v < m1 {
 					return nil, fmt.Errorf("core: broken verification argmin chain at %d (mem %d)", v, m1)

@@ -11,28 +11,48 @@ import (
 	"chainckpt/internal/platform"
 )
 
-// solver carries the state of one planning run. Its methods are safe to
-// call from multiple goroutines as long as each goroutine uses its own
-// scratch buffers: the precomputed tables are read-only after newSolver.
+// solver carries the state of one planning run over a window of the
+// chain: the suffix of tasks T_{lo+1..N} (lo = 0 plans the whole chain).
+// Its methods are safe to call from multiple goroutines as long as each
+// goroutine uses its own scratch buffers: the precomputed tables are
+// read-only after newWindowSolver.
+//
+// Every working array lives in a scratch arena, so a solver itself never
+// allocates beyond its Result; a Kernel recycles arenas across solves.
 type solver struct {
 	c   *chain.Chain
 	p   platform.Platform
 	alg Algorithm
-	n   int
+	// lo is the first boundary of the planning window: the window covers
+	// tasks T_{lo+1}..T_N of the chain, re-indexed 1..n locally. Boundary
+	// lo plays the role of the virtual task T0 (free recovery), which is
+	// exactly the model's state right after a committed disk checkpoint —
+	// the suffix re-planning case.
+	lo  int
+	n   int     // window length (tasks), local boundaries 0..n
 	g   float64 // 1 - recall
 	lfs float64 // lambda_f + lambda_s
+	// pre[i] = w_{lo+1} + ... + w_{lo+i}: window prefix weights,
+	// accumulated left to right exactly like chain.New builds its own
+	// prefix, so a window solve is bit-identical to solving a standalone
+	// chain of the same tasks.
+	pre []float64
 	// cons, when non-nil, restricts which boundaries may carry which
-	// mechanisms (see PlanConstrained).
+	// mechanisms (see PlanConstrained). Indexed by original boundary.
 	cons *Constraints
 	// costs, when non-nil, overrides the platform's constant costs with
-	// per-boundary values (see PlanFull and platform.Costs).
+	// per-boundary values (see PlanFull and platform.Costs). Indexed by
+	// original boundary.
 	costs *platform.Costs
-	// maxDisk bounds the number of disk checkpoints (boundaries 1..n,
-	// including the mandatory final one). Always in [1, n].
+	// maxDisk bounds the number of disk checkpoints (window boundaries
+	// 1..n, including the mandatory final one). Always in [1, n].
 	maxDisk int
 	// workers bounds the parallelism of run() across disk positions;
 	// zero means GOMAXPROCS. The result is identical for any value.
 	workers int
+	// sc owns every working array of the run. Pooled solvers borrow it
+	// from a Kernel; fresh solvers allocate their own.
+	sc *scratch
 
 	// Per-segment exponential tables, indexed by idx(i,j) for the segment
 	// weight W_{i,j}. They depend only on the interval, not on checkpoint
@@ -45,13 +65,19 @@ type solver struct {
 	sInt, sFm1, fsM1, sM1, pf, pfTl, pnW []float64
 }
 
-func newSolver(c *chain.Chain, p platform.Platform, alg Algorithm) (*solver, error) {
-	return newSolverWithCosts(c, p, alg, nil)
+func newSolverWithCosts(c *chain.Chain, p platform.Platform, alg Algorithm, costs *platform.Costs) (*solver, error) {
+	return newWindowSolver(c, p, alg, 0, costs, nil)
 }
 
-func newSolverWithCosts(c *chain.Chain, p platform.Platform, alg Algorithm, costs *platform.Costs) (*solver, error) {
+// newWindowSolver builds a solver for the window [lo, N] of the chain.
+// With sc == nil a fresh arena is allocated; otherwise sc must have
+// capacity for at least N-lo tasks.
+func newWindowSolver(c *chain.Chain, p platform.Platform, alg Algorithm, lo int, costs *platform.Costs, sc *scratch) (*solver, error) {
 	if c == nil || c.Len() == 0 {
 		return nil, fmt.Errorf("core: empty chain")
+	}
+	if lo < 0 || lo >= c.Len() {
+		return nil, fmt.Errorf("core: window start %d out of range [0, %d)", lo, c.Len())
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -64,15 +90,23 @@ func newSolverWithCosts(c *chain.Chain, p platform.Platform, alg Algorithm, cost
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
+	n := c.Len() - lo
+	if sc == nil {
+		sc = newScratch(n)
+	} else if sc.cap < n {
+		return nil, fmt.Errorf("core: scratch capacity %d too small for %d tasks", sc.cap, n)
+	}
 	s := &solver{
 		c:       c,
 		p:       p,
 		alg:     alg,
-		n:       c.Len(),
+		lo:      lo,
+		n:       n,
 		g:       p.G(),
 		lfs:     p.LambdaF + p.LambdaS,
 		costs:   costs,
-		maxDisk: c.Len(),
+		maxDisk: n,
+		sc:      sc,
 	}
 	s.buildTables()
 	return s, nil
@@ -81,7 +115,7 @@ func newSolverWithCosts(c *chain.Chain, p platform.Platform, alg Algorithm, cost
 func (s *solver) buildTables() {
 	n := s.n
 	size := (n + 1) * (n + 1)
-	backing := make([]float64, 7*size)
+	backing := s.sc.tables[: 7*size : 7*size]
 	s.sInt, backing = backing[:size:size], backing[size:]
 	s.sFm1, backing = backing[:size:size], backing[size:]
 	s.fsM1, backing = backing[:size:size], backing[size:]
@@ -90,11 +124,18 @@ func (s *solver) buildTables() {
 	s.pfTl, backing = backing[:size:size], backing[size:]
 	s.pnW = backing[:size:size]
 
+	pre := s.sc.pre[: n+1 : n+1]
+	pre[0] = 0
+	for i := 1; i <= n; i++ {
+		pre[i] = pre[i-1] + s.c.Weight(s.lo+i)
+	}
+	s.pre = pre
+
 	lf, ls := s.p.LambdaF, s.p.LambdaS
 	for i := 0; i <= n; i++ {
 		base := i * (n + 1)
 		for j := i; j <= n; j++ {
-			w := s.c.SegmentWeight(i, j)
+			w := pre[j] - pre[i]
 			S := expmath.Growth(ls, w)
 			pf := expmath.ProbError(lf, w)
 			k := base + j
@@ -109,60 +150,61 @@ func (s *solver) buildTables() {
 	}
 }
 
-// idx addresses the (i,j) entry of the segment tables.
+// idx addresses the (i,j) entry of the segment tables (window-local).
 func (s *solver) idx(i, j int) int { return i*(s.n+1) + j }
 
-// rd returns the disk recovery cost of the checkpoint at d1, which is
-// zero when that checkpoint is the virtual task T0 (restarting from
-// scratch is free).
+// rd returns the disk recovery cost of the checkpoint at window boundary
+// d1, which is zero when that checkpoint is the window origin (the
+// virtual task T0, or the committed disk checkpoint a suffix re-plan
+// starts from: restarting from it is free by the model's convention).
 func (s *solver) rd(d1 int) float64 {
 	if d1 == 0 {
 		return 0
 	}
 	if s.costs != nil {
-		return s.costs.At(d1).RD
+		return s.costs.At(s.lo + d1).RD
 	}
 	return s.p.RD
 }
 
-// rm returns the memory recovery cost of the checkpoint at m1, zero at
-// the virtual task T0.
+// rm returns the memory recovery cost of the checkpoint at window
+// boundary m1, zero at the window origin.
 func (s *solver) rm(m1 int) float64 {
 	if m1 == 0 {
 		return 0
 	}
 	if s.costs != nil {
-		return s.costs.At(m1).RM
+		return s.costs.At(s.lo + m1).RM
 	}
 	return s.p.RM
 }
 
 // cdAt, cmAt, vstarAt and vAt return the checkpoint and verification
-// costs of boundary i.
+// costs of window boundary i.
 func (s *solver) cdAt(i int) float64 {
 	if s.costs != nil {
-		return s.costs.At(i).CD
+		return s.costs.At(s.lo + i).CD
 	}
 	return s.p.CD
 }
 
 func (s *solver) cmAt(i int) float64 {
 	if s.costs != nil {
-		return s.costs.At(i).CM
+		return s.costs.At(s.lo + i).CM
 	}
 	return s.p.CM
 }
 
 func (s *solver) vstarAt(i int) float64 {
 	if s.costs != nil {
-		return s.costs.At(i).VStar
+		return s.costs.At(s.lo + i).VStar
 	}
 	return s.p.VStar
 }
 
 func (s *solver) vAt(i int) float64 {
 	if s.costs != nil {
-		return s.costs.At(i).V
+		return s.costs.At(s.lo + i).V
 	}
 	return s.p.V
 }
@@ -307,11 +349,12 @@ func (s *solver) verifRow(d1, m1 int, ememVal float64, sc *partialScratch, ev []
 // position between two disk checkpoints is d1 itself, which restricts the
 // inner minimization to m1 = d1 and recovers the single-level algorithm.
 func (s *solver) memLevel(d1 int, emem []float64, mprev []int) {
-	var sc *partialScratch
-	if s.alg == AlgADMV {
-		sc = newPartialScratch(s.n)
-	}
-	rows := make([][]float64, s.n+1)
+	ms := s.sc.getMem(s.n, s.alg == AlgADMV)
+	defer s.sc.putMem(ms)
+	sc := ms.partial
+	rows := ms.rows[: s.n+1 : s.n+1]
+	clear(rows)
+	stride := s.n + 1
 	emem[d1] = 0
 	mprev[d1] = d1
 	for m1 := d1; m1 <= s.n; m1++ {
@@ -329,7 +372,7 @@ func (s *solver) memLevel(d1 int, emem []float64, mprev []int) {
 			emem[m1], mprev[m1] = best, bi
 		}
 		if m1 < s.n && (s.alg != AlgADV || m1 == d1) && (m1 == d1 || s.mayMemory(m1)) {
-			row := make([]float64, s.n+1)
+			row := ms.rowBuf[m1*stride : (m1+1)*stride : (m1+1)*stride]
 			s.verifRow(d1, m1, emem[m1], sc, row, nil)
 			rows[m1] = row
 		}
@@ -341,12 +384,16 @@ func (s *solver) memLevel(d1 int, emem []float64, mprev []int) {
 // d1 are independent and are computed in parallel.
 func (s *solver) run() (*Result, error) {
 	n := s.n
-	ememAll := make([][]float64, n)
-	memPrevAll := make([][]int, n)
+	dp := s.sc.ensureDP(n)
+	stride := n + 1
+	ememAll := dp.ememHdr[:n:n]
+	memPrevAll := dp.mprvHdr[:n:n]
+	clear(ememAll)
+	clear(memPrevAll)
 
 	row := func(d1 int) {
-		emem := make([]float64, n+1)
-		mprev := make([]int, n+1)
+		emem := dp.ememBuf[d1*stride : (d1+1)*stride : (d1+1)*stride]
+		mprev := dp.mprvBuf[d1*stride : (d1+1)*stride : (d1+1)*stride]
 		s.memLevel(d1, emem, mprev)
 		ememAll[d1] = emem
 		memPrevAll[d1] = mprev
@@ -392,11 +439,11 @@ func (s *solver) run() (*Result, error) {
 	// default budget of n the dimension is exact but harmless (the level
 	// is quadratic either way and far off the critical path).
 	K := s.maxDisk
-	edisk := make([][]float64, n+1) // edisk[d2][k], k checkpoints in 1..d2
-	diskPrev := make([][]int, n+1)
+	edisk := dp.edskHdr[: n+1 : n+1] // edisk[d2][k], k checkpoints in 1..d2
+	diskPrev := dp.dprvHdr[: n+1 : n+1]
 	for d2 := 0; d2 <= n; d2++ {
-		edisk[d2] = make([]float64, K+1)
-		diskPrev[d2] = make([]int, K+1)
+		edisk[d2] = dp.edskBuf[d2*(K+1) : (d2+1)*(K+1) : (d2+1)*(K+1)]
+		diskPrev[d2] = dp.dprvBuf[d2*(K+1) : (d2+1)*(K+1) : (d2+1)*(K+1)]
 		for k := range edisk[d2] {
 			edisk[d2][k] = math.Inf(1)
 			diskPrev[d2][k] = -1

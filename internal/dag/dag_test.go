@@ -280,3 +280,93 @@ func TestChainDegenerateDAGMatchesChainPlanner(t *testing.T) {
 		t.Errorf("path DAG %f vs chain %f", res.Plan.ExpectedMakespan, direct.ExpectedMakespan)
 	}
 }
+
+// TestSearchMemoSkipsIdenticalWeightSequences: the chain DP depends only
+// on the serialized weight sequence, so a search over linearizations of
+// an equal-weight graph must collapse onto a handful of solves.
+func TestSearchMemoSkipsIdenticalWeightSequences(t *testing.T) {
+	// A 2x3 grid of equal-weight tasks has many topological orders but
+	// exactly one weight sequence.
+	g := New()
+	ids := []string{"a", "b", "c", "d", "e", "f"}
+	for _, id := range ids {
+		if err := g.AddNode(id, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"d", "e"}, {"e", "f"}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := platform.Hera()
+	p.LambdaF *= 50
+	p.LambdaS *= 50
+
+	res, err := OptimalOrder(core.AlgADMVStar, g, p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solves != 1 {
+		t.Errorf("equal-weight grid ran %d solves, want 1 (all orders share one weight sequence)", res.Solves)
+	}
+	if res.Memoized == 0 {
+		t.Errorf("no memo hits over %d+%d candidate orders", res.Solves, res.Memoized)
+	}
+	t.Logf("exhaustive search: %d solves, %d memoized orders", res.Solves, res.Memoized)
+
+	// Distinct weights keep every order distinct: the memo must not
+	// conflate them.
+	g2 := New()
+	for i, id := range ids {
+		if err := g2.AddNode(id, 1000+float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"d", "e"}, {"e", "f"}} {
+		if err := g2.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res2, err := OptimalOrder(core.AlgADMVStar, g2, p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Memoized != 0 {
+		t.Errorf("distinct-weight grid hit the memo %d times", res2.Memoized)
+	}
+	if res2.Solves < 2 {
+		t.Errorf("distinct-weight grid ran only %d solves", res2.Solves)
+	}
+}
+
+// BenchmarkDAGPlan measures the linearization search: two parallel
+// pipelines of six stages each, all strategies, sharing one kernel and
+// the weight-sequence memo.
+func BenchmarkDAGPlan(b *testing.B) {
+	g := New()
+	for pipe := 0; pipe < 2; pipe++ {
+		prev := ""
+		for stage := 0; stage < 6; stage++ {
+			id := string(rune('a'+pipe)) + string(rune('0'+stage))
+			if err := g.AddNode(id, 1000+float64(200*pipe+50*stage)); err != nil {
+				b.Fatal(err)
+			}
+			if prev != "" {
+				if err := g.AddEdge(prev, id); err != nil {
+					b.Fatal(err)
+				}
+			}
+			prev = id
+		}
+	}
+	p := platform.Hera()
+	p.LambdaF *= 50
+	p.LambdaS *= 50
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(core.AlgADMVStar, g, p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

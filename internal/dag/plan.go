@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"chainckpt/internal/chain"
 	"chainckpt/internal/core"
 	"chainckpt/internal/platform"
 )
@@ -16,11 +17,68 @@ type Result struct {
 	Order []string
 	// Plan is the optimal chain plan for that serialization.
 	Plan *core.Result
+	// Solves and Memoized count the chain dynamic programs actually run
+	// versus the candidate orders served from the search's weight-vector
+	// memo: the chain DP depends only on the weight sequence, so two
+	// linearizations that permute equal-weight tasks into the same
+	// sequence cost one solve. On workflows with repeated task shapes
+	// (map-reduce stages, parameter sweeps) Memoized dominates.
+	Solves   int
+	Memoized int
+}
+
+// search runs chain solves for candidate linearizations of one (alg,
+// platform) instance. All candidates share one solver kernel — the
+// scratch arenas of a solve are recycled into the next — and a memo
+// keyed by the exact weight sequence, since the chain DP cannot tell two
+// orders apart that serialize to the same weights.
+type search struct {
+	k        *core.Kernel
+	alg      core.Algorithm
+	p        platform.Platform
+	memo     map[string]*core.Result
+	solves   int
+	memoized int
+}
+
+func newSearch(alg core.Algorithm, p platform.Platform) *search {
+	return &search{k: core.DefaultKernel(), alg: alg, p: p, memo: make(map[string]*core.Result)}
+}
+
+// weightKey is the memo key: the raw IEEE-754 bits of the weight
+// sequence, so distinct values never collide and equal sequences always
+// hit.
+func weightKey(c *chain.Chain) string {
+	buf := make([]byte, 8*c.Len())
+	for i := 1; i <= c.Len(); i++ {
+		bits := math.Float64bits(c.Weight(i))
+		for b := 0; b < 8; b++ {
+			buf[(i-1)*8+b] = byte(bits >> (8 * b))
+		}
+	}
+	return string(buf)
+}
+
+func (s *search) plan(c *chain.Chain) (*core.Result, error) {
+	key := weightKey(c)
+	if res, ok := s.memo[key]; ok {
+		s.memoized++
+		return res, nil
+	}
+	res, err := s.k.Plan(s.alg, c, s.p)
+	if err != nil {
+		return nil, err
+	}
+	s.memo[key] = res
+	s.solves++
+	return res, nil
 }
 
 // Plan serializes the DAG with every given strategy (all of them when
 // strategies is nil), runs the chain dynamic program on each
-// serialization, and returns the best combination.
+// serialization, and returns the best combination. The strategies share
+// one solver kernel and skip re-solving serializations with identical
+// weight sequences.
 func Plan(alg core.Algorithm, g *Graph, p platform.Platform, strategies []Strategy) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -31,6 +89,7 @@ func Plan(alg core.Algorithm, g *Graph, p platform.Platform, strategies []Strate
 	if len(strategies) == 0 {
 		return nil, fmt.Errorf("dag: no strategies given")
 	}
+	sr := newSearch(alg, p)
 	var best *Result
 	for _, s := range strategies {
 		order, err := g.Linearize(s)
@@ -41,7 +100,7 @@ func Plan(alg core.Algorithm, g *Graph, p platform.Platform, strategies []Strate
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Plan(alg, c, p)
+		res, err := sr.plan(c)
 		if err != nil {
 			return nil, fmt.Errorf("dag: strategy %s: %w", s, err)
 		}
@@ -49,17 +108,21 @@ func Plan(alg core.Algorithm, g *Graph, p platform.Platform, strategies []Strate
 			best = &Result{Strategy: s, Order: g.IDs(order), Plan: res}
 		}
 	}
+	best.Solves, best.Memoized = sr.solves, sr.memoized
 	return best, nil
 }
 
 // OptimalOrder exhaustively searches every topological order (bounded by
 // maxOrders) and returns the globally optimal serialization: the
-// yardstick the strategies are measured against on small workflows.
+// yardstick the strategies are measured against on small workflows. The
+// weight-vector memo pays off most here — on graphs with equal-weight
+// tasks, whole families of topological orders collapse onto one solve.
 func OptimalOrder(alg core.Algorithm, g *Graph, p platform.Platform, maxOrders int) (*Result, error) {
 	orders, err := g.AllOrders(maxOrders)
 	if err != nil {
 		return nil, err
 	}
+	sr := newSearch(alg, p)
 	best := math.Inf(1)
 	var out *Result
 	for _, order := range orders {
@@ -67,7 +130,7 @@ func OptimalOrder(alg core.Algorithm, g *Graph, p platform.Platform, maxOrders i
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Plan(alg, c, p)
+		res, err := sr.plan(c)
 		if err != nil {
 			return nil, err
 		}
@@ -75,6 +138,9 @@ func OptimalOrder(alg core.Algorithm, g *Graph, p platform.Platform, maxOrders i
 			best = res.ExpectedMakespan
 			out = &Result{Strategy: "exhaustive", Order: g.IDs(order), Plan: res}
 		}
+	}
+	if out != nil {
+		out.Solves, out.Memoized = sr.solves, sr.memoized
 	}
 	return out, nil
 }

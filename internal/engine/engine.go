@@ -44,6 +44,12 @@ type Options struct {
 	// negative disables the cache entirely, including in-flight request
 	// coalescing.
 	CacheSize int
+	// Kernel is the solver kernel the workers solve through (default: a
+	// kernel private to this engine). One kernel serves every worker:
+	// its size-bucketed arena pools hand each concurrent solve its own
+	// scratch, and recycle it when the solve finishes, so a steady
+	// request mix plans allocation-free (see Stats.Kernel).
+	Kernel *core.Kernel
 }
 
 func (o Options) normalized() Options {
@@ -109,6 +115,10 @@ type Stats struct {
 	// strings (requests the solver will reject) are lumped under
 	// "other", keeping the map bounded against hostile input.
 	Algorithms map[string]uint64
+	// Kernel reports the solver kernel's scratch-pool counters: how many
+	// solves recycled an arena versus allocated a fresh one, per size
+	// bucket.
+	Kernel core.KernelStats
 }
 
 // HitRatio returns the fraction of requests served from the memo, 0
@@ -134,6 +144,7 @@ type entry struct {
 // concurrent use.
 type Engine struct {
 	opts    Options
+	kernel  *core.Kernel
 	jobs    chan func()
 	workers sync.WaitGroup // pool goroutines
 	pending sync.WaitGroup // submitted, not yet finished jobs
@@ -153,8 +164,13 @@ type Engine struct {
 // Close it to release them.
 func New(opts Options) *Engine {
 	opts = opts.normalized()
+	kernel := opts.Kernel
+	if kernel == nil {
+		kernel = core.NewKernel()
+	}
 	e := &Engine{
 		opts:      opts,
+		kernel:    kernel,
 		jobs:      make(chan func()),
 		cache:     make(map[string]*list.Element),
 		order:     list.New(),
@@ -455,12 +471,17 @@ func (e *Engine) solve(req Request) (*core.Result, error) {
 	if opts.Workers == 0 {
 		opts.Workers = 1
 	}
-	res, err := core.PlanOpts(req.Algorithm, req.Chain, req.Platform, opts)
+	res, err := e.kernel.PlanOpts(req.Algorithm, req.Chain, req.Platform, opts)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	return res, nil
 }
+
+// Kernel returns the solver kernel the engine's workers solve through,
+// so co-located components (the execution supervisor's suffix re-plans,
+// a DAG linearization search) can share its scratch pools.
+func (e *Engine) Kernel() *core.Kernel { return e.kernel }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
@@ -481,6 +502,7 @@ func (e *Engine) Stats() Stats {
 		Errors:      e.errors.Load(),
 		Entries:     entries,
 		Algorithms:  algs,
+		Kernel:      e.kernel.Stats(),
 	}
 }
 

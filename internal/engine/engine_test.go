@@ -430,3 +430,38 @@ func TestStatsUnknownAlgorithmsLumpedAsOther(t *testing.T) {
 		t.Fatalf("Algorithms = %v, want {other: 3}", st.Algorithms)
 	}
 }
+
+// TestStatsKernelPooling: the engine's workers solve through one shared
+// kernel, so a batch of distinct requests must show arena recycling in
+// Stats, and an injected kernel must be the one reported.
+func TestStatsKernelPooling(t *testing.T) {
+	kern := core.NewKernel()
+	e := New(Options{Workers: 2, CacheSize: -1, Kernel: kern})
+	defer e.Close()
+	if e.Kernel() != kern {
+		t.Fatal("injected kernel not adopted")
+	}
+	reqs := testRequests(t, 24)
+	for _, r := range e.PlanMany(context.Background(), reqs) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	st := e.Stats()
+	if st.Kernel.Solves != 24 {
+		t.Errorf("kernel solves = %d, want 24 (cache disabled)", st.Kernel.Solves)
+	}
+	if st.Kernel.ScratchReuses == 0 {
+		t.Errorf("no arena reuse across 24 solves: %+v", st.Kernel)
+	}
+	if len(st.Kernel.Buckets) == 0 {
+		t.Error("no kernel buckets reported")
+	}
+	var total uint64
+	for _, b := range st.Kernel.Buckets {
+		total += b.Reuses + b.Fresh
+	}
+	if total != st.Kernel.ScratchFresh+st.Kernel.ScratchReuses {
+		t.Errorf("bucket totals %d disagree with counters %+v", total, st.Kernel)
+	}
+}

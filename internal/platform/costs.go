@@ -82,6 +82,20 @@ func (c *Costs) Set(i int, b BoundaryCosts) error {
 	return nil
 }
 
+// Suffix returns the cost table of the last n-from boundaries as a
+// standalone table (suffix boundary j maps to original boundary from+j):
+// what planning the suffix of a chain as its own instance needs. The
+// solver kernel's ReplanSuffix consumes the full table in place instead;
+// the equivalence suite uses Suffix to prove both routes identical.
+func (c *Costs) Suffix(from int) (*Costs, error) {
+	if from < 0 || from >= c.n {
+		return nil, fmt.Errorf("platform: suffix start %d out of range [0, %d)", from, c.n)
+	}
+	out := &Costs{n: c.n - from, per: make([]BoundaryCosts, c.n-from+1)}
+	copy(out.per[1:], c.per[from+1:])
+	return out, nil
+}
+
 // At returns the costs of boundary i (1 <= i <= n).
 func (c *Costs) At(i int) BoundaryCosts {
 	if i < 1 || i > c.n {

@@ -100,3 +100,32 @@ func TestCostsValidateCatchesBadEntries(t *testing.T) {
 		t.Error("zero-value table must fail validation")
 	}
 }
+
+func TestCostsSuffix(t *testing.T) {
+	p := Hera()
+	sizes := []float64{1, 2, 3, 4, 5}
+	c, err := ScaledCosts(p, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Suffix(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("suffix length %d, want 3", s.Len())
+	}
+	for j := 1; j <= 3; j++ {
+		if s.At(j) != c.At(2+j) {
+			t.Errorf("suffix boundary %d = %+v, want original boundary %d = %+v", j, s.At(j), 2+j, c.At(2+j))
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("sliced table invalid: %v", err)
+	}
+	for _, bad := range []int{-1, 5, 6} {
+		if _, err := c.Suffix(bad); err == nil {
+			t.Errorf("Suffix(%d) accepted", bad)
+		}
+	}
+}

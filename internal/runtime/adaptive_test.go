@@ -111,6 +111,74 @@ func TestAdaptiveBeatsStaticUnderMisspecifiedRates(t *testing.T) {
 	}
 }
 
+// TestAdaptiveShedsCheckpointsUnderOverestimatedRates is the mirror
+// image of the misspecification test above: the schedule is planned for
+// error rates 100x HIGHER than the truth, so the run sees long clean
+// exposures with few or no arrivals. The MLE gate can never open there —
+// only the estimator's zero-event confidence-bound path (rule of three)
+// can notice that even the upper bound on the true rate sits far below
+// the planned one, re-plan the suffix downward, and shed the excess
+// checkpoints.
+func TestAdaptiveShedsCheckpointsUnderOverestimatedRates(t *testing.T) {
+	modeled := platform.Platform{
+		Name: "ShedLab", LambdaF: 2e-3, LambdaS: 2e-3,
+		CD: 500, CM: 50, RD: 500, RM: 50, VStar: 50, V: 0.5, Recall: 0.8,
+	}
+	const overestimate = 100.0 // true rates are modeled/overestimate
+	c, err := workload.Uniform(40, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Plan(core.AlgADMVStar, c, modeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := res.Schedule.Counts()
+
+	sup := New(Options{})
+	var staticSum, adaptiveSum float64
+	var replans int64
+	shed := 0
+	const seeds = 10
+	for seed := uint64(1); seed <= seeds; seed++ {
+		// Paired fault streams: the same seed drives both arms.
+		sRep, err := sup.Run(context.Background(), Job{
+			Chain: c, Platform: modeled, Schedule: res.Schedule, Algorithm: core.AlgADMVStar,
+			Runner: NewMisspecifiedRunner(modeled, 1/overestimate, 1/overestimate, seed),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aRep, err := sup.RunAdaptive(context.Background(), Job{
+			Chain: c, Platform: modeled, Schedule: res.Schedule, Algorithm: core.AlgADMVStar,
+			Runner: NewMisspecifiedRunner(modeled, 1/overestimate, 1/overestimate, seed),
+		}, AdaptPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		staticSum += sRep.Makespan
+		adaptiveSum += aRep.Makespan
+		replans += aRep.Events.Replans
+		final := aRep.FinalSchedule.Counts()
+		if aRep.Events.Replans > 0 && final.Disk < initial.Disk {
+			shed++
+		}
+	}
+	t.Logf("initial schedule: %+v", initial)
+	t.Logf("static mean %.0f, adaptive mean %.0f, %d replans, %d/%d runs shed disk checkpoints",
+		staticSum/seeds, adaptiveSum/seeds, replans, shed, seeds)
+	if replans == 0 {
+		t.Fatal("adaptive arm never re-planned: zero-event downward drift is dead")
+	}
+	if shed < seeds/2 {
+		t.Fatalf("only %d/%d runs shed disk checkpoints below the initial %d", shed, seeds, initial.Disk)
+	}
+	if adaptiveSum >= staticSum {
+		t.Fatalf("adaptive mean %.0f did not beat static mean %.0f under %.0fx overestimated rates",
+			adaptiveSum/seeds, staticSum/seeds, overestimate)
+	}
+}
+
 // TestAdaptiveReplanHonorsDiskBudget: a re-planned suffix must not blow
 // the run's disk-checkpoint budget, however hot the observed rates.
 func TestAdaptiveReplanHonorsDiskBudget(t *testing.T) {

@@ -3,6 +3,17 @@
 // with k arrivals, the MLE of the rate is k/T; the supervisor keeps one
 // such estimator per source and compares the estimates against the rates
 // the current schedule was planned for to decide when re-planning pays.
+//
+// An MLE backed by few arrivals is noise, so upward drift waits for a
+// minimum event count. Downward drift must not: a schedule planned for a
+// rate far above the truth sees few or no errors at all, which is
+// exactly the regime where the event-count gate never opens. There the
+// estimator falls back to a confidence bound — with k arrivals in T
+// seconds of exposure, (k+3)/T is an upper bound on the true rate at
+// ~95% confidence (the "rule of three" for k = 0, and its Poisson
+// generalization for small k). Once even that upper bound sits below
+// planned/tolerance, the planned rate is provably overestimated and the
+// supervisor can shed the excess checkpoints.
 package runtime
 
 // rateEstimator tracks one error source.
@@ -14,7 +25,7 @@ type rateEstimator struct {
 func (e *rateEstimator) observe(seconds float64) { e.exposure += seconds }
 func (e *rateEstimator) event()                  { e.events++ }
 
-// rate returns the MLE k/T, or fallback before any exposure.
+// rate returns the MLE k/T, or fallback before any exposure or arrival.
 func (e *rateEstimator) rate(fallback float64) float64 {
 	if e.exposure <= 0 || e.events == 0 {
 		return fallback
@@ -22,13 +33,47 @@ func (e *rateEstimator) rate(fallback float64) float64 {
 	return float64(e.events) / e.exposure
 }
 
+// upperBound returns the ~95% upper confidence bound (k+3)/T on the
+// true rate. Only meaningful with positive exposure.
+func (e *rateEstimator) upperBound() float64 {
+	return (float64(e.events) + 3) / e.exposure
+}
+
+// replanRate returns the rate a suffix re-plan should assume once drift
+// has been established: the MLE when at least minEvents arrivals back
+// it, otherwise the upper confidence bound (never above the fallback — a
+// clean exposure is evidence the rate is lower, not higher). minEvents
+// must be the same AdaptPolicy.MinEvents the drifted test used, so the
+// two methods agree on which estimate is trustworthy.
+func (e *rateEstimator) replanRate(fallback float64, minEvents int) float64 {
+	if e.exposure <= 0 {
+		return fallback
+	}
+	if e.events < int64(minEvents) {
+		if ub := e.upperBound(); ub < fallback {
+			return ub
+		}
+		return fallback
+	}
+	return float64(e.events) / e.exposure
+}
+
 // drifted reports whether the observed rate departs from planned by more
-// than a factor of tol, with at least minEvents arrivals backing the
-// estimate. Both directions count: a true rate far below the planned one
-// wastes checkpoints just as a far higher one wastes re-execution.
+// than a factor of tol. Both directions count: a true rate far below the
+// planned one wastes checkpoints just as a far higher one wastes
+// re-execution.
+//
+// With at least minEvents arrivals the MLE is trusted and tested in both
+// directions. Below that threshold, only the downward confidence-bound
+// test applies: a long clean (or nearly clean) exposure whose (k+3)/T
+// upper bound is still under planned/tol certifies overestimation even
+// though the MLE itself is untrustworthy.
 func (e *rateEstimator) drifted(planned, tol float64, minEvents int) bool {
-	if e.events < int64(minEvents) || e.exposure <= 0 {
+	if e.exposure <= 0 {
 		return false
+	}
+	if e.events < int64(minEvents) {
+		return planned > 0 && e.upperBound() < planned/tol
 	}
 	est := float64(e.events) / e.exposure
 	if planned <= 0 {

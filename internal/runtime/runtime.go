@@ -12,14 +12,16 @@
 //   - verifications and checkpoints are charged at the boundary costs
 //     the schedule was planned with.
 //
-// Beyond faithful execution, the supervisor adapts: it keeps online MLE
-// estimates of the observed fail-stop and silent-error rates, and when
-// they drift beyond a tolerance from the rates the schedule was planned
-// for, it re-solves the dynamic program for the remaining suffix of the
-// chain (through the batch engine, so repeated re-plans memoize) and
-// splices the new schedule in mid-run — localized re-planning in the
-// spirit of localized recovery, instead of trusting a misspecified model
-// to the end.
+// Beyond faithful execution, the supervisor adapts: it keeps online
+// estimates of the observed fail-stop and silent-error rates (MLE, plus
+// a rule-of-three upper bound when a long clean exposure has produced no
+// arrivals at all), and when they drift beyond a tolerance from the
+// rates the schedule was planned for, it re-solves the dynamic program
+// for the remaining suffix of the chain in place — Kernel.ReplanSuffix
+// against the original chain, costs and budget, no synthetic suffix
+// chain, no engine round-trip — and splices the new schedule in mid-run:
+// localized re-planning in the spirit of localized recovery, instead of
+// trusting a misspecified model to the end.
 //
 // The event log uses sim.TraceEvent verbatim, so traces from real
 // executions and Monte-Carlo replays render and compare with the same
@@ -42,15 +44,21 @@ import (
 
 // Options configures a Supervisor.
 type Options struct {
-	// Engine plans and re-plans schedules (default: the shared
-	// process-wide engine).
+	// Engine plans initial schedules (default: the shared process-wide
+	// engine), so identical jobs are served from its memo.
 	Engine *engine.Engine
+	// Kernel re-solves suffixes during adaptive runs (default: the
+	// engine's kernel, sharing its scratch pools). Suffix re-plans call
+	// it directly — each is specific to the run's observed rates and
+	// committed prefix, so there is nothing for the engine to memoize.
+	Kernel *core.Kernel
 }
 
 // Supervisor executes jobs. It is safe for concurrent use; each Run
 // gets its own execution state.
 type Supervisor struct {
-	eng *engine.Engine
+	eng  *engine.Engine
+	kern *core.Kernel
 
 	jobs    atomic.Uint64
 	replans atomic.Uint64
@@ -62,7 +70,11 @@ func New(opts Options) *Supervisor {
 	if eng == nil {
 		eng = engine.Default()
 	}
-	return &Supervisor{eng: eng}
+	kern := opts.Kernel
+	if kern == nil {
+		kern = eng.Kernel()
+	}
+	return &Supervisor{eng: eng, kern: kern}
 }
 
 // Job describes one chain execution.
@@ -491,11 +503,19 @@ func (e *execution) verifyStation(ctx context.Context, st schedule.Station) (int
 // schedule in. Called only at disk-checkpoint boundaries (including
 // right after a disk recovery), where the model's "start fresh from a
 // stored state" assumption holds.
+//
+// The re-solve goes straight to the solver kernel: ReplanSuffix plans
+// the window after the splice point against the original chain and cost
+// table (no synthetic suffix chain, no cost-table slicing, no engine
+// round-trip) with pooled scratch sized to the suffix.
 func (e *execution) maybeReplan(ctx context.Context) {
 	if e.adapt == nil || e.cur >= e.c.Len() {
 		return
 	}
 	if e.counters.Replans >= int64(e.adapt.MaxReplans) {
+		return
+	}
+	if ctx.Err() != nil {
 		return
 	}
 	fDrift := e.est.failStop.drifted(e.planned.LambdaF, e.adapt.Tolerance, e.adapt.MinEvents)
@@ -505,34 +525,22 @@ func (e *execution) maybeReplan(ctx context.Context) {
 	}
 
 	// Re-plan the suffix under the observed rates (per source, only once
-	// enough arrivals back the estimate; the other keeps its planned
-	// value).
+	// the arrivals — or a long clean exposure — back the estimate; the
+	// other keeps its planned value).
 	updated := e.planned
 	if fDrift {
-		updated.LambdaF = e.est.failStop.rate(updated.LambdaF)
+		updated.LambdaF = e.est.failStop.replanRate(updated.LambdaF, e.adapt.MinEvents)
 	}
 	if sDrift {
-		updated.LambdaS = e.est.silent.rate(updated.LambdaS)
+		updated.LambdaS = e.est.silent.replanRate(updated.LambdaS, e.adapt.MinEvents)
 	}
 
 	n := e.c.Len()
 	m := n - e.cur
-	tasks := make([]chain.Task, m)
-	for j := 1; j <= m; j++ {
-		tasks[j-1] = e.c.Task(e.cur + j)
-	}
-	suffix, err := chain.New(tasks...)
-	if err != nil {
-		return
-	}
-	var opts core.Options
-	if e.job.Costs != nil {
-		sub, err := suffixCosts(e.job.Costs, e.job.Platform, e.cur, m)
-		if err != nil {
-			return
-		}
-		opts.Costs = sub
-	}
+	// Workers: 1 keeps the DP serial, matching the engine-worker
+	// convention: concurrent jobs are the parallelism, a re-plan must
+	// not fan out across every core mid-run.
+	opts := core.Options{Costs: e.job.Costs, Workers: 1}
 	if e.job.MaxDiskCheckpoints > 0 {
 		// The suffix only gets the budget not yet spent on committed
 		// disk checkpoints behind the splice point.
@@ -551,9 +559,7 @@ func (e *execution) maybeReplan(ctx context.Context) {
 		}
 		opts.MaxDiskCheckpoints = rem
 	}
-	res, err := e.sup.eng.Plan(ctx, engine.Request{
-		Algorithm: e.job.Algorithm, Chain: suffix, Platform: updated, Opts: opts,
-	})
+	res, err := e.sup.kern.ReplanSuffix(e.job.Algorithm, e.c, updated, e.cur, opts)
 	if err != nil {
 		// A failed re-plan is not fatal: keep executing the current
 		// schedule.
@@ -567,19 +573,4 @@ func (e *execution) maybeReplan(ctx context.Context) {
 	e.counters.Replans++
 	e.sup.replans.Add(1)
 	e.emit("replan", e.cur)
-}
-
-// suffixCosts slices a per-boundary cost table to the suffix starting
-// after boundary cur (suffix boundary j maps to original cur+j).
-func suffixCosts(costs *platform.Costs, p platform.Platform, cur, m int) (*platform.Costs, error) {
-	out, err := platform.UniformCosts(p, m)
-	if err != nil {
-		return nil, err
-	}
-	for j := 1; j <= m; j++ {
-		if err := out.Set(j, costs.At(cur+j)); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
 }
