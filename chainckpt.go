@@ -57,6 +57,7 @@ import (
 	"chainckpt/internal/engine"
 	"chainckpt/internal/evaluate"
 	"chainckpt/internal/heuristics"
+	"chainckpt/internal/jobstore"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/runtime"
 	"chainckpt/internal/schedule"
@@ -435,6 +436,67 @@ func NewSupervisor(opts SupervisorOptions) *Supervisor { return runtime.New(opts
 // tier in process memory (simulations, tests), a path persists
 // fingerprinted checkpoint files under it.
 func NewCheckpointStore(dir string) (*CheckpointStore, error) { return runtime.NewStore(dir) }
+
+// EstimatorState is the serializable evidence of a run's online error-
+// rate estimators: persist it (RunReport.Estimator), seed it back
+// (RunJob.Estimator), or derive re-planning rates from it
+// (ReplanPlatform) — the statistical half of resuming an interrupted
+// execution.
+type EstimatorState = runtime.EstimatorState
+
+// RateObservation is one error source's exposure and arrival count.
+type RateObservation = runtime.RateObservation
+
+// JobStore persists execution-job lifecycles so they survive a service
+// restart: created -> planned -> running(progress) -> done / failed /
+// cancelled, one durable record per transition. See internal/jobstore.
+type JobStore = jobstore.Store
+
+// JobRecord is the durable state of one job: lifecycle fields plus
+// opaque JSON payloads (request spec, planned schedule, estimator
+// evidence, final report) owned by the service above the store.
+type JobRecord = jobstore.Record
+
+// JobState is a job lifecycle state.
+type JobState = jobstore.State
+
+// The job lifecycle states.
+const (
+	JobCreated   = jobstore.StateCreated
+	JobPlanned   = jobstore.StatePlanned
+	JobRunning   = jobstore.StateRunning
+	JobDone      = jobstore.StateDone
+	JobFailed    = jobstore.StateFailed
+	JobCancelled = jobstore.StateCancelled
+)
+
+// JournalJobStore is the durable JobStore: an append-only write-ahead
+// journal of CRC-framed records in rotated segment files with a
+// periodically compacted snapshot, replayed on open with damaged
+// frames skipped. MemoryJobStore is the volatile reference
+// implementation with identical semantics.
+type JournalJobStore = jobstore.Journal
+type MemoryJobStore = jobstore.Memory
+
+// JobStoreOptions tunes a journaled job store (segment size, compaction
+// cadence, fsync).
+type JobStoreOptions = jobstore.Options
+
+// JobStoreStats snapshots a job store's counters, including the
+// corruption and duplicate skips of the last replay.
+type JobStoreStats = jobstore.Stats
+
+// OpenJobStore opens (creating if necessary) a write-ahead journaled
+// job store under dir and replays its records.
+//
+//	store, err := chainckpt.OpenJobStore(dir, chainckpt.JobStoreOptions{})
+//	for _, rec := range store.List() { ... }   // resume what was running
+func OpenJobStore(dir string, opts JobStoreOptions) (*JournalJobStore, error) {
+	return jobstore.Open(dir, opts)
+}
+
+// NewMemoryJobStore returns a volatile job store.
+func NewMemoryJobStore() *MemoryJobStore { return jobstore.NewMemory() }
 
 // NewSimRunner builds a fault-injecting task runner whose true rates
 // come from p; the seed fixes the fault sequence.

@@ -23,6 +23,9 @@
 //	-reps k          replications; mean ± CI is reported for k > 1 (default 1)
 //	-seed s          fault-sequence seed (default 1)
 //	-store dir       persist disk checkpoints under dir (default in-memory)
+//	-resume          restore the latest valid checkpoint from -store and
+//	                 continue from its boundary instead of starting fresh
+//	                 (requires -store, single replication)
 //	-trace           print the event log (single replication only)
 //	-json            emit the report as JSON
 //
@@ -58,6 +61,7 @@ type config struct {
 	reps     int
 	seed     uint64
 	storeDir string
+	resume   bool
 	trace    bool
 	asJSON   bool
 }
@@ -79,12 +83,13 @@ func main() {
 	reps := flag.Int("reps", 1, "replications")
 	seed := flag.Uint64("seed", 1, "fault-sequence seed")
 	storeDir := flag.String("store", "", "directory for persistent disk checkpoints")
+	resume := flag.Bool("resume", false, "restore the latest checkpoint from -store and continue")
 	trace := flag.Bool("trace", false, "print the event log (reps=1)")
 	asJSON := flag.Bool("json", false, "emit JSON")
 	flag.Parse()
 
 	cfg, err := compile(*platName, *patName, *n, *total, *weights, *algName, *runner,
-		*scaleF, *scaleS, *adaptive, *reps, *seed, *storeDir, *trace, *asJSON)
+		*scaleF, *scaleS, *adaptive, *reps, *seed, *storeDir, *resume, *trace, *asJSON)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +100,7 @@ func main() {
 
 func compile(platName, patName string, n int, total float64, weights, algName, runner string,
 	scaleF, scaleS float64, adaptive bool, reps int, seed uint64,
-	storeDir string, trace, asJSON bool) (*config, error) {
+	storeDir string, resume, trace, asJSON bool) (*config, error) {
 	plat, err := chainckpt.PlatformByName(platName)
 	if err != nil {
 		return nil, err
@@ -118,10 +123,16 @@ func compile(platName, patName string, n int, total float64, weights, algName, r
 	if trace && reps > 1 {
 		return nil, fmt.Errorf("-trace needs -reps 1")
 	}
+	if resume && storeDir == "" {
+		return nil, fmt.Errorf("-resume needs -store (a checkpoint directory to restore from)")
+	}
+	if resume && reps > 1 {
+		return nil, fmt.Errorf("-resume needs -reps 1 (one interrupted run, one continuation)")
+	}
 	return &config{
 		chain: c, plat: plat, alg: chainckpt.Algorithm(algName),
 		runner: runner, scaleF: scaleF, scaleS: scaleS, adaptive: adaptive,
-		reps: reps, seed: seed, storeDir: storeDir, trace: trace, asJSON: asJSON,
+		reps: reps, seed: seed, storeDir: storeDir, resume: resume, trace: trace, asJSON: asJSON,
 	}, nil
 }
 
@@ -173,6 +184,7 @@ func run(cfg *config, w *os.File) error {
 		job := chainckpt.RunJob{
 			Chain: cfg.chain, Platform: cfg.plat, Schedule: res.Schedule,
 			Algorithm: cfg.alg, Runner: cfg.newRunner(seed), Record: record,
+			Resume: cfg.resume,
 		}
 		if cfg.storeDir != "" {
 			store, err := chainckpt.NewCheckpointStore(cfg.storeDir)
@@ -201,6 +213,9 @@ func run(cfg *config, w *os.File) error {
 		fmt.Fprintf(w, "chain:             %s\n", cfg.chain)
 		fmt.Fprintf(w, "schedule:          %s\n", res.Schedule)
 		fmt.Fprintf(w, "model prediction:  %.2f s\n", res.ExpectedMakespan)
+		if cfg.resume {
+			fmt.Fprintf(w, "resumed from:      boundary %d of %d\n", rep.ResumedFrom, cfg.chain.Len())
+		}
 		fmt.Fprintf(w, "observed makespan: %.2f s (wall %s)\n", rep.Makespan, rep.Wall)
 		fmt.Fprintf(w, "events:            %d tasks, %d fail-stop, %d silent detected, %d replans\n",
 			rep.Events.TasksRun, rep.Events.FailStop, rep.Events.SilentDetected, rep.Events.Replans)

@@ -14,19 +14,25 @@ func TestCompileValidation(t *testing.T) {
 		fn   func() (*config, error)
 	}{
 		{"bad platform", "unknown platform", func() (*config, error) {
-			return compile("NoSuch", "Uniform", 10, 1000, "", "ADMV", "sim", 1, 1, false, 1, 1, "", false, false)
+			return compile("NoSuch", "Uniform", 10, 1000, "", "ADMV", "sim", 1, 1, false, 1, 1, "", false, false, false)
 		}},
 		{"bad runner", "unknown runner", func() (*config, error) {
-			return compile("Hera", "Uniform", 10, 1000, "", "ADMV", "warp", 1, 1, false, 1, 1, "", false, false)
+			return compile("Hera", "Uniform", 10, 1000, "", "ADMV", "warp", 1, 1, false, 1, 1, "", false, false, false)
 		}},
 		{"bad scale", "must be positive", func() (*config, error) {
-			return compile("Hera", "Uniform", 10, 1000, "", "ADMV", "sim", 0, 1, false, 1, 1, "", false, false)
+			return compile("Hera", "Uniform", 10, 1000, "", "ADMV", "sim", 0, 1, false, 1, 1, "", false, false, false)
 		}},
 		{"trace with reps", "-trace needs", func() (*config, error) {
-			return compile("Hera", "Uniform", 10, 1000, "", "ADMV", "sim", 1, 1, false, 5, 1, "", true, false)
+			return compile("Hera", "Uniform", 10, 1000, "", "ADMV", "sim", 1, 1, false, 5, 1, "", false, true, false)
 		}},
 		{"bad weights", "bad weight", func() (*config, error) {
-			return compile("Hera", "Uniform", 10, 1000, "1,zap,3", "ADMV", "sim", 1, 1, false, 1, 1, "", false, false)
+			return compile("Hera", "Uniform", 10, 1000, "1,zap,3", "ADMV", "sim", 1, 1, false, 1, 1, "", false, false, false)
+		}},
+		{"resume without store", "-resume needs -store", func() (*config, error) {
+			return compile("Hera", "Uniform", 10, 1000, "", "ADMV", "sim", 1, 1, false, 1, 1, "", true, false, false)
+		}},
+		{"resume with reps", "-resume needs -reps 1", func() (*config, error) {
+			return compile("Hera", "Uniform", 10, 1000, "", "ADMV", "sim", 1, 1, false, 5, 1, "/tmp/x", true, false, false)
 		}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
@@ -39,7 +45,7 @@ func TestCompileValidation(t *testing.T) {
 }
 
 func TestRunSingleReplicationWithTrace(t *testing.T) {
-	cfg, err := compile("Hera", "Uniform", 8, 8000, "", "ADMV*", "sim", 1, 1, false, 1, 42, "", true, false)
+	cfg, err := compile("Hera", "Uniform", 8, 8000, "", "ADMV*", "sim", 1, 1, false, 1, 42, "", false, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +59,7 @@ func TestRunSingleReplicationWithTrace(t *testing.T) {
 
 func TestRunReplicationsAdaptiveWithStore(t *testing.T) {
 	dir := t.TempDir()
-	cfg, err := compile("Hera", "Uniform", 8, 8000, "", "ADMV*", "sim", 4, 4, true, 3, 7, dir, false, false)
+	cfg, err := compile("Hera", "Uniform", 8, 8000, "", "ADMV*", "sim", 4, 4, true, 3, 7, dir, false, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,6 +71,31 @@ func TestRunReplicationsAdaptiveWithStore(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join(dir, "ckpt-*.bin"))
 	if err != nil || len(files) == 0 {
 		t.Errorf("no checkpoint files in -store dir (%v, %v)", files, err)
+	}
+}
+
+// TestRunResumeContinuesFromStore runs a chain to completion with a
+// persistent store, then re-runs with -resume: the second invocation
+// restores the final checkpoint, executes nothing, and says where it
+// resumed from.
+func TestRunResumeContinuesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := compile("Hera", "Uniform", 8, 8000, "", "ADMV*", "nop", 1, 1, false, 1, 42, dir, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	captureRun(t, cfg)
+
+	cfg2, err := compile("Hera", "Uniform", 8, 8000, "", "ADMV*", "nop", 1, 1, false, 1, 42, dir, true, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := captureRun(t, cfg2)
+	if !strings.Contains(out, "resumed from:      boundary 8 of 8") {
+		t.Errorf("resume output missing the restored boundary:\n%s", out)
+	}
+	if !strings.Contains(out, "events:            0 tasks") {
+		t.Errorf("a resume at the final boundary should execute nothing:\n%s", out)
 	}
 }
 

@@ -3,7 +3,15 @@
 // runtime supervisor with a fault-injecting runner (optionally with
 // misspecified true rates and adaptive re-planning); GET /v1/jobs/{id}
 // reports status and the final report; GET /v1/jobs/{id}/events streams
-// the execution's event log as NDJSON while it happens.
+// the execution's event log as NDJSON while it happens; DELETE
+// /v1/jobs/{id} cancels a running job.
+//
+// Every lifecycle transition (created -> planned -> running(progress)
+// -> done/failed/cancelled) is appended to a jobstore.Store. With the
+// default in-memory store that is bookkeeping; with -store-dir it is a
+// write-ahead journal that lets a restarted service list finished jobs
+// and resume interrupted ones from their disk checkpoints (see
+// recover.go).
 package main
 
 import (
@@ -11,10 +19,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"chainckpt/internal/engine"
+	"chainckpt/internal/jobstore"
+	"chainckpt/internal/platform"
 	"chainckpt/internal/runtime"
+	"chainckpt/internal/schedule"
 	"chainckpt/internal/sim"
 )
 
@@ -30,32 +45,88 @@ type jobRequest struct {
 	// of the platform's modeled rates (default 1: well-specified).
 	ScaleF float64 `json:"true_rate_scale_f,omitempty"`
 	ScaleS float64 `json:"true_rate_scale_s,omitempty"`
+	// Runner selects the task runner: sim (fault-injecting, default),
+	// nop (instant, error-free) or sleep (wall-clock paced, for watching
+	// a job progress — and for killing a service mid-job to exercise
+	// restart-resume).
+	Runner string `json:"runner,omitempty"`
+	// SleepScale sets the sleep runner's wall seconds per modeled second
+	// (default 1e-4).
+	SleepScale float64 `json:"sleep_scale,omitempty"`
+}
+
+// validate rejects the knob combinations the runtime would choke on.
+func (jr *jobRequest) validate() error {
+	if jr.ScaleF < 0 || jr.ScaleS < 0 {
+		return fmt.Errorf("rate scales must be non-negative")
+	}
+	if jr.SleepScale < 0 {
+		return fmt.Errorf("sleep_scale must be non-negative")
+	}
+	switch jr.Runner {
+	case "", "sim", "nop", "sleep":
+		return nil
+	}
+	return fmt.Errorf("unknown runner %q (want sim, nop or sleep)", jr.Runner)
+}
+
+// normalize applies the defaults, so the marshaled spec a restart
+// replays compiles to the same job.
+func (jr *jobRequest) normalize() {
+	if jr.ScaleF == 0 {
+		jr.ScaleF = 1
+	}
+	if jr.ScaleS == 0 {
+		jr.ScaleS = 1
+	}
+}
+
+// newRunner builds the job's task runner.
+func (jr *jobRequest) newRunner(p platform.Platform, seed uint64) runtime.TaskRunner {
+	switch jr.Runner {
+	case "nop":
+		return runtime.NopRunner{}
+	case "sleep":
+		scale := jr.SleepScale
+		if scale == 0 {
+			scale = 1e-4
+		}
+		return runtime.SleepRunner{Scale: scale}
+	default:
+		return runtime.NewMisspecifiedRunner(p, jr.ScaleF, jr.ScaleS, seed)
+	}
 }
 
 // jobStatus is the wire representation of a job.
 type jobStatus struct {
-	ID        string          `json:"id"`
-	Status    string          `json:"status"` // running | done | failed
-	Adaptive  bool            `json:"adaptive,omitempty"`
-	Algorithm string          `json:"algorithm,omitempty"`
-	Predicted float64         `json:"predicted_makespan,omitempty"`
+	ID        string  `json:"id"`
+	Status    string  `json:"status"` // running | done | failed | cancelled
+	Adaptive  bool    `json:"adaptive,omitempty"`
+	Algorithm string  `json:"algorithm,omitempty"`
+	Predicted float64 `json:"predicted_makespan,omitempty"`
+	// Resumes counts service restarts that relaunched this job.
+	Resumes   int             `json:"resumes,omitempty"`
 	CreatedAt time.Time       `json:"created_at"`
 	Report    *runtime.Report `json:"report,omitempty"`
 	Error     string          `json:"error,omitempty"`
 }
 
 // job is one tracked execution. Event followers block on cond until new
-// events arrive or the run finishes.
+// events arrive or the run finishes. rec mirrors the job's durable
+// record; its Version advances with every persisted transition.
 type job struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	status jobStatus
-	events []sim.TraceEvent
-	done   bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	status    jobStatus
+	events    []sim.TraceEvent
+	done      bool
+	cancelled bool
+	cancel    context.CancelFunc
+	rec       jobstore.Record
 }
 
-func newJob(st jobStatus) *job {
-	j := &job{status: st}
+func newJob(st jobStatus, rec jobstore.Record) *job {
+	j := &job{status: st, rec: rec}
 	j.cond = sync.NewCond(&j.mu)
 	return j
 }
@@ -71,16 +142,47 @@ func (j *job) append(ev sim.TraceEvent) {
 // finish seals the job and wakes followers.
 func (j *job) finish(rep *runtime.Report, err error) {
 	j.mu.Lock()
-	if err != nil {
+	switch {
+	case err != nil && j.cancelled:
+		j.status.Status = "cancelled"
+		j.status.Error = err.Error()
+	case err != nil:
 		j.status.Status = "failed"
 		j.status.Error = err.Error()
-	} else {
+	default:
 		j.status.Status = "done"
 		j.status.Report = rep
 	}
 	j.done = true
 	j.cond.Broadcast()
 	j.mu.Unlock()
+}
+
+// requestCancel marks the job cancelled and stops its execution,
+// reporting whether it was still running.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done {
+		return false
+	}
+	j.cancelled = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+func (j *job) setCancel(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = cancel
+	cancelled := j.cancelled
+	j.mu.Unlock()
+	// A DELETE that raced job admission was acknowledged with
+	// "cancelling" before the cancel func existed; honor it now.
+	if cancelled {
+		cancel()
+	}
 }
 
 // next returns events[from:] once new data or completion is available,
@@ -127,9 +229,10 @@ func (j *job) isDone() bool {
 // errTooManyJobs is the backpressure signal of the job manager.
 var errTooManyJobs = fmt.Errorf("too many jobs executing; retry later")
 
-// jobManager tracks jobs by id. Finished jobs are retained (newest
-// first) up to maxJobs; concurrent executions are capped at maxRunning
-// so a request burst cannot spawn unbounded goroutines.
+// jobManager tracks jobs by id and persists their lifecycle through a
+// jobstore.Store. Finished jobs are retained (newest first) up to
+// maxJobs; concurrent executions are capped at maxRunning so a request
+// burst cannot spawn unbounded goroutines.
 type jobManager struct {
 	mu         sync.Mutex
 	seq        uint64
@@ -137,15 +240,68 @@ type jobManager struct {
 	order      []string // creation order, for eviction
 	maxJobs    int
 	maxRunning int
+
+	store    jobstore.Store
+	ckptRoot string // per-job checkpoint directories ("" = volatile)
+
+	storeErrors atomic.Uint64
 }
 
-func newJobManager() *jobManager {
-	return &jobManager{jobs: make(map[string]*job), maxJobs: 512, maxRunning: 32}
+// newJobManager builds a manager over the given durable store. Job
+// numbering continues from the store's watermark, so ids stay unique
+// across restarts.
+func newJobManager(store jobstore.Store, ckptRoot string) *jobManager {
+	return &jobManager{
+		jobs: make(map[string]*job), maxJobs: 512, maxRunning: 32,
+		store: store, ckptRoot: ckptRoot, seq: store.MaxSeq(),
+	}
 }
 
-func (m *jobManager) create(st jobStatus) (*job, uint64, error) {
+// ckptDir returns the checkpoint directory of one job, or "" when the
+// manager runs volatile.
+func (m *jobManager) ckptDir(id string) string {
+	if m.ckptRoot == "" {
+		return ""
+	}
+	return filepath.Join(m.ckptRoot, "jobs", id)
+}
+
+// newCheckpointStore opens the job's checkpoint store: fingerprinted
+// files under the store root, or a volatile store without one.
+func (m *jobManager) newCheckpointStore(id string) (*runtime.Store, error) {
+	return runtime.NewStore(m.ckptDir(id))
+}
+
+// persist appends one record, counting failures rather than
+// propagating them into the execution path: a full disk must degrade
+// durability, not abort runs. It reports whether the record was
+// committed, so callers can avoid destroying state (checkpoint
+// directories) whose durable record did not reach its terminal form.
+func (m *jobManager) persist(rec jobstore.Record) bool {
+	if err := m.store.Append(rec); err != nil {
+		m.storeErrors.Add(1)
+		return false
+	}
+	return true
+}
+
+// transition bumps the job's record version, applies mut, and persists
+// the result, reporting whether the append was committed.
+func (m *jobManager) transition(j *job, mut func(*jobstore.Record)) bool {
+	j.mu.Lock()
+	j.rec.Version++
+	j.rec.UpdatedAt = time.Now().UTC()
+	mut(&j.rec)
+	rec := j.rec
+	j.mu.Unlock()
+	return m.persist(rec)
+}
+
+// create registers a new job and persists its created and planned
+// transitions (the schedule is already known: planning precedes
+// admission).
+func (m *jobManager) create(st jobStatus, spec, sched json.RawMessage, fingerprint string) (*job, uint64, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	running := 0
 	for _, j := range m.jobs {
 		if !j.isDone() {
@@ -153,31 +309,185 @@ func (m *jobManager) create(st jobStatus) (*job, uint64, error) {
 		}
 	}
 	if running >= m.maxRunning {
+		m.mu.Unlock()
 		return nil, 0, errTooManyJobs
 	}
-	// Evict the oldest finished jobs beyond the retention bound.
+	evicted := m.evictLocked()
+	m.seq++
+	seq := m.seq
+	st.ID = fmt.Sprintf("job-%d", seq)
+	st.Status = "running"
+	st.CreatedAt = time.Now().UTC()
+	rec := jobstore.Record{
+		ID: st.ID, Seq: seq, Version: 2, State: jobstore.StatePlanned,
+		CreatedAt: st.CreatedAt, UpdatedAt: st.CreatedAt,
+		Fingerprint: fingerprint, Algorithm: st.Algorithm, Adaptive: st.Adaptive,
+		Spec: spec, Schedule: sched, Predicted: st.Predicted,
+	}
+	j := newJob(st, rec)
+	m.jobs[st.ID] = j
+	m.order = append(m.order, st.ID)
+	m.mu.Unlock()
+
+	// All disk work — tombstoning and checkpoint cleanup for evicted
+	// jobs, the fsync'd created/planned appends — happens outside the
+	// manager lock, so durability never serializes the whole job API
+	// behind the disk.
+	for _, id := range evicted {
+		if err := m.store.Delete(id); err != nil {
+			m.storeErrors.Add(1)
+		}
+		if dir := m.ckptDir(id); dir != "" {
+			os.RemoveAll(dir)
+		}
+	}
+	created := rec
+	created.Version, created.State = 1, jobstore.StateCreated
+	created.Schedule, created.Predicted = nil, 0
+	m.persist(created)
+	m.persist(rec)
+	return j, seq, nil
+}
+
+// adopt re-registers a job replayed from the durable store without
+// starting an execution — the restart path for terminal records. The
+// persisted report (trace-free) is restored into the listing.
+func (m *jobManager) adopt(rec jobstore.Record) *job {
+	st := jobStatus{
+		ID: rec.ID, Status: string(rec.State), Adaptive: rec.Adaptive,
+		Algorithm: rec.Algorithm, Predicted: rec.Predicted,
+		Resumes: rec.Resumes, CreatedAt: rec.CreatedAt, Error: rec.Error,
+	}
+	if len(rec.Report) > 0 {
+		var rep runtime.Report
+		if err := json.Unmarshal(rec.Report, &rep); err == nil {
+			st.Report = &rep
+		}
+	}
+	j := newJob(st, rec)
+	j.done = true
+	m.mu.Lock()
+	if rec.Seq > m.seq {
+		m.seq = rec.Seq
+	}
+	m.jobs[rec.ID] = j
+	m.order = append(m.order, rec.ID)
+	m.mu.Unlock()
+	return j
+}
+
+// adoptRunning re-registers an interrupted job as running again,
+// persisting a running transition with the (possibly re-spliced)
+// schedule and bumped resume counter.
+func (m *jobManager) adoptRunning(rec jobstore.Record, sched json.RawMessage) *job {
+	rec.Resumes++
+	st := jobStatus{
+		ID: rec.ID, Status: "running", Adaptive: rec.Adaptive,
+		Algorithm: rec.Algorithm, Predicted: rec.Predicted,
+		Resumes: rec.Resumes, CreatedAt: rec.CreatedAt,
+	}
+	j := newJob(st, rec)
+	m.mu.Lock()
+	if rec.Seq > m.seq {
+		m.seq = rec.Seq
+	}
+	m.jobs[rec.ID] = j
+	m.order = append(m.order, rec.ID)
+	m.mu.Unlock()
+	m.transition(j, func(r *jobstore.Record) {
+		r.State = jobstore.StateRunning
+		if sched != nil {
+			r.Schedule = sched
+		}
+	})
+	return j
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention
+// bound from the in-memory map, returning their ids; caller holds m.mu
+// and performs the disk half (store tombstone, checkpoint-directory
+// removal) after releasing it.
+func (m *jobManager) evictLocked() []string {
+	var evicted []string
 	for len(m.jobs) >= m.maxJobs {
-		evicted := false
+		found := false
 		for i, id := range m.order {
 			if j, ok := m.jobs[id]; ok && j.isDone() {
 				delete(m.jobs, id)
 				m.order = append(m.order[:i], m.order[i+1:]...)
-				evicted = true
+				evicted = append(evicted, id)
+				found = true
 				break
 			}
 		}
-		if !evicted {
+		if !found {
 			break // everything retained is still running
 		}
 	}
-	m.seq++
-	st.ID = fmt.Sprintf("job-%d", m.seq)
-	st.Status = "running"
-	st.CreatedAt = time.Now().UTC()
-	j := newJob(st)
-	m.jobs[st.ID] = j
-	m.order = append(m.order, st.ID)
-	return j, m.seq, nil
+	return evicted
+}
+
+// progress persists one running(progress) transition: the boundary just
+// committed to disk, the estimator evidence at that moment, and the
+// schedule currently executing — adaptive suffix splices must reach the
+// journal, or a restart would resume against the original schedule and
+// miscount its disk-checkpoint budget. The schedule is marshaled here,
+// synchronously on the execution goroutine, because the supervisor may
+// splice it right after the hook returns.
+func (m *jobManager) progress(j *job, boundary int, est runtime.EstimatorState, sched *schedule.Schedule) {
+	estJSON, err := json.Marshal(est)
+	if err != nil {
+		estJSON = nil
+	}
+	schedJSON, schedErr := json.Marshal(sched)
+	m.transition(j, func(r *jobstore.Record) {
+		r.State = jobstore.StateRunning
+		r.Progress = boundary
+		r.Estimator = estJSON
+		if schedErr == nil {
+			r.Schedule = schedJSON
+		}
+	})
+}
+
+// finish seals the job and persists its terminal transition. The
+// persisted report drops the trace (the event log of a long run dwarfs
+// the record); the in-memory job keeps it for /events followers. A
+// finished job's checkpoints are garbage and their directory is
+// removed.
+func (m *jobManager) finish(j *job, rep *runtime.Report, err error) {
+	j.finish(rep, err)
+	st := j.snapshot()
+	var repJSON json.RawMessage
+	if rep != nil {
+		trimmed := *rep
+		trimmed.Trace = nil
+		if b, merr := json.Marshal(&trimmed); merr == nil {
+			repJSON = b
+		}
+	}
+	persisted := m.transition(j, func(r *jobstore.Record) {
+		switch st.Status {
+		case "done":
+			r.State = jobstore.StateDone
+		case "cancelled":
+			r.State = jobstore.StateCancelled
+		default:
+			r.State = jobstore.StateFailed
+		}
+		r.Error = st.Error
+		r.Report = repJSON
+		if rep != nil {
+			r.Progress = rep.FinalSchedule.Len()
+		}
+	})
+	// Only discard the checkpoints once the terminal record is durable:
+	// if the append failed (store closed mid-shutdown, disk full), the
+	// record still says running and the next boot must be able to resume
+	// from these files instead of re-executing the chain.
+	if dir := m.ckptDir(st.ID); dir != "" && persisted {
+		os.RemoveAll(dir)
+	}
 }
 
 func (m *jobManager) get(id string) (*job, bool) {
@@ -212,22 +522,45 @@ func (m *jobManager) counts() (total, running int) {
 	return len(m.jobs), running
 }
 
+// launch starts the job's execution goroutine, wiring the event
+// observer, the durable progress hook and the cancel handle.
+func (s *server) launch(j *job, runJob runtime.Job, adaptive bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j.setCancel(cancel)
+	runJob.Observer = j.append
+	runJob.Record = true
+	runJob.Progress = func(b int, est runtime.EstimatorState, sched *schedule.Schedule) {
+		s.jobs.progress(j, b, est, sched)
+	}
+	go func() {
+		defer cancel()
+		var rep *runtime.Report
+		var err error
+		if adaptive {
+			rep, err = s.sup.RunAdaptive(ctx, runJob, runtime.AdaptPolicy{})
+		} else {
+			rep, err = s.sup.Run(ctx, runJob)
+		}
+		s.jobs.finish(j, rep, err)
+		// finish classifies a cancel as "cancelled", which is not a
+		// failure: only genuine failures feed the error-rate metric.
+		if j.snapshot().Status == "failed" {
+			s.jobErrors.Add(1)
+		}
+	}()
+}
+
 func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	var jr jobRequest
 	if err := decodeJSON(r, &jr); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if jr.ScaleF < 0 || jr.ScaleS < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("rate scales must be non-negative"))
+	if err := jr.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if jr.ScaleF == 0 {
-		jr.ScaleF = 1
-	}
-	if jr.ScaleS == 0 {
-		jr.ScaleS = 1
-	}
+	jr.normalize()
 	req, c, err := jr.toEngine()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -243,43 +576,50 @@ func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The normalized spec is the job's durable identity: a restart
+	// recompiles the chain, platform and runner from exactly these
+	// bytes.
+	spec, err := json.Marshal(&jr)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	schedJSON, err := json.Marshal(res.Schedule)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	fingerprint, _ := engine.Fingerprint(req)
+
 	j, seq, err := s.jobs.create(jobStatus{
 		Adaptive:  jr.Adaptive,
 		Algorithm: string(res.Algorithm),
 		Predicted: res.ExpectedMakespan,
-	})
+	}, spec, schedJSON, fingerprint)
 	if err != nil {
 		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	ck, err := s.jobs.newCheckpointStore(j.snapshot().ID)
+	if err != nil {
+		s.jobs.finish(j, nil, err)
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	seed := jr.Seed
 	if seed == 0 {
 		seed = seq
 	}
-	runJob := runtime.Job{
+	s.launch(j, runtime.Job{
 		Chain:              c,
 		Platform:           req.Platform,
 		Schedule:           res.Schedule,
 		Algorithm:          req.Algorithm,
 		Costs:              req.Opts.Costs,
 		MaxDiskCheckpoints: req.Opts.MaxDiskCheckpoints,
-		Runner:             runtime.NewMisspecifiedRunner(req.Platform, jr.ScaleF, jr.ScaleS, seed),
-		Observer:           j.append,
-		Record:             true,
-	}
-	go func() {
-		var rep *runtime.Report
-		var err error
-		if jr.Adaptive {
-			rep, err = s.sup.RunAdaptive(context.Background(), runJob, runtime.AdaptPolicy{})
-		} else {
-			rep, err = s.sup.Run(context.Background(), runJob)
-		}
-		if err != nil {
-			s.jobErrors.Add(1)
-		}
-		j.finish(rep, err)
-	}()
+		Runner:             jr.newRunner(req.Platform, seed),
+		Store:              ck,
+	}, jr.Adaptive)
 
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
@@ -295,6 +635,22 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+// handleJobCancel stops a running job; its terminal state is persisted
+// as cancelled. Cancelling a finished job is a no-op that reports the
+// final status.
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if j.requestCancel() {
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "cancelling"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
 // handleJobEvents streams the job's event log as NDJSON, following the

@@ -12,17 +12,28 @@
 //	-cache k          plan memo capacity in entries (default 4096, 0 disables)
 //	-drain d          graceful-shutdown drain timeout (default 10s, or
 //	                  $CHAINSERVE_DRAIN_TIMEOUT)
+//	-store-dir path   durable job store root (default $CHAINSERVE_STORE_DIR;
+//	                  empty keeps jobs in memory). With a store dir, job
+//	                  lifecycles are write-ahead journaled and disk
+//	                  checkpoints live under <dir>/jobs/<id>/, so a
+//	                  restarted service lists finished jobs and resumes
+//	                  interrupted ones from their last checkpoint with a
+//	                  suffix-re-planned schedule.
 //
 // Endpoints:
 //
 //	POST /v1/plan            one planning request  -> one plan
 //	POST /v1/plan/batch      {"requests":[...]}    -> {"responses":[...]}
+//	POST /v1/replan          current schedule + observed rates -> schedule
+//	                         with the suffix after the committed boundary
+//	                         re-planned and spliced in
 //	POST /v1/jobs            plan and execute a chain through the runtime
 //	                         supervisor (fault-injecting runner; optional
 //	                         adaptive re-planning)
 //	GET  /v1/jobs            list jobs
 //	GET  /v1/jobs/{id}       job status and final report
 //	GET  /v1/jobs/{id}/events  NDJSON event stream, live until done
+//	DELETE /v1/jobs/{id}     cancel a running job
 //	GET  /v1/platforms       the Table I platforms
 //	GET  /healthz            liveness probe
 //	GET  /metrics            Prometheus-style counters
@@ -47,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -55,6 +67,7 @@ import (
 	"chainckpt/internal/chain"
 	"chainckpt/internal/core"
 	"chainckpt/internal/engine"
+	"chainckpt/internal/jobstore"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/runtime"
 	"chainckpt/internal/schedule"
@@ -69,14 +82,30 @@ func main() {
 	workers := flag.Int("workers", 0, "planning worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 4096, "plan memo capacity in entries (0 disables the memo)")
 	drain := flag.Duration("drain", defaultDrainTimeout(os.Getenv), "graceful-shutdown drain timeout")
+	storeDir := flag.String("store-dir", os.Getenv("CHAINSERVE_STORE_DIR"),
+		"durable job store root (empty = in-memory jobs)")
 	flag.Parse()
 
 	memo := *cacheSize
 	if memo <= 0 {
 		memo = -1 // engine.Options uses negative for "disabled"
 	}
-	srv := newServer(engine.New(engine.Options{Workers: *workers, CacheSize: memo}))
+	var store jobstore.Store = jobstore.NewMemory()
+	if *storeDir != "" {
+		journal, err := jobstore.Open(filepath.Join(*storeDir, "journal"), jobstore.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
+		store = journal
+	}
+	srv := newServerWithStore(engine.New(engine.Options{Workers: *workers, CacheSize: memo}),
+		store, *storeDir)
 	defer srv.eng.Close()
+	if resumed, adopted := srv.recoverJobs(context.Background()); resumed+adopted > 0 {
+		log.Printf("recovered %d finished jobs, resumed %d interrupted jobs from %s",
+			adopted, resumed, *storeDir)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -128,13 +157,25 @@ type server struct {
 	httpRequests atomic.Uint64
 	planErrors   atomic.Uint64
 	jobErrors    atomic.Uint64
+	jobsResumed  atomic.Uint64
+	replans      atomic.Uint64
 }
 
+// newServer builds a server with volatile jobs — the store-less
+// configuration tests use.
 func newServer(eng *engine.Engine) *server {
+	return newServerWithStore(eng, jobstore.NewMemory(), "")
+}
+
+// newServerWithStore builds a server whose job lifecycle is persisted
+// through store, with per-job checkpoint directories under storeDir
+// (empty = volatile checkpoints). Call recoverJobs afterwards to replay
+// the store.
+func newServerWithStore(eng *engine.Engine, store jobstore.Store, storeDir string) *server {
 	return &server{
 		eng:     eng,
 		sup:     runtime.New(runtime.Options{Engine: eng}),
-		jobs:    newJobManager(),
+		jobs:    newJobManager(store, storeDir),
 		started: time.Now(),
 	}
 }
@@ -143,10 +184,12 @@ func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.count(s.handlePlan))
 	mux.HandleFunc("POST /v1/plan/batch", s.count(s.handleBatch))
+	mux.HandleFunc("POST /v1/replan", s.count(s.handleReplan))
 	mux.HandleFunc("POST /v1/jobs", s.count(s.handleJobCreate))
 	mux.HandleFunc("GET /v1/jobs", s.count(s.handleJobList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.count(s.handleJobGet))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.count(s.handleJobEvents))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.count(s.handleJobCancel))
 	mux.HandleFunc("GET /v1/platforms", s.count(s.handlePlatforms))
 	mux.HandleFunc("GET /healthz", s.count(s.handleHealth))
 	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
@@ -395,14 +438,33 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "chainserve_kernel_scratch_bucket_arenas_total{cap=\"%d\",kind=\"reused\"} %d\n", b.Cap, b.Reuses)
 		fmt.Fprintf(w, "chainserve_kernel_scratch_bucket_arenas_total{cap=\"%d\",kind=\"fresh\"} %d\n", b.Cap, b.Fresh)
 	}
+	fmt.Fprintf(w, "# HELP chainserve_kernel_bucket_solves_total Completed solves per scratch size class — the workload histogram behind bucket tuning.\n"+
+		"# TYPE chainserve_kernel_bucket_solves_total counter\n")
+	for _, b := range kst.Buckets {
+		fmt.Fprintf(w, "chainserve_kernel_bucket_solves_total{cap=\"%d\"} %d\n", b.Cap, b.Solves)
+	}
 
 	sst := s.sup.Stats()
 	jobsTotal, jobsRunning := s.jobs.counts()
 	counter("chainserve_jobs_total", "Execution jobs accepted.", uint64(jobsTotal))
 	counter("chainserve_job_errors_total", "Execution jobs that failed.", s.jobErrors.Load())
+	counter("chainserve_jobs_resumed_total", "Interrupted jobs resumed after a restart.", s.jobsResumed.Load())
 	counter("chainserve_supervisor_replans_total", "Adaptive suffix re-plans across all jobs.", sst.Replans)
+	counter("chainserve_replan_requests_total", "Suffix re-plans served through /v1/replan.", s.replans.Load())
 	fmt.Fprintf(w, "# HELP chainserve_jobs_running Jobs currently executing.\n"+
 		"# TYPE chainserve_jobs_running gauge\nchainserve_jobs_running %d\n", jobsRunning)
+
+	jst := s.jobs.store.Stats()
+	counter("chainserve_jobstore_appends_total", "Job lifecycle records appended to the durable store.", jst.Appends)
+	counter("chainserve_jobstore_replayed_total", "Records applied during the boot-time journal replay.", jst.Replayed)
+	counter("chainserve_jobstore_skipped_corrupt_total", "Damaged journal frames skipped during replay.", jst.SkippedCorrupt)
+	counter("chainserve_jobstore_skipped_duplicates_total", "Duplicate transitions dropped during replay.", jst.SkippedDuplicates)
+	counter("chainserve_jobstore_compactions_total", "Journal compactions into a snapshot.", jst.Compactions)
+	counter("chainserve_jobstore_errors_total", "Durable store writes that failed.", s.jobs.storeErrors.Load())
+	fmt.Fprintf(w, "# HELP chainserve_jobstore_jobs Live records in the durable job store.\n"+
+		"# TYPE chainserve_jobstore_jobs gauge\nchainserve_jobstore_jobs %d\n", jst.Jobs)
+	fmt.Fprintf(w, "# HELP chainserve_jobstore_segments Journal segment files on disk.\n"+
+		"# TYPE chainserve_jobstore_segments gauge\nchainserve_jobstore_segments %d\n", jst.Segments)
 	fmt.Fprintf(w, "# HELP chainserve_uptime_seconds Seconds since start.\n"+
 		"# TYPE chainserve_uptime_seconds gauge\nchainserve_uptime_seconds %.0f\n", time.Since(s.started).Seconds())
 }

@@ -13,6 +13,7 @@ import (
 
 	"chainckpt/internal/core"
 	"chainckpt/internal/engine"
+	"chainckpt/internal/jobstore"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/runtime"
 	"chainckpt/internal/sim"
@@ -381,6 +382,11 @@ func TestMetricsEngineAndJobGauges(t *testing.T) {
 		"chainserve_jobs_running 0",
 		"chainserve_supervisor_replans_total",
 		"chainserve_job_errors_total",
+		"chainserve_jobs_resumed_total 0",
+		"chainserve_replan_requests_total 0",
+		"chainserve_jobstore_appends_total 0",
+		"chainserve_jobstore_jobs 0",
+		"chainserve_jobstore_errors_total 0",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
@@ -413,6 +419,7 @@ func TestMetricsKernelScratchGauges(t *testing.T) {
 		"chainserve_kernel_scratch_buckets 1",
 		`chainserve_kernel_scratch_bucket_arenas_total{cap="8",kind="reused"} `,
 		`chainserve_kernel_scratch_bucket_arenas_total{cap="8",kind="fresh"} `,
+		`chainserve_kernel_bucket_solves_total{cap="8"} 3`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
@@ -433,13 +440,13 @@ func TestMetricsKernelScratchGauges(t *testing.T) {
 }
 
 func TestJobManagerRetentionAndBackpressure(t *testing.T) {
-	m := newJobManager()
+	m := newJobManager(jobstore.NewMemory(), "")
 	m.maxJobs = 3
 	m.maxRunning = 2
 
 	mk := func() *job {
 		t.Helper()
-		j, _, err := m.create(jobStatus{})
+		j, _, err := m.create(jobStatus{}, nil, nil, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -447,7 +454,7 @@ func TestJobManagerRetentionAndBackpressure(t *testing.T) {
 	}
 	a, b := mk(), mk()
 	// Both running: the cap rejects a third.
-	if _, _, err := m.create(jobStatus{}); err == nil {
+	if _, _, err := m.create(jobStatus{}, nil, nil, ""); err == nil {
 		t.Fatal("running cap did not reject")
 	}
 	a.finish(nil, nil)

@@ -1,0 +1,184 @@
+// Cold-start recovery: on boot, the service replays the durable job
+// store and reconciles every record with reality. Terminal jobs are
+// re-listed as they ended. Interrupted jobs — created, planned or
+// running when the process died — are resumed, not restarted: the
+// job's checkpoint directory is scanned for the most recent checkpoint
+// whose fingerprint still verifies (runtime.RecoverLatest, skipping
+// damaged files), the remaining suffix is re-planned in place through
+// the solver kernel's ReplanSuffix under the estimator evidence the
+// journal persisted at the last progress transition (never a
+// full-chain re-solve), and the supervisor is relaunched from the
+// restored task index. This is the paper's two-level recovery promoted
+// to service scale: the fail-stop error is the service itself dying,
+// and the localized-recovery literature's lesson applies unchanged —
+// recover the affected suffix, never re-execute the world.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/engine"
+	"chainckpt/internal/jobstore"
+	"chainckpt/internal/runtime"
+	"chainckpt/internal/schedule"
+)
+
+// recoverJobs replays the job store, re-listing finished jobs and
+// resuming interrupted ones. It returns how many were resumed and how
+// many adopted in their terminal state; jobs that cannot be resumed
+// (unreadable spec, invalid schedule) are marked failed rather than
+// silently dropped.
+func (s *server) recoverJobs(ctx context.Context) (resumed, adopted int) {
+	for _, rec := range s.jobs.store.List() {
+		if rec.State.Terminal() {
+			s.jobs.adopt(rec)
+			adopted++
+			continue
+		}
+		if err := s.resumeJob(ctx, rec); err != nil {
+			j := s.jobs.adopt(rec)
+			s.jobs.transition(j, func(r *jobstore.Record) {
+				r.State = jobstore.StateFailed
+				r.Error = fmt.Sprintf("resume: %v", err)
+			})
+			j.mu.Lock()
+			j.status.Status = "failed"
+			j.status.Error = j.rec.Error
+			j.mu.Unlock()
+			continue
+		}
+		resumed++
+		s.jobsResumed.Add(1)
+	}
+	return resumed, adopted
+}
+
+// resumeJob relaunches one interrupted job from its durable record.
+func (s *server) resumeJob(ctx context.Context, rec jobstore.Record) error {
+	var jr jobRequest
+	if err := json.Unmarshal(rec.Spec, &jr); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	jr.normalize()
+	req, c, err := jr.toEngine()
+	if err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+
+	// The planned schedule travels in the record; a job that died before
+	// its planned transition is planned from scratch (through the memo).
+	var sched *schedule.Schedule
+	if len(rec.Schedule) > 0 {
+		sched = new(schedule.Schedule)
+		if err := json.Unmarshal(rec.Schedule, sched); err != nil {
+			return fmt.Errorf("schedule: %w", err)
+		}
+		if sched.Len() != c.Len() {
+			return fmt.Errorf("schedule for %d tasks but chain has %d", sched.Len(), c.Len())
+		}
+		sched = sched.Clone()
+	} else {
+		res, err := s.eng.Plan(ctx, req)
+		if err != nil {
+			return fmt.Errorf("planning: %w", err)
+		}
+		sched = res.Schedule
+	}
+
+	var est runtime.EstimatorState
+	if len(rec.Estimator) > 0 {
+		// Unreadable estimator evidence only costs the rates, not the
+		// resume.
+		json.Unmarshal(rec.Estimator, &est)
+	}
+
+	// Reconcile with the checkpoint directory: the last verifiable disk
+	// checkpoint decides where execution restarts, and the suffix after
+	// it is re-planned in place under the persisted rate evidence.
+	ck, err := s.jobs.newCheckpointStore(rec.ID)
+	if err != nil {
+		return err
+	}
+	from, _, err := ck.RecoverLatest()
+	if err != nil {
+		return fmt.Errorf("checkpoint scan: %w", err)
+	}
+	if from > 0 && from < c.Len() {
+		if res, err := s.replanSuffix(req, c, sched, est, from); err == nil {
+			sched.SpliceSuffix(from, res.Schedule)
+		}
+		// A failed suffix re-plan is not fatal: the persisted schedule
+		// still executes correctly under the modeled rates.
+	}
+
+	schedJSON, err := json.Marshal(sched)
+	if err != nil {
+		return err
+	}
+	j := s.jobs.adoptRunning(rec, schedJSON)
+	seed := jr.Seed
+	if seed == 0 {
+		seed = rec.Seq
+	}
+	s.launch(j, runtime.Job{
+		Chain:              c,
+		Platform:           req.Platform,
+		Schedule:           sched,
+		Algorithm:          req.Algorithm,
+		Costs:              req.Opts.Costs,
+		MaxDiskCheckpoints: req.Opts.MaxDiskCheckpoints,
+		Runner:             jr.newRunner(req.Platform, seed),
+		Store:              ck,
+		Resume:             true,
+		Estimator:          &est,
+	}, jr.Adaptive)
+	return nil
+}
+
+// replanSuffix re-solves the dynamic program for the window after
+// boundary from, under the platform rates the persisted estimator
+// evidence supports and the disk-checkpoint budget not yet spent on the
+// committed prefix. It goes straight to the engine's solver kernel:
+// pooled scratch sized to the suffix, no synthetic suffix chain, no
+// full-chain re-solve.
+func (s *server) replanSuffix(req engine.Request, c *chain.Chain, sched *schedule.Schedule,
+	est runtime.EstimatorState, from int) (*core.Result, error) {
+	updated := est.ReplanPlatform(req.Platform, 0)
+	opts := core.Options{Costs: req.Opts.Costs, Workers: 1}
+	rem, err := suffixBudget(sched, from, req.Opts.MaxDiskCheckpoints, c.Len())
+	if err != nil {
+		return nil, err
+	}
+	opts.MaxDiskCheckpoints = rem
+	return s.eng.Kernel().ReplanSuffix(req.Algorithm, c, updated, from, opts)
+}
+
+// suffixBudget returns the disk-checkpoint budget left for the window
+// after boundary from: the whole-run budget minus the checkpoints the
+// committed prefix has already spent, clamped to the suffix length.
+// max <= 0 means unlimited (returns 0, the solver's "no bound"); an
+// exhausted budget is an error — the suffix cannot be re-planned, its
+// mandatory final checkpoint alone would bust the bound.
+func suffixBudget(sched *schedule.Schedule, from, max, n int) (int, error) {
+	if max <= 0 {
+		return 0, nil
+	}
+	used := 0
+	for pos := 1; pos <= from; pos++ {
+		if sched.At(pos).Has(schedule.Disk) {
+			used++
+		}
+	}
+	rem := max - used
+	if rem < 1 {
+		return 0, fmt.Errorf("no disk-checkpoint budget left for the suffix")
+	}
+	if m := n - from; rem > m {
+		rem = m
+	}
+	return rem, nil
+}

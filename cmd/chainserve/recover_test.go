@@ -1,0 +1,256 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"chainckpt/internal/engine"
+	"chainckpt/internal/jobstore"
+	"chainckpt/internal/runtime"
+	"chainckpt/internal/schedule"
+)
+
+// resumeSpec is a job whose platform has a fail-stop rate high enough
+// that the planner spreads interior disk checkpoints across the chain —
+// without them there is nothing to resume from.
+const resumeSpec = `{"algorithm":"ADMV*","platform_spec":{"name":"CrashLab",` +
+	`"lambda_f":1e-4,"lambda_s":4e-4,"c_d":100,"c_m":10,"r_d":100,"r_m":10,` +
+	`"v_star":10,"v":0.1,"recall":0.8},"pattern":"uniform","n":24,"total":24000,` +
+	`"true_rate_scale_f":2,"seed":11}`
+
+// TestCrashRecoveryResumesInterruptedJob is the end-to-end restart
+// story. Life 1 admits a job exactly as the HTTP handler does (created
+// and planned transitions journaled, checkpoints under the store root)
+// and then dies at the second disk checkpoint: the context is cancelled
+// inside the durable-progress hook and no terminal transition is ever
+// appended — precisely the wreckage kill -9 leaves behind. Life 2 opens
+// a fresh server over the same directory, replays the journal, and must
+// resume the job from its last disk checkpoint with a suffix-re-planned
+// schedule (no full-chain re-solve) and drive it to completion with a
+// consistent event log.
+func TestCrashRecoveryResumesInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+
+	// --- Life 1 -------------------------------------------------------
+	st1, err := jobstore.Open(filepath.Join(dir, "journal"), jobstore.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1 := engine.New(engine.Options{Workers: 2})
+	srv1 := newServerWithStore(eng1, st1, dir)
+
+	var jr jobRequest
+	if err := json.Unmarshal([]byte(resumeSpec), &jr); err != nil {
+		t.Fatal(err)
+	}
+	jr.normalize()
+	req, c, err := jr.toEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng1.Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := json.Marshal(&jr)
+	schedJSON, _ := json.Marshal(res.Schedule)
+	fp, _ := engine.Fingerprint(req)
+	j1, seq, err := srv1.jobs.create(jobStatus{
+		Algorithm: string(res.Algorithm), Predicted: res.ExpectedMakespan,
+	}, spec, schedJSON, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := j1.snapshot().ID
+
+	ck1, err := srv1.jobs.newCheckpointStore(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, crash := context.WithCancel(context.Background())
+	defer crash()
+	disks := 0
+	var stoppedAt int
+	_, err = srv1.sup.Run(ctx, runtime.Job{
+		Chain: c, Platform: req.Platform, Schedule: res.Schedule, Algorithm: req.Algorithm,
+		Runner: jr.newRunner(req.Platform, seq), Store: ck1,
+		Progress: func(b int, est runtime.EstimatorState, sched *schedule.Schedule) {
+			srv1.jobs.progress(j1, b, est, sched)
+			if disks++; disks == 2 && b < c.Len() {
+				stoppedAt = b
+				crash() // kill -9: the goroutine dies, no terminal record
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("life 1 ended with %v, want context.Canceled", err)
+	}
+	if stoppedAt <= 0 {
+		t.Fatalf("job finished before the crash point (disks=%d)", disks)
+	}
+	// The abandoned record says running with committed progress.
+	rec, ok := st1.Get(id)
+	if !ok || rec.State != jobstore.StateRunning || rec.Progress == 0 {
+		t.Fatalf("abandoned record: %+v ok=%v", rec, ok)
+	}
+	// A real crash closes nothing: st1 and eng1 are simply abandoned.
+
+	// --- Life 2 -------------------------------------------------------
+	st2, err := jobstore.Open(filepath.Join(dir, "journal"), jobstore.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	eng2 := engine.New(engine.Options{Workers: 2})
+	t.Cleanup(eng2.Close)
+	srv2 := newServerWithStore(eng2, st2, dir)
+	resumed, adopted := srv2.recoverJobs(context.Background())
+	if resumed != 1 || adopted != 0 {
+		t.Fatalf("recoverJobs = (%d resumed, %d adopted), want (1, 0)", resumed, adopted)
+	}
+	// The suffix re-plan went through the kernel, not the engine: no
+	// full-chain solve was submitted in life 2.
+	if est := eng2.Stats(); est.Requests != 0 {
+		t.Errorf("recovery submitted %d engine requests, want 0 (suffix re-plans only)", est.Requests)
+	}
+	if kst := eng2.Kernel().Stats(); kst.Solves != 1 {
+		t.Errorf("kernel solves = %d, want exactly the one suffix re-plan", kst.Solves)
+	}
+
+	ts := httptest.NewServer(srv2.mux())
+	t.Cleanup(ts.Close)
+	final := waitForJob(t, ts.URL+"/v1/jobs/"+id)
+	if final.Status != "done" || final.Report == nil {
+		t.Fatalf("resumed job: %+v", final)
+	}
+	if final.Resumes != 1 {
+		t.Errorf("resumes = %d, want 1", final.Resumes)
+	}
+	if final.Report.ResumedFrom != stoppedAt {
+		t.Errorf("resumed from %d, want the crash-point checkpoint %d", final.Report.ResumedFrom, stoppedAt)
+	}
+
+	// Event-log consistency: the trace of life 2 opens with the resume
+	// event at the restored boundary, carries a monotone clock, and ends
+	// with done at the final boundary.
+	trace := final.Report.Trace
+	if len(trace) == 0 || trace[0].Kind != "resume" || trace[0].Pos != stoppedAt {
+		t.Fatalf("trace start: %+v", trace[:min(3, len(trace))])
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].T < trace[i-1].T {
+			t.Fatalf("clock ran backwards at event %d: %+v -> %+v", i, trace[i-1], trace[i])
+		}
+	}
+	if last := trace[len(trace)-1]; last.Kind != "done" || last.Pos != c.Len() {
+		t.Fatalf("trace end: %+v", last)
+	}
+
+	// The durable record reached done with a persisted (trace-free)
+	// report and a strictly advancing version history.
+	rec2, ok := st2.Get(id)
+	if !ok || rec2.State != jobstore.StateDone || len(rec2.Report) == 0 {
+		t.Fatalf("final record: %+v ok=%v", rec2, ok)
+	}
+	if rec2.Version <= rec.Version {
+		t.Errorf("version did not advance across lives: %d -> %d", rec.Version, rec2.Version)
+	}
+
+	// And a third life sees a finished job: nothing to resume.
+	st3, err := jobstore.Open(filepath.Join(dir, "journal"), jobstore.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st3.Close() })
+	srv3 := newServerWithStore(eng2, st3, dir)
+	if resumed, adopted := srv3.recoverJobs(context.Background()); resumed != 0 || adopted != 1 {
+		t.Fatalf("third life recovered (%d, %d), want (0, 1)", resumed, adopted)
+	}
+	if got := srv3.jobs.list(); len(got) != 1 || got[0].Status != "done" {
+		t.Fatalf("third-life listing: %+v", got)
+	}
+}
+
+// TestRecoverMarksUnresumableJobFailed: a journal record whose spec
+// cannot be recompiled must surface as a failed job, not vanish and not
+// wedge recovery.
+func TestRecoverMarksUnresumableJobFailed(t *testing.T) {
+	dir := t.TempDir()
+	st, err := jobstore.Open(filepath.Join(dir, "journal"), jobstore.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	now := time.Now().UTC()
+	if err := st.Append(jobstore.Record{
+		ID: "job-1", Seq: 1, Version: 1, State: jobstore.StateRunning,
+		CreatedAt: now, UpdatedAt: now,
+		Spec: json.RawMessage(`{"platform":"NoSuchPlatform","weights":[1,2]}`),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := engine.New(engine.Options{Workers: 1})
+	t.Cleanup(eng.Close)
+	srv := newServerWithStore(eng, st, dir)
+	if resumed, adopted := srv.recoverJobs(context.Background()); resumed != 0 || adopted != 0 {
+		t.Fatalf("recoverJobs = (%d, %d), want (0, 0)", resumed, adopted)
+	}
+	j, ok := srv.jobs.get("job-1")
+	if !ok {
+		t.Fatal("unresumable job vanished")
+	}
+	if snap := j.snapshot(); snap.Status != "failed" || snap.Error == "" {
+		t.Fatalf("unresumable job status: %+v", snap)
+	}
+	rec, ok := st.Get("job-1")
+	if !ok || rec.State != jobstore.StateFailed || rec.Error == "" {
+		t.Fatalf("durable record: %+v ok=%v", rec, ok)
+	}
+}
+
+// TestJobCancellation drives DELETE /v1/jobs/{id}: a paced job is
+// cancelled mid-run and both the live status and the durable record end
+// cancelled.
+func TestJobCancellation(t *testing.T) {
+	_, ts := newTestServer(t)
+	// A sleep-paced job slow enough (~2.5 s) to be cancelled mid-run.
+	resp, body := postJSON(t, ts.URL+"/v1/jobs",
+		`{"platform":"Hera","pattern":"uniform","n":10,"runner":"sleep","sleep_scale":1e-4}`)
+	if resp.StatusCode != 202 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var created jobStatus
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+created.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp2); resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status %d", resp2.StatusCode)
+	}
+	final := waitForJob(t, ts.URL+"/v1/jobs/"+created.ID)
+	if final.Status != "cancelled" {
+		t.Fatalf("final status %q, want cancelled", final.Status)
+	}
+	// Cancelling a finished job is a no-op reporting the final state.
+	resp3, err := http.DefaultClient.Do(del.Clone(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp3); resp3.StatusCode != http.StatusOK {
+		t.Fatalf("re-cancel status %d", resp3.StatusCode)
+	}
+}

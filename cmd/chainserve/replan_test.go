@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
+)
+
+// replanLab is a platform hot enough to place interior disk
+// checkpoints, so splicing is observable.
+const replanLab = `{"name":"ReplanLab","lambda_f":1e-4,"lambda_s":4e-4,"c_d":100,` +
+	`"c_m":10,"r_d":100,"r_m":10,"v_star":10,"v":0.1,"recall":0.8}`
+
+// TestReplanEndpointSplicesSuffix checks the contract against the
+// library: the suffix after `from` must equal a direct kernel
+// ReplanSuffix under the observed rates, and the prefix must ride
+// through untouched.
+func TestReplanEndpointSplicesSuffix(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var plat platform.Platform
+	if err := json.Unmarshal([]byte(replanLab), &plat); err != nil {
+		t.Fatal(err)
+	}
+	c, err := workload.Uniform(20, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.PlanADMV(c, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedJSON, err := json.Marshal(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The executor saw a small fraction of the modeled crashes: the
+	// re-planned suffix sheds checkpoints (the base plan on this hot
+	// platform is already saturated, so only a downward drift can move
+	// the placement).
+	const from = 6
+	observedF := plat.LambdaF / 25
+	body := fmt.Sprintf(`{"platform_spec":%s,"pattern":"uniform","n":20,"total":20000,`+
+		`"schedule":%s,"from":%d,"observed_lambda_f":%g}`, replanLab, schedJSON, from, observedF)
+	resp, raw := postJSON(t, ts.URL+"/v1/replan", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out replanResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, raw)
+	}
+	if out.From != from || out.Schedule == nil || out.SuffixExpectedMakespan <= 0 {
+		t.Fatalf("response: %+v", out)
+	}
+
+	// Reference: the kernel's own suffix re-plan under the observed rate.
+	updated := plat
+	updated.LambdaF = observedF
+	want, err := core.NewKernel().ReplanSuffix(core.AlgADMV, c, updated, from, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= c.Len()-from; k++ {
+		if got, exp := out.Schedule.At(from+k), want.Schedule.At(k); got != exp {
+			t.Errorf("boundary %d: got %v, want %v", from+k, got, exp)
+		}
+	}
+	for pos := 1; pos <= from; pos++ {
+		if got, exp := out.Schedule.At(pos), res.Schedule.At(pos); got != exp {
+			t.Errorf("prefix boundary %d modified: got %v, want %v", pos, got, exp)
+		}
+	}
+	if out.SuffixExpectedMakespan != want.ExpectedMakespan {
+		t.Errorf("suffix makespan %g, want %g", out.SuffixExpectedMakespan, want.ExpectedMakespan)
+	}
+	// A 25x-lower fail-stop rate must thin the suffix's placements.
+	if !out.Changed {
+		t.Error("25x-lower observed rate left the suffix unchanged")
+	}
+	if got, base := out.Counts.Disk, res.Schedule.Counts().Disk; got >= base {
+		t.Errorf("spliced schedule has %d disk checkpoints, want fewer than the base %d", got, base)
+	}
+}
+
+// TestReplanEndpointFromZeroIsFullPlan: from=0 degenerates to a full
+// re-plan, still through the kernel.
+func TestReplanEndpointFromZeroIsFullPlan(t *testing.T) {
+	_, ts := newTestServer(t)
+	sched := schedule.MustNew(4)
+	sched.Set(4, schedule.Disk|schedule.Memory|schedule.Guaranteed)
+	schedJSON, _ := json.Marshal(sched)
+	body := fmt.Sprintf(`{"platform":"Hera","weights":[100,200,300,400],"schedule":%s,"from":0}`, schedJSON)
+	resp, raw := postJSON(t, ts.URL+"/v1/replan", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out replanResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schedule == nil || out.Schedule.Len() != 4 {
+		t.Fatalf("response: %+v", out)
+	}
+	if err := out.Schedule.ValidateComplete(); err != nil {
+		t.Fatalf("spliced schedule invalid: %v", err)
+	}
+}
+
+func TestReplanEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	okSched := schedule.MustNew(2)
+	okSched.Set(2, schedule.Disk|schedule.Memory|schedule.Guaranteed)
+	schedJSON, _ := json.Marshal(okSched)
+	incomplete := schedule.MustNew(2) // no final disk checkpoint
+	incompleteJSON, _ := json.Marshal(incomplete)
+	for _, tc := range []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"not json", `{nope`, http.StatusBadRequest},
+		{"no platform", fmt.Sprintf(`{"weights":[1,2],"schedule":%s}`, schedJSON), http.StatusBadRequest},
+		{"no schedule", `{"platform":"Hera","weights":[1,2]}`, http.StatusBadRequest},
+		{"length mismatch", fmt.Sprintf(`{"platform":"Hera","weights":[1,2,3],"schedule":%s}`, schedJSON), http.StatusBadRequest},
+		{"incomplete schedule", fmt.Sprintf(`{"platform":"Hera","weights":[1,2],"schedule":%s}`, incompleteJSON), http.StatusBadRequest},
+		{"from out of range", fmt.Sprintf(`{"platform":"Hera","weights":[1,2],"schedule":%s,"from":2}`, schedJSON), http.StatusBadRequest},
+		{"no disk at from", fmt.Sprintf(`{"platform":"Hera","weights":[1,2],"schedule":%s,"from":1}`, schedJSON), http.StatusBadRequest},
+		{"negative rate", fmt.Sprintf(`{"platform":"Hera","weights":[1,2],"schedule":%s,"observed_lambda_f":-1}`, schedJSON), http.StatusBadRequest},
+		{"budget exhausted", fmt.Sprintf(`{"platform":"Hera","weights":[1,2],"schedule":%s,"from":1,"max_disk_checkpoints":1}`, spentSchedule(t)), http.StatusUnprocessableEntity},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/replan", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+		}
+	}
+}
+
+// spentSchedule is a 2-task schedule whose single disk-checkpoint
+// budget is already spent on boundary 1.
+func spentSchedule(t *testing.T) string {
+	t.Helper()
+	s := schedule.MustNew(2)
+	s.Set(1, schedule.Disk|schedule.Memory|schedule.Guaranteed)
+	s.Set(2, schedule.Disk|schedule.Memory|schedule.Guaranteed)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

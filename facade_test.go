@@ -216,3 +216,57 @@ func TestFacadeSupervisor(t *testing.T) {
 		t.Errorf("store boundaries: %v (%v)", bounds, err)
 	}
 }
+
+func TestFacadeJobStoreAndResume(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenJobStore(dir, JobStoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(JobRecord{ID: "job-1", Seq: 1, Version: 1, State: JobRunning}); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+	re, err := OpenJobStore(dir, JobStoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rec, ok := re.Get("job-1")
+	if !ok || rec.State != JobRunning || rec.State.Terminal() {
+		t.Fatalf("replayed record: %+v ok=%v", rec, ok)
+	}
+
+	// Resume a supervised run over a checkpoint directory: the full run
+	// leaves its final checkpoint behind, and the resumed run restores
+	// it and has nothing left to execute.
+	c, _ := Uniform(6, 6000)
+	p := Hera()
+	ckdir := t.TempDir()
+	ck, err := NewCheckpointStore(ckdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := NewSupervisor(SupervisorOptions{})
+	if _, err := sup.Run(context.Background(), RunJob{
+		Chain: c, Platform: p, Runner: NopTaskRunner{}, Store: ck,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := NewCheckpointStore(ckdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sup.Run(context.Background(), RunJob{
+		Chain: c, Platform: p, Runner: NopTaskRunner{}, Store: ck2, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResumedFrom != c.Len() || rep.Events.TasksRun != 0 {
+		t.Errorf("resume at the final boundary: %+v", rep)
+	}
+	if rep.Estimator.FailStop.Events != 0 {
+		t.Errorf("estimator export: %+v", rep.Estimator)
+	}
+}

@@ -148,6 +148,7 @@ type kernelBucket struct {
 	pool   sync.Pool
 	reuses atomic.Uint64
 	fresh  atomic.Uint64
+	solves atomic.Uint64
 }
 
 // KernelStats is a snapshot of a kernel's pool counters.
@@ -169,6 +170,11 @@ type KernelBucketStats struct {
 	// Reuses and Fresh count arena recycles and allocations.
 	Reuses uint64 `json:"reuses"`
 	Fresh  uint64 `json:"fresh"`
+	// Solves counts completed planning runs whose window fell in this
+	// size class — the workload histogram that tells which bucket sizes
+	// real traffic actually hits, the input to workload-aware bucket
+	// tuning (exact per-n pools for the hot sizes).
+	Solves uint64 `json:"solves"`
 }
 
 // NewKernel returns an empty kernel. The zero cost of creating one makes
@@ -220,13 +226,13 @@ func (k *Kernel) release(sc *scratch) {
 func (k *Kernel) Stats() KernelStats {
 	st := KernelStats{Solves: k.solves.Load()}
 	for i := range k.buckets {
-		r, f := k.buckets[i].reuses.Load(), k.buckets[i].fresh.Load()
-		if r == 0 && f == 0 {
+		r, f, s := k.buckets[i].reuses.Load(), k.buckets[i].fresh.Load(), k.buckets[i].solves.Load()
+		if r == 0 && f == 0 && s == 0 {
 			continue
 		}
 		st.ScratchReuses += r
 		st.ScratchFresh += f
-		st.Buckets = append(st.Buckets, KernelBucketStats{Cap: 1 << i, Reuses: r, Fresh: f})
+		st.Buckets = append(st.Buckets, KernelBucketStats{Cap: 1 << i, Reuses: r, Fresh: f, Solves: s})
 	}
 	return st
 }
@@ -294,6 +300,7 @@ func (k *Kernel) planWindow(alg Algorithm, c *chain.Chain, p platform.Platform, 
 	res, err := s.run()
 	if err == nil {
 		k.solves.Add(1)
+		k.buckets[bucketIndex(c.Len()-lo)].solves.Add(1)
 	}
 	return res, err
 }

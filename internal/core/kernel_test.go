@@ -208,6 +208,19 @@ func TestKernelStatsBuckets(t *testing.T) {
 	if st.ScratchFresh+st.ScratchReuses != 6 {
 		t.Errorf("fresh %d + reuses %d != 6 solves", st.ScratchFresh, st.ScratchReuses)
 	}
+	// The per-bucket solve histogram: 3 solves in each size class (the
+	// 3-task chain lands in the cap-8 bucket, the 40-task one in cap-64),
+	// summing to the kernel total.
+	var bucketSolves uint64
+	for _, b := range st.Buckets {
+		if b.Solves != 3 {
+			t.Errorf("bucket cap %d: solves %d, want 3", b.Cap, b.Solves)
+		}
+		bucketSolves += b.Solves
+	}
+	if bucketSolves != st.Solves {
+		t.Errorf("bucket solves sum %d != kernel solves %d", bucketSolves, st.Solves)
+	}
 }
 
 // TestKernelRejectsBadWindows covers the argument validation of the

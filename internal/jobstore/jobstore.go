@@ -1,0 +1,239 @@
+// Package jobstore persists the lifecycle of execution jobs so they
+// survive a service restart. A job moves through
+//
+//	created -> planned -> running(progress) -> done | failed | cancelled
+//
+// and every transition is recorded as one appended Record; the latest
+// record per job id is the job's durable state. The package offers two
+// Store implementations with identical semantics: Memory (process
+// state, the pre-durability behavior) and Journal, a write-ahead log of
+// CRC-framed records in rotated segment files plus a periodically
+// compacted snapshot, committed with the same fsync-and-atomic-rename
+// discipline as the fingerprinted checkpoint tier (internal/runtime).
+//
+// The store deliberately knows nothing about chains, schedules or
+// supervisors: the service-level payloads (request spec, planned
+// schedule, estimator state, final report) travel as opaque JSON blobs,
+// so the persistence layer never constrains the wire format above it.
+package jobstore
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// The lifecycle states. StateDeleted is the internal tombstone a
+// Delete appends so an evicted job stays dead across replays; deleted
+// jobs are invisible to Get and List and dropped entirely at the next
+// compaction.
+const (
+	StateCreated   State = "created"
+	StatePlanned   State = "planned"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+	StateDeleted   State = "deleted"
+)
+
+// Terminal reports whether the state is an end of the lifecycle: a job
+// in a terminal state is never resumed after a restart.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateDeleted:
+		return true
+	}
+	return false
+}
+
+// Record is the durable state of one job: identity and lifecycle fields
+// the store interprets, plus opaque JSON payloads owned by the service.
+// Version is the transition counter (1 on creation, incremented on every
+// transition); replay uses it to drop duplicate or stale records, so
+// re-appending an old record is harmless.
+type Record struct {
+	// ID is the job id ("job-7"); Seq its creation sequence number, from
+	// which restarted services continue numbering (see MaxSeq).
+	ID  string `json:"id"`
+	Seq uint64 `json:"seq"`
+	// Version orders the transitions of one job; duplicates are skipped.
+	Version uint64 `json:"version"`
+	State   State  `json:"state"`
+
+	CreatedAt time.Time `json:"created_at"`
+	UpdatedAt time.Time `json:"updated_at"`
+
+	// Fingerprint is the canonical instance fingerprint of the planning
+	// request (internal/engine), tying the job to its plan-memo identity.
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Algorithm   string  `json:"algorithm,omitempty"`
+	Adaptive    bool    `json:"adaptive,omitempty"`
+	Predicted   float64 `json:"predicted_makespan,omitempty"`
+	// Progress is the last disk-checkpointed boundary of a running job —
+	// where a resume restarts from.
+	Progress int `json:"progress,omitempty"`
+	// Resumes counts restarts that relaunched this job.
+	Resumes int    `json:"resumes,omitempty"`
+	Error   string `json:"error,omitempty"`
+
+	// Opaque service payloads: the original request, the planned
+	// schedule, the estimator state at the last progress transition, and
+	// the final report.
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	Schedule  json.RawMessage `json:"schedule,omitempty"`
+	Estimator json.RawMessage `json:"estimator,omitempty"`
+	Report    json.RawMessage `json:"report,omitempty"`
+}
+
+// Stats counts what a store has done. Replay counters are filled by
+// Journal's open-time recovery; Memory leaves them zero.
+type Stats struct {
+	// Jobs is the number of live (non-deleted) records.
+	Jobs int `json:"jobs"`
+	// Appends counts records appended since open (transitions and
+	// tombstones).
+	Appends uint64 `json:"appends"`
+	// Replayed counts records applied during open-time replay.
+	Replayed uint64 `json:"replayed"`
+	// SkippedDuplicates counts replayed records dropped because an equal
+	// or newer version of the job was already applied.
+	SkippedDuplicates uint64 `json:"skipped_duplicates"`
+	// SkippedCorrupt counts frames rejected by CRC, framing or decoding
+	// during replay. Corruption never aborts a replay: the damaged frame
+	// (or, when the framing itself is implausible, the rest of that one
+	// file) is skipped and recovery continues.
+	SkippedCorrupt uint64 `json:"skipped_corrupt"`
+	// Segments is the number of live journal segment files.
+	Segments int `json:"segments"`
+	// Compactions counts snapshot rewrites since open.
+	Compactions uint64 `json:"compactions"`
+}
+
+// Store persists job lifecycle records. All implementations are safe
+// for concurrent use.
+type Store interface {
+	// Append records one lifecycle transition. A record whose Version is
+	// not newer than the stored one is ignored (idempotent re-delivery).
+	Append(rec Record) error
+	// Delete tombstones a job: it disappears from Get and List at once
+	// and stays dead across replays.
+	Delete(id string) error
+	// Get returns the latest record of a live job.
+	Get(id string) (Record, bool)
+	// List returns the latest record of every live job in creation order
+	// (ascending Seq).
+	List() []Record
+	// MaxSeq returns the highest Seq ever recorded, including deleted
+	// jobs — the watermark a restarted service continues numbering from.
+	MaxSeq() uint64
+	// Stats snapshots the store's counters.
+	Stats() Stats
+	// Close releases the store's resources; a closed store must not be
+	// appended to.
+	Close() error
+}
+
+// Memory is the volatile Store: a map. It is the default backend of
+// chainserve when no -store-dir is given, and the reference semantics
+// the Journal implementation is tested against.
+type Memory struct {
+	mu      sync.Mutex
+	recs    map[string]Record
+	maxSeq  uint64
+	appends uint64
+}
+
+// NewMemory returns an empty volatile store.
+func NewMemory() *Memory {
+	return &Memory{recs: make(map[string]Record)}
+}
+
+// Append implements Store.
+func (m *Memory) Append(rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.appends++
+	if cur, ok := m.recs[rec.ID]; ok && rec.Version <= cur.Version {
+		return nil
+	}
+	if rec.Seq > m.maxSeq {
+		m.maxSeq = rec.Seq
+	}
+	m.recs[rec.ID] = rec
+	return nil
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.recs, id)
+	return nil
+}
+
+// Get implements Store.
+func (m *Memory) Get(id string) (Record, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[id]
+	if !ok || rec.State == StateDeleted {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// List implements Store.
+func (m *Memory) List() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sortedRecords(m.recs)
+}
+
+// MaxSeq implements Store.
+func (m *Memory) MaxSeq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxSeq
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Jobs: liveCount(m.recs), Appends: m.appends}
+}
+
+// Close implements Store.
+func (m *Memory) Close() error { return nil }
+
+// sortedRecords returns the live records in ascending (Seq, ID) order.
+func sortedRecords(recs map[string]Record) []Record {
+	out := make([]Record, 0, len(recs))
+	for _, rec := range recs {
+		if rec.State != StateDeleted {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func liveCount(recs map[string]Record) int {
+	n := 0
+	for _, rec := range recs {
+		if rec.State != StateDeleted {
+			n++
+		}
+	}
+	return n
+}

@@ -16,6 +16,8 @@
 // supervisor can shed the excess checkpoints.
 package runtime
 
+import "chainckpt/internal/platform"
+
 // rateEstimator tracks one error source.
 type rateEstimator struct {
 	exposure float64 // compute seconds observed
@@ -83,6 +85,47 @@ func (e *rateEstimator) drifted(planned, tol float64, minEvents int) bool {
 	return ratio > tol || ratio < 1/tol
 }
 
+// RateObservation is the serializable evidence of one error source: the
+// compute exposure observed and the arrivals seen over it. It is the
+// whole state of a rateEstimator, so a persisted observation restores
+// the estimator exactly.
+type RateObservation struct {
+	// ExposureSeconds is the compute time the source has been observed
+	// over.
+	ExposureSeconds float64 `json:"exposure_seconds"`
+	// Events is the number of arrivals observed.
+	Events int64 `json:"events"`
+}
+
+// EstimatorState exports the supervisor's online rate estimators — the
+// piece of execution state a durable job store persists alongside disk
+// checkpoints, so a run resumed after a service restart keeps the
+// error-rate evidence its earlier life accumulated instead of starting
+// statistically blind.
+type EstimatorState struct {
+	FailStop RateObservation `json:"fail_stop"`
+	Silent   RateObservation `json:"silent"`
+}
+
+// ReplanPlatform returns p with its error rates replaced by the rates a
+// suffix re-plan should assume under this evidence: the MLE of each
+// source when at least minEvents arrivals back it, the rule-of-three
+// upper bound when a long clean exposure certifies the planned rate is
+// an overestimate, and the planned rate itself otherwise. minEvents 0
+// selects the AdaptPolicy default. This is the rate policy of the
+// cold-start resume path: re-plan the remaining suffix with what the
+// interrupted run had learned.
+func (st EstimatorState) ReplanPlatform(p platform.Platform, minEvents int) platform.Platform {
+	if minEvents <= 0 {
+		minEvents = AdaptPolicy{}.normalized().MinEvents
+	}
+	f := rateEstimator{exposure: st.FailStop.ExposureSeconds, events: st.FailStop.Events}
+	s := rateEstimator{exposure: st.Silent.ExposureSeconds, events: st.Silent.Events}
+	p.LambdaF = f.replanRate(p.LambdaF, minEvents)
+	p.LambdaS = s.replanRate(p.LambdaS, minEvents)
+	return p
+}
+
 // estimator bundles the two sources. The silent-error estimator counts
 // detections (a corruption that slips past partial verifications is
 // counted once, when a later verification finally catches it), which
@@ -96,4 +139,18 @@ type estimator struct {
 func (e *estimator) observeCompute(seconds float64) {
 	e.failStop.observe(seconds)
 	e.silent.observe(seconds)
+}
+
+// state exports the estimator for persistence.
+func (e *estimator) state() EstimatorState {
+	return EstimatorState{
+		FailStop: RateObservation{ExposureSeconds: e.failStop.exposure, Events: e.failStop.events},
+		Silent:   RateObservation{ExposureSeconds: e.silent.exposure, Events: e.silent.events},
+	}
+}
+
+// restore seeds the estimator from persisted evidence.
+func (e *estimator) restore(st EstimatorState) {
+	e.failStop = rateEstimator{exposure: st.FailStop.ExposureSeconds, events: st.FailStop.Events}
+	e.silent = rateEstimator{exposure: st.Silent.ExposureSeconds, events: st.Silent.Events}
 }

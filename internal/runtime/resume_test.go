@@ -1,0 +1,269 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
+)
+
+// resumePlatform is a platform whose fail-stop rate is high enough that
+// the planner spreads interior disk checkpoints across the chain — the
+// regime where restart-resume is interesting. (On the Table I platforms
+// at test-sized chains, only the mandatory final disk checkpoint is
+// placed.)
+func resumePlatform(t *testing.T) platform.Platform {
+	t.Helper()
+	p := platform.Platform{Name: "ResumeLab", LambdaF: 1e-4, LambdaS: 4e-4,
+		CD: 100, CM: 10, RD: 100, RM: 10, VStar: 10, V: 0.1, Recall: 0.8}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestResumeContinuesFromDiskCheckpoint hard-stops a run at its first
+// interior disk checkpoint (context cancelled inside the Progress hook —
+// the goroutine dies exactly as a killed process would, with checkpoints
+// on disk and no farewell), then resumes over the same directory and
+// checks the second life starts where the first ended.
+func TestResumeContinuesFromDiskCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	c, err := workload.Uniform(20, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := resumePlatform(t)
+	sup := New(Options{})
+
+	store1, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stopped int
+	job := Job{
+		Chain: c, Platform: p, Runner: NopRunner{}, Store: store1, Record: true,
+		Progress: func(b int, est EstimatorState, sched *schedule.Schedule) {
+			if b > 0 && b < c.Len() && stopped == 0 {
+				stopped = b
+				cancel()
+			}
+		},
+	}
+	if _, err := sup.Run(ctx, job); !errors.Is(err, context.Canceled) {
+		t.Fatalf("hard-stopped run returned %v, want context.Canceled", err)
+	}
+	if stopped <= 0 {
+		t.Fatal("schedule placed no interior disk checkpoint to stop at")
+	}
+
+	// Second life: a fresh store over the same directory, Resume set.
+	store2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job2 := job
+	job2.Store = store2
+	job2.Progress = nil
+	job2.Resume = true
+	rep, err := sup.Run(context.Background(), job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResumedFrom != stopped {
+		t.Errorf("resumed from %d, want %d", rep.ResumedFrom, stopped)
+	}
+	// Error-free runner: the second life executes exactly the remaining
+	// tasks, never the committed prefix.
+	if want := int64(c.Len() - stopped); rep.Events.TasksRun != want {
+		t.Errorf("resumed run executed %d tasks, want %d", rep.Events.TasksRun, want)
+	}
+	// The trace opens with the resume event and closes with done.
+	if len(rep.Trace) == 0 || rep.Trace[0].Kind != "resume" || rep.Trace[0].Pos != stopped {
+		t.Errorf("trace start: %+v", rep.Trace[:min(3, len(rep.Trace))])
+	}
+	if last := rep.Trace[len(rep.Trace)-1]; last.Kind != "done" || last.Pos != c.Len() {
+		t.Errorf("trace end: %+v", last)
+	}
+}
+
+// TestResumeRejectsForeignCheckpoint: resuming a short chain over a
+// directory holding a longer chain's checkpoints must error cleanly,
+// not index past the schedule.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	long, err := workload.Uniform(24, 24000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := New(Options{})
+	store1, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sup.Run(context.Background(), Job{
+		Chain: long, Platform: platform.Hera(), Runner: NopRunner{}, Store: store1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	short, err := workload.Uniform(10, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sup.Run(context.Background(), Job{
+		Chain: short, Platform: platform.Hera(), Runner: NopRunner{}, Store: store2, Resume: true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "boundary 24") {
+		t.Fatalf("foreign checkpoint resume returned %v, want a boundary-range error", err)
+	}
+}
+
+// TestResumeEmptyStoreStartsFresh: Resume over a store with no
+// checkpoints degrades to a normal run.
+func TestResumeEmptyStoreStartsFresh(t *testing.T) {
+	c, err := workload.Uniform(8, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := New(Options{}).Run(context.Background(), Job{
+		Chain: c, Platform: platform.Hera(), Runner: NopRunner{}, Store: store, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResumedFrom != 0 || rep.Events.TasksRun != int64(c.Len()) {
+		t.Errorf("fresh resume: resumed_from=%d tasks=%d", rep.ResumedFrom, rep.Events.TasksRun)
+	}
+}
+
+// TestEstimatorSeedCarriesEvidence: a seeded estimator's evidence shows
+// up in the report's estimates and in the exported state.
+func TestEstimatorSeedCarriesEvidence(t *testing.T) {
+	c, err := workload.Uniform(5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := EstimatorState{
+		FailStop: RateObservation{ExposureSeconds: 10000, Events: 7},
+		Silent:   RateObservation{ExposureSeconds: 10000, Events: 0},
+	}
+	rep, err := New(Options{}).Run(context.Background(), Job{
+		Chain: c, Platform: platform.Hera(), Runner: NopRunner{}, Estimator: &seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NopRunner adds 500 s of clean exposure to the seeded 10000 s.
+	wantExposure := 10500.0
+	if got := rep.Estimator.FailStop; got.Events != 7 || got.ExposureSeconds != wantExposure {
+		t.Errorf("fail-stop evidence: %+v", got)
+	}
+	wantRate := 7 / wantExposure
+	if rep.LambdaFEstimate != wantRate {
+		t.Errorf("lambda_f estimate %g, want %g", rep.LambdaFEstimate, wantRate)
+	}
+}
+
+// TestReplanPlatformRatePolicy: observed evidence replaces the planned
+// rates only when it is trustworthy.
+func TestReplanPlatformRatePolicy(t *testing.T) {
+	p := platform.Hera()
+	// Plenty of arrivals: MLE wins for fail-stop. Clean long exposure
+	// whose upper bound sits under the planned rate: bound wins for
+	// silent. (Hera: lambda_f and lambda_s both well above 3/1e9.)
+	st := EstimatorState{
+		FailStop: RateObservation{ExposureSeconds: 1e6, Events: 50},
+		Silent:   RateObservation{ExposureSeconds: 1e9, Events: 0},
+	}
+	got := st.ReplanPlatform(p, 0)
+	if want := 50 / 1e6; got.LambdaF != want {
+		t.Errorf("lambda_f = %g, want MLE %g", got.LambdaF, want)
+	}
+	if want := 3 / 1e9; got.LambdaS != want {
+		t.Errorf("lambda_s = %g, want rule-of-three bound %g", got.LambdaS, want)
+	}
+	// No evidence at all: planned rates survive.
+	if got := (EstimatorState{}).ReplanPlatform(p, 0); got != p {
+		t.Errorf("zero evidence changed the platform: %+v", got)
+	}
+}
+
+// TestResumeSkipsDamagedCheckpoints: a corrupted latest checkpoint must
+// not stop a resume — RecoverLatest falls back to the previous valid
+// one, and the run still completes.
+func TestResumeSkipsDamagedCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	c, err := workload.Uniform(20, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := resumePlatform(t)
+	sup := New(Options{})
+	store1, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run to completion so several checkpoints are on disk, then damage
+	// the newest file.
+	if _, err := sup.Run(context.Background(), Job{
+		Chain: c, Platform: p, Runner: NopRunner{}, Store: store1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := store1.Boundaries()
+	if err != nil || len(bounds) < 2 {
+		t.Fatalf("need >=2 disk checkpoints, got %v (%v)", bounds, err)
+	}
+	last := bounds[len(bounds)-1]
+	path := filepath.Join(dir, fmt.Sprintf("ckpt-%06d.bin", last))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sup.Run(context.Background(), Job{
+		Chain: c, Platform: p, Runner: NopRunner{}, Store: store2, Resume: true, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResumedFrom != bounds[len(bounds)-2] {
+		t.Errorf("resumed from %d, want previous valid checkpoint %d", rep.ResumedFrom, bounds[len(bounds)-2])
+	}
+	var done bool
+	for _, ev := range rep.Trace {
+		if ev.Kind == "done" {
+			done = true
+		}
+	}
+	if !done {
+		t.Error("resumed run never finished")
+	}
+}

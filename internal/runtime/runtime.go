@@ -104,6 +104,25 @@ type Job struct {
 	// Initial is the input state of task 1 (checkpointed at the virtual
 	// boundary 0).
 	Initial State
+	// Resume restores the most recent valid disk checkpoint from Store
+	// (RecoverLatest, skipping damaged files) and starts execution at
+	// that boundary instead of boundary 0 — the cold-start path of a
+	// durable job store relaunching an interrupted run. With an empty
+	// store the run starts fresh; Initial is ignored whenever a
+	// checkpoint is restored.
+	Resume bool
+	// Estimator, when non-nil, seeds the online rate estimators with
+	// persisted evidence, so a resumed run keeps what its earlier life
+	// had learned about the true error rates.
+	Estimator *EstimatorState
+	// Progress, when non-nil, is invoked right after every committed
+	// disk checkpoint with the boundary, the estimator state, and the
+	// schedule currently executing (including any adaptive splices; the
+	// callee must not mutate it and must serialize synchronously) — the
+	// durability hook a persistent job store records running(progress)
+	// transitions through. It runs on the execution goroutine; keep it
+	// fast.
+	Progress func(boundary int, est EstimatorState, sched *schedule.Schedule)
 	// Observer, when non-nil, receives every event as it happens.
 	Observer func(sim.TraceEvent)
 	// Record keeps the full event log in the report.
@@ -172,6 +191,13 @@ type Report struct {
 	// observed over the run (the modeled rates when no event was seen).
 	LambdaFEstimate float64 `json:"lambda_f_estimate"`
 	LambdaSEstimate float64 `json:"lambda_s_estimate"`
+	// Estimator is the raw evidence behind the estimates (exposure and
+	// arrivals per source), the state a durable job store persists so a
+	// future resume can re-seed Job.Estimator.
+	Estimator EstimatorState `json:"estimator"`
+	// ResumedFrom is the boundary execution started from: positive when
+	// Job.Resume restored a disk checkpoint, zero for a fresh run.
+	ResumedFrom int `json:"resumed_from,omitempty"`
 	// Trace is the full event log (only when Job.Record was set).
 	Trace []sim.TraceEvent `json:"trace,omitempty"`
 }
@@ -283,6 +309,9 @@ func (s *Supervisor) run(ctx context.Context, job Job, adapt *AdaptPolicy) (*Rep
 		state:    append(State(nil), job.Initial...),
 		attempts: make([]int, job.Chain.Len()+1),
 	}
+	if job.Estimator != nil {
+		e.est.restore(*job.Estimator)
+	}
 	e.rebuildStations()
 	s.jobs.Add(1)
 
@@ -330,14 +359,40 @@ func (e *execution) emit(kind string, pos int) {
 }
 
 func (e *execution) execute(ctx context.Context) (*Report, error) {
-	// The virtual task T0: its state is checkpointed everywhere at no
-	// cost, so recovery to boundary 0 is always possible.
-	e.store.SaveMemory(0, e.state)
-	if err := e.store.SaveDisk(0, e.state); err != nil {
-		return nil, err
+	// A resumed run restores the most recent valid disk checkpoint and
+	// continues from its boundary; everything else starts at the virtual
+	// task T0, whose state is checkpointed everywhere at no cost so
+	// recovery to boundary 0 is always possible.
+	resumed := -1
+	if e.job.Resume {
+		b, data, err := e.store.Resume()
+		if err != nil {
+			return nil, fmt.Errorf("runtime: resume: %w", err)
+		}
+		if b > e.c.Len() {
+			// A checkpoint from some other (longer) chain's directory, or
+			// a corrupted boundary header: refuse rather than index past
+			// the schedule.
+			return nil, fmt.Errorf("runtime: resume: recovered checkpoint at boundary %d but the chain has %d tasks",
+				b, e.c.Len())
+		}
+		if b >= 0 {
+			e.cur = b
+			e.state = data
+			resumed = b
+			if b > 0 {
+				e.emit("resume", b)
+			}
+		}
+	}
+	if resumed < 0 {
+		e.store.SaveMemory(0, e.state)
+		if err := e.store.SaveDisk(0, e.state); err != nil {
+			return nil, err
+		}
 	}
 
-	i := e.nextIdx[0]
+	i := e.nextIdx[e.cur]
 	for i < len(e.stations) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -371,6 +426,8 @@ func (e *execution) execute(ctx context.Context) (*Report, error) {
 		FinalSchedule:   e.sched,
 		LambdaFEstimate: e.est.failStop.rate(e.job.Platform.LambdaF),
 		LambdaSEstimate: e.est.silent.rate(e.job.Platform.LambdaS),
+		Estimator:       e.est.state(),
+		ResumedFrom:     max(resumed, 0),
 		Trace:           e.trace,
 	}, nil
 }
@@ -485,6 +542,9 @@ func (e *execution) verifyStation(ctx context.Context, st schedule.Station) (int
 		}
 		e.counters.CheckpointsDisk++
 		e.emit("ckpt-disk", st.Pos)
+		if e.job.Progress != nil {
+			e.job.Progress(st.Pos, e.est.state(), e.sched)
+		}
 	}
 	e.cur = st.Pos
 	next := e.nextIdx[e.cur]
@@ -565,9 +625,7 @@ func (e *execution) maybeReplan(ctx context.Context) {
 		// schedule.
 		return
 	}
-	for j := 1; j <= m; j++ {
-		e.sched.Set(e.cur+j, res.Schedule.At(j))
-	}
+	e.sched.SpliceSuffix(e.cur, res.Schedule)
 	e.planned = updated
 	e.rebuildStations()
 	e.counters.Replans++

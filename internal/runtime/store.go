@@ -119,6 +119,23 @@ func (s *Store) LoadDisk() (int, []byte, error) {
 	return ck.boundary, ck.data, nil
 }
 
+// Resume returns the checkpoint execution should restart from. When a
+// cold-start scan (RecoverLatest) has already reconciled this store,
+// the seeded checkpoint is re-read and re-verified without a second
+// directory scan; otherwise — or if that single file stopped verifying
+// in the meantime — it falls back to the full scan.
+func (s *Store) Resume() (int, []byte, error) {
+	s.mu.Lock()
+	seeded := s.disk != nil
+	s.mu.Unlock()
+	if seeded {
+		if b, data, err := s.LoadDisk(); err == nil {
+			return b, data, nil
+		}
+	}
+	return s.RecoverLatest()
+}
+
 // RecoverLatest scans the disk tier for the most recent checkpoint whose
 // fingerprint still verifies, skipping damaged files — the cold-start
 // path of a supervisor resuming after a real crash. It returns boundary

@@ -152,6 +152,27 @@ func (s *Schedule) Add(i int, a Action) {
 	s.Set(i, s.actions[i]|a)
 }
 
+// SpliceSuffix overwrites boundaries from+1..n with the actions of a
+// suffix schedule indexed 1..n-from — the shape Kernel.ReplanSuffix
+// returns, suffix boundary k corresponding to chain boundary from+k —
+// and reports whether any action actually changed. It panics when the
+// suffix length is not exactly n-from, the same contract-violation
+// treatment as an out-of-range Set.
+func (s *Schedule) SpliceSuffix(from int, suffix *Schedule) (changed bool) {
+	if from < 0 || suffix.n != s.n-from {
+		panic(fmt.Sprintf("schedule: cannot splice a %d-task suffix into a %d-task schedule at boundary %d",
+			suffix.n, s.n, from))
+	}
+	for k := 1; k <= suffix.n; k++ {
+		a := suffix.actions[k].Normalize()
+		if s.actions[from+k] != a {
+			changed = true
+		}
+		s.actions[from+k] = a
+	}
+	return changed
+}
+
 // Clone returns a deep copy.
 func (s *Schedule) Clone() *Schedule {
 	c := &Schedule{n: s.n, actions: make([]Action, len(s.actions))}

@@ -283,3 +283,41 @@ func TestJSONRejectsInvalid(t *testing.T) {
 		}
 	}
 }
+
+func TestSpliceSuffix(t *testing.T) {
+	s := MustNew(5)
+	s.Set(2, Guaranteed)
+	s.Set(5, Disk)
+	suffix := MustNew(3) // replaces boundaries 3..5
+	suffix.Set(1, Memory)
+	suffix.Set(3, Disk)
+
+	changed := s.SpliceSuffix(2, suffix)
+	if !changed {
+		t.Error("splice that alters boundary 3 reported changed=false")
+	}
+	if s.At(2) != Guaranteed {
+		t.Errorf("prefix boundary 2 modified: %v", s.At(2))
+	}
+	// Suffix boundary k lands at chain boundary 2+k, normalized.
+	if s.At(3) != (Memory | Guaranteed) {
+		t.Errorf("boundary 3 = %v", s.At(3))
+	}
+	if s.At(4) != None {
+		t.Errorf("boundary 4 = %v", s.At(4))
+	}
+	if s.At(5) != (Disk | Memory | Guaranteed) {
+		t.Errorf("boundary 5 = %v", s.At(5))
+	}
+	// Re-splicing the same suffix changes nothing.
+	if s.SpliceSuffix(2, suffix) {
+		t.Error("identical re-splice reported changed=true")
+	}
+	// A mis-sized suffix is a contract violation.
+	defer func() {
+		if recover() == nil {
+			t.Error("mis-sized splice did not panic")
+		}
+	}()
+	s.SpliceSuffix(1, suffix)
+}

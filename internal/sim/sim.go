@@ -226,8 +226,9 @@ type TraceEvent struct {
 	// T is the simulated clock after the event completed, in seconds.
 	T float64 `json:"t"`
 	// Kind is one of compute, failstop, reset, silent, verify, detect,
-	// miss, rollback, ckpt-mem, ckpt-disk, done (and replan, emitted by
-	// the runtime supervisor's adaptive mode).
+	// miss, rollback, ckpt-mem, ckpt-disk, done (and replan / resume,
+	// emitted by the runtime supervisor's adaptive mode and
+	// checkpoint-restore cold start).
 	Kind string `json:"kind"`
 	// Pos is the boundary the event relates to.
 	Pos int `json:"pos"`
