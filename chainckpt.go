@@ -318,13 +318,18 @@ func Simulate(c *Chain, p Platform, s *Schedule, opts SimOptions) (*SimResult, e
 	return sim.Run(c, p, s, opts)
 }
 
-// Engine is a concurrent batch planner: a bounded worker pool with an
-// LRU memo of solved instances keyed by canonical fingerprint. Use it
-// when serving many plan requests (cmd/chainserve) or sweeping many
-// instances (internal/experiments); see internal/engine.
+// Engine is a concurrent batch planner, sharded for contention-free
+// scale: requests route by canonical instance fingerprint to one of N
+// shards, each owning its own solver kernel, LRU memo, singleflight
+// table and worker slice, so heavy parallel traffic never serializes on
+// a single memo mutex while results stay byte-identical to a one-shard
+// engine. Use it when serving many plan requests (cmd/chainserve) or
+// sweeping many instances (internal/experiments); see internal/engine.
 type Engine = engine.Engine
 
-// EngineOptions sizes an Engine's worker pool and plan memo.
+// EngineOptions sizes an Engine's worker pool, plan memo and shard
+// count (EngineOptions.Shards; default min(GOMAXPROCS, Workers), an
+// explicit value rounded up to a power of two).
 type EngineOptions = engine.Options
 
 // PlanRequest is one planning job submitted to an Engine.
@@ -334,8 +339,13 @@ type PlanRequest = engine.Request
 // index, the result or error, and whether the memo served it.
 type PlanResponse = engine.Response
 
-// EngineStats is a snapshot of an Engine's request and cache counters.
+// EngineStats is a snapshot of an Engine's request and cache counters,
+// aggregated across shards; EngineStats.Shards carries the per-shard
+// breakdown.
 type EngineStats = engine.Stats
+
+// EngineShardStats is one shard's slice of an Engine's counters.
+type EngineShardStats = engine.ShardStats
 
 // NewEngine starts a batch planning engine; Close it to release its
 // workers.
@@ -361,11 +371,17 @@ func DefaultEngine() *Engine { return engine.Default() }
 type Kernel = core.Kernel
 
 // KernelStats snapshots a kernel's scratch-pool counters: solves,
-// arena reuses versus fresh allocations, per size bucket.
+// arena reuses versus fresh allocations, per size bucket, plus the
+// exact per-window-length solve histogram (KernelStats.Sizes) that
+// Kernel.Tune consumes to install exact-capacity pools for the hot
+// sizes.
 type KernelStats = core.KernelStats
 
 // KernelBucketStats is one capacity class of a kernel's scratch pool.
 type KernelBucketStats = core.KernelBucketStats
+
+// KernelSizeStats is one exact window length's solve count.
+type KernelSizeStats = core.KernelSizeStats
 
 // NewKernel returns an empty solver kernel.
 //

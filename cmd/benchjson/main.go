@@ -11,6 +11,17 @@
 // iteration count, then (value, unit) pairs such as ns/op, B/op,
 // allocs/op — plus testing.B.ReportMetric custom units, and tracks the
 // goos/goarch/pkg/cpu headers go test prints per package.
+//
+// With -baseline FILE, benchjson additionally gates the run against a
+// committed report (the CI bench-regression step): it exits non-zero
+// when the warm-kernel allocation counts (BenchmarkKernelPlan/*
+// allocs/op) or the sharded-engine contention advantage
+// (BenchmarkEngineContention single/gN over sharded/gN ns/op) regress
+// more than -tolerance (default 15%) versus the baseline. The
+// contention check compares the single/sharded throughput *ratio*
+// within each run, not absolute ns/op, so a baseline recorded on one
+// machine still gates a run on different hardware; benchmark names are
+// matched with the GOMAXPROCS "-N" suffix stripped for the same reason.
 package main
 
 import (
@@ -106,8 +117,113 @@ func parse(r io.Reader) (*Report, error) {
 	return rep, nil
 }
 
+// trimCPUSuffix strips the "-N" GOMAXPROCS suffix go test appends to
+// benchmark names (absent when GOMAXPROCS is 1), so reports recorded on
+// machines with different core counts still match up.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// indexByName maps both the raw and suffix-trimmed name of every
+// benchmark to its result (raw names win on collision).
+func indexByName(rep *Report) map[string]Benchmark {
+	m := make(map[string]Benchmark, 2*len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		if t := trimCPUSuffix(b.Name); t != b.Name {
+			if _, ok := m[t]; !ok {
+				m[t] = b
+			}
+		}
+	}
+	for _, b := range rep.Benchmarks {
+		m[b.Name] = b
+	}
+	return m
+}
+
+// lookup resolves a baseline benchmark name in the current run's index,
+// tolerating a GOMAXPROCS suffix on either side.
+func lookup(idx map[string]Benchmark, name string) (Benchmark, bool) {
+	if b, ok := idx[name]; ok {
+		return b, true
+	}
+	b, ok := idx[trimCPUSuffix(name)]
+	return b, ok
+}
+
+// contentionRatio returns the single-shard/sharded ns-per-op ratio of
+// BenchmarkEngineContention at one goroutine-count label (the run's
+// measured sharding speedup — machine-relative, hence comparable across
+// reports recorded on different hardware).
+func contentionRatio(idx map[string]Benchmark, gLabel string) (float64, bool) {
+	single, ok1 := lookup(idx, "BenchmarkEngineContention/single/"+gLabel)
+	sharded, ok2 := lookup(idx, "BenchmarkEngineContention/sharded/"+gLabel)
+	if !ok1 || !ok2 || single.NsPerOp <= 0 || sharded.NsPerOp <= 0 {
+		return 0, false
+	}
+	return single.NsPerOp / sharded.NsPerOp, true
+}
+
+// checkRegression compares the current report against the committed
+// baseline and returns one message per regression beyond tol (a
+// fraction, e.g. 0.15).
+func checkRegression(cur, base *Report, tol float64) []string {
+	var problems []string
+	curIdx := indexByName(cur)
+
+	// Warm-kernel allocation counts are machine-independent: pooled
+	// solves must stay pooled.
+	for _, bb := range base.Benchmarks {
+		if !strings.HasPrefix(trimCPUSuffix(bb.Name), "BenchmarkKernelPlan/") {
+			continue
+		}
+		cb, ok := lookup(curIdx, bb.Name)
+		if !ok {
+			continue
+		}
+		if cb.AllocsPerOp > bb.AllocsPerOp*(1+tol) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: allocs/op %.1f vs baseline %.1f (>%+.0f%%) — the warm kernel stopped pooling",
+				bb.Name, cb.AllocsPerOp, bb.AllocsPerOp, 100*tol))
+		}
+	}
+
+	// The contention advantage is a within-run ratio, robust to the
+	// baseline and the current run living on different hardware.
+	baseIdx := indexByName(base)
+	for _, g := range []string{"g1", "g4", "g16", "g64"} {
+		baseRatio, ok := contentionRatio(baseIdx, g)
+		if !ok {
+			continue
+		}
+		curRatio, ok := contentionRatio(curIdx, g)
+		if !ok {
+			problems = append(problems, fmt.Sprintf(
+				"BenchmarkEngineContention %s: present in baseline but missing from this run", g))
+			continue
+		}
+		if curRatio < baseRatio*(1-tol) {
+			problems = append(problems, fmt.Sprintf(
+				"BenchmarkEngineContention %s: single/sharded throughput ratio %.2f vs baseline %.2f (>%.0f%% regression)",
+				g, curRatio, baseRatio, 100*tol))
+		}
+	}
+	return problems
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "committed baseline JSON; exit non-zero when this run regresses against it")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression vs the baseline")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin)
@@ -123,10 +239,29 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		problems := checkRegression(rep, &base, *tolerance)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "REGRESSION: "+p)
+		}
+		if len(problems) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions vs %s (tolerance %.0f%%)\n", *baseline, 100**tolerance)
 	}
 }

@@ -50,3 +50,77 @@ func TestParseRejectsEmpty(t *testing.T) {
 		t.Fatal("empty input accepted")
 	}
 }
+
+func TestTrimCPUSuffix(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"BenchmarkKernelPlan/ADMVStar-50-8", "BenchmarkKernelPlan/ADMVStar-50"},
+		{"BenchmarkKernelPlan/ADMVStar-50", "BenchmarkKernelPlan/ADMVStar"}, // one trim step; lookup tries raw first
+		{"BenchmarkReplanSuffix-8", "BenchmarkReplanSuffix"},
+		{"BenchmarkReplanSuffix", "BenchmarkReplanSuffix"},
+		{"BenchmarkEngineContention/sharded/g16-4", "BenchmarkEngineContention/sharded/g16"},
+		{"BenchmarkFoo-", "BenchmarkFoo-"},
+	} {
+		if got := trimCPUSuffix(tc.in); got != tc.want {
+			t.Errorf("trimCPUSuffix(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// report builds a Report from (name, ns/op, allocs/op) triples.
+func report(benches ...Benchmark) *Report { return &Report{Benchmarks: benches} }
+
+func TestCheckRegressionKernelAllocs(t *testing.T) {
+	base := report(Benchmark{Name: "BenchmarkKernelPlan/ADMV-20", AllocsPerOp: 5})
+	// Within tolerance: identical, and names may carry a GOMAXPROCS
+	// suffix on either side.
+	for _, cur := range []*Report{
+		report(Benchmark{Name: "BenchmarkKernelPlan/ADMV-20", AllocsPerOp: 5}),
+		report(Benchmark{Name: "BenchmarkKernelPlan/ADMV-20-8", AllocsPerOp: 5}),
+	} {
+		if p := checkRegression(cur, base, 0.15); len(p) != 0 {
+			t.Errorf("unexpected regression: %v", p)
+		}
+	}
+	// A warm kernel that stopped pooling fails the gate.
+	cur := report(Benchmark{Name: "BenchmarkKernelPlan/ADMV-20-8", AllocsPerOp: 30})
+	if p := checkRegression(cur, base, 0.15); len(p) != 1 {
+		t.Errorf("alloc regression not flagged: %v", p)
+	}
+	// The cold benchmark must not be mistaken for the warm one.
+	base2 := report(Benchmark{Name: "BenchmarkKernelPlanCold/ADMV-20", AllocsPerOp: 36})
+	cur2 := report(Benchmark{Name: "BenchmarkKernelPlanCold/ADMV-20", AllocsPerOp: 80})
+	if p := checkRegression(cur2, base2, 0.15); len(p) != 0 {
+		t.Errorf("cold-path allocs wrongly gated: %v", p)
+	}
+}
+
+func TestCheckRegressionContentionRatio(t *testing.T) {
+	base := report(
+		Benchmark{Name: "BenchmarkEngineContention/single/g16", NsPerOp: 400},
+		Benchmark{Name: "BenchmarkEngineContention/sharded/g16", NsPerOp: 100}, // baseline speedup 4x
+	)
+	// Different absolute speeds, same ratio: fine across machines.
+	ok := report(
+		Benchmark{Name: "BenchmarkEngineContention/single/g16-4", NsPerOp: 4000},
+		Benchmark{Name: "BenchmarkEngineContention/sharded/g16-4", NsPerOp: 1000},
+	)
+	if p := checkRegression(ok, base, 0.15); len(p) != 0 {
+		t.Errorf("unexpected regression: %v", p)
+	}
+	// Ratio collapsed to 2x: a >15% regression of the sharding win.
+	bad := report(
+		Benchmark{Name: "BenchmarkEngineContention/single/g16", NsPerOp: 400},
+		Benchmark{Name: "BenchmarkEngineContention/sharded/g16", NsPerOp: 200},
+	)
+	if p := checkRegression(bad, base, 0.15); len(p) != 1 {
+		t.Errorf("ratio regression not flagged: %v", p)
+	}
+	// Baseline has the pair but the run dropped it: flagged, not skipped.
+	if p := checkRegression(report(), base, 0.15); len(p) != 1 {
+		t.Errorf("missing contention pair not flagged: %v", p)
+	}
+	// No contention data in the baseline: nothing to gate.
+	if p := checkRegression(bad, report(), 0.15); len(p) != 0 {
+		t.Errorf("gate invented a baseline: %v", p)
+	}
+}

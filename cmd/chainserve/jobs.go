@@ -53,6 +53,13 @@ type jobRequest struct {
 	// SleepScale sets the sleep runner's wall seconds per modeled second
 	// (default 1e-4).
 	SleepScale float64 `json:"sleep_scale,omitempty"`
+	// Retention bounds how many disk checkpoint files the job keeps
+	// (0 = all). A long resumable chain places many disk checkpoints,
+	// but only the newest can ever be restored from; retaining a couple
+	// (for tolerance to a corrupted newest file) bounds the job's disk
+	// footprint without losing resumability — the same bound is applied
+	// when a restart resumes the job.
+	Retention int `json:"retention,omitempty"`
 }
 
 // validate rejects the knob combinations the runtime would choke on.
@@ -62,6 +69,9 @@ func (jr *jobRequest) validate() error {
 	}
 	if jr.SleepScale < 0 {
 		return fmt.Errorf("sleep_scale must be non-negative")
+	}
+	if jr.Retention < 0 {
+		return fmt.Errorf("retention must be non-negative")
 	}
 	switch jr.Runner {
 	case "", "sim", "nop", "sleep":
@@ -268,8 +278,18 @@ func (m *jobManager) ckptDir(id string) string {
 
 // newCheckpointStore opens the job's checkpoint store: fingerprinted
 // files under the store root, or a volatile store without one.
-func (m *jobManager) newCheckpointStore(id string) (*runtime.Store, error) {
-	return runtime.NewStore(m.ckptDir(id))
+// retention > 0 bounds the disk checkpoints kept (jobRequest.Retention
+// — applied identically on admission and on restart-resume, so the
+// bound survives the service dying).
+func (m *jobManager) newCheckpointStore(id string, retention int) (*runtime.Store, error) {
+	ck, err := runtime.NewStore(m.ckptDir(id))
+	if err != nil {
+		return nil, err
+	}
+	if retention > 0 {
+		ck.SetRetention(retention)
+	}
+	return ck, nil
 }
 
 // persist appends one record, counting failures rather than
@@ -600,7 +620,7 @@ func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
-	ck, err := s.jobs.newCheckpointStore(j.snapshot().ID)
+	ck, err := s.jobs.newCheckpointStore(j.snapshot().ID, jr.Retention)
 	if err != nil {
 		s.jobs.finish(j, nil, err)
 		writeError(w, http.StatusInternalServerError, err)
@@ -638,8 +658,11 @@ func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobCancel stops a running job; its terminal state is persisted
-// as cancelled. Cancelling a finished job is a no-op that reports the
-// final status.
+// as cancelled. Cancelling a job that already reached a terminal state
+// is a conflict, not a success: the response is 409 with the terminal
+// state in the body, so an at-least-once cancel client can tell "I
+// stopped it" (202) apart from "it had already ended as X" instead of
+// mistaking a done job for a cancelled one.
 func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
@@ -650,7 +673,7 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, map[string]string{"status": "cancelling"})
 		return
 	}
-	writeJSON(w, http.StatusOK, j.snapshot())
+	writeJSON(w, http.StatusConflict, j.summary())
 }
 
 // handleJobEvents streams the job's event log as NDJSON, following the

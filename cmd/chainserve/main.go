@@ -10,6 +10,13 @@
 //	-addr host:port   listen address (default :8080)
 //	-workers k        planning worker pool size (default GOMAXPROCS)
 //	-cache k          plan memo capacity in entries (default 4096, 0 disables)
+//	-shards k         engine shards (default $CHAINSERVE_SHARDS, else the
+//	                  smaller of GOMAXPROCS and the worker count; an
+//	                  explicit value is rounded up to a power of two). Each
+//	                  shard owns its own solver kernel, plan memo and
+//	                  worker slice, with requests routed by instance
+//	                  fingerprint — the knob that keeps the memo from
+//	                  serializing heavy parallel traffic on one mutex.
 //	-drain d          graceful-shutdown drain timeout (default 10s, or
 //	                  $CHAINSERVE_DRAIN_TIMEOUT)
 //	-store-dir path   durable job store root (default $CHAINSERVE_STORE_DIR;
@@ -59,6 +66,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -81,6 +89,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "planning worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 4096, "plan memo capacity in entries (0 disables the memo)")
+	shards := flag.Int("shards", defaultShards(os.Getenv),
+		"engine shards, rounded up to a power of two (0 = min of cores and workers)")
 	drain := flag.Duration("drain", defaultDrainTimeout(os.Getenv), "graceful-shutdown drain timeout")
 	storeDir := flag.String("store-dir", os.Getenv("CHAINSERVE_STORE_DIR"),
 		"durable job store root (empty = in-memory jobs)")
@@ -99,8 +109,9 @@ func main() {
 		defer journal.Close()
 		store = journal
 	}
-	srv := newServerWithStore(engine.New(engine.Options{Workers: *workers, CacheSize: memo}),
-		store, *storeDir)
+	srv := newServerWithStore(engine.New(engine.Options{
+		Workers: *workers, CacheSize: memo, Shards: *shards,
+	}), store, *storeDir)
 	defer srv.eng.Close()
 	if resumed, adopted := srv.recoverJobs(context.Background()); resumed+adopted > 0 {
 		log.Printf("recovered %d finished jobs, resumed %d interrupted jobs from %s",
@@ -124,13 +135,28 @@ func main() {
 		httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("listening on %s (workers=%d, cache=%d, drain=%s)", *addr, *workers, *cacheSize, *drain)
+	log.Printf("listening on %s (workers=%d, cache=%d, shards=%d, drain=%s)",
+		*addr, *workers, *cacheSize, len(srv.eng.Stats().Shards), *drain)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	// Wait for Shutdown to finish draining in-flight handlers before the
 	// deferred engine Close tears the pool down under them.
 	<-shutdownDone
+}
+
+// defaultShards resolves the -shards default: the CHAINSERVE_SHARDS
+// environment variable when it parses as a positive integer, 0 (= the
+// engine's own default, min of cores and workers) otherwise. The
+// -shards flag overrides both.
+func defaultShards(getenv func(string) string) int {
+	if v := getenv("CHAINSERVE_SHARDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+		log.Printf("ignoring invalid CHAINSERVE_SHARDS %q", v)
+	}
+	return 0
 }
 
 // defaultDrainTimeout resolves the graceful-drain default: the
@@ -425,6 +451,27 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"# TYPE chainserve_engine_cache_hit_ratio gauge\nchainserve_engine_cache_hit_ratio %.6f\n", st.HitRatio())
 	fmt.Fprintf(w, "# HELP chainserve_engine_cache_entries Current memo entries.\n"+
 		"# TYPE chainserve_engine_cache_entries gauge\nchainserve_engine_cache_entries %d\n", st.Entries)
+
+	fmt.Fprintf(w, "# HELP chainserve_engine_shards Engine shards (per-shard kernel, memo and workers).\n"+
+		"# TYPE chainserve_engine_shards gauge\nchainserve_engine_shards %d\n", len(st.Shards))
+	// Per-shard solves/hits accumulate since boot: counters, like their
+	// engine-wide chainserve_engine_cache_* equivalents. Only the memo
+	// depth is a gauge.
+	fmt.Fprintf(w, "# HELP chainserve_engine_shard_solves_total Plan requests that ran a solver, per engine shard.\n"+
+		"# TYPE chainserve_engine_shard_solves_total counter\n")
+	for _, sh := range st.Shards {
+		fmt.Fprintf(w, "chainserve_engine_shard_solves_total{shard=\"%d\"} %d\n", sh.Shard, sh.CacheMisses)
+	}
+	fmt.Fprintf(w, "# HELP chainserve_engine_shard_hits_total Plan requests served from the memo, per engine shard.\n"+
+		"# TYPE chainserve_engine_shard_hits_total counter\n")
+	for _, sh := range st.Shards {
+		fmt.Fprintf(w, "chainserve_engine_shard_hits_total{shard=\"%d\"} %d\n", sh.Shard, sh.CacheHits)
+	}
+	fmt.Fprintf(w, "# HELP chainserve_engine_shard_depth Current memo entries, per engine shard.\n"+
+		"# TYPE chainserve_engine_shard_depth gauge\n")
+	for _, sh := range st.Shards {
+		fmt.Fprintf(w, "chainserve_engine_shard_depth{shard=\"%d\"} %d\n", sh.Shard, sh.Entries)
+	}
 
 	kst := st.Kernel
 	counter("chainserve_kernel_solves_total", "Dynamic-program solves completed by the solver kernel.", kst.Solves)

@@ -99,7 +99,7 @@ func (s *server) resumeJob(ctx context.Context, rec jobstore.Record) error {
 	// Reconcile with the checkpoint directory: the last verifiable disk
 	// checkpoint decides where execution restarts, and the suffix after
 	// it is re-planned in place under the persisted rate evidence.
-	ck, err := s.jobs.newCheckpointStore(rec.ID)
+	ck, err := s.jobs.newCheckpointStore(rec.ID, jr.Retention)
 	if err != nil {
 		return err
 	}

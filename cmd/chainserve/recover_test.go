@@ -6,7 +6,9 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -69,7 +71,7 @@ func TestCrashRecoveryResumesInterruptedJob(t *testing.T) {
 	}
 	id := j1.snapshot().ID
 
-	ck1, err := srv1.jobs.newCheckpointStore(id)
+	ck1, err := srv1.jobs.newCheckpointStore(id, jr.Retention)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,6 +179,118 @@ func TestCrashRecoveryResumesInterruptedJob(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryWithRetentionLimitedCheckpoints: a job whose spec
+// bounds its disk-checkpoint retention must still resume after a hard
+// stop — pruning old checkpoints shrinks the disk footprint but never
+// touches the newest one, which is the only one a resume can use. The
+// retention bound itself must survive the restart: it travels in the
+// job spec, and resumeJob re-applies it to the reopened store.
+func TestCrashRecoveryWithRetentionLimitedCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	const retention = 2
+	spec := `{"algorithm":"ADMV*","platform_spec":{"name":"CrashLab",` +
+		`"lambda_f":1e-4,"lambda_s":4e-4,"c_d":100,"c_m":10,"r_d":100,"r_m":10,` +
+		`"v_star":10,"v":0.1,"recall":0.8},"pattern":"uniform","n":24,"total":24000,` +
+		`"true_rate_scale_f":2,"seed":11,"retention":2}`
+
+	st1, err := jobstore.Open(filepath.Join(dir, "journal"), jobstore.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1 := engine.New(engine.Options{Workers: 2})
+	srv1 := newServerWithStore(eng1, st1, dir)
+
+	var jr jobRequest
+	if err := json.Unmarshal([]byte(spec), &jr); err != nil {
+		t.Fatal(err)
+	}
+	jr.normalize()
+	req, c, err := jr.toEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng1.Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, _ := json.Marshal(&jr)
+	schedJSON, _ := json.Marshal(res.Schedule)
+	j1, seq, err := srv1.jobs.create(jobStatus{Algorithm: string(res.Algorithm)}, specJSON, schedJSON, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := j1.snapshot().ID
+
+	ck1, err := srv1.jobs.newCheckpointStore(id, jr.Retention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, crash := context.WithCancel(context.Background())
+	defer crash()
+	countCkpts := func() int {
+		t.Helper()
+		ents, err := os.ReadDir(srv1.jobs.ckptDir(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), "ckpt-") && strings.HasSuffix(e.Name(), ".bin") {
+				n++
+			}
+		}
+		return n
+	}
+	disks := 0
+	var stoppedAt int
+	_, err = srv1.sup.Run(ctx, runtime.Job{
+		Chain: c, Platform: req.Platform, Schedule: res.Schedule, Algorithm: req.Algorithm,
+		Runner: jr.newRunner(req.Platform, seq), Store: ck1,
+		Progress: func(b int, est runtime.EstimatorState, sched *schedule.Schedule) {
+			srv1.jobs.progress(j1, b, est, sched)
+			if got := countCkpts(); got > retention {
+				t.Errorf("retention %d but %d checkpoint files on disk at boundary %d", retention, got, b)
+			}
+			if disks++; disks == 3 && b < c.Len() {
+				stoppedAt = b
+				crash() // hard stop: no terminal transition reaches the journal
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("life 1 ended with %v, want context.Canceled", err)
+	}
+	if stoppedAt <= 0 {
+		t.Fatalf("job finished before the crash point (disks=%d)", disks)
+	}
+	// The wreckage the pruned store leaves behind: at most `retention`
+	// checkpoint files, the newest at the crash boundary.
+	if got := countCkpts(); got > retention {
+		t.Fatalf("crash left %d checkpoint files, retention is %d", got, retention)
+	}
+
+	st2, err := jobstore.Open(filepath.Join(dir, "journal"), jobstore.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	eng2 := engine.New(engine.Options{Workers: 2})
+	t.Cleanup(eng2.Close)
+	srv2 := newServerWithStore(eng2, st2, dir)
+	if resumed, adopted := srv2.recoverJobs(context.Background()); resumed != 1 || adopted != 0 {
+		t.Fatalf("recoverJobs = (%d resumed, %d adopted), want (1, 0)", resumed, adopted)
+	}
+	ts := httptest.NewServer(srv2.mux())
+	t.Cleanup(ts.Close)
+	final := waitForJob(t, ts.URL+"/v1/jobs/"+id)
+	if final.Status != "done" || final.Report == nil {
+		t.Fatalf("retention-limited job did not resume to done: %+v", final)
+	}
+	if final.Report.ResumedFrom != stoppedAt {
+		t.Errorf("resumed from %d, want the crash-point checkpoint %d", final.Report.ResumedFrom, stoppedAt)
+	}
+}
+
 // TestRecoverMarksUnresumableJobFailed: a journal record whose spec
 // cannot be recompiled must surface as a failed job, not vanish and not
 // wedge recovery.
@@ -245,12 +359,68 @@ func TestJobCancellation(t *testing.T) {
 	if final.Status != "cancelled" {
 		t.Fatalf("final status %q, want cancelled", final.Status)
 	}
-	// Cancelling a finished job is a no-op reporting the final state.
+	// Re-cancelling the now-terminal job is a conflict carrying the
+	// terminal state, not a second success.
 	resp3, err := http.DefaultClient.Do(del.Clone(context.Background()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if readAll(t, resp3); resp3.StatusCode != http.StatusOK {
-		t.Fatalf("re-cancel status %d", resp3.StatusCode)
+	body3 := readAll(t, resp3)
+	if resp3.StatusCode != http.StatusConflict {
+		t.Fatalf("re-cancel status %d, want 409 (%s)", resp3.StatusCode, body3)
+	}
+	var terminal jobStatus
+	if err := json.Unmarshal([]byte(body3), &terminal); err != nil {
+		t.Fatal(err)
+	}
+	if terminal.Status != "cancelled" || terminal.ID != created.ID {
+		t.Fatalf("conflict body: %+v, want the cancelled terminal state", terminal)
+	}
+}
+
+// TestCancelFinishedJobConflict: DELETE on a job that completed on its
+// own must answer 409 with the done state in the body — an
+// at-least-once cancel client must not read "200, cancelled" off a job
+// that actually succeeded.
+func TestCancelFinishedJobConflict(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/jobs",
+		`{"platform":"Hera","pattern":"uniform","n":6,"runner":"nop"}`)
+	if resp.StatusCode != 202 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var created jobStatus
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	final := waitForJob(t, ts.URL+"/v1/jobs/"+created.ID)
+	if final.Status != "done" {
+		t.Fatalf("job ended %q, want done", final.Status)
+	}
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+created.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2 := readAll(t, resp2)
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel-after-done status %d, want 409 (%s)", resp2.StatusCode, body2)
+	}
+	var terminal jobStatus
+	if err := json.Unmarshal([]byte(body2), &terminal); err != nil {
+		t.Fatal(err)
+	}
+	if terminal.Status != "done" || terminal.ID != created.ID {
+		t.Fatalf("conflict body: %+v, want the done terminal state", terminal)
+	}
+	if terminal.Report == nil || terminal.Report.Trace != nil {
+		t.Errorf("conflict body should carry the trace-free report summary, got %+v", terminal.Report)
+	}
+	// The job itself must be untouched by the failed cancel.
+	if got := waitForJob(t, ts.URL+"/v1/jobs/"+created.ID); got.Status != "done" {
+		t.Errorf("job status after conflict: %q", got.Status)
 	}
 }

@@ -280,3 +280,89 @@ func TestCrossValidationKernelEquivalence(t *testing.T) {
 		t.Errorf("property suite never exercised a dirty arena: %+v", st)
 	}
 }
+
+// TestCrossValidationShardedEngineByteIdentical is the sharded-engine
+// property: routing requests across per-shard kernels, memos and worker
+// pools must be invisible in the results — every plan from a sharded
+// engine is byte-identical (same expected-makespan bits, same schedule
+// actions) to the plan from a one-shard engine, across randomized
+// chains, platforms, per-boundary costs, constraints and budgets, on
+// both cold solves and memo-served repeats.
+func TestCrossValidationShardedEngineByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	sharded := NewEngine(EngineOptions{Workers: 8, Shards: 8})
+	defer sharded.Close()
+	single := NewEngine(EngineOptions{Workers: 8, Shards: 1})
+	defer single.Close()
+
+	var reqs []PlanRequest
+	for i := 0; i < 24; i++ {
+		n := 2 + rng.Intn(9)
+		c, err := RandomChain(rng, n, 2000+3000*rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := randomPlatform(rng)
+		var opts PlanOptions
+		if rng.Intn(2) == 0 {
+			sizes := make([]float64, n)
+			for k := range sizes {
+				sizes[k] = 0.25 + 1.5*rng.Float64()
+			}
+			if opts.Costs, err = ScaledCosts(p, sizes); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			cons, err := NewConstraints(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := 1; b < n; b++ {
+				if rng.Intn(3) == 0 {
+					cons.Forbid(b, Memory)
+				}
+			}
+			opts.Constraints = cons
+		}
+		if rng.Intn(3) == 0 {
+			opts.MaxDiskCheckpoints = 1 + rng.Intn(n)
+		}
+		reqs = append(reqs, PlanRequest{
+			Algorithm: []Algorithm{ADV, ADMVStar, ADMV}[i%3],
+			Chain:     c,
+			Platform:  p,
+			Opts:      opts,
+		})
+	}
+
+	for pass := 0; pass < 2; pass++ { // pass 1 re-plans through the memos
+		a := sharded.PlanMany(t.Context(), reqs)
+		b := single.PlanMany(t.Context(), reqs)
+		for i := range reqs {
+			if a[i].Err != nil || b[i].Err != nil {
+				t.Fatalf("pass %d request %d: sharded err=%v single err=%v", pass, i, a[i].Err, b[i].Err)
+			}
+			if math.Float64bits(a[i].Result.ExpectedMakespan) != math.Float64bits(b[i].Result.ExpectedMakespan) {
+				t.Errorf("pass %d request %d: sharded %.17g vs single-shard %.17g",
+					pass, i, a[i].Result.ExpectedMakespan, b[i].Result.ExpectedMakespan)
+			}
+			if !a[i].Result.Schedule.Equal(b[i].Result.Schedule) {
+				t.Errorf("pass %d request %d: schedule mismatch across shard counts", pass, i)
+			}
+		}
+	}
+	st := sharded.Stats()
+	if st.CacheHits == 0 {
+		t.Error("second pass never hit the sharded memo")
+	}
+	touched := 0
+	for _, ss := range st.Shards {
+		if ss.Requests > 0 {
+			touched++
+		}
+	}
+	if touched < 2 {
+		t.Errorf("24 instances landed on %d shard(s); routing looks degenerate", touched)
+	}
+}

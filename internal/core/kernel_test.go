@@ -8,6 +8,7 @@ import (
 	"chainckpt/internal/chain"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/schedule"
+	"chainckpt/internal/workload"
 )
 
 // hotPlatform returns Hera with rates scaled up so small chains place
@@ -182,7 +183,10 @@ func TestKernelStatsBuckets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 3; i++ {
+	// Enough rounds that at least one recycle survives sync.Pool's
+	// race-mode behavior (Put randomly drops ~25% of items under -race).
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
 		if _, err := k.Plan(AlgADMVStar, small, p); err != nil {
 			t.Fatal(err)
 		}
@@ -191,8 +195,8 @@ func TestKernelStatsBuckets(t *testing.T) {
 		}
 	}
 	st := k.Stats()
-	if st.Solves != 6 {
-		t.Fatalf("solves = %d, want 6", st.Solves)
+	if st.Solves != 2*rounds {
+		t.Fatalf("solves = %d, want %d", st.Solves, 2*rounds)
 	}
 	if len(st.Buckets) != 2 {
 		t.Fatalf("buckets = %+v, want two size classes", st.Buckets)
@@ -205,21 +209,25 @@ func TestKernelStatsBuckets(t *testing.T) {
 			t.Errorf("bucket cap %d: fresh %d reuses %d, want >=1 each", b.Cap, b.Fresh, b.Reuses)
 		}
 	}
-	if st.ScratchFresh+st.ScratchReuses != 6 {
-		t.Errorf("fresh %d + reuses %d != 6 solves", st.ScratchFresh, st.ScratchReuses)
+	if st.ScratchFresh+st.ScratchReuses != 2*rounds {
+		t.Errorf("fresh %d + reuses %d != %d solves", st.ScratchFresh, st.ScratchReuses, 2*rounds)
 	}
-	// The per-bucket solve histogram: 3 solves in each size class (the
-	// 3-task chain lands in the cap-8 bucket, the 40-task one in cap-64),
-	// summing to the kernel total.
+	// The per-bucket solve histogram: `rounds` solves in each size class
+	// (the 3-task chain lands in the cap-8 bucket, the 40-task one in
+	// cap-64), summing to the kernel total.
 	var bucketSolves uint64
 	for _, b := range st.Buckets {
-		if b.Solves != 3 {
-			t.Errorf("bucket cap %d: solves %d, want 3", b.Cap, b.Solves)
+		if b.Solves != rounds {
+			t.Errorf("bucket cap %d: solves %d, want %d", b.Cap, b.Solves, rounds)
 		}
 		bucketSolves += b.Solves
 	}
 	if bucketSolves != st.Solves {
 		t.Errorf("bucket solves sum %d != kernel solves %d", bucketSolves, st.Solves)
+	}
+	// And the exact-length histogram refines it: n=3 and n=40.
+	if len(st.Sizes) != 2 || st.Sizes[0].Solves != rounds || st.Sizes[1].Solves != rounds {
+		t.Errorf("size histogram: %+v", st.Sizes)
 	}
 }
 
@@ -240,5 +248,128 @@ func TestKernelRejectsBadWindows(t *testing.T) {
 	}
 	if _, err := k.ReplanSuffix(AlgADMV, nil, p, 0, Options{}); err == nil {
 		t.Error("nil chain accepted")
+	}
+}
+
+// TestKernelSizeHistogram: the per-window-length solve histogram behind
+// Tune must count exact lengths, hottest first.
+func TestKernelSizeHistogram(t *testing.T) {
+	k := NewKernel()
+	p := hotPlatform()
+	solve := func(n int) {
+		t.Helper()
+		c, err := workload.Uniform(n, float64(100*n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Plan(AlgADV, c, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solve(5)
+	solve(5)
+	solve(5)
+	solve(12)
+	st := k.Stats()
+	if len(st.Sizes) != 2 || st.Sizes[0] != (KernelSizeStats{N: 5, Solves: 3}) ||
+		st.Sizes[1] != (KernelSizeStats{N: 12, Solves: 1}) {
+		t.Fatalf("size histogram: %+v", st.Sizes)
+	}
+}
+
+// TestKernelTuneExactPools: tuning on the kernel's own histogram must
+// install exact-capacity pools for the hot non-power-of-two lengths,
+// serve later solves of those lengths from exactly sized (pre-warmed)
+// arenas, and leave results bit-identical to an untuned kernel.
+func TestKernelTuneExactPools(t *testing.T) {
+	k := NewKernel()
+	p := hotPlatform()
+	c, err := workload.Uniform(50, 25000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := k.Plan(AlgADMVStar, c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Tune(k.Stats())
+
+	after, err := k.Plan(AlgADMVStar, c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "tuned vs untuned", after, before)
+
+	st := k.Stats()
+	var exact *KernelBucketStats
+	for i := range st.Buckets {
+		if st.Buckets[i].Cap == 50 {
+			exact = &st.Buckets[i]
+		}
+	}
+	if exact == nil {
+		t.Fatalf("no exact cap-50 pool after Tune: %+v", st.Buckets)
+	}
+	// One tuned solve drew exactly one exact arena (whether the
+	// pre-warmed one or a fresh build: sync.Pool may drop items under
+	// -race, so reuse-vs-fresh is not asserted).
+	if exact.Solves != 1 || exact.Reuses+exact.Fresh != 1 {
+		t.Errorf("exact pool counters: %+v (want exactly 1 solve through the exact pool)", *exact)
+	}
+	// The arenas the tuned pool builds are exactly sized.
+	sc := k.acquire(50)
+	if sc.cap != 50 {
+		t.Errorf("tuned acquire built cap %d, want 50", sc.cap)
+	}
+	k.release(sc)
+}
+
+// TestKernelTuneSkipsPowerOfTwoSizes: a bucket arena already fits a
+// power-of-two window exactly; tuning must not duplicate it.
+func TestKernelTuneSkipsPowerOfTwoSizes(t *testing.T) {
+	k := NewKernel()
+	k.Tune(KernelStats{Sizes: []KernelSizeStats{
+		{N: 64, Solves: 100}, {N: 50, Solves: 10}, {N: 0, Solves: 5},
+	}})
+	m := k.exact.Load()
+	if m == nil || len(*m) != 1 {
+		t.Fatalf("exact pools: %v", m)
+	}
+	if _, ok := (*m)[50]; !ok {
+		t.Errorf("hot non-power-of-two size 50 not tuned")
+	}
+}
+
+// TestKernelRetuneKeepsHotPoolsAndDropsStaleArenas: re-tuning keeps the
+// pools of still-hot sizes (warm arenas and counters intact), retires
+// the rest, and an arena released after its pool was retired must be
+// dropped — never filed into a power-of-two bucket it does not fill.
+func TestKernelRetuneKeepsHotPoolsAndDropsStaleArenas(t *testing.T) {
+	k := NewKernel()
+	hist := KernelStats{Sizes: []KernelSizeStats{{N: 50, Solves: 10}}}
+	k.Tune(hist)
+	first := (*k.exact.Load())[50]
+	k.Tune(hist)
+	if (*k.exact.Load())[50] != first {
+		t.Error("re-tune with the same histogram rebuilt the pool")
+	}
+
+	// Hold a tuned arena across a re-tune that retires its pool.
+	sc := k.acquire(50)
+	if sc.cap != 50 {
+		t.Fatalf("tuned acquire built cap %d, want 50", sc.cap)
+	}
+	before := k.Stats()
+	k.Tune(KernelStats{})
+	k.release(sc) // must be dropped, not pooled
+	sc2 := k.acquire(50)
+	if sc2.cap != 64 {
+		t.Errorf("post-retune acquire built cap %d, want the 64 bucket arena", sc2.cap)
+	}
+	// Retiring the pool must not lose its counters: totals stay
+	// monotonic (the Prometheus counters fed from them must not reset).
+	after := k.Stats()
+	if after.ScratchReuses+after.ScratchFresh < before.ScratchReuses+before.ScratchFresh {
+		t.Errorf("scratch totals went backwards across re-tune: %+v -> %+v", before, after)
 	}
 }

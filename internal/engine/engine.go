@@ -1,10 +1,23 @@
 // Package engine turns the planners of internal/core into a concurrent
-// batch-planning service. An Engine owns a bounded worker pool and an
-// LRU memo of solved instances keyed by a canonical fingerprint
-// (Fingerprint): many (chain, platform, algorithm) requests are resolved
-// at once, identical in-flight requests are coalesced onto one solver
+// batch-planning service. An Engine owns a set of independent shards —
+// each with its own solver kernel, LRU memo of solved instances, and
+// worker pool — and routes every request to a shard by the canonical
+// fingerprint of its instance (Fingerprint): many (chain, platform,
+// algorithm) requests are resolved at once, identical in-flight
+// requests meet in the same shard and are coalesced onto one solver
 // run, and repeated or near-duplicate requests — the normal shape of
 // experiment sweeps and service traffic — are served from cache.
+//
+// Sharding is what lets the memo serve heavy concurrent traffic: with
+// one shard, every cache hit serializes on a single mutex to touch the
+// LRU list, and that mutex is the whole engine's contention point. With
+// N shards the same traffic spreads over N independent mutexes, N
+// memos and N kernels, while the fingerprint routing keeps the memo
+// semantics exactly those of the unsharded engine: an instance always
+// hashes to the same shard, so dedup, coalescing and LRU behavior are
+// unchanged per instance, and results are byte-identical to Shards: 1
+// (the cross-validation suite enforces this). BenchmarkEngineContention
+// measures the difference under parallel PlanMany load.
 //
 // Each planning job runs the dynamic program serially (core
 // Options.Workers = 1 unless the request says otherwise): with many
@@ -13,18 +26,18 @@
 // what makes a sweep through the engine beat the loop-over-core.Plan
 // seed path (see BenchmarkEngineSweep).
 //
-// The Engine also exposes Run, a generic bounded fan-out over the same
-// pool, so batch pipelines that interleave planning with evaluation or
+// The Engine also exposes Run, a generic bounded fan-out over the shard
+// pools, so batch pipelines that interleave planning with evaluation or
 // Monte-Carlo simulation (internal/experiments) share one parallelism
 // budget instead of stacking pools.
 package engine
 
 import (
-	"container/list"
 	"context"
 	"errors"
-	"fmt"
+	"math/bits"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -38,17 +51,31 @@ var ErrClosed = errors.New("engine: closed")
 
 // Options configures an Engine.
 type Options struct {
-	// Workers is the size of the worker pool (default GOMAXPROCS).
+	// Workers is the total size of the worker pool (default GOMAXPROCS),
+	// spread across the shards. Every shard keeps at least one worker,
+	// so an explicit Shards larger than Workers raises the total to one
+	// per shard; the default shard count never exceeds Workers, keeping
+	// Workers an effective concurrency bound.
 	Workers int
-	// CacheSize is the maximum number of memoized plans (default 1024);
-	// negative disables the cache entirely, including in-flight request
-	// coalescing.
+	// CacheSize is the maximum number of memoized plans across all
+	// shards (default 1024), split evenly per shard (at least one entry
+	// each); negative disables the cache entirely, including in-flight
+	// request coalescing.
 	CacheSize int
-	// Kernel is the solver kernel the workers solve through (default: a
-	// kernel private to this engine). One kernel serves every worker:
-	// its size-bucketed arena pools hand each concurrent solve its own
-	// scratch, and recycle it when the solve finishes, so a steady
-	// request mix plans allocation-free (see Stats.Kernel).
+	// Shards is the number of engine shards. Each shard owns its own
+	// solver kernel, LRU memo, singleflight table and worker slice;
+	// requests are routed by instance fingerprint. An explicit value is
+	// rounded up to a power of two; the default is min(GOMAXPROCS,
+	// Workers) rounded down to one, so the default configuration keeps
+	// both the core count and the Workers budget honest. Shards: 1
+	// reproduces the unsharded engine exactly.
+	Shards int
+	// Kernel, when non-nil, is shared by every shard instead of the
+	// per-shard kernels (default: one private kernel per shard, so a
+	// shard's scratch pools are never contended by another shard's
+	// workers). One kernel serving many workers is still correct: its
+	// size-bucketed arena pools hand each concurrent solve its own
+	// scratch (see Stats.Kernel).
 	Kernel *core.Kernel
 }
 
@@ -58,6 +85,15 @@ func (o Options) normalized() Options {
 	}
 	if o.CacheSize == 0 {
 		o.CacheSize = 1024
+	}
+	if o.Shards <= 0 {
+		// Default: as many shards as cores, but never more shards than
+		// workers — each shard keeps at least one worker, so more shards
+		// than Workers would silently exceed the configured budget.
+		def := min(o.Workers, runtime.GOMAXPROCS(0))
+		o.Shards = 1 << (bits.Len(uint(max(def, 1))) - 1) // round down to a power of two
+	} else if o.Shards > 1 {
+		o.Shards = 1 << bits.Len(uint(o.Shards-1)) // round up to a power of two
 	}
 	return o
 }
@@ -95,7 +131,8 @@ type Response struct {
 	Err error
 }
 
-// Stats is a snapshot of the engine's counters.
+// Stats is a snapshot of the engine's counters, aggregated across
+// shards; Shards carries the per-shard breakdown.
 type Stats struct {
 	// Requests counts planning requests accepted.
 	Requests uint64
@@ -108,17 +145,45 @@ type Stats struct {
 	Evictions uint64
 	// Errors counts requests that finished with an error.
 	Errors uint64
-	// Entries is the current number of memo entries.
+	// Entries is the current number of memo entries across all shards.
 	Entries int
 	// Algorithms counts requests per algorithm name, so operators can
 	// see which planners their traffic actually uses. Unknown algorithm
 	// strings (requests the solver will reject) are lumped under
 	// "other", keeping the map bounded against hostile input.
 	Algorithms map[string]uint64
-	// Kernel reports the solver kernel's scratch-pool counters: how many
-	// solves recycled an arena versus allocated a fresh one, per size
-	// bucket.
+	// Kernel reports the solver kernels' scratch-pool counters — the
+	// per-shard kernels merged (buckets summed by capacity), or the one
+	// shared kernel when Options.Kernel was injected.
 	Kernel core.KernelStats
+	// Shards is the per-shard breakdown; its counters sum to the
+	// aggregates above.
+	Shards []ShardStats
+}
+
+// ShardStats is one shard's slice of the engine counters.
+type ShardStats struct {
+	// Shard is the shard index (the fingerprint-hash bucket).
+	Shard int `json:"shard"`
+	// Requests counts planning requests routed to this shard.
+	Requests uint64 `json:"requests"`
+	// CacheHits and CacheMisses split the shard's requests into plans
+	// served from its memo and plans that ran a solver.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// Evictions counts memo entries dropped by this shard's LRU policy.
+	Evictions uint64 `json:"evictions"`
+	// Errors counts requests that finished with an error.
+	Errors uint64 `json:"errors"`
+	// Entries is the shard's current memo depth.
+	Entries int `json:"entries"`
+	// Kernel is the shard's private kernel snapshot; the zero value when
+	// the engine was built with an injected shared kernel (whose
+	// counters cannot be attributed to one shard). A value type cannot
+	// carry omitempty, so the shared-kernel case serializes explicit
+	// zeros — read them as "not attributable", signalled by the
+	// engine-level Stats.Kernel being non-zero.
+	Kernel core.KernelStats `json:"kernel"`
 }
 
 // HitRatio returns the fraction of requests served from the memo, 0
@@ -132,7 +197,8 @@ func (s Stats) HitRatio() float64 {
 
 // entry is one memo slot. done is closed once res/err are final; an
 // entry in the map before done closes represents an in-flight solve that
-// later identical requests wait on instead of re-solving.
+// later identical requests wait on instead of re-solving — the
+// singleflight table is the memo itself.
 type entry struct {
 	key  string
 	done chan struct{}
@@ -143,54 +209,64 @@ type entry struct {
 // Engine is a concurrent batch planner. All methods are safe for
 // concurrent use.
 type Engine struct {
-	opts    Options
-	kernel  *core.Kernel
-	jobs    chan func()
-	workers sync.WaitGroup // pool goroutines
-	pending sync.WaitGroup // submitted, not yet finished jobs
+	opts   Options
+	shards []*shard
+	mask   uint64
+	shared *core.Kernel // non-nil when Options.Kernel was injected
 
 	mu     sync.Mutex
 	closed bool
-	cache  map[string]*list.Element // key -> element holding *entry
-	order  *list.List               // front = most recently used
 
-	requests, hits, misses, evictions, errors atomic.Uint64
-
-	algMu     sync.Mutex
-	algCounts map[string]uint64 // accepted requests per algorithm
+	// Accepted requests per algorithm. Plain atomics, not a
+	// mutex-guarded map: these sit on the hit-dominated hot path, and a
+	// single engine-wide mutex there would re-create exactly the
+	// serialization sharding removes.
+	algADV, algADMVStar, algADMV, algOther atomic.Uint64
 }
 
-// New starts an engine with opts.Workers pool goroutines. Callers must
-// Close it to release them.
+// New starts an engine with opts.Shards shards sharing opts.Workers
+// pool goroutines. Callers must Close it to release them.
 func New(opts Options) *Engine {
 	opts = opts.normalized()
-	kernel := opts.Kernel
-	if kernel == nil {
-		kernel = core.NewKernel()
-	}
 	e := &Engine{
-		opts:      opts,
-		kernel:    kernel,
-		jobs:      make(chan func()),
-		cache:     make(map[string]*list.Element),
-		order:     list.New(),
-		algCounts: make(map[string]uint64),
+		opts:   opts,
+		shared: opts.Kernel,
+		mask:   uint64(opts.Shards - 1),
 	}
-	for w := 0; w < opts.Workers; w++ {
-		e.workers.Add(1)
-		go func() {
-			defer e.workers.Done()
-			for job := range e.jobs {
-				job()
-				e.pending.Done()
-			}
-		}()
+	perCache := opts.CacheSize
+	if perCache > 0 {
+		perCache = (opts.CacheSize + opts.Shards - 1) / opts.Shards
+	}
+	for i := 0; i < opts.Shards; i++ {
+		kern := opts.Kernel
+		if kern == nil {
+			kern = core.NewKernel()
+		}
+		workers := opts.Workers / opts.Shards
+		if i < opts.Workers%opts.Shards {
+			workers++
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		e.shards = append(e.shards, newShard(i, kern, perCache, workers))
 	}
 	return e
 }
 
-// Close waits for in-flight jobs and stops the pool. Further planning
-// calls return ErrClosed; Close is idempotent.
+// shardFor maps a fingerprint to its shard: the leading fingerprint
+// bytes (SHA-256 output, uniformly distributed) masked to the
+// power-of-two shard count.
+func (e *Engine) shardFor(key string) *shard {
+	var v uint64
+	for i := 0; i < 8 && i < len(key); i++ {
+		v = v<<8 | uint64(key[i])
+	}
+	return e.shards[v&e.mask]
+}
+
+// Close waits for in-flight jobs and stops every shard pool. Further
+// planning calls return ErrClosed; Close is idempotent.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -199,71 +275,93 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.mu.Unlock()
-	e.pending.Wait()
-	close(e.jobs)
-	e.workers.Wait()
-}
-
-// submit schedules job on the pool. It reports ErrClosed on a closed
-// engine and the context error if ctx is cancelled while waiting for a
-// pool slot — a saturated pool must not keep queueing work for callers
-// that already gave up.
-func (e *Engine) submit(ctx context.Context, job func()) error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return ErrClosed
+	// Seal every shard first so no shard can accept new work while its
+	// siblings drain, then drain them.
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
 	}
-	e.pending.Add(1)
-	e.mu.Unlock()
-	select {
-	case e.jobs <- job:
-		return nil
-	case <-ctx.Done():
-		e.pending.Done()
-		return ctx.Err()
+	for _, s := range e.shards {
+		s.pending.Wait()
+		close(s.jobs)
+		s.workers.Wait()
 	}
 }
 
-// Run executes fn(0..n-1) on the engine's pool and waits for all of
+// Run executes fn(0..n-1) over the shard pools and waits for all of
 // them, returning the first error (after every task has finished). A
 // context cancellation skips tasks that have not started yet.
+//
+// Tasks are never pre-assigned to a shard: Run occupies up to one pool
+// slot per engine worker with a pump that drains a shared task queue,
+// so any free worker anywhere takes the next task — the work-stealing
+// the pre-shard single pool had, preserved across the split. (Dealing
+// tasks round-robin would let one long task strand the work behind it
+// while other shards idle.) The pumps are ordinary pool jobs, so Run
+// still shares the engine's parallelism budget with planning traffic.
 func (e *Engine) Run(ctx context.Context, n int, fn func(i int) error) error {
-	var wg sync.WaitGroup
+	if n <= 0 {
+		return ctx.Err()
+	}
 	var mu sync.Mutex
 	var first error
-	for i := 0; i < n; i++ {
-		i := i
-		wg.Add(1)
-		err := e.submit(ctx, func() {
-			defer wg.Done()
-			if ctx.Err() != nil {
+	setErr := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	tasks := make(chan int)
+	abort := make(chan struct{}) // closed only if no pump ever started
+	// Feed concurrently with pump submission: the first pump to start
+	// begins draining immediately, so a shard whose worker is busy with
+	// a long solve delays only its own pump, never the tasks.
+	go func() {
+		defer close(tasks)
+		for i := 0; i < n; i++ {
+			select {
+			case tasks <- i:
+			case <-abort:
 				return
 			}
-			if err := fn(i); err != nil {
-				mu.Lock()
-				if first == nil {
-					first = err
+		}
+	}()
+	var pumps sync.WaitGroup
+	started := 0
+starting:
+	for _, s := range e.shards {
+		for w := 0; w < s.nworkers && started < n; w++ {
+			pumps.Add(1)
+			err := s.submit(ctx, func() {
+				defer pumps.Done()
+				for i := range tasks {
+					if ctx.Err() != nil {
+						continue // drain without running
+					}
+					if err := fn(i); err != nil {
+						setErr(err)
+					}
 				}
-				mu.Unlock()
-			}
-		})
-		if err != nil {
-			wg.Done()
-			// A cancellation-driven submit failure must not mask the task
-			// error that triggered the cancel; the ctx.Err fallback below
-			// covers externally cancelled runs.
-			if errors.Is(err, ErrClosed) {
-				mu.Lock()
-				if first == nil {
-					first = err
+			})
+			if err != nil {
+				pumps.Done()
+				// A cancellation-driven submit failure must not mask the
+				// task error that triggered the cancel; the ctx.Err
+				// fallback below covers externally cancelled runs.
+				if errors.Is(err, ErrClosed) {
+					setErr(err)
 				}
-				mu.Unlock()
+				break starting
 			}
-			break
+			started++
 		}
 	}
-	wg.Wait()
+	if started == 0 {
+		close(abort) // release the feeder; nothing will drain tasks
+	}
+	pumps.Wait()
 	if first == nil {
 		first = ctx.Err()
 	}
@@ -322,188 +420,134 @@ func (e *Engine) PlanAsync(ctx context.Context, req Request) <-chan Response {
 	return e.Stream(ctx, []Request{req})
 }
 
-// planOne is the single-request path shared by every public method.
+// planOne is the single-request path shared by every public method:
+// count the algorithm, fingerprint the instance, and hand the request
+// to its shard. Requests that cannot be fingerprinted (the solver will
+// reject them with a precise error) run on shard 0, outside any memo.
 func (e *Engine) planOne(ctx context.Context, index int, req Request) Response {
-	e.requests.Add(1)
-	algKey := "other"
 	switch req.Algorithm {
-	case core.AlgADV, core.AlgADMVStar, core.AlgADMV:
-		algKey = string(req.Algorithm)
-	}
-	e.algMu.Lock()
-	e.algCounts[algKey]++
-	e.algMu.Unlock()
-	resp := Response{Index: index, Tag: req.Tag}
-
-	// Honor the ErrClosed contract even for requests the memo could
-	// serve; a closed engine answers nothing.
-	e.mu.Lock()
-	closed := e.closed
-	e.mu.Unlock()
-	if closed {
-		e.errors.Add(1)
-		resp.Err = ErrClosed
-		return resp
+	case core.AlgADV:
+		e.algADV.Add(1)
+	case core.AlgADMVStar:
+		e.algADMVStar.Add(1)
+	case core.AlgADMV:
+		e.algADMV.Add(1)
+	default:
+		e.algOther.Add(1)
 	}
 
-	key, err := Fingerprint(req)
-	if err != nil {
-		// Invalid request shapes skip the cache; the solver reports the
-		// precise validation error.
-		e.misses.Add(1)
-		resp.Result, resp.Err = e.solve(req)
-		if resp.Err != nil {
-			e.errors.Add(1)
-		}
-		return resp
+	key, kerr := Fingerprint(req)
+	sh := e.shards[0]
+	if kerr == nil {
+		sh = e.shardFor(key)
 	}
-
-	if e.opts.CacheSize < 0 {
-		e.misses.Add(1)
-		resp.Result, resp.Err = e.solveOnPool(ctx, req)
-		if resp.Err != nil {
-			e.errors.Add(1)
-		}
-		return resp
-	}
-
-	e.mu.Lock()
-	if el, ok := e.cache[key]; ok {
-		e.order.MoveToFront(el)
-		ent := el.Value.(*entry)
-		e.mu.Unlock()
-		e.hits.Add(1)
-		resp.Cached = true
-		select {
-		case <-ent.done:
-			resp.Result, resp.Err = cloneResult(ent.res), ent.err
-		case <-ctx.Done():
-			resp.Err = ctx.Err()
-		}
-		if resp.Err != nil {
-			e.errors.Add(1)
-		}
-		return resp
-	}
-	ent := &entry{key: key, done: make(chan struct{})}
-	e.cache[key] = e.order.PushFront(ent)
-	for e.order.Len() > e.opts.CacheSize {
-		oldest := e.order.Back()
-		e.order.Remove(oldest)
-		delete(e.cache, oldest.Value.(*entry).key)
-		e.evictions.Add(1)
-	}
-	e.mu.Unlock()
-	e.misses.Add(1)
-
-	err = e.submit(ctx, func() {
-		ent.res, ent.err = e.solve(req)
-		if ent.err != nil {
-			// Failed solves are not worth a memo slot: keeping them would
-			// let a stream of cheap invalid requests evict valid plans.
-			e.dropEntry(ent)
-		}
-		close(ent.done)
-	})
-	if err != nil {
-		// Engine closed, or this caller cancelled before a pool slot
-		// freed: drop the entry and finalize it so any coalesced waiter
-		// is released too (a later identical request re-solves).
-		e.dropEntry(ent)
-		ent.err = err
-		close(ent.done)
-	}
-
-	select {
-	case <-ent.done:
-		resp.Result, resp.Err = cloneResult(ent.res), ent.err
-	case <-ctx.Done():
-		resp.Err = ctx.Err()
-	}
-	if resp.Err != nil {
-		e.errors.Add(1)
-	}
-	return resp
+	return sh.planOne(ctx, index, req, key, kerr)
 }
 
-// dropEntry removes ent from the memo if it still owns its slot (it may
-// have been evicted by the LRU policy in the meantime).
-func (e *Engine) dropEntry(ent *entry) {
-	e.mu.Lock()
-	if el, ok := e.cache[ent.key]; ok && el.Value.(*entry) == ent {
-		e.order.Remove(el)
-		delete(e.cache, ent.key)
+// Kernel returns the solver kernel co-located components share for
+// their own direct solves (the execution supervisor's suffix re-plans,
+// a DAG linearization search): the injected Options.Kernel when one was
+// given, shard 0's kernel otherwise.
+func (e *Engine) Kernel() *core.Kernel {
+	if e.shared != nil {
+		return e.shared
 	}
-	e.mu.Unlock()
+	return e.shards[0].kernel
 }
 
-// solveOnPool runs solve as a pool job and waits for it (the uncached
-// path).
-func (e *Engine) solveOnPool(ctx context.Context, req Request) (*core.Result, error) {
-	var res *core.Result
-	var err error
-	done := make(chan struct{})
-	if serr := e.submit(ctx, func() {
-		// Nobody shares an uncached result: skip the solve entirely if
-		// the only waiter is already gone.
-		if ctx.Err() == nil {
-			res, err = e.solve(req)
-		} else {
-			err = ctx.Err()
-		}
-		close(done)
-	}); serr != nil {
-		return nil, serr
+// Tune applies workload-aware scratch tuning to every shard kernel:
+// each kernel installs exact-capacity arena pools for the hottest
+// window lengths its own solve histogram has recorded (see
+// core.Kernel.Tune).
+func (e *Engine) Tune() {
+	if e.shared != nil {
+		e.shared.Tune(e.shared.Stats())
+		return
 	}
-	select {
-	case <-done:
-		return res, err
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	for _, s := range e.shards {
+		s.kernel.Tune(s.kernel.Stats())
 	}
 }
 
-// solve runs the dynamic program for one request. Unless the request
-// pins its own solver parallelism, the solver runs serially: the pool
-// already provides instance-level parallelism.
-func (e *Engine) solve(req Request) (*core.Result, error) {
-	opts := req.Opts
-	if opts.Workers == 0 {
-		opts.Workers = 1
-	}
-	res, err := e.kernel.PlanOpts(req.Algorithm, req.Chain, req.Platform, opts)
-	if err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
-	}
-	return res, nil
-}
-
-// Kernel returns the solver kernel the engine's workers solve through,
-// so co-located components (the execution supervisor's suffix re-plans,
-// a DAG linearization search) can share its scratch pools.
-func (e *Engine) Kernel() *core.Kernel { return e.kernel }
-
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters: the cross-shard
+// aggregates plus the per-shard breakdown.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	entries := e.order.Len()
-	e.mu.Unlock()
-	e.algMu.Lock()
-	algs := make(map[string]uint64, len(e.algCounts))
-	for k, v := range e.algCounts {
-		algs[k] = v
+	st := Stats{Shards: make([]ShardStats, len(e.shards))}
+	kstats := make([]core.KernelStats, 0, len(e.shards))
+	for i, s := range e.shards {
+		ss := s.stats()
+		if e.shared == nil {
+			ss.Kernel = s.kernel.Stats()
+			kstats = append(kstats, ss.Kernel)
+		}
+		st.Shards[i] = ss
+		st.Requests += ss.Requests
+		st.CacheHits += ss.CacheHits
+		st.CacheMisses += ss.CacheMisses
+		st.Evictions += ss.Evictions
+		st.Errors += ss.Errors
+		st.Entries += ss.Entries
 	}
-	e.algMu.Unlock()
-	return Stats{
-		Requests:    e.requests.Load(),
-		CacheHits:   e.hits.Load(),
-		CacheMisses: e.misses.Load(),
-		Evictions:   e.evictions.Load(),
-		Errors:      e.errors.Load(),
-		Entries:     entries,
-		Algorithms:  algs,
-		Kernel:      e.kernel.Stats(),
+	if e.shared != nil {
+		st.Kernel = e.shared.Stats()
+	} else {
+		st.Kernel = mergeKernelStats(kstats)
 	}
+	st.Algorithms = make(map[string]uint64, 4)
+	for alg, v := range map[string]uint64{
+		string(core.AlgADV):      e.algADV.Load(),
+		string(core.AlgADMVStar): e.algADMVStar.Load(),
+		string(core.AlgADMV):     e.algADMV.Load(),
+		"other":                  e.algOther.Load(),
+	} {
+		if v > 0 {
+			st.Algorithms[alg] = v
+		}
+	}
+	return st
+}
+
+// mergeKernelStats sums per-shard kernel snapshots into one engine-wide
+// view: counters add, buckets merge by capacity, size histograms merge
+// by window length.
+func mergeKernelStats(sts []core.KernelStats) core.KernelStats {
+	if len(sts) == 1 {
+		return sts[0]
+	}
+	out := core.KernelStats{}
+	buckets := make(map[int]core.KernelBucketStats)
+	sizes := make(map[int]uint64)
+	for _, st := range sts {
+		out.Solves += st.Solves
+		out.ScratchReuses += st.ScratchReuses
+		out.ScratchFresh += st.ScratchFresh
+		for _, b := range st.Buckets {
+			m := buckets[b.Cap]
+			m.Cap = b.Cap
+			m.Reuses += b.Reuses
+			m.Fresh += b.Fresh
+			m.Solves += b.Solves
+			buckets[b.Cap] = m
+		}
+		for _, s := range st.Sizes {
+			sizes[s.N] += s.Solves
+		}
+	}
+	for _, b := range buckets {
+		out.Buckets = append(out.Buckets, b)
+	}
+	sort.Slice(out.Buckets, func(i, j int) bool { return out.Buckets[i].Cap < out.Buckets[j].Cap })
+	for n, c := range sizes {
+		out.Sizes = append(out.Sizes, core.KernelSizeStats{N: n, Solves: c})
+	}
+	sort.Slice(out.Sizes, func(i, j int) bool {
+		a, b := out.Sizes[i], out.Sizes[j]
+		if a.Solves != b.Solves {
+			return a.Solves > b.Solves
+		}
+		return a.N < b.N
+	})
+	return out
 }
 
 // cloneResult gives each caller an independent copy of a memoized plan.
@@ -524,9 +568,9 @@ var (
 )
 
 // Default returns the shared process-wide engine, creating it with
-// default options on first use. It is what the experiment harness and
-// the command-line tools plan through, so a whole process shares one
-// memo and one parallelism budget.
+// default options (GOMAXPROCS shards) on first use. It is what the
+// experiment harness and the command-line tools plan through, so a
+// whole process shares one memo and one parallelism budget.
 func Default() *Engine {
 	defaultMu.Lock()
 	defer defaultMu.Unlock()

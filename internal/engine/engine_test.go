@@ -64,7 +64,9 @@ func TestPlanManyMatchesSequentialPlan(t *testing.T) {
 }
 
 func TestCacheHitMissAccounting(t *testing.T) {
-	eng := New(Options{Workers: 2, CacheSize: 64})
+	// Shards pinned so per-shard memo capacity (64/4 = 16) cannot evict
+	// regardless of how the six fingerprints hash.
+	eng := New(Options{Workers: 2, CacheSize: 64, Shards: 4})
 	defer eng.Close()
 	reqs := testRequests(t, 6)
 	ctx := context.Background()
@@ -128,7 +130,9 @@ func TestCacheReturnsIndependentCopies(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	eng := New(Options{Workers: 2, CacheSize: 4})
+	// One shard: LRU order over the whole request stream is only
+	// well-defined when a single memo sees every request.
+	eng := New(Options{Workers: 2, CacheSize: 4, Shards: 1})
 	defer eng.Close()
 	reqs := testRequests(t, 8)
 	ctx := context.Background()

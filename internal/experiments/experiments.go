@@ -97,9 +97,11 @@ type Figure struct {
 
 // Run sweeps n for one pattern/platform pair. All (n, algorithm) points
 // are planned concurrently through the shared batch engine
-// (engine.Default), so a sweep saturates the machine and repeated
-// figures (fig5 and fig6 plan the same instances) hit the memo instead
-// of re-solving.
+// (engine.Default, sharded across GOMAXPROCS memos), so a sweep
+// saturates the machine without serializing on one memo mutex, and
+// repeated figures (fig5 and fig6 plan the same instances) hit the memo
+// instead of re-solving — the fingerprint routing lands an instance on
+// the same shard every time.
 func Run(id string, pat workload.Pattern, plat platform.Platform, cfg Config) (*Figure, error) {
 	cfg = cfg.normalized()
 	fig := &Figure{
