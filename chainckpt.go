@@ -49,6 +49,7 @@
 package chainckpt
 
 import (
+	"context"
 	"math/rand"
 
 	"chainckpt/internal/chain"
@@ -56,9 +57,11 @@ import (
 	"chainckpt/internal/dag"
 	"chainckpt/internal/engine"
 	"chainckpt/internal/evaluate"
+	"chainckpt/internal/fault"
 	"chainckpt/internal/heuristics"
 	"chainckpt/internal/jobstore"
 	"chainckpt/internal/platform"
+	"chainckpt/internal/replay"
 	"chainckpt/internal/runtime"
 	"chainckpt/internal/schedule"
 	"chainckpt/internal/sensitivity"
@@ -524,6 +527,74 @@ func NewSimRunner(p Platform, seed uint64) *SimTaskRunner { return runtime.NewSi
 func NewMisspecifiedRunner(p Platform, factorF, factorS float64, seed uint64) *SimTaskRunner {
 	return runtime.NewMisspecifiedRunner(p, factorF, factorS, seed)
 }
+
+// Recording is the event-sourced capture of one supervised run: the
+// instance identity (seed, algorithm, chain/schedule fingerprints), the
+// full trace-event stream, estimator snapshots at every committed disk
+// checkpoint, checkpoint content digests, normalized job-store
+// lifecycle records, and the normalized final report. Re-running the
+// same ReplaySpec reproduces a recording bit for bit (see
+// internal/replay and the chaos matrices that enforce it).
+type Recording = replay.Recording
+
+// RecordingMeta stamps a recording with the run's identity.
+type RecordingMeta = replay.Meta
+
+// RecordingFrame is one recorded trace event with its sequence number.
+type RecordingFrame = replay.Frame
+
+// Recorder captures a run as it executes; wire its Observe/Progress/
+// Lifecycle hooks into the supervisor and job store, then seal with
+// Finish.
+type Recorder = replay.Recorder
+
+// ReplaySpec is the complete replayable input of one supervised run:
+// instance, seed, misspecification, resume flag, and scripted fault
+// plan.
+type ReplaySpec = replay.Spec
+
+// NewRecorder starts a recording stamped with meta.
+func NewRecorder(meta RecordingMeta) *Recorder { return replay.NewRecorder(meta) }
+
+// RecordRun executes spec under sup and records it; a crashed run
+// returns its partial recording alongside the error.
+func RecordRun(ctx context.Context, sup *Supervisor, spec ReplaySpec) (*Recording, error) {
+	return replay.Run(ctx, sup, spec)
+}
+
+// Replay re-executes spec and asserts bit-identical equivalence with
+// the recording want, returning the re-run's recording and the first
+// divergence (as an error) if any.
+func Replay(ctx context.Context, sup *Supervisor, spec ReplaySpec, want *Recording) (*Recording, error) {
+	return replay.Replay(ctx, sup, spec, want)
+}
+
+// DiffRecordings describes the first divergence between two recordings;
+// empty means their canonical forms are bit-identical.
+func DiffRecordings(a, b *Recording) (string, error) { return replay.Diff(a, b) }
+
+// DecodeRecording parses a recording's canonical JSON form (as served
+// by chainserve's GET /v1/jobs/{id}/trace or written to -record-dir).
+func DecodeRecording(data []byte) (*Recording, error) { return replay.Decode(data) }
+
+// FaultPoint names one fault-injection point threaded through the
+// supervisor's checkpoint commit protocol and the job-store journal;
+// see internal/fault for the catalogue.
+type FaultPoint = fault.Point
+
+// FaultInjector decides, at each fault point, whether to mutate the
+// in-flight payload or kill the process-equivalent; injectors are a
+// test seam and nil (the production value) costs one predictable
+// branch per point.
+type FaultInjector = fault.Injector
+
+// FaultScript is a deterministic injector: it fires once, at the N-th
+// hit of one point, optionally mutating the payload and/or crashing.
+type FaultScript = fault.Script
+
+// ErrInjectedCrash is the sentinel a scripted crash surfaces as; a run
+// ending in it corresponds to a process that died at the fault point.
+var ErrInjectedCrash = fault.ErrCrash
 
 // TraceEvent is one step of a replayed or supervised execution.
 type TraceEvent = sim.TraceEvent

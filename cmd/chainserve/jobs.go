@@ -16,7 +16,9 @@ package main
 
 import (
 	"context"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -25,9 +27,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chainckpt/internal/chain"
 	"chainckpt/internal/engine"
 	"chainckpt/internal/jobstore"
 	"chainckpt/internal/platform"
+	"chainckpt/internal/replay"
 	"chainckpt/internal/runtime"
 	"chainckpt/internal/schedule"
 	"chainckpt/internal/sim"
@@ -124,6 +128,9 @@ type jobStatus struct {
 // job is one tracked execution. Event followers block on cond until new
 // events arrive or the run finishes. rec mirrors the job's durable
 // record; its Version advances with every persisted transition.
+// recorder, when attached, event-sources the execution (trace frames,
+// lifecycle records, estimator snapshots) into a replay.Recording whose
+// canonical bytes land in recording once the run is sealed.
 type job struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -133,12 +140,77 @@ type job struct {
 	cancelled bool
 	cancel    context.CancelFunc
 	rec       jobstore.Record
+
+	recorder  *replay.Recorder
+	recording []byte
+	recErr    error
 }
 
 func newJob(st jobStatus, rec jobstore.Record) *job {
 	j := &job{status: st, rec: rec}
 	j.cond = sync.NewCond(&j.mu)
 	return j
+}
+
+// record snapshots the job's current durable record.
+func (j *job) record() jobstore.Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec
+}
+
+// attachRecorder starts event-sourcing the job: initial carries the
+// lifecycle records persisted before the recorder existed (the
+// created/planned pair of a fresh job, the running record of a resumed
+// one); every later transition is fed by jobManager.transition.
+func (j *job) attachRecorder(rec *replay.Recorder, initial ...jobstore.Record) {
+	for _, r := range initial {
+		rec.Lifecycle(r)
+	}
+	j.mu.Lock()
+	j.recorder = rec
+	j.mu.Unlock()
+}
+
+func (j *job) getRecorder() *replay.Recorder {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recorder
+}
+
+// sealRecording publishes the canonical recording bytes (or the sealing
+// failure) and wakes trace waiters.
+func (j *job) sealRecording(data []byte, err error) {
+	j.mu.Lock()
+	j.recording, j.recErr = data, err
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// errNoRecording marks a job that executes without a recorder: one
+// adopted in its terminal state from a previous service life.
+var errNoRecording = fmt.Errorf("job has no recording (finished in a previous service life)")
+
+// waitRecording blocks until the job's recording is sealed, the sealing
+// fails, or ctx is done. Callers must arrange a cond broadcast on ctx
+// cancellation (context.AfterFunc), as handleJobTrace does.
+func (j *job) waitRecording(ctx context.Context) ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.recorder == nil {
+		return nil, errNoRecording
+	}
+	for j.recording == nil && j.recErr == nil && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	switch {
+	case j.recording != nil:
+		return j.recording, nil
+	case j.recErr != nil:
+		return nil, j.recErr
+	default:
+		return nil, ctx.Err()
+	}
 }
 
 // append records one event and wakes followers.
@@ -306,21 +378,29 @@ func (m *jobManager) persist(rec jobstore.Record) bool {
 }
 
 // transition bumps the job's record version, applies mut, and persists
-// the result, reporting whether the append was committed.
+// the result, reporting whether the append was committed. A recorder
+// attached to the job sees every transition, normalized, in order.
 func (m *jobManager) transition(j *job, mut func(*jobstore.Record)) bool {
 	j.mu.Lock()
 	j.rec.Version++
 	j.rec.UpdatedAt = time.Now().UTC()
 	mut(&j.rec)
 	rec := j.rec
+	recorder := j.recorder
 	j.mu.Unlock()
+	if recorder != nil {
+		recorder.Lifecycle(rec)
+	}
 	return m.persist(rec)
 }
 
 // create registers a new job and persists its created and planned
 // transitions (the schedule is already known: planning precedes
-// admission).
-func (m *jobManager) create(st jobStatus, spec, sched json.RawMessage, fingerprint string) (*job, uint64, error) {
+// admission). reqSeed is the client's requested RNG seed; 0 derives one
+// from the job's sequence number. The resolved seed is returned and
+// travels in the durable record, so a failed run can always be
+// reproduced from its journal alone.
+func (m *jobManager) create(st jobStatus, spec, sched json.RawMessage, fingerprint string, reqSeed uint64) (*job, uint64, error) {
 	m.mu.Lock()
 	running := 0
 	for _, j := range m.jobs {
@@ -335,6 +415,10 @@ func (m *jobManager) create(st jobStatus, spec, sched json.RawMessage, fingerpri
 	evicted := m.evictLocked()
 	m.seq++
 	seq := m.seq
+	seed := reqSeed
+	if seed == 0 {
+		seed = seq
+	}
 	st.ID = fmt.Sprintf("job-%d", seq)
 	st.Status = "running"
 	st.CreatedAt = time.Now().UTC()
@@ -342,7 +426,7 @@ func (m *jobManager) create(st jobStatus, spec, sched json.RawMessage, fingerpri
 		ID: st.ID, Seq: seq, Version: 2, State: jobstore.StatePlanned,
 		CreatedAt: st.CreatedAt, UpdatedAt: st.CreatedAt,
 		Fingerprint: fingerprint, Algorithm: st.Algorithm, Adaptive: st.Adaptive,
-		Spec: spec, Schedule: sched, Predicted: st.Predicted,
+		Seed: seed, Spec: spec, Schedule: sched, Predicted: st.Predicted,
 	}
 	j := newJob(st, rec)
 	m.jobs[st.ID] = j
@@ -366,7 +450,18 @@ func (m *jobManager) create(st jobStatus, spec, sched json.RawMessage, fingerpri
 	created.Schedule, created.Predicted = nil, 0
 	m.persist(created)
 	m.persist(rec)
-	return j, seq, nil
+	return j, seed, nil
+}
+
+// initialRecords reconstructs the created/planned pair create persisted
+// for j, in order — what a recorder attached after admission must see
+// first.
+func (j *job) initialRecords() []jobstore.Record {
+	planned := j.record()
+	created := planned
+	created.Version, created.State = 1, jobstore.StateCreated
+	created.Schedule, created.Predicted = nil, 0
+	return []jobstore.Record{created, planned}
 }
 
 // adopt re-registers a job replayed from the durable store without
@@ -543,13 +638,26 @@ func (m *jobManager) counts() (total, running int) {
 }
 
 // launch starts the job's execution goroutine, wiring the event
-// observer, the durable progress hook and the cancel handle.
+// observer, the durable progress hook and the cancel handle. A recorder
+// attached to the job is chained into both hooks and sealed once the
+// terminal transition is journaled, so its recording carries the full
+// lifecycle including how the job ended.
 func (s *server) launch(j *job, runJob runtime.Job, adaptive bool) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j.setCancel(cancel)
+	recorder := j.getRecorder()
 	runJob.Observer = j.append
 	runJob.Record = true
+	if recorder != nil {
+		runJob.Observer = func(ev sim.TraceEvent) {
+			recorder.Observe(ev)
+			j.append(ev)
+		}
+	}
 	runJob.Progress = func(b int, est runtime.EstimatorState, sched *schedule.Schedule) {
+		if recorder != nil {
+			recorder.Progress(b, est, sched)
+		}
 		s.jobs.progress(j, b, est, sched)
 	}
 	go func() {
@@ -561,13 +669,85 @@ func (s *server) launch(j *job, runJob runtime.Job, adaptive bool) {
 		} else {
 			rep, err = s.sup.Run(ctx, runJob)
 		}
+		// Digest the checkpoint tier before finish: a finished job's
+		// checkpoint directory is removed once its terminal record is
+		// durable, and the recording must capture the tier as the run
+		// left it.
+		if recorder != nil {
+			recorder.Checkpoints(runJob.Store)
+		}
 		s.jobs.finish(j, rep, err)
+		if recorder != nil {
+			recording, ferr := recorder.Finish(rep, nil)
+			var data []byte
+			if ferr == nil {
+				data, ferr = recording.Canonical()
+			}
+			j.sealRecording(data, ferr)
+			if ferr == nil {
+				s.writeRecording(j.snapshot().ID, data)
+			}
+		}
 		// finish classifies a cancel as "cancelled", which is not a
 		// failure: only genuine failures feed the error-rate metric.
 		if j.snapshot().Status == "failed" {
 			s.jobErrors.Add(1)
 		}
 	}()
+}
+
+// writeRecording persists one sealed recording under the record
+// directory, when configured.
+func (s *server) writeRecording(id string, data []byte) {
+	if s.recordDir == "" {
+		return
+	}
+	if err := os.WriteFile(filepath.Join(s.recordDir, id+".json"), data, 0o644); err != nil {
+		s.jobs.storeErrors.Add(1)
+	}
+}
+
+// runnerName resolves the wire runner field to the recorded kind.
+func runnerName(r string) string {
+	if r == "" {
+		return "sim"
+	}
+	return r
+}
+
+// jobFingerprint is the instance fingerprint as persisted in job
+// records and recordings. engine.Fingerprint keys are raw hash bytes (a
+// memo key, not a display string); hex-encode them here so the journal
+// and the recording meta carry stable, printable JSON — raw bytes would
+// be mangled into U+FFFD by the encoder and never round-trip.
+func jobFingerprint(req engine.Request) string {
+	raw, err := engine.Fingerprint(req)
+	if err != nil {
+		return ""
+	}
+	return hex.EncodeToString([]byte(raw))
+}
+
+// recorderMeta stamps a job's recording: the resolved seed, the
+// instance fingerprints and the runtime knobs — everything a replay
+// needs to recognize the run. The instance fingerprint is already hex
+// (see jobFingerprint); rate-misspecification scales only apply to the
+// sim runner.
+func recorderMeta(jr *jobRequest, seed uint64, algorithm, instance string,
+	c *chain.Chain, sched *schedule.Schedule, resume bool) replay.Meta {
+	m := replay.Meta{
+		Seed: seed, Algorithm: algorithm, Runner: runnerName(jr.Runner),
+		Adaptive: jr.Adaptive, Resume: resume,
+		ChainFingerprint: replay.ChainFingerprint(c),
+		Instance:         instance,
+	}
+	if m.Runner == "sim" {
+		m.ScaleF, m.ScaleS = jr.ScaleF, jr.ScaleS
+	}
+	if sched != nil {
+		m.ScheduleFingerprint = replay.ScheduleFingerprint(sched)
+	}
+	return m
 }
 
 func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
@@ -609,13 +789,13 @@ func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	fingerprint, _ := engine.Fingerprint(req)
+	fingerprint := jobFingerprint(req)
 
-	j, seq, err := s.jobs.create(jobStatus{
+	j, seed, err := s.jobs.create(jobStatus{
 		Adaptive:  jr.Adaptive,
 		Algorithm: string(res.Algorithm),
 		Predicted: res.ExpectedMakespan,
-	}, spec, schedJSON, fingerprint)
+	}, spec, schedJSON, fingerprint, jr.Seed)
 	if err != nil {
 		writeError(w, http.StatusTooManyRequests, err)
 		return
@@ -626,10 +806,9 @@ func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	seed := jr.Seed
-	if seed == 0 {
-		seed = seq
-	}
+	j.attachRecorder(replay.NewRecorder(recorderMeta(
+		&jr, seed, string(res.Algorithm), fingerprint, c, res.Schedule, false,
+	)), j.initialRecords()...)
 	s.launch(j, runtime.Job{
 		Chain:              c,
 		Platform:           req.Platform,
@@ -674,6 +853,44 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusConflict, j.summary())
+}
+
+// handleJobTrace serves the job's sealed replay recording in canonical
+// JSON form: the full event-sourced capture of the execution (trace
+// frames, estimator snapshots, checkpoint digests, normalized lifecycle
+// records, normalized report). The recording carries no job id and no
+// timestamps, so two runs of the same spec with the same explicit seed
+// answer with byte-identical bodies — the property the replay CI gate
+// diffs. Blocks until the run is sealed; 409 for jobs adopted from a
+// previous service life (their execution was never recorded).
+func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	// Unblock waitRecording when the client disconnects.
+	ctx := r.Context()
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+
+	data, err := j.waitRecording(ctx)
+	switch {
+	case errors.Is(err, errNoRecording):
+		writeError(w, http.StatusConflict, err)
+	case ctx.Err() != nil:
+		return // client went away
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	}
 }
 
 // handleJobEvents streams the job's event log as NDJSON, following the

@@ -26,6 +26,13 @@
 //	                  restarted service lists finished jobs and resumes
 //	                  interrupted ones from their last checkpoint with a
 //	                  suffix-re-planned schedule.
+//	-record-dir path  replay recording directory (default
+//	                  $CHAINSERVE_RECORD_DIR; empty serves recordings over
+//	                  the API only). Every finished job's event-sourced
+//	                  recording — trace frames, estimator snapshots,
+//	                  checkpoint digests, normalized lifecycle records —
+//	                  is written as <dir>/<id>.json in canonical form; the
+//	                  same bytes GET /v1/jobs/{id}/trace answers with.
 //
 // Endpoints:
 //
@@ -40,6 +47,9 @@
 //	GET  /v1/jobs            list jobs
 //	GET  /v1/jobs/{id}       job status and final report
 //	GET  /v1/jobs/{id}/events  NDJSON event stream, live until done
+//	GET  /v1/jobs/{id}/trace   canonical replay recording (blocks until
+//	                         the run is sealed; same spec + same seed =>
+//	                         byte-identical body)
 //	DELETE /v1/jobs/{id}     cancel a running job
 //	GET  /v1/platforms       the Table I platforms
 //	GET  /healthz            liveness probe
@@ -94,6 +104,8 @@ func main() {
 	drain := flag.Duration("drain", defaultDrainTimeout(os.Getenv), "graceful-shutdown drain timeout")
 	storeDir := flag.String("store-dir", os.Getenv("CHAINSERVE_STORE_DIR"),
 		"durable job store root (empty = in-memory jobs)")
+	recordDir := flag.String("record-dir", os.Getenv("CHAINSERVE_RECORD_DIR"),
+		"replay recording directory (empty = recordings over the API only)")
 	flag.Parse()
 
 	memo := *cacheSize
@@ -113,6 +125,12 @@ func main() {
 		Workers: *workers, CacheSize: memo, Shards: *shards,
 	}), store, *storeDir)
 	defer srv.eng.Close()
+	if *recordDir != "" {
+		if err := os.MkdirAll(*recordDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		srv.recordDir = *recordDir
+	}
 	if resumed, adopted := srv.recoverJobs(context.Background()); resumed+adopted > 0 {
 		log.Printf("recovered %d finished jobs, resumed %d interrupted jobs from %s",
 			adopted, resumed, *storeDir)
@@ -179,6 +197,9 @@ type server struct {
 	sup     *runtime.Supervisor
 	jobs    *jobManager
 	started time.Time
+	// recordDir, when set, receives every sealed replay recording as
+	// <id>.json in canonical form.
+	recordDir string
 
 	httpRequests atomic.Uint64
 	planErrors   atomic.Uint64
@@ -215,6 +236,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs", s.count(s.handleJobList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.count(s.handleJobGet))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.count(s.handleJobEvents))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.count(s.handleJobTrace))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.count(s.handleJobCancel))
 	mux.HandleFunc("GET /v1/platforms", s.count(s.handlePlatforms))
 	mux.HandleFunc("GET /healthz", s.count(s.handleHealth))

@@ -528,7 +528,7 @@ func TestJobManagerRetentionAndBackpressure(t *testing.T) {
 
 	mk := func() *job {
 		t.Helper()
-		j, _, err := m.create(jobStatus{}, nil, nil, "")
+		j, _, err := m.create(jobStatus{}, nil, nil, "", 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -536,7 +536,7 @@ func TestJobManagerRetentionAndBackpressure(t *testing.T) {
 	}
 	a, b := mk(), mk()
 	// Both running: the cap rejects a third.
-	if _, _, err := m.create(jobStatus{}, nil, nil, ""); err == nil {
+	if _, _, err := m.create(jobStatus{}, nil, nil, "", 0); err == nil {
 		t.Fatal("running cap did not reject")
 	}
 	a.finish(nil, nil)

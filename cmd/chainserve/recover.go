@@ -23,6 +23,7 @@ import (
 	"chainckpt/internal/core"
 	"chainckpt/internal/engine"
 	"chainckpt/internal/jobstore"
+	"chainckpt/internal/replay"
 	"chainckpt/internal/runtime"
 	"chainckpt/internal/schedule"
 )
@@ -119,11 +120,23 @@ func (s *server) resumeJob(ctx context.Context, rec jobstore.Record) error {
 	if err != nil {
 		return err
 	}
-	j := s.jobs.adoptRunning(rec, schedJSON)
+	// The seed the interrupted run used: explicit in the spec, else the
+	// one the admission handler derived and journaled; rec.Seq covers
+	// journals written before seeds were persisted.
 	seed := jr.Seed
+	if seed == 0 {
+		seed = rec.Seed
+	}
 	if seed == 0 {
 		seed = rec.Seq
 	}
+	rec.Seed = seed
+	j := s.jobs.adoptRunning(rec, schedJSON)
+	// The resumed life is recorded like any fresh run; its first
+	// lifecycle record is the running transition adoptRunning persisted.
+	j.attachRecorder(replay.NewRecorder(recorderMeta(
+		&jr, seed, string(req.Algorithm), rec.Fingerprint, c, sched, true,
+	)), j.record())
 	s.launch(j, runtime.Job{
 		Chain:              c,
 		Platform:           req.Platform,

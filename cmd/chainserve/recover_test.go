@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -62,10 +63,10 @@ func TestCrashRecoveryResumesInterruptedJob(t *testing.T) {
 	}
 	spec, _ := json.Marshal(&jr)
 	schedJSON, _ := json.Marshal(res.Schedule)
-	fp, _ := engine.Fingerprint(req)
+	fp := jobFingerprint(req)
 	j1, seq, err := srv1.jobs.create(jobStatus{
 		Algorithm: string(res.Algorithm), Predicted: res.ExpectedMakespan,
-	}, spec, schedJSON, fp)
+	}, spec, schedJSON, fp, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,6 +180,165 @@ func TestCrashRecoveryResumesInterruptedJob(t *testing.T) {
 	}
 }
 
+// crashSpecFor renders a crash-lab job spec with the given RNG seed.
+// CD=1000 prices disk checkpoints high enough that the planner places
+// them sparsely (interior ones plus the mandatory final), so every
+// interior checkpoint is a distinct, meaningful crash point.
+func crashSpecFor(seed uint64) string {
+	return fmt.Sprintf(`{"algorithm":"ADMV*","platform_spec":{"name":"CrashLab",`+
+		`"lambda_f":1e-4,"lambda_s":4e-4,"c_d":1000,"c_m":10,"r_d":1000,"r_m":10,`+
+		`"v_star":10,"v":0.1,"recall":0.8},"pattern":"uniform","n":24,"total":24000,`+
+		`"true_rate_scale_f":2,"seed":%d}`, seed)
+}
+
+// crashRecoveryAt runs one crash/recover cycle: life 1 admits the job
+// exactly as the HTTP handler does and dies inside the durable-progress
+// hook of its k-th disk checkpoint (no terminal transition — kill -9
+// wreckage); life 2 opens a fresh server over the same directory,
+// replays the journal, and must resume from exactly that boundary and
+// finish. Failure messages carry a one-line repro built from the seed
+// and crash point the journal now persists.
+func crashRecoveryAt(t *testing.T, specJSON string, k int) {
+	t.Helper()
+	dir := t.TempDir()
+	repro := fmt.Sprintf("repro: go test ./cmd/chainserve -run 'TestCrashRecoveryAtEveryCheckpoint' -count=1  # spec=%s crash_at_disk_ckpt=%d", specJSON, k)
+
+	// --- Life 1: admit, run, die at the k-th disk checkpoint ----------
+	st1, err := jobstore.Open(filepath.Join(dir, "journal"), jobstore.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1 := engine.New(engine.Options{Workers: 2})
+	srv1 := newServerWithStore(eng1, st1, dir)
+
+	var jr jobRequest
+	if err := json.Unmarshal([]byte(specJSON), &jr); err != nil {
+		t.Fatal(err)
+	}
+	jr.normalize()
+	req, c, err := jr.toEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng1.Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := json.Marshal(&jr)
+	schedJSON, _ := json.Marshal(res.Schedule)
+	j1, seed, err := srv1.jobs.create(jobStatus{
+		Algorithm: string(res.Algorithm), Predicted: res.ExpectedMakespan,
+	}, spec, schedJSON, "", jr.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := j1.snapshot().ID
+	if seed != jr.Seed {
+		t.Fatalf("create derived seed %d, spec asked for %d\n%s", seed, jr.Seed, repro)
+	}
+
+	ck1, err := srv1.jobs.newCheckpointStore(id, jr.Retention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, crash := context.WithCancel(context.Background())
+	defer crash()
+	disks := 0
+	var stoppedAt int
+	_, err = srv1.sup.Run(ctx, runtime.Job{
+		Chain: c, Platform: req.Platform, Schedule: res.Schedule, Algorithm: req.Algorithm,
+		Runner: jr.newRunner(req.Platform, seed), Store: ck1,
+		Progress: func(b int, est runtime.EstimatorState, sched *schedule.Schedule) {
+			srv1.jobs.progress(j1, b, est, sched)
+			if disks++; disks == k && b < c.Len() {
+				stoppedAt = b
+				crash()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("life 1 ended with %v, want context.Canceled\n%s", err, repro)
+	}
+	if stoppedAt <= 0 {
+		t.Fatalf("job finished before the crash point (disks=%d, k=%d)\n%s", disks, k, repro)
+	}
+	// The abandoned record carries the seed a repro needs.
+	if rec, ok := st1.Get(id); !ok || rec.Seed != seed {
+		t.Fatalf("abandoned record lost the seed: %+v ok=%v\n%s", rec, ok, repro)
+	}
+
+	// --- Life 2: recover over the same directory ----------------------
+	st2, err := jobstore.Open(filepath.Join(dir, "journal"), jobstore.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	eng2 := engine.New(engine.Options{Workers: 2})
+	t.Cleanup(eng2.Close)
+	srv2 := newServerWithStore(eng2, st2, dir)
+	if resumed, adopted := srv2.recoverJobs(context.Background()); resumed != 1 || adopted != 0 {
+		t.Fatalf("recoverJobs = (%d resumed, %d adopted), want (1, 0)\n%s", resumed, adopted, repro)
+	}
+	ts := httptest.NewServer(srv2.mux())
+	t.Cleanup(ts.Close)
+	final := waitForJob(t, ts.URL+"/v1/jobs/"+id)
+	if final.Status != "done" || final.Report == nil {
+		t.Fatalf("resumed job: %+v\n%s", final, repro)
+	}
+	if final.Report.ResumedFrom != stoppedAt {
+		t.Errorf("resumed from %d, want the crash-point checkpoint %d\n%s",
+			final.Report.ResumedFrom, stoppedAt, repro)
+	}
+	if final.Report.Seed != seed {
+		t.Errorf("resumed run reports seed %d, want %d\n%s", final.Report.Seed, seed, repro)
+	}
+	if last := final.Report.Trace[len(final.Report.Trace)-1]; last.Kind != "done" || last.Pos != c.Len() {
+		t.Errorf("trace end: %+v\n%s", last, repro)
+	}
+}
+
+// TestCrashRecoveryAtEveryCheckpoint generalizes the restart story into
+// a seed-parameterized table: for each seed, the service is killed at
+// every interior disk checkpoint the plan places (k = 1..N) and must
+// recover from each one. The checkpoint count is read off the plan, not
+// hard-coded, so a planner change reshapes the table instead of
+// silently shrinking it.
+func TestCrashRecoveryAtEveryCheckpoint(t *testing.T) {
+	for _, seed := range []uint64{11, 23} {
+		specJSON := crashSpecFor(seed)
+		// Count the interior disk checkpoints of this spec's plan.
+		var jr jobRequest
+		if err := json.Unmarshal([]byte(specJSON), &jr); err != nil {
+			t.Fatal(err)
+		}
+		jr.normalize()
+		req, c, err := jr.toEngine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := engine.New(engine.Options{Workers: 1})
+		res, err := eng.Plan(context.Background(), req)
+		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		interior := 0
+		for pos := 1; pos < c.Len(); pos++ {
+			if res.Schedule.At(pos).Has(schedule.Disk) {
+				interior++
+			}
+		}
+		if interior < 2 {
+			t.Fatalf("crash spec plans only %d interior disk checkpoints; the table needs at least 2", interior)
+		}
+		for k := 1; k <= interior; k++ {
+			t.Run(fmt.Sprintf("seed=%d/k=%d", seed, k), func(t *testing.T) {
+				crashRecoveryAt(t, specJSON, k)
+			})
+		}
+	}
+}
+
 // TestCrashRecoveryWithRetentionLimitedCheckpoints: a job whose spec
 // bounds its disk-checkpoint retention must still resume after a hard
 // stop — pruning old checkpoints shrinks the disk footprint but never
@@ -215,7 +375,7 @@ func TestCrashRecoveryWithRetentionLimitedCheckpoints(t *testing.T) {
 	}
 	specJSON, _ := json.Marshal(&jr)
 	schedJSON, _ := json.Marshal(res.Schedule)
-	j1, seq, err := srv1.jobs.create(jobStatus{Algorithm: string(res.Algorithm)}, specJSON, schedJSON, "")
+	j1, seq, err := srv1.jobs.create(jobStatus{Algorithm: string(res.Algorithm)}, specJSON, schedJSON, "", jr.Seed)
 	if err != nil {
 		t.Fatal(err)
 	}

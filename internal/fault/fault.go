@@ -1,0 +1,155 @@
+// Package fault is the injection seam of the chaos test harness: a set
+// of named injection points threaded through the runtime supervisor and
+// the jobstore journal, and an Injector interface that decides — at each
+// point — whether to corrupt the payload passing through or to kill the
+// process mid-operation. Production code passes a nil Injector and pays
+// one nil check per point; the chaos matrix passes a deterministic
+// Script so a faulted run can be replayed bit-for-bit.
+//
+// The package is a leaf on purpose: both internal/runtime and
+// internal/jobstore fire points, and internal/replay re-runs scripted
+// executions of either, so the shared vocabulary must not import any of
+// them.
+package fault
+
+import (
+	"errors"
+	"sync"
+)
+
+// Point names one injection site. The constant's value is stable — chaos
+// cells and recorded fault plans reference points by name.
+type Point string
+
+// The runtime supervisor's injection sites, in execution order around a
+// disk checkpoint and a resume.
+const (
+	// RuntimeBeforeDiskCkpt fires after the verification passed but
+	// before the disk checkpoint is written: a crash here loses the
+	// whole segment since the previous disk checkpoint.
+	RuntimeBeforeDiskCkpt Point = "runtime/before-disk-ckpt"
+	// RuntimeAfterDiskCkpt fires between the checkpoint write and the
+	// Progress journal commit: a crash here leaves a checkpoint the job
+	// store has never heard of — the classic torn two-phase commit.
+	RuntimeAfterDiskCkpt Point = "runtime/after-disk-ckpt"
+	// RuntimeAfterCommit fires after the Progress hook returned: both
+	// checkpoint and journal agree; a crash here is the clean case.
+	RuntimeAfterCommit Point = "runtime/after-commit"
+	// RuntimeResumeState fires on the state restored by a resume, with
+	// the restored bytes as payload: a mutation here models silent
+	// corruption smuggled in through the recovery path itself.
+	RuntimeResumeState Point = "runtime/resume-state"
+)
+
+// The jobstore journal's injection sites.
+const (
+	// JournalAppendFrame fires with the framed bytes about to be written
+	// to the active segment. A mutation that truncates the frame plus a
+	// crash models a torn tail: the prefix hits the disk, the process
+	// dies before the rest.
+	JournalAppendFrame Point = "journal/append-frame"
+	// JournalCompactBeforeRename fires after the snapshot temporary is
+	// written and fsync'd but before the atomic rename commits it.
+	JournalCompactBeforeRename Point = "journal/compact-before-rename"
+	// JournalCompactAfterRename fires after the rename but before the
+	// old segments are removed: snapshot and segments briefly coexist.
+	JournalCompactAfterRename Point = "journal/compact-after-rename"
+)
+
+// ErrCrash is the sentinel an Injector returns to simulate the process
+// dying at the point: the operation in flight stops exactly where a real
+// crash would stop it, and the error propagates out of the component so
+// the harness can abandon it and start a fresh "process".
+var ErrCrash = errors.New("fault: injected crash")
+
+// Injector decides what happens at an injection point. Fire receives the
+// payload passing through the point (nil at points that carry none) and
+// returns a replacement payload (nil = keep the original) and an error.
+// Returning ErrCrash makes the component behave as if the process died
+// at the point; any other non-nil error aborts the operation normally.
+//
+// Implementations must be deterministic if faulted runs are to be
+// replayed: same call sequence, same decisions.
+type Injector interface {
+	Fire(p Point, payload []byte) ([]byte, error)
+}
+
+// Fire is the nil-safe firing helper components call: a nil Injector is
+// the production no-op.
+func Fire(inj Injector, p Point, payload []byte) ([]byte, error) {
+	if inj == nil {
+		return payload, nil
+	}
+	out, err := inj.Fire(p, payload)
+	if out == nil {
+		out = payload
+	}
+	return out, err
+}
+
+// Script is the deterministic Injector of the chaos matrix: it arms one
+// action at the Hit-th firing of one point and stays inert everywhere
+// else. Same run, same hit count, same decision — which is what lets a
+// faulted execution be replayed bit-identically.
+type Script struct {
+	// Point selects the injection site.
+	Point Point
+	// Hit is the 1-based occurrence of Point the script fires on
+	// (default 1).
+	Hit int
+	// Mutate, when non-nil, replaces the payload at the armed hit. It
+	// must be deterministic and must not retain the input slice.
+	Mutate func(payload []byte) []byte
+	// Crash makes the armed hit return ErrCrash (after any mutation has
+	// been applied, so a torn write is "mutate then die").
+	Crash bool
+
+	mu    sync.Mutex
+	seen  int
+	fired bool
+}
+
+// Fire implements Injector.
+func (s *Script) Fire(p Point, payload []byte) ([]byte, error) {
+	if p != s.Point {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen++
+	hit := s.Hit
+	if hit <= 0 {
+		hit = 1
+	}
+	if s.seen != hit {
+		return nil, nil
+	}
+	s.fired = true
+	var out []byte
+	if s.Mutate != nil {
+		out = s.Mutate(payload)
+	}
+	if s.Crash {
+		return out, ErrCrash
+	}
+	return out, nil
+}
+
+// Fired reports whether the armed hit has happened — a chaos cell
+// asserts it so a matrix entry whose point was never reached fails
+// loudly instead of silently testing nothing.
+func (s *Script) Fired() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
+
+// Reset re-arms the script for a fresh run with the same parameters —
+// the replay of a faulted execution fires the same action at the same
+// hit.
+func (s *Script) Reset() {
+	s.mu.Lock()
+	s.seen = 0
+	s.fired = false
+	s.mu.Unlock()
+}

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	payload := []byte("frame")
+	out, err := Fire(nil, JournalAppendFrame, payload)
+	if err != nil {
+		t.Fatalf("nil injector returned error: %v", err)
+	}
+	if !bytes.Equal(out, payload) {
+		t.Fatalf("nil injector changed payload: %q", out)
+	}
+}
+
+func TestScriptFiresOnArmedHitOnly(t *testing.T) {
+	s := &Script{Point: RuntimeAfterDiskCkpt, Hit: 3, Crash: true}
+	for i := 1; i <= 2; i++ {
+		if _, err := Fire(s, RuntimeAfterDiskCkpt, nil); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+		// Other points never advance the count.
+		if _, err := Fire(s, JournalAppendFrame, nil); err != nil {
+			t.Fatalf("foreign point fired: %v", err)
+		}
+	}
+	if s.Fired() {
+		t.Fatal("script reports fired before the armed hit")
+	}
+	if _, err := Fire(s, RuntimeAfterDiskCkpt, nil); !errors.Is(err, ErrCrash) {
+		t.Fatalf("armed hit returned %v, want ErrCrash", err)
+	}
+	if !s.Fired() {
+		t.Fatal("script does not report fired after the armed hit")
+	}
+	// Subsequent hits are inert again.
+	if _, err := Fire(s, RuntimeAfterDiskCkpt, nil); err != nil {
+		t.Fatalf("post-fire hit returned %v", err)
+	}
+}
+
+func TestScriptMutateThenCrashAndReset(t *testing.T) {
+	s := &Script{
+		Point:  JournalAppendFrame,
+		Mutate: func(p []byte) []byte { return p[:2] },
+		Crash:  true,
+	}
+	for life := 0; life < 2; life++ {
+		out, err := Fire(s, JournalAppendFrame, []byte("abcdef"))
+		if !errors.Is(err, ErrCrash) {
+			t.Fatalf("life %d: err = %v, want ErrCrash", life, err)
+		}
+		if string(out) != "ab" {
+			t.Fatalf("life %d: mutated payload %q, want %q", life, out, "ab")
+		}
+		s.Reset()
+	}
+}
+
+func TestScriptMutateWithoutCrashReplacesPayload(t *testing.T) {
+	s := &Script{
+		Point:  RuntimeResumeState,
+		Mutate: func([]byte) []byte { return []byte("corrupted") },
+	}
+	out, err := Fire(s, RuntimeResumeState, []byte("clean"))
+	if err != nil {
+		t.Fatalf("mutate-only script returned error: %v", err)
+	}
+	if string(out) != "corrupted" {
+		t.Fatalf("payload = %q, want replacement", out)
+	}
+}

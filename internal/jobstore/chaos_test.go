@@ -1,0 +1,375 @@
+// The jobstore half of the chaos matrix: scripted faults at the
+// journal's injection points (torn/lost frame appends, crashes on
+// either side of the compaction rename) plus file-level frame
+// manipulation (duplication, reordering), each cell asserting
+// bit-identical replay equivalence — the recovered store's canonical
+// contents must equal the fault-free reference exactly, not merely
+// "open without error".
+package jobstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"chainckpt/internal/fault"
+)
+
+// chaosRecords is the deterministic lifecycle script every cell
+// replays: three jobs walking created -> planned -> running -> done,
+// twelve appends total, with fixed timestamps and seeds.
+func chaosRecords() []Record {
+	var out []Record
+	states := []State{StateCreated, StatePlanned, StateRunning, StateDone}
+	for seq := uint64(1); seq <= 3; seq++ {
+		for v, st := range states {
+			r := rec(seq, uint64(v+1), st)
+			r.Seed = 100 + seq
+			if st == StateRunning {
+				r.Progress = int(seq) * 4
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// canonicalAfter returns the canonical store contents after applying
+// the first n scripted records to the reference implementation.
+func canonicalAfter(t *testing.T, n int) []byte {
+	t.Helper()
+	m := NewMemory()
+	for _, r := range chaosRecords()[:n] {
+		if err := m.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := CanonicalRecords(m.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// journalCell is one (fault type × injection point) entry of the
+// jobstore matrix.
+type journalCell struct {
+	name string
+	// script arms the journal's fault injector (nil for file-level
+	// cells).
+	script *fault.Script
+	// crashAt is the 1-based append the scripted crash interrupts
+	// (0 = the fault is not an append crash).
+	crashAt int
+	// compact runs an explicit compaction after all appends; crash
+	// says whether the scripted fault kills it.
+	compact      bool
+	compactCrash bool
+	// mangle rewrites the journal directory after a clean close —
+	// deterministic file-level damage (duplicate/reorder frames).
+	mangle func(t *testing.T, dir string)
+	// wantSkippedCorrupt requires at least one corrupt frame to be
+	// counted on recovery.
+	wantSkippedCorrupt bool
+	// wantSkippedDuplicates requires duplicate drops on recovery.
+	wantSkippedDuplicates bool
+}
+
+func journalCells() []journalCell {
+	return []journalCell{
+		{
+			name: "torn-append-mid-header",
+			script: &fault.Script{
+				Point: fault.JournalAppendFrame, Hit: 5,
+				Mutate: func(f []byte) []byte { return append([]byte(nil), f[:3]...) },
+				Crash:  true,
+			},
+			crashAt: 5, wantSkippedCorrupt: true,
+		},
+		{
+			name: "torn-append-mid-payload",
+			script: &fault.Script{
+				Point: fault.JournalAppendFrame, Hit: 11,
+				Mutate: func(f []byte) []byte { return append([]byte(nil), f[:len(f)-4]...) },
+				Crash:  true,
+			},
+			crashAt: 11, wantSkippedCorrupt: true,
+		},
+		{
+			name: "crash-before-append-reaches-disk",
+			script: &fault.Script{
+				Point: fault.JournalAppendFrame, Hit: 8,
+				Mutate: func([]byte) []byte { return []byte{} },
+				Crash:  true,
+			},
+			crashAt: 8,
+		},
+		{
+			name:    "crash-before-compact-rename",
+			script:  &fault.Script{Point: fault.JournalCompactBeforeRename, Crash: true},
+			compact: true, compactCrash: true,
+		},
+		{
+			name:    "crash-after-compact-rename",
+			script:  &fault.Script{Point: fault.JournalCompactAfterRename, Crash: true},
+			compact: true, compactCrash: true, wantSkippedDuplicates: true,
+		},
+		{
+			name:   "duplicate-replay-frames",
+			mangle: duplicateFrames, wantSkippedDuplicates: true,
+		},
+		{
+			name:   "reordered-replay-frames",
+			mangle: reorderFrames, wantSkippedDuplicates: true,
+		},
+	}
+}
+
+// TestJournalChaosMatrix drives every cell: inject the fault, abandon
+// the "dead" journal, recover by reopening, and assert the canonical
+// contents are bit-identical to the fault-free reference at the
+// equivalent point — twice, because recovery itself must be
+// deterministic — then re-deliver the lost suffix and assert
+// convergence to the full reference.
+func TestJournalChaosMatrix(t *testing.T) {
+	records := chaosRecords()
+	full := canonicalAfter(t, len(records))
+	for _, cell := range journalCells() {
+		t.Run(cell.name, func(t *testing.T) {
+			repro := fmt.Sprintf("repro: go test ./internal/jobstore -run 'TestJournalChaosMatrix/%s$' -count=1", cell.name)
+			dir := t.TempDir()
+			var inj fault.Injector
+			if cell.script != nil {
+				inj = cell.script
+			}
+			j, err := Open(dir, Options{NoSync: true, CompactEvery: -1, Faults: inj})
+			if err != nil {
+				t.Fatalf("open: %v\n%s", err, repro)
+			}
+
+			committed := len(records)
+			for i, r := range records {
+				err := j.Append(r)
+				if cell.crashAt > 0 && i+1 == cell.crashAt {
+					if !errors.Is(err, fault.ErrCrash) {
+						t.Fatalf("append %d: got %v, want injected crash\n%s", i+1, err, repro)
+					}
+					committed = i // the dying append never committed
+					break
+				}
+				if err != nil {
+					t.Fatalf("append %d: %v\n%s", i+1, err, repro)
+				}
+			}
+			if cell.compact {
+				err := j.Compact()
+				if cell.compactCrash && !errors.Is(err, fault.ErrCrash) {
+					t.Fatalf("compact: got %v, want injected crash\n%s", err, repro)
+				}
+				if !cell.compactCrash && err != nil {
+					t.Fatalf("compact: %v\n%s", err, repro)
+				}
+			}
+			if cell.script != nil && !cell.script.Fired() {
+				t.Fatalf("scripted fault at %s never fired — the cell tested nothing\n%s", cell.script.Point, repro)
+			}
+			// The process is dead: abandon the journal without any orderly
+			// shutdown beyond releasing the fd.
+			j.Close()
+			if cell.mangle != nil {
+				cell.mangle(t, dir)
+			}
+
+			want := canonicalAfter(t, committed)
+			var first []byte
+			for attempt := 1; attempt <= 2; attempt++ {
+				r, err := Open(dir, Options{NoSync: true, CompactEvery: -1})
+				if err != nil {
+					t.Fatalf("recovery open %d: %v\n%s", attempt, err, repro)
+				}
+				got, err := CanonicalRecords(r.List())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("recovery %d diverged from fault-free reference:\n got: %s\nwant: %s\n%s",
+						attempt, got, want, repro)
+				}
+				st := r.Stats()
+				if cell.wantSkippedCorrupt && attempt == 1 && st.SkippedCorrupt == 0 {
+					t.Fatalf("expected corrupt frames to be counted, got stats %+v\n%s", st, repro)
+				}
+				if cell.wantSkippedDuplicates && attempt == 1 && st.SkippedDuplicates == 0 {
+					t.Fatalf("expected duplicate frames to be skipped, got stats %+v\n%s", st, repro)
+				}
+				if attempt == 1 {
+					first = got
+				} else if !bytes.Equal(first, got) {
+					t.Fatalf("recovery is not deterministic across reopens\n%s", repro)
+				}
+				r.Close()
+			}
+
+			// At-least-once redelivery of the lost suffix converges the
+			// recovered store to the full fault-free contents.
+			r, err := Open(dir, Options{NoSync: true, CompactEvery: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			for _, rc := range records[max(committed-1, 0):] {
+				if err := r.Append(rc); err != nil {
+					t.Fatalf("redelivery: %v\n%s", err, repro)
+				}
+			}
+			got, err := CanonicalRecords(r.List())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, full) {
+				t.Fatalf("redelivered store diverged from fault-free reference:\n got: %s\nwant: %s\n%s",
+					got, full, repro)
+			}
+		})
+	}
+}
+
+// duplicateFrames appends a copy of every frame of the newest segment
+// to itself: at-least-once delivery at the file level.
+func duplicateFrames(t *testing.T, dir string) {
+	t.Helper()
+	path := dataSegment(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append(append([]byte(nil), raw...), raw[len(segMagic):]...)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reorderFrames rewrites the newest segment with its frames in reverse
+// order: replay must converge on the latest version of every job no
+// matter the delivery order.
+func reorderFrames(t *testing.T, dir string) {
+	t.Helper()
+	path := dataSegment(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := splitFrames(t, raw[len(segMagic):])
+	out := append([]byte(nil), raw[:len(segMagic)]...)
+	for i := len(frames) - 1; i >= 0; i-- {
+		out = append(out, frames[i]...)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dataSegment returns the one segment file that holds frames (the
+// scripted appends fit one segment; the freshly rotated empty one is
+// skipped).
+func dataSegment(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best string
+	var bestSize int64
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var idx int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d.log", &idx); err == nil && info.Size() > bestSize {
+			best, bestSize = e.Name(), info.Size()
+		}
+	}
+	if best == "" {
+		t.Fatal("no segment with frames found")
+	}
+	return dir + string(os.PathSeparator) + best
+}
+
+// splitFrames walks well-formed frames and returns each one whole
+// (header + payload).
+func splitFrames(t *testing.T, data []byte) [][]byte {
+	t.Helper()
+	var out [][]byte
+	off := 0
+	for off+8 <= len(data) {
+		size := int(binary.LittleEndian.Uint32(data[off:]))
+		if off+8+size > len(data) {
+			t.Fatalf("torn frame at offset %d of a file expected whole", off)
+		}
+		out = append(out, data[off:off+8+size])
+		off += 8 + size
+	}
+	if off != len(data) {
+		t.Fatalf("trailing garbage at offset %d", off)
+	}
+	return out
+}
+
+// TestTornTailEveryByteOffset truncates the journal at every byte
+// offset of the final frame — from its first header byte to one byte
+// short of complete — and asserts each prefix recovers to exactly the
+// contents before that append, bit for bit. This is the exhaustive
+// version of the single-offset torn-tail test in corruption_test.go.
+func TestTornTailEveryByteOffset(t *testing.T) {
+	records := chaosRecords()
+	dir := t.TempDir()
+	j, err := Open(dir, Options{NoSync: true, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	raw, err := os.ReadFile(dataSegment(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := splitFrames(t, raw[len(segMagic):])
+	lastStart := len(raw) - len(frames[len(frames)-1])
+	want := canonicalAfter(t, len(records)-1)
+
+	for cut := lastStart; cut < len(raw); cut++ {
+		sub := t.TempDir()
+		if err := os.WriteFile(sub+string(os.PathSeparator)+"wal-00000001.log", raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(sub, Options{NoSync: true, CompactEvery: -1})
+		if err != nil {
+			t.Fatalf("offset %d: open: %v", cut, err)
+		}
+		got, err := CanonicalRecords(r.List())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("offset %d (frame byte %d of %d): recovered contents diverged\n got: %s\nwant: %s",
+				cut, cut-lastStart, len(raw)-lastStart, got, want)
+		}
+		st := r.Stats()
+		if cut == lastStart && st.SkippedCorrupt != 0 {
+			t.Fatalf("offset %d: clean cut counted %d corrupt frames", cut, st.SkippedCorrupt)
+		}
+		if cut > lastStart && st.SkippedCorrupt == 0 {
+			t.Fatalf("offset %d: torn tail not counted as corrupt", cut)
+		}
+		r.Close()
+	}
+}

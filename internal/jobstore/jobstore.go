@@ -18,7 +18,9 @@
 package jobstore
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -74,6 +76,10 @@ type Record struct {
 	Algorithm   string  `json:"algorithm,omitempty"`
 	Adaptive    bool    `json:"adaptive,omitempty"`
 	Predicted   float64 `json:"predicted_makespan,omitempty"`
+	// Seed is the task-runner RNG seed the job executes with (the
+	// explicit request seed or the Seq-derived default) — the repro
+	// handle a failing chaos cell or a replay divergence prints.
+	Seed uint64 `json:"runner_seed,omitempty"`
 	// Progress is the last disk-checkpointed boundary of a running job —
 	// where a resume restarts from.
 	Progress int `json:"progress,omitempty"`
@@ -210,6 +216,26 @@ func (m *Memory) Stats() Stats {
 
 // Close implements Store.
 func (m *Memory) Close() error { return nil }
+
+// CanonicalRecords renders records in the canonical comparison form of
+// the replay harness: one compact JSON object per line, timestamps
+// zeroed — the "same journal contents modulo timestamps" equivalence
+// chaos cells assert between a recovered store and its fault-free
+// reference.
+func CanonicalRecords(recs []Record) ([]byte, error) {
+	var buf bytes.Buffer
+	for i, rec := range recs {
+		rec.CreatedAt = time.Time{}
+		rec.UpdatedAt = time.Time{}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("jobstore: canonical record %d: %w", i, err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
 
 // sortedRecords returns the live records in ascending (Seq, ID) order.
 func sortedRecords(recs map[string]Record) []Record {

@@ -32,6 +32,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"chainckpt/internal/fault"
 )
 
 var (
@@ -58,6 +60,11 @@ type Options struct {
 	// NoSync skips the fsync after each append and commit — only for
 	// tests, where durability against power loss is not the point.
 	NoSync bool
+	// Faults, when non-nil, is fired at the journal's injection points
+	// (see internal/fault): frame appends and the two sides of the
+	// compaction rename. The chaos harness uses it to tear tails and
+	// kill the "process" mid-commit; production stores leave it nil.
+	Faults fault.Injector
 }
 
 func (o Options) segmentBytes() int {
@@ -267,8 +274,17 @@ func (j *Journal) appendLocked(payload []byte) error {
 		return fmt.Errorf("jobstore: store is closed")
 	}
 	frame := appendFrame(nil, payload)
-	if _, err := j.active.Write(frame); err != nil {
-		return fmt.Errorf("jobstore: append: %w", err)
+	// The injector may tear the frame (write a prefix, then "die") or
+	// kill the write entirely; whatever bytes it leaves are what a real
+	// crash would have left on disk.
+	frame, ferr := fault.Fire(j.opts.Faults, fault.JournalAppendFrame, frame)
+	if len(frame) > 0 {
+		if _, err := j.active.Write(frame); err != nil {
+			return fmt.Errorf("jobstore: append: %w", err)
+		}
+	}
+	if ferr != nil {
+		return fmt.Errorf("jobstore: append: %w", ferr)
 	}
 	if !j.opts.NoSync {
 		if err := j.active.Sync(); err != nil {
@@ -326,7 +342,18 @@ func (j *Journal) compactLocked() error {
 			return fmt.Errorf("jobstore: compact: %w", err)
 		}
 	}
+	// Compaction commits in two steps — rename the snapshot, then drop
+	// the segments — and the injection points bracket the rename: a
+	// crash before it leaves only the temporary (ignored on replay), a
+	// crash after it leaves snapshot and segments coexisting (replayed
+	// records deduplicate by version).
+	if _, err := fault.Fire(j.opts.Faults, fault.JournalCompactBeforeRename, nil); err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
 	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	if _, err := fault.Fire(j.opts.Faults, fault.JournalCompactAfterRename, nil); err != nil {
 		return fmt.Errorf("jobstore: compact: %w", err)
 	}
 

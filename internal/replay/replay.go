@@ -1,0 +1,307 @@
+// Package replay turns a supervised run into an event-sourced recording
+// that can be re-executed to a bit-identical final state. A Recording
+// captures everything the run's outcome depends on or produces: the
+// identity of the instance (seed, algorithm, chain and schedule
+// fingerprints), the full sim.TraceEvent stream in canonical order, the
+// estimator snapshot at every committed disk checkpoint, the content
+// digest of every checkpoint in the disk tier, the job-store lifecycle
+// records (normalized modulo identity and timestamps), and the final
+// Report (normalized modulo wall clock).
+//
+// The determinism this leans on is structural: a SimRunner's fault
+// sequence is a pure function of its seed, the supervisor executes one
+// run on one goroutine, and the planners are deterministic — so
+// re-running a Spec (including its scripted fault plan, see
+// internal/fault) reproduces the recording byte for byte. Diff pins the
+// first divergence when it doesn't; the chaos matrix asserts it never
+// does.
+package replay
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/jobstore"
+	"chainckpt/internal/runtime"
+	"chainckpt/internal/schedule"
+	"chainckpt/internal/sim"
+)
+
+// Meta stamps a recording with the identity of the run: everything a
+// replay needs to recognize (not reconstruct) the instance. It carries
+// no job id and no timestamps, so two executions of the same instance
+// produce identical metas.
+type Meta struct {
+	// Seed is the task runner's RNG seed — the whole fault sequence.
+	Seed uint64 `json:"seed"`
+	// Algorithm planned the schedule.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Runner names the task runner kind (sim, nop, sleep).
+	Runner string `json:"runner,omitempty"`
+	// ScaleF and ScaleS are the true-rate misspecification factors of a
+	// sim runner (1 = well-specified; 0 when not applicable).
+	ScaleF float64 `json:"scale_f,omitempty"`
+	ScaleS float64 `json:"scale_s,omitempty"`
+	// Adaptive records whether mid-run suffix re-planning was enabled.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Resume records whether the run cold-started from a restored disk
+	// checkpoint.
+	Resume bool `json:"resume,omitempty"`
+	// ChainFingerprint and ScheduleFingerprint identify the instance;
+	// see ChainFingerprint and ScheduleFingerprint.
+	ChainFingerprint    string `json:"chain_fingerprint,omitempty"`
+	ScheduleFingerprint string `json:"schedule_fingerprint,omitempty"`
+	// Instance is the engine's canonical planning-request fingerprint
+	// when the recording came from a service job.
+	Instance string `json:"instance_fingerprint,omitempty"`
+}
+
+// Frame is one recorded event: the supervisor's trace event plus its
+// sequence number in the run.
+type Frame struct {
+	Seq int `json:"seq"`
+	sim.TraceEvent
+}
+
+// Snapshot is the estimator evidence at one committed disk checkpoint —
+// what the durable progress hook would persist — plus the fingerprint of
+// the schedule executing at that moment (which adaptive splices change
+// mid-run).
+type Snapshot struct {
+	Boundary            int                    `json:"boundary"`
+	Estimator           runtime.EstimatorState `json:"estimator"`
+	ScheduleFingerprint string                 `json:"schedule_fingerprint,omitempty"`
+}
+
+// Recording is the event-sourced capture of one supervised run (or one
+// life of it, when the run was cut short by a crash: Report is nil
+// then).
+type Recording struct {
+	Meta      Meta       `json:"meta"`
+	Frames    []Frame    `json:"frames"`
+	Snapshots []Snapshot `json:"snapshots,omitempty"`
+	// Checkpoints digests the disk tier as the run left it.
+	Checkpoints []runtime.CheckpointDigest `json:"checkpoints,omitempty"`
+	// Journal holds the job-store lifecycle records of the run in
+	// transition order, normalized by NormalizeRecord.
+	Journal []jobstore.Record `json:"journal,omitempty"`
+	// Report is the run's final report, normalized modulo wall clock
+	// (Wall zeroed, Trace dropped — the frames are the trace). Nil when
+	// the recorded life crashed before completing.
+	Report *runtime.Report `json:"report,omitempty"`
+}
+
+// Canonical renders the recording in its canonical byte form: compact
+// JSON with fields in declaration order and a trailing newline. Equal
+// recordings — and only equal recordings — produce equal bytes, which
+// is the equivalence every replay assertion reduces to.
+func (r *Recording) Canonical() ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("replay: canonical encoding: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses a canonical recording.
+func Decode(data []byte) (*Recording, error) {
+	var rec Recording
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("replay: decode recording: %w", err)
+	}
+	return &rec, nil
+}
+
+// Diff compares two recordings and describes their first divergence;
+// the empty string means the canonical forms are bit-identical.
+func Diff(a, b *Recording) (string, error) {
+	ca, err := a.Canonical()
+	if err != nil {
+		return "", err
+	}
+	cb, err := b.Canonical()
+	if err != nil {
+		return "", err
+	}
+	if bytes.Equal(ca, cb) {
+		return "", nil
+	}
+	if d := diffJSON("meta", a.Meta, b.Meta); d != "" {
+		return d, nil
+	}
+	for i := 0; i < len(a.Frames) || i < len(b.Frames); i++ {
+		switch {
+		case i >= len(a.Frames):
+			return fmt.Sprintf("frame %d: only in second recording: %+v", i, b.Frames[i]), nil
+		case i >= len(b.Frames):
+			return fmt.Sprintf("frame %d: only in first recording: %+v", i, a.Frames[i]), nil
+		case a.Frames[i] != b.Frames[i]:
+			return fmt.Sprintf("frame %d: %+v != %+v", i, a.Frames[i], b.Frames[i]), nil
+		}
+	}
+	if d := diffJSON("snapshots", a.Snapshots, b.Snapshots); d != "" {
+		return d, nil
+	}
+	if d := diffJSON("checkpoints", a.Checkpoints, b.Checkpoints); d != "" {
+		return d, nil
+	}
+	if d := diffJSON("journal", a.Journal, b.Journal); d != "" {
+		return d, nil
+	}
+	if d := diffJSON("report", a.Report, b.Report); d != "" {
+		return d, nil
+	}
+	return "recordings differ (unlocalized)", nil
+}
+
+func diffJSON(section string, a, b any) string {
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if bytes.Equal(ja, jb) {
+		return ""
+	}
+	return fmt.Sprintf("%s: %s != %s", section, ja, jb)
+}
+
+// Recorder captures a run as it executes: wire Observe into
+// Job.Observer, Progress into Job.Progress (chaining the service's own
+// hooks around them), and Lifecycle into the job store's transition
+// path; then seal with Finish. All methods are safe for concurrent use.
+type Recorder struct {
+	mu  sync.Mutex
+	rec Recording
+}
+
+// NewRecorder starts a recording stamped with meta.
+func NewRecorder(meta Meta) *Recorder {
+	return &Recorder{rec: Recording{Meta: meta}}
+}
+
+// Observe appends one trace event.
+func (r *Recorder) Observe(ev sim.TraceEvent) {
+	r.mu.Lock()
+	r.rec.Frames = append(r.rec.Frames, Frame{Seq: len(r.rec.Frames), TraceEvent: ev})
+	r.mu.Unlock()
+}
+
+// Progress appends one estimator snapshot — call it from Job.Progress,
+// which the supervisor invokes synchronously after every committed disk
+// checkpoint (the schedule must be fingerprinted before the hook
+// returns; the supervisor may splice it right after).
+func (r *Recorder) Progress(boundary int, est runtime.EstimatorState, sched *schedule.Schedule) {
+	snap := Snapshot{Boundary: boundary, Estimator: est}
+	if sched != nil {
+		snap.ScheduleFingerprint = ScheduleFingerprint(sched)
+	}
+	r.mu.Lock()
+	r.rec.Snapshots = append(r.rec.Snapshots, snap)
+	r.mu.Unlock()
+}
+
+// Lifecycle appends one job-store record, normalized so recordings of
+// identical instances compare equal (see NormalizeRecord).
+func (r *Recorder) Lifecycle(rec jobstore.Record) {
+	norm := NormalizeRecord(rec)
+	r.mu.Lock()
+	r.rec.Journal = append(r.rec.Journal, norm)
+	r.mu.Unlock()
+}
+
+// Checkpoints digests the disk tier of store into the recording now.
+// Services that destroy a finished job's checkpoint directory before
+// the recording is sealed call this right after the run returns, then
+// Finish with a nil store (which keeps these digests).
+func (r *Recorder) Checkpoints(store *runtime.Store) error {
+	digests, err := store.Digests()
+	if err != nil {
+		return fmt.Errorf("replay: checkpoint digests: %w", err)
+	}
+	r.mu.Lock()
+	r.rec.Checkpoints = digests
+	r.mu.Unlock()
+	return nil
+}
+
+// Finish seals the recording: the report (nil when the life crashed) is
+// normalized in, and the disk tier of store (when given) is digested as
+// the run left it. The recorder must not be reused after Finish.
+func (r *Recorder) Finish(rep *runtime.Report, store *runtime.Store) (*Recording, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rep != nil {
+		norm := *rep
+		norm.Wall = 0
+		norm.Trace = nil
+		if norm.FinalSchedule != nil {
+			norm.FinalSchedule = norm.FinalSchedule.Clone()
+		}
+		r.rec.Report = &norm
+	}
+	if store != nil {
+		digests, err := store.Digests()
+		if err != nil {
+			return nil, fmt.Errorf("replay: finish: %w", err)
+		}
+		r.rec.Checkpoints = digests
+	}
+	out := r.rec
+	return &out, nil
+}
+
+// NormalizeRecord strips run identity and wall-clock artifacts from a
+// lifecycle record — id, sequence number, timestamps, and the wall
+// field buried in the report payload — leaving exactly the fields two
+// executions of the same instance must agree on. This is the "same
+// journal contents modulo timestamps" equivalence of the replay
+// contract.
+func NormalizeRecord(rec jobstore.Record) jobstore.Record {
+	rec.ID = ""
+	rec.Seq = 0
+	rec.CreatedAt = time.Time{}
+	rec.UpdatedAt = time.Time{}
+	if len(rec.Report) > 0 {
+		var rep runtime.Report
+		if err := json.Unmarshal(rec.Report, &rep); err == nil {
+			rep.Wall = 0
+			rep.Trace = nil
+			if b, err := json.Marshal(&rep); err == nil {
+				rec.Report = b
+			}
+		}
+	}
+	return rec
+}
+
+// ChainFingerprint hashes a chain's canonical encoding: task count,
+// then each task's weight bits and name.
+func ChainFingerprint(c *chain.Chain) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(c.Len()))
+	h.Write(buf[:])
+	for i := 1; i <= c.Len(); i++ {
+		t := c.Task(i)
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(t.Weight))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(t.Name)))
+		h.Write(buf[:])
+		h.Write([]byte(t.Name))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// ScheduleFingerprint hashes a schedule's canonical JSON form.
+func ScheduleFingerprint(s *schedule.Schedule) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return ""
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}

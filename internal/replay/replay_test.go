@@ -1,0 +1,151 @@
+package replay
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/runtime"
+	"chainckpt/internal/workload"
+)
+
+// chaosPlatform is hot enough that a seeded run contains fail-stops,
+// silent detections and rollbacks — the regime where determinism is
+// worth asserting.
+func chaosPlatform() platform.Platform {
+	return platform.Platform{
+		Name: "ReplayLab", LambdaF: 1e-4, LambdaS: 4e-4,
+		CD: 100, CM: 10, RD: 100, RM: 10, VStar: 10, V: 0.1, Recall: 0.8,
+	}
+}
+
+func testSpec(t *testing.T, seed uint64) Spec {
+	t.Helper()
+	c, err := workload.Uniform(24, 24000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := chaosPlatform()
+	res, err := core.Plan(core.AlgADMVStar, c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Chain: c, Platform: p, Schedule: res.Schedule, Algorithm: core.AlgADMVStar,
+		Seed: seed, ScaleF: 2, ScaleS: 2,
+	}
+}
+
+func TestRecordThenReplayIsBitIdentical(t *testing.T) {
+	sup := runtime.New(runtime.Options{})
+	for _, seed := range []uint64{1, 7, 42} {
+		spec := testSpec(t, seed)
+		want, err := Run(context.Background(), sup, spec)
+		if err != nil {
+			t.Fatalf("seed %d: record: %v", seed, err)
+		}
+		if len(want.Frames) == 0 || want.Report == nil {
+			t.Fatalf("seed %d: empty recording", seed)
+		}
+		if want.Report.Seed != seed {
+			t.Fatalf("seed %d: report carries seed %d", seed, want.Report.Seed)
+		}
+		if len(want.Snapshots) == 0 {
+			t.Fatalf("seed %d: no estimator snapshots recorded (no disk checkpoint committed?)", seed)
+		}
+		if len(want.Checkpoints) == 0 {
+			t.Fatalf("seed %d: no checkpoint digests recorded", seed)
+		}
+		got, err := Replay(context.Background(), sup, spec, want)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nrepro: go test ./internal/replay -run TestRecordThenReplayIsBitIdentical (seed %d)", seed, err, seed)
+		}
+		ca, _ := want.Canonical()
+		cb, _ := got.Canonical()
+		if !bytes.Equal(ca, cb) {
+			t.Fatalf("seed %d: Replay returned nil error but bytes differ", seed)
+		}
+	}
+}
+
+func TestAdaptiveRecordReplay(t *testing.T) {
+	spec := testSpec(t, 11)
+	spec.Adaptive = true
+	sup := runtime.New(runtime.Options{})
+	want, err := Run(context.Background(), sup, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(context.Background(), sup, spec, want); err != nil {
+		t.Fatalf("adaptive replay diverged: %v", err)
+	}
+}
+
+func TestDiffPinsFirstDivergence(t *testing.T) {
+	sup := runtime.New(runtime.Options{})
+	spec := testSpec(t, 3)
+	a, err := Run(context.Background(), sup, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same instance, different seed: must diverge, and the diff must say
+	// where.
+	spec2 := spec
+	spec2.Seed = 4
+	b, err := Run(context.Background(), sup, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == "" {
+		t.Fatal("different seeds produced identical recordings")
+	}
+
+	// A single mutated frame is localized exactly.
+	c, err := Run(context.Background(), sup, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Frames[5].Pos++
+	d, err = Diff(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == "" {
+		t.Fatal("mutated frame not detected")
+	}
+	if want := "frame 5"; !bytes.Contains([]byte(d), []byte(want)) {
+		t.Fatalf("diff %q does not name the mutated frame", d)
+	}
+}
+
+func TestCanonicalDecodeRoundTrip(t *testing.T) {
+	sup := runtime.New(runtime.Options{})
+	rec, err := Run(context.Background(), sup, testSpec(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := rec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := dec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("canonical form not stable under decode/encode")
+	}
+	if d, err := Diff(rec, dec); err != nil || d != "" {
+		t.Fatalf("decoded recording differs: %q (%v)", d, err)
+	}
+}

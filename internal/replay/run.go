@@ -1,0 +1,154 @@
+// Spec-driven execution: a Spec is the complete, replayable input of
+// one supervised run — instance, seed, misspecification, fault plan —
+// and Run/Replay turn it into recordings and equivalence checks. The
+// chaos matrix is built on exactly this loop: run a spec with a
+// scripted fault, recover, then re-run the same spec and demand the
+// bytes match.
+package replay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"chainckpt/internal/chain"
+	"chainckpt/internal/core"
+	"chainckpt/internal/fault"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/runtime"
+	"chainckpt/internal/schedule"
+)
+
+// Spec is the full input of one recorded run. Replaying a spec —
+// including its deterministic fault plan — reproduces the recording
+// bit for bit.
+type Spec struct {
+	Chain    *chain.Chain
+	Platform platform.Platform
+	// Schedule fixes the placements; nil lets the supervisor plan one
+	// with Algorithm (deterministic too, so still replayable).
+	Schedule  *schedule.Schedule
+	Algorithm core.Algorithm
+	Costs     *platform.Costs
+	// MaxDiskCheckpoints bounds the run's disk checkpoints (0 = none).
+	MaxDiskCheckpoints int
+	// Seed fixes the SimRunner's fault sequence.
+	Seed uint64
+	// ScaleF and ScaleS misspecify the true rates (0 = 1).
+	ScaleF float64
+	ScaleS float64
+	// Adaptive enables suffix re-planning under Policy.
+	Adaptive bool
+	Policy   runtime.AdaptPolicy
+	// Resume cold-starts from the latest valid checkpoint in Store —
+	// the second life of a crash cell.
+	Resume bool
+	// Estimator seeds the rate estimators of a resumed life.
+	Estimator *runtime.EstimatorState
+	// Store is the checkpoint store (default: a fresh volatile one).
+	// Crash cells pass a directory-backed store so the second life finds
+	// what the first left behind.
+	Store *runtime.Store
+	// Faults is the scripted fault plan (nil = fault-free).
+	Faults fault.Injector
+	// MaxRollbacks caps recoveries (0 = supervisor default).
+	MaxRollbacks int
+}
+
+func (s Spec) scales() (f, sc float64) {
+	f, sc = s.ScaleF, s.ScaleS
+	if f == 0 {
+		f = 1
+	}
+	if sc == 0 {
+		sc = 1
+	}
+	return f, sc
+}
+
+func (s Spec) meta() Meta {
+	f, sc := s.scales()
+	m := Meta{
+		Seed: s.Seed, Algorithm: string(s.Algorithm), Runner: "sim",
+		ScaleF: f, ScaleS: sc, Adaptive: s.Adaptive, Resume: s.Resume,
+		ChainFingerprint: ChainFingerprint(s.Chain),
+	}
+	if s.Schedule != nil {
+		m.ScheduleFingerprint = ScheduleFingerprint(s.Schedule)
+	}
+	return m
+}
+
+// Run executes the spec under sup and records it. When the run fails —
+// an injected crash included — the partial recording captured up to
+// the failure is returned alongside the error: a crashed life's frames
+// and checkpoint digests are exactly what its replay must reproduce.
+func Run(ctx context.Context, sup *runtime.Supervisor, spec Spec) (*Recording, error) {
+	if spec.Chain == nil {
+		return nil, fmt.Errorf("replay: spec has no chain")
+	}
+	store := spec.Store
+	if store == nil {
+		var err error
+		if store, err = runtime.NewStore(""); err != nil {
+			return nil, err
+		}
+	}
+	f, sc := spec.scales()
+	rec := NewRecorder(spec.meta())
+	job := runtime.Job{
+		Chain:              spec.Chain,
+		Platform:           spec.Platform,
+		Schedule:           spec.Schedule,
+		Algorithm:          spec.Algorithm,
+		Costs:              spec.Costs,
+		MaxDiskCheckpoints: spec.MaxDiskCheckpoints,
+		Runner:             runtime.NewMisspecifiedRunner(spec.Platform, f, sc, spec.Seed),
+		Store:              store,
+		Resume:             spec.Resume,
+		Estimator:          spec.Estimator,
+		Observer:           rec.Observe,
+		Progress:           rec.Progress,
+		Faults:             spec.Faults,
+		MaxRollbacks:       spec.MaxRollbacks,
+	}
+	var rep *runtime.Report
+	var runErr error
+	if spec.Adaptive {
+		rep, runErr = sup.RunAdaptive(ctx, job, spec.Policy)
+	} else {
+		rep, runErr = sup.Run(ctx, job)
+	}
+	recording, err := rec.Finish(rep, store)
+	if err != nil {
+		return nil, err
+	}
+	return recording, runErr
+}
+
+// Replay re-executes the spec and asserts equivalence with the
+// recording want: the re-run must produce bit-identical canonical
+// bytes. A recorded life that crashed (want.Report == nil) must crash
+// again; a completed one must complete. The divergence, if any, is in
+// the returned error; the re-run's recording is returned either way.
+func Replay(ctx context.Context, sup *runtime.Supervisor, spec Spec, want *Recording) (*Recording, error) {
+	got, err := Run(ctx, sup, spec)
+	if err != nil {
+		if !errors.Is(err, fault.ErrCrash) || got == nil {
+			return got, fmt.Errorf("replay: re-run failed: %w", err)
+		}
+		if want.Report != nil {
+			return got, fmt.Errorf("replay: recorded run completed but the re-run crashed: %w", err)
+		}
+	} else if want.Report == nil {
+		return got, fmt.Errorf("replay: recorded run crashed but the re-run completed")
+	}
+	d, err := Diff(want, got)
+	if err != nil {
+		return got, err
+	}
+	if d != "" {
+		return got, fmt.Errorf("replay: diverged from recording at %s", d)
+	}
+	return got, nil
+}

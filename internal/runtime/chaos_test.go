@@ -1,0 +1,327 @@
+// The runtime half of the chaos matrix: scripted faults around the
+// supervisor's disk-checkpoint commit protocol and resume path, each
+// cell run as two "lives" (crash, then recover) and held to the replay
+// contract — the recovered run's final checkpoint state must be
+// bit-identical to the fault-free baseline, and re-running the whole
+// faulted cell must reproduce both lives' recordings byte for byte.
+//
+// The test lives in package runtime_test because it drives the
+// supervisor through internal/replay, which imports runtime.
+package runtime_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/fault"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/replay"
+	"chainckpt/internal/runtime"
+	"chainckpt/internal/workload"
+)
+
+// chaosSeed fixes every cell's fault sequence; the matrix axes are
+// fault type and injection point, not randomness.
+const chaosSeed = 13
+
+// chaosSpec builds the shared instance: a platform whose expensive disk
+// checkpoints produce a genuinely two-level schedule (sparse disk
+// checkpoints, many memory checkpoints and partial verifications), so
+// the torn-commit window and the memory-tier rollback path both carry
+// real weight.
+func chaosSpec(t *testing.T) replay.Spec {
+	t.Helper()
+	c, err := workload.Uniform(24, 24000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := platform.Platform{
+		Name: "ChaosLab", LambdaF: 1e-4, LambdaS: 4e-4,
+		CD: 1000, CM: 10, RD: 1000, RM: 10, VStar: 10, V: 0.1, Recall: 0.8,
+	}
+	res, err := core.Plan(core.AlgADMVStar, c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return replay.Spec{
+		Chain: c, Platform: p, Schedule: res.Schedule, Algorithm: core.AlgADMVStar,
+		Seed: chaosSeed, ScaleF: 2, ScaleS: 2,
+	}
+}
+
+// scriptSpec declares one scripted fault; fresh Script instances are
+// built per run so the original cell and its replay count hits
+// independently.
+type scriptSpec struct {
+	point  fault.Point
+	hit    int
+	crash  bool
+	mutate func([]byte) []byte
+}
+
+func (s *scriptSpec) build() (fault.Injector, *fault.Script) {
+	if s == nil {
+		return nil, nil
+	}
+	sc := &fault.Script{Point: s.point, Hit: s.hit, Crash: s.crash, Mutate: s.mutate}
+	return sc, sc
+}
+
+// corruptSimState flips the corruption marker inside a restored
+// SimRunner state: the silent-error-smuggled-in-through-recovery fault.
+func corruptSimState(data []byte) []byte {
+	return bytes.Replace(append([]byte(nil), data...),
+		[]byte(`"corrupt":false`), []byte(`"corrupt":true`), 1)
+}
+
+// corruptNewestCheckpoint deterministically damages the newest
+// checkpoint file between lives: the disk-tier hash-mismatch fault a
+// resume must survive by falling back to the previous checkpoint.
+func corruptNewestCheckpoint(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := ""
+	for _, e := range ents {
+		var b int
+		if _, err := fmt.Sscanf(e.Name(), "ckpt-%d.bin", &b); err == nil && e.Name() > newest {
+			newest = e.Name()
+		}
+	}
+	if newest == "" {
+		t.Fatal("no checkpoint file to corrupt")
+	}
+	path := filepath.Join(dir, newest)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chaosCell is one (fault type × injection point) entry: a scripted
+// fault in the first life (always a crash), optional file damage
+// between lives, and an optional scripted fault in the recovering life.
+type chaosCell struct {
+	name         string
+	life1        *scriptSpec
+	betweenLives func(t *testing.T, dir string)
+	life2        *scriptSpec
+	// wantDetect requires the recovering life to detect (and survive) a
+	// silent corruption.
+	wantDetect bool
+	// tornCheckpoint asserts the signature of the torn two-phase
+	// commit: life 1 left one more checkpoint on disk than it ever
+	// committed (emitted) to its observers.
+	tornCheckpoint bool
+}
+
+func chaosCells() []chaosCell {
+	return []chaosCell{
+		{
+			name:  "crash-before-first-disk-ckpt",
+			life1: &scriptSpec{point: fault.RuntimeBeforeDiskCkpt, hit: 1, crash: true},
+		},
+		{
+			name:  "crash-before-mid-disk-ckpt",
+			life1: &scriptSpec{point: fault.RuntimeBeforeDiskCkpt, hit: 3, crash: true},
+		},
+		{
+			name:           "crash-between-ckpt-and-commit-first",
+			life1:          &scriptSpec{point: fault.RuntimeAfterDiskCkpt, hit: 1, crash: true},
+			tornCheckpoint: true,
+		},
+		{
+			name:           "crash-between-ckpt-and-commit-mid",
+			life1:          &scriptSpec{point: fault.RuntimeAfterDiskCkpt, hit: 3, crash: true},
+			tornCheckpoint: true,
+		},
+		{
+			name:  "crash-after-commit-first",
+			life1: &scriptSpec{point: fault.RuntimeAfterCommit, hit: 1, crash: true},
+		},
+		{
+			name:  "crash-after-commit-mid",
+			life1: &scriptSpec{point: fault.RuntimeAfterCommit, hit: 3, crash: true},
+		},
+		{
+			name:       "silent-corruption-during-resume",
+			life1:      &scriptSpec{point: fault.RuntimeAfterCommit, hit: 2, crash: true},
+			life2:      &scriptSpec{point: fault.RuntimeResumeState, hit: 1, mutate: corruptSimState},
+			wantDetect: true,
+		},
+		{
+			name:         "disk-hash-mismatch-on-resume",
+			life1:        &scriptSpec{point: fault.RuntimeAfterCommit, hit: 2, crash: true},
+			betweenLives: corruptNewestCheckpoint,
+		},
+		{
+			name:           "torn-commit-then-corrupt-resume",
+			life1:          &scriptSpec{point: fault.RuntimeAfterDiskCkpt, hit: 2, crash: true},
+			life2:          &scriptSpec{point: fault.RuntimeResumeState, hit: 1, mutate: corruptSimState},
+			wantDetect:     true,
+			tornCheckpoint: true,
+		},
+	}
+}
+
+// runLives executes one cell: life 1 until the scripted crash, the
+// between-lives damage, then life 2 resuming over the same directory
+// with a fresh store and runner — exactly what a restarted process
+// sees.
+func runLives(t *testing.T, cell chaosCell, repro string) (life1, life2 *replay.Recording) {
+	t.Helper()
+	sup := runtime.New(runtime.Options{})
+	spec := chaosSpec(t)
+	dir := t.TempDir()
+
+	store1, err := runtime.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj1, sc1 := cell.life1.build()
+	spec1 := spec
+	spec1.Store = store1
+	spec1.Faults = inj1
+	life1, err = replay.Run(context.Background(), sup, spec1)
+	if !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("life 1: got %v, want injected crash\n%s", err, repro)
+	}
+	if !sc1.Fired() {
+		t.Fatalf("life-1 fault at %s (hit %d) never fired — the cell tested nothing\n%s",
+			cell.life1.point, cell.life1.hit, repro)
+	}
+
+	if cell.betweenLives != nil {
+		cell.betweenLives(t, dir)
+	}
+
+	store2, err := runtime.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj2, sc2 := cell.life2.build()
+	spec2 := spec
+	spec2.Store = store2
+	spec2.Faults = inj2
+	spec2.Resume = true
+	life2, err = replay.Run(context.Background(), sup, spec2)
+	if err != nil {
+		t.Fatalf("life 2 must recover and complete: %v\n%s", err, repro)
+	}
+	if sc2 != nil && !sc2.Fired() {
+		t.Fatalf("life-2 fault at %s never fired\n%s", cell.life2.point, repro)
+	}
+	return life1, life2
+}
+
+func countFrames(rec *replay.Recording, kind string) int {
+	n := 0
+	for _, f := range rec.Frames {
+		if f.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestChaosMatrix runs the runtime cells. Each asserts, in order:
+// completion of the recovering life, bit-identical final checkpoint
+// state against the fault-free baseline, and bit-identical replay of
+// both faulted lives.
+func TestChaosMatrix(t *testing.T) {
+	// The fault-free baseline: same instance, same seed, no faults, on a
+	// volatile store (whose digests use the same canonical encoding as
+	// checkpoint files, so they compare across backends).
+	sup := runtime.New(runtime.Options{})
+	base, err := replay.Run(context.Background(), sup, chaosSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Report == nil || len(base.Checkpoints) == 0 {
+		t.Fatal("baseline recording is incomplete")
+	}
+	n := chaosSpec(t).Chain.Len()
+
+	for _, cell := range chaosCells() {
+		t.Run(cell.name, func(t *testing.T) {
+			repro := fmt.Sprintf("repro: go test ./internal/runtime -run 'TestChaosMatrix/%s$' -count=1  # seed=%d",
+				cell.name, chaosSeed)
+			a, b := runLives(t, cell, repro)
+
+			// The recovering life completed the chain.
+			if b.Report == nil {
+				t.Fatalf("life 2 has no report\n%s", repro)
+			}
+			if last := b.Frames[len(b.Frames)-1]; last.Kind != "done" || last.Pos != n {
+				t.Fatalf("life 2 ended with %+v, not done at %d\n%s", last, n, repro)
+			}
+			if b.Report.Seed != chaosSeed {
+				t.Fatalf("life 2 report carries seed %d, want %d\n%s", b.Report.Seed, chaosSeed, repro)
+			}
+
+			// Bit-identical final state: the recovered run's disk tier must
+			// hold exactly the checkpoint set of the fault-free baseline —
+			// same boundaries, same content digests (life 2 rewrites any
+			// checkpoint the damage touched as it re-executes past it).
+			if d := diffDigests(base.Checkpoints, b.Checkpoints); d != "" {
+				t.Fatalf("checkpoint set diverged from fault-free baseline: %s\n%s", d, repro)
+			}
+
+			if cell.wantDetect {
+				if countFrames(b, "detect") == 0 {
+					t.Fatalf("corrupted resume state was never detected\n%s", repro)
+				}
+				if countFrames(b, "rollback") == 0 {
+					t.Fatalf("detected corruption caused no rollback\n%s", repro)
+				}
+			}
+			if cell.tornCheckpoint {
+				// Life 1 wrote the checkpoint but died before committing it:
+				// one more file on disk (plus boundary 0) than ckpt-disk
+				// events in its trace.
+				if got, want := len(a.Checkpoints), countFrames(a, "ckpt-disk")+2; got != want {
+					t.Fatalf("torn commit signature: %d checkpoints on disk, want %d\n%s", got, want, repro)
+				}
+			}
+
+			// Replay equivalence: re-running the whole faulted cell — both
+			// lives, same scripts — reproduces both recordings byte for
+			// byte.
+			a2, b2 := runLives(t, cell, repro)
+			if d, err := replay.Diff(a, a2); err != nil || d != "" {
+				t.Fatalf("life 1 replay diverged: %s (%v)\n%s", d, err, repro)
+			}
+			if d, err := replay.Diff(b, b2); err != nil || d != "" {
+				t.Fatalf("life 2 replay diverged: %s (%v)\n%s", d, err, repro)
+			}
+		})
+	}
+}
+
+// diffDigests compares two checkpoint digest lists and names the first
+// divergence.
+func diffDigests(want, got []runtime.CheckpointDigest) string {
+	for i := 0; i < len(want) || i < len(got); i++ {
+		switch {
+		case i >= len(want):
+			return fmt.Sprintf("extra checkpoint %+v", got[i])
+		case i >= len(got):
+			return fmt.Sprintf("missing checkpoint %+v", want[i])
+		case want[i] != got[i]:
+			return fmt.Sprintf("checkpoint %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	return ""
+}

@@ -120,6 +120,7 @@ type SimRunner struct {
 	lambdaF float64
 	lambdaS float64
 	recall  float64
+	seed    uint64
 	src     *rng.Source
 
 	injectedSilent   int64
@@ -131,7 +132,22 @@ type SimRunner struct {
 // planned the schedule yields a well-specified run. The seed fixes the
 // fault sequence.
 func NewSimRunner(p platform.Platform, seed uint64) *SimRunner {
-	return &SimRunner{lambdaF: p.LambdaF, lambdaS: p.LambdaS, recall: p.Recall, src: rng.New(seed)}
+	return &SimRunner{lambdaF: p.LambdaF, lambdaS: p.LambdaS, recall: p.Recall, seed: seed, src: rng.New(seed)}
+}
+
+// Seed returns the seed the runner's fault sequence was drawn from,
+// implementing the seeded-runner sniff the supervisor uses to stamp
+// Report.Seed.
+func (r *SimRunner) Seed() uint64 { return r.seed }
+
+// runnerSeed extracts the RNG seed from runners that expose one; zero
+// for the deterministic runners, whose behavior needs no seed to
+// reproduce.
+func runnerSeed(r TaskRunner) uint64 {
+	if sr, ok := r.(interface{ Seed() uint64 }); ok {
+		return sr.Seed()
+	}
+	return 0
 }
 
 // NewMisspecifiedRunner builds a fault-injecting runner whose true rates

@@ -37,6 +37,7 @@ import (
 	"chainckpt/internal/chain"
 	"chainckpt/internal/core"
 	"chainckpt/internal/engine"
+	"chainckpt/internal/fault"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/schedule"
 	"chainckpt/internal/sim"
@@ -127,6 +128,11 @@ type Job struct {
 	Progress func(boundary int, est EstimatorState, sched *schedule.Schedule)
 	// Observer, when non-nil, receives every event as it happens.
 	Observer func(sim.TraceEvent)
+	// Faults, when non-nil, is fired at the supervisor's injection
+	// points (see internal/fault) — the chaos harness's seam into the
+	// commit protocol around disk checkpoints and resumes. Production
+	// runs leave it nil.
+	Faults fault.Injector
 	// Record keeps the full event log in the report.
 	Record bool
 	// MaxRollbacks aborts runs that recover more than this many times
@@ -200,6 +206,10 @@ type Report struct {
 	// ResumedFrom is the boundary execution started from: positive when
 	// Job.Resume restored a disk checkpoint, zero for a fresh run.
 	ResumedFrom int `json:"resumed_from,omitempty"`
+	// Seed is the RNG seed of the run's task runner when it exposes one
+	// (SimRunner does); zero otherwise. It is what a failing chaos cell
+	// or a recorded run prints as the one-line repro handle.
+	Seed uint64 `json:"seed,omitempty"`
 	// Trace is the full event log (only when Job.Record was set).
 	Trace []sim.TraceEvent `json:"trace,omitempty"`
 }
@@ -350,6 +360,12 @@ func (e *execution) costAt(i int) platform.BoundaryCosts {
 	return platform.BoundaryCosts{CD: p.CD, CM: p.CM, RD: p.RD, RM: p.RM, VStar: p.VStar, V: p.V}
 }
 
+// fire triggers the job's fault injector at point p (no-op when none is
+// installed) and returns the possibly replaced payload.
+func (e *execution) fire(p fault.Point, payload []byte) ([]byte, error) {
+	return fault.Fire(e.job.Faults, p, payload)
+}
+
 func (e *execution) emit(kind string, pos int) {
 	ev := sim.TraceEvent{T: e.t, Kind: kind, Pos: pos}
 	if e.job.Observer != nil {
@@ -379,6 +395,13 @@ func (e *execution) execute(ctx context.Context) (*Report, error) {
 				b, e.c.Len())
 		}
 		if b >= 0 {
+			// The resume-state injection point models corruption smuggled
+			// in through recovery itself: the restored bytes may come back
+			// mutated, and only the schedule's verifications can tell.
+			data, err = e.fire(fault.RuntimeResumeState, data)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: resume: %w", err)
+			}
 			e.cur = b
 			e.state = data
 			resumed = b
@@ -430,6 +453,7 @@ func (e *execution) execute(ctx context.Context) (*Report, error) {
 		LambdaSEstimate: e.est.silent.rate(e.job.Platform.LambdaS),
 		Estimator:       e.est.state(),
 		ResumedFrom:     max(resumed, 0),
+		Seed:            runnerSeed(e.runner),
 		Trace:           e.trace,
 	}, nil
 }
@@ -539,13 +563,26 @@ func (e *execution) verifyStation(ctx context.Context, st schedule.Station) (int
 	}
 	if st.Action.Has(schedule.Disk) {
 		e.t += bc.CD
+		// The three injection points bracket the two-phase commit of a
+		// disk checkpoint: before the checkpoint write (nothing durable
+		// yet), between checkpoint and journal commit (the torn window a
+		// resume must reconcile), and after both committed.
+		if _, err := e.fire(fault.RuntimeBeforeDiskCkpt, nil); err != nil {
+			return 0, fmt.Errorf("runtime: checkpoint at %d: %w", st.Pos, err)
+		}
 		if err := e.store.SaveDisk(st.Pos, e.state); err != nil {
 			return 0, err
+		}
+		if _, err := e.fire(fault.RuntimeAfterDiskCkpt, nil); err != nil {
+			return 0, fmt.Errorf("runtime: checkpoint at %d: %w", st.Pos, err)
 		}
 		e.counters.CheckpointsDisk++
 		e.emit("ckpt-disk", st.Pos)
 		if e.job.Progress != nil {
 			e.job.Progress(st.Pos, e.est.state(), e.sched)
+		}
+		if _, err := e.fire(fault.RuntimeAfterCommit, nil); err != nil {
+			return 0, fmt.Errorf("runtime: checkpoint at %d: %w", st.Pos, err)
 		}
 	}
 	e.cur = st.Pos

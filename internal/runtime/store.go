@@ -168,6 +168,54 @@ func (s *Store) RecoverLatest() (int, []byte, error) {
 	return -1, nil, nil
 }
 
+// CheckpointDigest fingerprints one disk-tier checkpoint: the SHA-256
+// of its canonical file encoding. Two stores hold bit-identical
+// checkpoint sets exactly when their digest lists are equal — the
+// equivalence replay recordings and chaos cells assert.
+type CheckpointDigest struct {
+	Boundary int    `json:"boundary"`
+	SHA256   string `json:"sha256"`
+	// Damaged marks a checkpoint whose stored bytes no longer verify
+	// (the digest then covers the damaged bytes as found).
+	Damaged bool `json:"damaged,omitempty"`
+}
+
+// Digests returns the content fingerprint of every checkpoint in the
+// disk tier, in boundary order. Volatile and directory-backed tiers
+// digest the same canonical encoding, so a run against either backend
+// yields comparable digests.
+func (s *Store) Digests() ([]CheckpointDigest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bounds, err := s.boundaries()
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(bounds)
+	out := make([]CheckpointDigest, 0, len(bounds))
+	for _, b := range bounds {
+		var d CheckpointDigest
+		if s.dir == "" {
+			ck := s.vol[b]
+			d = CheckpointDigest{Boundary: b, SHA256: fmt.Sprintf("%x", sha256.Sum256(encodeCheckpoint(ck)))}
+			if sha256.Sum256(ck.data) != ck.sum {
+				d.Damaged = true
+			}
+		} else {
+			raw, err := os.ReadFile(s.path(b))
+			if err != nil {
+				return nil, fmt.Errorf("runtime: digest checkpoint %d: %w", b, err)
+			}
+			d = CheckpointDigest{Boundary: b, SHA256: fmt.Sprintf("%x", sha256.Sum256(raw))}
+			if _, err := readCheckpointFile(s.path(b)); err != nil {
+				d.Damaged = true
+			}
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
 // Boundaries returns the boundaries currently held by the disk tier, in
 // increasing order.
 func (s *Store) Boundaries() ([]int, error) {
@@ -240,17 +288,25 @@ func clone(b []byte) []byte {
 	return out
 }
 
-// writeCheckpointFile lays a checkpoint out as magic, boundary, payload
-// length, SHA-256 fingerprint, payload. The write goes through a
-// temporary file and rename so a crash mid-save can never leave a
-// half-written file under a checkpoint name.
-func writeCheckpointFile(path string, ck *checkpoint) error {
+// encodeCheckpoint lays a checkpoint out in the canonical file form:
+// magic, boundary, payload length, SHA-256 fingerprint, payload. Both
+// the directory backend (which writes these bytes) and the volatile
+// backend (which only digests them) share this encoding, so checkpoint
+// digests compare across backends.
+func encodeCheckpoint(ck *checkpoint) []byte {
 	buf := make([]byte, 0, len(ckptMagic)+16+32+len(ck.data))
 	buf = append(buf, ckptMagic[:]...)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(ck.boundary))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(ck.data)))
 	buf = append(buf, ck.sum[:]...)
-	buf = append(buf, ck.data...)
+	return append(buf, ck.data...)
+}
+
+// writeCheckpointFile persists a checkpoint in its canonical encoding.
+// The write goes through a temporary file and rename so a crash
+// mid-save can never leave a half-written file under a checkpoint name.
+func writeCheckpointFile(path string, ck *checkpoint) error {
+	buf := encodeCheckpoint(ck)
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
 		return fmt.Errorf("runtime: write checkpoint: %w", err)

@@ -1,0 +1,65 @@
+// Canonical serialization of event logs. Replay recordings hash and
+// diff traces byte-for-byte, so the wire form must be canonical: one
+// compact JSON object per line, fields in declaration order, times in
+// Go's shortest round-trip float representation. encoding/json already
+// guarantees all of that for a struct — these helpers pin the framing
+// (NDJSON) and reject the values that cannot round-trip (non-finite
+// times), so equal logs always encode to equal bytes and decoding an
+// encoding is the identity.
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// EncodeEvents renders an event log in canonical NDJSON: one JSON
+// object per event, terminated by '\n'. It fails on non-finite times —
+// JSON cannot represent them, and a lossy encoding would break the
+// bit-identical replay contract.
+func EncodeEvents(events []TraceEvent) ([]byte, error) {
+	var buf bytes.Buffer
+	for i, ev := range events {
+		if math.IsNaN(ev.T) || math.IsInf(ev.T, 0) {
+			return nil, fmt.Errorf("sim: event %d has non-finite time %v", i, ev.T)
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return nil, fmt.Errorf("sim: encode event %d: %w", i, err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEvents parses canonical NDJSON back into an event log. Blank
+// lines are rejected: a canonical encoding has none, and tolerating
+// them would make decode(encode(x)) the identity on more inputs than
+// encode can produce.
+func DecodeEvents(data []byte) ([]TraceEvent, error) {
+	var events []TraceEvent
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		var ev TraceEvent
+		dec := json.NewDecoder(bytes.NewReader(sc.Bytes()))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("sim: decode event line %d: %w", line, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("sim: decode event line %d: trailing data", line)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sim: decode events: %w", err)
+	}
+	return events, nil
+}
