@@ -60,6 +60,7 @@ import (
 	"chainckpt/internal/fault"
 	"chainckpt/internal/heuristics"
 	"chainckpt/internal/jobstore"
+	"chainckpt/internal/obs"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/replay"
 	"chainckpt/internal/runtime"
@@ -455,6 +456,52 @@ func NewSupervisor(opts SupervisorOptions) *Supervisor { return runtime.New(opts
 // tier in process memory (simulations, tests), a path persists
 // fingerprinted checkpoint files under it.
 func NewCheckpointStore(dir string) (*CheckpointStore, error) { return runtime.NewStore(dir) }
+
+// MetricsRegistry is the dependency-free metrics registry of the
+// observability plane (internal/obs): atomic counters, gauges and
+// fixed-bucket latency histograms, rendered in Prometheus text
+// exposition format (WritePrometheus) or as a one-shot human-readable
+// summary (DumpText — what the CLI -stats flags print).
+type MetricsRegistry = obs.Registry
+
+// MetricsHistogram is one fixed-bucket latency or size histogram.
+type MetricsHistogram = obs.Histogram
+
+// Tracer records request- and job-scoped span trees into a bounded
+// ring; Span is one timed operation. Both are nil-safe: a nil Tracer
+// hands out nil Spans and every Span method on nil is a free no-op, so
+// instrumented code paths cost nothing when tracing is off.
+type Tracer = obs.Tracer
+type Span = obs.Span
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer builds a tracer keeping the most recent completed traces
+// (keep <= 0 uses the default ring size).
+func NewTracer(keep int) *Tracer { return obs.NewTracer(keep) }
+
+// EngineMetrics and RuntimeMetrics are the per-layer metric bundles:
+// pass them via EngineOptions.Metrics / SupervisorOptions.Metrics to
+// fill per-shard queue-wait and solve-latency histograms, and task /
+// verification / checkpoint-commit / recovery timings, on reg.
+type EngineMetrics = engine.Metrics
+type RuntimeMetrics = runtime.Metrics
+
+// NewEngineMetrics registers the engine's metric families on reg (nil
+// reg returns nil, an uninstrumented engine).
+func NewEngineMetrics(reg *MetricsRegistry) *EngineMetrics { return engine.NewMetrics(reg) }
+
+// NewRuntimeMetrics registers the runtime supervisor's metric families
+// on reg (nil reg returns nil, an uninstrumented supervisor).
+func NewRuntimeMetrics(reg *MetricsRegistry) *RuntimeMetrics { return runtime.NewMetrics(reg) }
+
+// ContextWithSpan returns ctx carrying s, so supervisor runs and engine
+// plans hang their child spans below it; SpanFromContext reads it back.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return obs.ContextWithSpan(ctx, s)
+}
+func SpanFromContext(ctx context.Context) *Span { return obs.SpanFrom(ctx) }
 
 // EstimatorState is the serializable evidence of a run's online error-
 // rate estimators: persist it (RunReport.Estimator), seed it back

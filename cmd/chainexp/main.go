@@ -32,6 +32,7 @@ import (
 	"chainckpt/internal/core"
 	"chainckpt/internal/engine"
 	"chainckpt/internal/experiments"
+	"chainckpt/internal/obs"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/report"
 	"chainckpt/internal/workload"
@@ -48,14 +49,24 @@ func main() {
 	outDir := flag.String("out", "", "directory for CSV output")
 	htmlPath := flag.String("html", "", "write an HTML report (figures 5/7/8 + summary) to this file")
 	workers := flag.Int("workers", 0, "planning worker pool size (0 = GOMAXPROCS)")
+	statsDump := flag.Bool("stats", false,
+		"print a one-shot metrics summary (per-shard solve latency quantiles, memo traffic) at exit")
 	flag.Parse()
 
 	// Every sweep plans through the shared batch engine; sizing it here
 	// also sizes the validation and robustness fan-outs. The memo means
 	// overlapping experiments (fig5 and fig6, the HTML report) reuse
-	// already-solved instances instead of replanning them.
-	if *workers > 0 {
-		engine.SetDefault(engine.New(engine.Options{Workers: *workers}))
+	// already-solved instances instead of replanning them. -stats wires
+	// the engine into a metrics registry, so the run can be profiled
+	// without a serving stack around it.
+	var reg *obs.Registry
+	if *statsDump {
+		reg = obs.NewRegistry()
+	}
+	if *workers > 0 || *statsDump {
+		engine.SetDefault(engine.New(engine.Options{
+			Workers: *workers, Metrics: engine.NewMetrics(reg),
+		}))
 	}
 
 	if *outDir != "" {
@@ -282,6 +293,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote HTML report to %s\n", *htmlPath)
+	}
+
+	if *statsDump {
+		fmt.Println("==================== metrics ====================")
+		reg.DumpText(os.Stdout)
 	}
 }
 

@@ -28,6 +28,10 @@
 //	                 (requires -store, single replication)
 //	-trace           print the event log (single replication only)
 //	-json            emit the report as JSON
+//	-stats           print a one-shot metrics summary to stderr at exit:
+//	                 solve latency plus task, verification,
+//	                 checkpoint-commit and fsync quantiles from the
+//	                 runtime's metrics registry
 //
 // Example:
 //
@@ -43,6 +47,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"chainckpt"
 	"chainckpt/internal/stats"
@@ -64,6 +69,11 @@ type config struct {
 	resume   bool
 	trace    bool
 	asJSON   bool
+	// stats wires the run into a metrics registry and prints its
+	// one-shot summary (solve latency, task/verify/checkpoint-commit
+	// and fsync quantiles) to stderr at exit. Set by main after
+	// compile, so the long-standing compile signature stays put.
+	stats bool
 }
 
 func main() {
@@ -86,6 +96,8 @@ func main() {
 	resume := flag.Bool("resume", false, "restore the latest checkpoint from -store and continue")
 	trace := flag.Bool("trace", false, "print the event log (reps=1)")
 	asJSON := flag.Bool("json", false, "emit JSON")
+	statsDump := flag.Bool("stats", false,
+		"print a one-shot metrics summary (solve, task, checkpoint-commit and fsync quantiles) to stderr at exit")
 	flag.Parse()
 
 	cfg, err := compile(*platName, *patName, *n, *total, *weights, *algName, *runner,
@@ -93,6 +105,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg.stats = *statsDump
 	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -174,11 +187,28 @@ func (cfg *config) newRunner(seed uint64) chainckpt.TaskRunner {
 
 func run(cfg *config, w *os.File) error {
 	ctx := context.Background()
+	// The registry is only built under -stats; every instrument below
+	// is nil otherwise and observes for free.
+	var reg *chainckpt.MetricsRegistry
+	var planH *chainckpt.MetricsHistogram
+	var rm *chainckpt.RuntimeMetrics
+	if cfg.stats {
+		reg = chainckpt.NewMetricsRegistry()
+		rm = chainckpt.NewRuntimeMetrics(reg)
+		planH = reg.NewHistogram("chainrun_plan_seconds",
+			"Wall-clock time of the initial schedule solve.", nil)
+		defer func() {
+			fmt.Fprintln(os.Stderr, "-- metrics (chainrun -stats) --")
+			reg.DumpText(os.Stderr)
+		}()
+	}
+	planStart := time.Now()
 	res, err := chainckpt.Plan(cfg.alg, cfg.chain, cfg.plat)
 	if err != nil {
 		return err
 	}
-	sup := chainckpt.NewSupervisor(chainckpt.SupervisorOptions{})
+	planH.ObserveSince(planStart)
+	sup := chainckpt.NewSupervisor(chainckpt.SupervisorOptions{Metrics: rm})
 
 	execute := func(seed uint64, record bool) (*chainckpt.RunReport, error) {
 		job := chainckpt.RunJob{

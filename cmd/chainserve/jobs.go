@@ -30,6 +30,7 @@ import (
 	"chainckpt/internal/chain"
 	"chainckpt/internal/engine"
 	"chainckpt/internal/jobstore"
+	"chainckpt/internal/obs"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/replay"
 	"chainckpt/internal/runtime"
@@ -642,9 +643,27 @@ func (m *jobManager) counts() (total, running int) {
 // attached to the job is chained into both hooks and sealed once the
 // terminal transition is journaled, so its recording carries the full
 // lifecycle including how the job ended.
+//
+// The execution also roots a trace under the job's id: the span rides
+// the context into the supervisor, which hangs its per-task, verify,
+// checkpoint-commit, recovery and re-plan spans below it — the tree
+// GET /v1/jobs/{id}/spans serves. Spans measure wall time only and
+// never touch the recorder, so the replay recording stays byte-stable
+// with tracing on or off.
 func (s *server) launch(j *job, runJob runtime.Job, adaptive bool) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j.setCancel(cancel)
+	root := s.obs.jobTracer.StartTrace(j.snapshot().ID, "job")
+	if root != nil {
+		root.SetAttr("algorithm", string(runJob.Algorithm))
+		if adaptive {
+			root.SetAttr("adaptive", "true")
+		}
+		if runJob.Resume {
+			root.SetAttr("resume", "true")
+		}
+		ctx = obs.ContextWithSpan(ctx, root)
+	}
 	recorder := j.getRecorder()
 	runJob.Observer = j.append
 	runJob.Record = true
@@ -677,6 +696,10 @@ func (s *server) launch(j *job, runJob runtime.Job, adaptive bool) {
 			recorder.Checkpoints(runJob.Store)
 		}
 		s.jobs.finish(j, rep, err)
+		if root != nil {
+			root.SetAttr("status", j.snapshot().Status)
+			root.End()
+		}
 		if recorder != nil {
 			recording, ferr := recorder.Finish(rep, nil)
 			var data []byte

@@ -33,6 +33,9 @@
 //	                  checkpoint digests, normalized lifecycle records —
 //	                  is written as <dir>/<id>.json in canonical form; the
 //	                  same bytes GET /v1/jobs/{id}/trace answers with.
+//	-pprof-addr addr  serve net/http/pprof on a separate listener (empty,
+//	                  the default, disables it — profiling endpoints never
+//	                  share the public address).
 //
 // Endpoints:
 //
@@ -50,10 +53,19 @@
 //	GET  /v1/jobs/{id}/trace   canonical replay recording (blocks until
 //	                         the run is sealed; same spec + same seed =>
 //	                         byte-identical body)
+//	GET  /v1/jobs/{id}/spans   span tree of the job's execution (engine
+//	                         planning, per-task runs, verifications,
+//	                         checkpoint commits, recoveries, re-plans)
 //	DELETE /v1/jobs/{id}     cancel a running job
 //	GET  /v1/platforms       the Table I platforms
 //	GET  /healthz            liveness probe
-//	GET  /metrics            Prometheus-style counters
+//	GET  /metrics            Prometheus text exposition, rendered from
+//	                         the obs registry: every legacy counter plus
+//	                         latency histograms for HTTP routes, engine
+//	                         solves, checkpoint commits and journal
+//	                         appends
+//	GET  /debug/traces       recent request and job trace ids
+//	GET  /debug/traces/{id}  one trace (request or job), as a span tree
 //
 // A request names a Table I platform or embeds a custom one, and gives
 // the chain either as explicit weights or as a (pattern, n, total)
@@ -73,6 +85,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux; served only via -pprof-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -86,6 +99,7 @@ import (
 	"chainckpt/internal/core"
 	"chainckpt/internal/engine"
 	"chainckpt/internal/jobstore"
+	"chainckpt/internal/obs"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/runtime"
 	"chainckpt/internal/schedule"
@@ -106,25 +120,37 @@ func main() {
 		"durable job store root (empty = in-memory jobs)")
 	recordDir := flag.String("record-dir", os.Getenv("CHAINSERVE_RECORD_DIR"),
 		"replay recording directory (empty = recordings over the API only)")
+	pprofAddr := flag.String("pprof-addr", "",
+		"serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	memo := *cacheSize
 	if memo <= 0 {
 		memo = -1 // engine.Options uses negative for "disabled"
 	}
+	plane := newObsPlane()
 	var store jobstore.Store = jobstore.NewMemory()
 	if *storeDir != "" {
-		journal, err := jobstore.Open(filepath.Join(*storeDir, "journal"), jobstore.Options{})
+		journal, err := jobstore.Open(filepath.Join(*storeDir, "journal"),
+			jobstore.Options{Metrics: plane.jobstore})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer journal.Close()
 		store = journal
 	}
-	srv := newServerWithStore(engine.New(engine.Options{
-		Workers: *workers, CacheSize: memo, Shards: *shards,
-	}), store, *storeDir)
+	srv := newServerWithObs(engine.New(engine.Options{
+		Workers: *workers, CacheSize: memo, Shards: *shards, Metrics: plane.engine,
+	}), store, *storeDir, plane)
 	defer srv.eng.Close()
+	if *pprofAddr != "" {
+		// pprof stays off the public mux: a separate listener the
+		// operator opts into, carrying DefaultServeMux's /debug/pprof/*.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 	if *recordDir != "" {
 		if err := os.MkdirAll(*recordDir, 0o755); err != nil {
 			log.Fatal(err)
@@ -190,22 +216,29 @@ func defaultDrainTimeout(getenv func(string) string) time.Duration {
 	return 10 * time.Second
 }
 
-// server bundles the engine and runtime supervisor with the HTTP-level
-// counters.
+// server bundles the engine and runtime supervisor with the service's
+// observability plane: the registry-backed counters below keep the
+// .Add(1) call shape of the atomics they replaced, so every increment
+// site reads unchanged while the values land in /metrics through the
+// registry.
 type server struct {
 	eng     *engine.Engine
 	sup     *runtime.Supervisor
 	jobs    *jobManager
+	obs     *obsPlane
 	started time.Time
 	// recordDir, when set, receives every sealed replay recording as
 	// <id>.json in canonical form.
 	recordDir string
 
-	httpRequests atomic.Uint64
-	planErrors   atomic.Uint64
-	jobErrors    atomic.Uint64
-	jobsResumed  atomic.Uint64
-	replans      atomic.Uint64
+	httpRequests *obs.Counter
+	planErrors   *obs.Counter
+	jobErrors    *obs.Counter
+	jobsResumed  *obs.Counter
+	replans      *obs.Counter
+	routeReqs    *obs.CounterVec
+	routeLat     *obs.HistogramVec
+	reqSeq       atomic.Uint64
 }
 
 // newServer builds a server with volatile jobs — the store-less
@@ -217,38 +250,46 @@ func newServer(eng *engine.Engine) *server {
 // newServerWithStore builds a server whose job lifecycle is persisted
 // through store, with per-job checkpoint directories under storeDir
 // (empty = volatile checkpoints). Call recoverJobs afterwards to replay
-// the store.
+// the store. The server gets its own observability plane; engine and
+// jobstore histograms only fill when the caller wired the plane's
+// metrics in at construction, as main does via newServerWithObs.
 func newServerWithStore(eng *engine.Engine, store jobstore.Store, storeDir string) *server {
-	return &server{
+	return newServerWithObs(eng, store, storeDir, newObsPlane())
+}
+
+// newServerWithObs builds a server over an existing observability
+// plane — the one whose engine/jobstore metric handles were passed to
+// engine.New and jobstore.Open, so all layers share one registry.
+func newServerWithObs(eng *engine.Engine, store jobstore.Store, storeDir string, plane *obsPlane) *server {
+	s := &server{
 		eng:     eng,
-		sup:     runtime.New(runtime.Options{Engine: eng}),
+		sup:     runtime.New(runtime.Options{Engine: eng, Metrics: plane.runtime}),
 		jobs:    newJobManager(store, storeDir),
+		obs:     plane,
 		started: time.Now(),
 	}
+	s.initObs()
+	return s
 }
 
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/plan", s.count(s.handlePlan))
-	mux.HandleFunc("POST /v1/plan/batch", s.count(s.handleBatch))
-	mux.HandleFunc("POST /v1/replan", s.count(s.handleReplan))
-	mux.HandleFunc("POST /v1/jobs", s.count(s.handleJobCreate))
-	mux.HandleFunc("GET /v1/jobs", s.count(s.handleJobList))
-	mux.HandleFunc("GET /v1/jobs/{id}", s.count(s.handleJobGet))
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.count(s.handleJobEvents))
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.count(s.handleJobTrace))
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.count(s.handleJobCancel))
-	mux.HandleFunc("GET /v1/platforms", s.count(s.handlePlatforms))
-	mux.HandleFunc("GET /healthz", s.count(s.handleHealth))
-	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
+	mux.HandleFunc("POST /v1/plan", s.instrument("plan", s.handlePlan))
+	mux.HandleFunc("POST /v1/plan/batch", s.instrument("plan_batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/replan", s.instrument("replan", s.handleReplan))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("job_create", s.handleJobCreate))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("job_list", s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job_get", s.handleJobGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.instrument("job_trace", s.handleJobTrace))
+	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.instrument("job_spans", s.handleJobSpans))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("job_cancel", s.handleJobCancel))
+	mux.HandleFunc("GET /v1/platforms", s.instrument("platforms", s.handlePlatforms))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/traces", s.instrument("traces", s.handleTraceList))
+	mux.HandleFunc("GET /debug/traces/{id}", s.instrument("trace_dump", s.handleTraceDump))
 	return mux
-}
-
-func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.httpRequests.Add(1)
-		h(w, r)
-	}
 }
 
 // planRequest is the JSON shape of one planning request.
@@ -450,92 +491,6 @@ func (s *server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	counter("chainserve_http_requests_total", "HTTP requests received.", s.httpRequests.Load())
-	counter("chainserve_plan_errors_total", "Planning requests that failed.", s.planErrors.Load())
-	counter("chainserve_engine_requests_total", "Planning requests accepted by the engine.", st.Requests)
-	counter("chainserve_engine_cache_hits_total", "Plans served from the memo.", st.CacheHits)
-	counter("chainserve_engine_cache_misses_total", "Plans that ran a solver.", st.CacheMisses)
-	counter("chainserve_engine_cache_evictions_total", "Memo entries evicted.", st.Evictions)
-	fmt.Fprintf(w, "# HELP chainserve_engine_plans_total Planning requests per algorithm.\n"+
-		"# TYPE chainserve_engine_plans_total counter\n")
-	for _, alg := range core.Algorithms() {
-		fmt.Fprintf(w, "chainserve_engine_plans_total{algorithm=%q} %d\n", alg, st.Algorithms[string(alg)])
-	}
-	fmt.Fprintf(w, "# HELP chainserve_engine_cache_hit_ratio Fraction of planning requests served from the memo.\n"+
-		"# TYPE chainserve_engine_cache_hit_ratio gauge\nchainserve_engine_cache_hit_ratio %.6f\n", st.HitRatio())
-	fmt.Fprintf(w, "# HELP chainserve_engine_cache_entries Current memo entries.\n"+
-		"# TYPE chainserve_engine_cache_entries gauge\nchainserve_engine_cache_entries %d\n", st.Entries)
-
-	fmt.Fprintf(w, "# HELP chainserve_engine_shards Engine shards (per-shard kernel, memo and workers).\n"+
-		"# TYPE chainserve_engine_shards gauge\nchainserve_engine_shards %d\n", len(st.Shards))
-	// Per-shard solves/hits accumulate since boot: counters, like their
-	// engine-wide chainserve_engine_cache_* equivalents. Only the memo
-	// depth is a gauge.
-	fmt.Fprintf(w, "# HELP chainserve_engine_shard_solves_total Plan requests that ran a solver, per engine shard.\n"+
-		"# TYPE chainserve_engine_shard_solves_total counter\n")
-	for _, sh := range st.Shards {
-		fmt.Fprintf(w, "chainserve_engine_shard_solves_total{shard=\"%d\"} %d\n", sh.Shard, sh.CacheMisses)
-	}
-	fmt.Fprintf(w, "# HELP chainserve_engine_shard_hits_total Plan requests served from the memo, per engine shard.\n"+
-		"# TYPE chainserve_engine_shard_hits_total counter\n")
-	for _, sh := range st.Shards {
-		fmt.Fprintf(w, "chainserve_engine_shard_hits_total{shard=\"%d\"} %d\n", sh.Shard, sh.CacheHits)
-	}
-	fmt.Fprintf(w, "# HELP chainserve_engine_shard_depth Current memo entries, per engine shard.\n"+
-		"# TYPE chainserve_engine_shard_depth gauge\n")
-	for _, sh := range st.Shards {
-		fmt.Fprintf(w, "chainserve_engine_shard_depth{shard=\"%d\"} %d\n", sh.Shard, sh.Entries)
-	}
-
-	kst := st.Kernel
-	counter("chainserve_kernel_solves_total", "Dynamic-program solves completed by the solver kernel.", kst.Solves)
-	counter("chainserve_kernel_scratch_reuses_total", "Solves served by a recycled scratch arena.", kst.ScratchReuses)
-	counter("chainserve_kernel_scratch_fresh_total", "Solves that allocated a fresh scratch arena.", kst.ScratchFresh)
-	fmt.Fprintf(w, "# HELP chainserve_kernel_scratch_buckets Scratch-pool size classes in use.\n"+
-		"# TYPE chainserve_kernel_scratch_buckets gauge\nchainserve_kernel_scratch_buckets %d\n", len(kst.Buckets))
-	fmt.Fprintf(w, "# HELP chainserve_kernel_scratch_bucket_arenas_total Arena acquisitions per size class (cap = bucket capacity in tasks).\n"+
-		"# TYPE chainserve_kernel_scratch_bucket_arenas_total counter\n")
-	for _, b := range kst.Buckets {
-		fmt.Fprintf(w, "chainserve_kernel_scratch_bucket_arenas_total{cap=\"%d\",kind=\"reused\"} %d\n", b.Cap, b.Reuses)
-		fmt.Fprintf(w, "chainserve_kernel_scratch_bucket_arenas_total{cap=\"%d\",kind=\"fresh\"} %d\n", b.Cap, b.Fresh)
-	}
-	fmt.Fprintf(w, "# HELP chainserve_kernel_bucket_solves_total Completed solves per scratch size class — the workload histogram behind bucket tuning.\n"+
-		"# TYPE chainserve_kernel_bucket_solves_total counter\n")
-	for _, b := range kst.Buckets {
-		fmt.Fprintf(w, "chainserve_kernel_bucket_solves_total{cap=\"%d\"} %d\n", b.Cap, b.Solves)
-	}
-
-	sst := s.sup.Stats()
-	jobsTotal, jobsRunning := s.jobs.counts()
-	counter("chainserve_jobs_total", "Execution jobs accepted.", uint64(jobsTotal))
-	counter("chainserve_job_errors_total", "Execution jobs that failed.", s.jobErrors.Load())
-	counter("chainserve_jobs_resumed_total", "Interrupted jobs resumed after a restart.", s.jobsResumed.Load())
-	counter("chainserve_supervisor_replans_total", "Adaptive suffix re-plans across all jobs.", sst.Replans)
-	counter("chainserve_replan_requests_total", "Suffix re-plans served through /v1/replan.", s.replans.Load())
-	fmt.Fprintf(w, "# HELP chainserve_jobs_running Jobs currently executing.\n"+
-		"# TYPE chainserve_jobs_running gauge\nchainserve_jobs_running %d\n", jobsRunning)
-
-	jst := s.jobs.store.Stats()
-	counter("chainserve_jobstore_appends_total", "Job lifecycle records appended to the durable store.", jst.Appends)
-	counter("chainserve_jobstore_replayed_total", "Records applied during the boot-time journal replay.", jst.Replayed)
-	counter("chainserve_jobstore_skipped_corrupt_total", "Damaged journal frames skipped during replay.", jst.SkippedCorrupt)
-	counter("chainserve_jobstore_skipped_duplicates_total", "Duplicate transitions dropped during replay.", jst.SkippedDuplicates)
-	counter("chainserve_jobstore_compactions_total", "Journal compactions into a snapshot.", jst.Compactions)
-	counter("chainserve_jobstore_errors_total", "Durable store writes that failed.", s.jobs.storeErrors.Load())
-	fmt.Fprintf(w, "# HELP chainserve_jobstore_jobs Live records in the durable job store.\n"+
-		"# TYPE chainserve_jobstore_jobs gauge\nchainserve_jobstore_jobs %d\n", jst.Jobs)
-	fmt.Fprintf(w, "# HELP chainserve_jobstore_segments Journal segment files on disk.\n"+
-		"# TYPE chainserve_jobstore_segments gauge\nchainserve_jobstore_segments %d\n", jst.Segments)
-	fmt.Fprintf(w, "# HELP chainserve_uptime_seconds Seconds since start.\n"+
-		"# TYPE chainserve_uptime_seconds gauge\nchainserve_uptime_seconds %.0f\n", time.Since(s.started).Seconds())
 }
 
 func decodeJSON(r *http.Request, v any) error {

@@ -459,7 +459,7 @@ func TestMetricsEngineAndJobGauges(t *testing.T) {
 	for _, want := range []string{
 		`chainserve_engine_plans_total{algorithm="ADMV"} 2`,
 		`chainserve_engine_plans_total{algorithm="ADV*"} 0`,
-		"chainserve_engine_cache_hit_ratio 0.500000",
+		"chainserve_engine_cache_hit_ratio 0.5",
 		"chainserve_jobs_total 0",
 		"chainserve_jobs_running 0",
 		"chainserve_supervisor_replans_total",

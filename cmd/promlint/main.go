@@ -1,0 +1,69 @@
+// Command promlint validates a Prometheus text exposition read from
+// stdin (or the files named as arguments) against the format rules the
+// obs registry is expected to uphold: HELP and TYPE lines for every
+// metric, no duplicate series, counter naming, label escaping,
+// histogram bucket monotonicity and +Inf/_count agreement. The CI
+// observability job pipes a live /metrics scrape through it, so a
+// regression in the exposition writer fails the build instead of a
+// scraper in production.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promlint
+//	promlint metrics.txt ...
+//
+// Exit status is 0 for a clean exposition, 1 when any problem was
+// found, 2 on I/O errors.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"chainckpt/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("promlint: ")
+
+	inputs := []struct {
+		name string
+		r    io.Reader
+	}{}
+	if len(os.Args) > 1 {
+		for _, path := range os.Args[1:] {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Print(err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			inputs = append(inputs, struct {
+				name string
+				r    io.Reader
+			}{path, f})
+		}
+	} else {
+		inputs = append(inputs, struct {
+			name string
+			r    io.Reader
+		}{"<stdin>", os.Stdin})
+	}
+
+	failed := false
+	for _, in := range inputs {
+		problems := obs.Lint(in.r)
+		for _, p := range problems {
+			fmt.Printf("%s: %s\n", in.name, p)
+		}
+		if len(problems) > 0 {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

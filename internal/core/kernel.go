@@ -297,7 +297,7 @@ func (k *Kernel) noteSize(n int) {
 // lengths of hist.Sizes — workload-aware bucket tuning. A power-of-two
 // bucket serves every n in (cap/2, cap] with arenas built for cap, so a
 // hot odd size pays for arrays up to ~4x larger than it needs; an exact
-// pool builds its arenas at precisely n (see arenaBytes). Up to eight
+// pool builds its arenas at precisely n (see ArenaBytes). Up to eight
 // sizes are tuned, hottest first; lengths that are already powers of
 // two are skipped (their bucket arena is already exact), and pools
 // already installed for still-hot sizes are kept, warm arenas and
@@ -392,12 +392,16 @@ func (k *Kernel) Stats() KernelStats {
 	return st
 }
 
-// arenaBytes returns the backing bytes of one fully built scratch arena
+// ArenaBytes returns the backing bytes of one fully built scratch arena
 // of the given capacity (segment tables, prefix weights, and the
 // dynamic-program buffers; the lazily grown memLevel arenas are
 // excluded). Benchmarks report it as arena-bytes/solve to quantify what
-// exact-capacity pools save over power-of-two buckets.
-func arenaBytes(cap int) int {
+// exact-capacity pools save over power-of-two buckets, and the
+// observability plane multiplies it by KernelStats.Buckets arena counts
+// to expose pooled scratch memory as a gauge. Core itself stays free of
+// any obs dependency — the 5 allocs/op warm path is gated by
+// construction, not by instrumentation care.
+func ArenaBytes(cap int) int {
 	size := (cap + 1) * (cap + 1)
 	b := 8 * (7*size + cap + 1)      // tables + pre
 	b += 8 * 2 * cap * (cap + 1)     // ememBuf + mprvBuf

@@ -134,7 +134,7 @@ func BenchmarkKernelTunedScratch(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		b.ReportMetric(float64(arenaBytes(cap)), "arena-bytes/solve")
+		b.ReportMetric(float64(ArenaBytes(cap)), "arena-bytes/solve")
 	}
 	b.Run("bucketed", func(b *testing.B) {
 		run(b, NewKernel(), 64)

@@ -43,6 +43,7 @@ import (
 
 	"chainckpt/internal/chain"
 	"chainckpt/internal/core"
+	"chainckpt/internal/obs"
 	"chainckpt/internal/platform"
 )
 
@@ -77,6 +78,11 @@ type Options struct {
 	// size-bucketed arena pools hand each concurrent solve its own
 	// scratch (see Stats.Kernel).
 	Kernel *core.Kernel
+	// Metrics, when non-nil, wires the engine into an obs registry:
+	// per-shard queue-wait and solve-latency histograms plus Run
+	// work-stealing counters (see NewMetrics). Nil means uninstrumented
+	// — every site degrades to a nil check.
+	Metrics *Metrics
 }
 
 func (o Options) normalized() Options {
@@ -249,7 +255,7 @@ func New(opts Options) *Engine {
 		if workers < 1 {
 			workers = 1
 		}
-		e.shards = append(e.shards, newShard(i, kern, perCache, workers))
+		e.shards = append(e.shards, newShard(i, kern, perCache, workers, opts.Metrics))
 	}
 	return e
 }
@@ -334,12 +340,14 @@ starting:
 	for _, s := range e.shards {
 		for w := 0; w < s.nworkers && started < n; w++ {
 			pumps.Add(1)
+			steals := s.steals
 			err := s.submit(ctx, func() {
 				defer pumps.Done()
 				for i := range tasks {
 					if ctx.Err() != nil {
 						continue // drain without running
 					}
+					steals.Inc()
 					if err := fn(i); err != nil {
 						setErr(err)
 					}
@@ -441,7 +449,17 @@ func (e *Engine) planOne(ctx context.Context, index int, req Request) Response {
 	if kerr == nil {
 		sh = e.shardFor(key)
 	}
-	return sh.planOne(ctx, index, req, key, kerr)
+	sp := obs.SpanFrom(ctx).Child("engine.plan")
+	resp := sh.planOne(ctx, index, req, key, kerr)
+	if sp != nil {
+		sp.SetAttr("algorithm", string(req.Algorithm))
+		sp.SetAttrInt("shard", int64(sh.id))
+		if resp.Cached {
+			sp.SetAttr("cached", "true")
+		}
+		sp.End()
+	}
+	return resp
 }
 
 // Kernel returns the solver kernel co-located components share for

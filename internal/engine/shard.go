@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"chainckpt/internal/core"
+	"chainckpt/internal/obs"
 )
 
 // shard is one independent slice of the engine: its own solver kernel,
@@ -33,10 +35,16 @@ type shard struct {
 	order  *list.List               // front = most recently used
 
 	requests, hits, misses, evictions, errors atomic.Uint64
+
+	// Metric children resolved once at construction (nil when the
+	// engine is uninstrumented — every use is nil-safe).
+	queueWait *obs.Histogram
+	solveLat  *obs.Histogram
+	steals    *obs.Counter
 }
 
 // newShard starts one shard with its own worker goroutines.
-func newShard(id int, kernel *core.Kernel, cacheSize, workers int) *shard {
+func newShard(id int, kernel *core.Kernel, cacheSize, workers int, m *Metrics) *shard {
 	s := &shard{
 		id:        id,
 		kernel:    kernel,
@@ -46,6 +54,7 @@ func newShard(id int, kernel *core.Kernel, cacheSize, workers int) *shard {
 		cache:     make(map[string]*list.Element),
 		order:     list.New(),
 	}
+	s.queueWait, s.solveLat, s.steals = m.shardChildren(id)
 	for w := 0; w < workers; w++ {
 		s.workers.Add(1)
 		go func() {
@@ -71,6 +80,17 @@ func (s *shard) submit(ctx context.Context, job func()) error {
 	}
 	s.pending.Add(1)
 	s.mu.Unlock()
+	if s.queueWait != nil {
+		// Queue wait = submit to pool-slot pickup. Wrapped only when
+		// instrumented so the unmetered path keeps its zero-closure
+		// submit.
+		inner := job
+		enqueued := time.Now()
+		job = func() {
+			s.queueWait.ObserveSince(enqueued)
+			inner()
+		}
+	}
 	select {
 	case s.jobs <- job:
 		return nil
@@ -222,7 +242,14 @@ func (s *shard) solve(req Request) (*core.Result, error) {
 	if opts.Workers == 0 {
 		opts.Workers = 1
 	}
+	var start time.Time
+	if s.solveLat != nil {
+		start = time.Now()
+	}
 	res, err := s.kernel.PlanOpts(req.Algorithm, req.Chain, req.Platform, opts)
+	if s.solveLat != nil {
+		s.solveLat.ObserveSince(start)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}

@@ -65,6 +65,10 @@ type Options struct {
 	// compaction rename. The chaos harness uses it to tear tails and
 	// kill the "process" mid-commit; production stores leave it nil.
 	Faults fault.Injector
+	// Metrics, when non-nil, wires the journal into an obs registry:
+	// append/fsync/compaction latency histograms (see NewMetrics). Nil
+	// means uninstrumented.
+	Metrics *Metrics
 }
 
 func (o Options) segmentBytes() int {
@@ -273,6 +277,11 @@ func (j *Journal) appendLocked(payload []byte) error {
 	if j.closed {
 		return fmt.Errorf("jobstore: store is closed")
 	}
+	m := j.opts.Metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	frame := appendFrame(nil, payload)
 	// The injector may tear the frame (write a prefix, then "die") or
 	// kill the write entirely; whatever bytes it leaves are what a real
@@ -287,9 +296,19 @@ func (j *Journal) appendLocked(payload []byte) error {
 		return fmt.Errorf("jobstore: append: %w", ferr)
 	}
 	if !j.opts.NoSync {
+		var fstart time.Time
+		if m != nil {
+			fstart = time.Now()
+		}
 		if err := j.active.Sync(); err != nil {
 			return fmt.Errorf("jobstore: append: %w", err)
 		}
+		if m != nil {
+			m.FsyncSeconds.ObserveSince(fstart)
+		}
+	}
+	if m != nil {
+		m.AppendSeconds.ObserveSince(start)
 	}
 	j.stats.Appends++
 	j.activeSize += len(frame)
@@ -323,6 +342,9 @@ func (j *Journal) Compact() error {
 }
 
 func (j *Journal) compactLocked() error {
+	if m := j.opts.Metrics; m != nil {
+		defer m.CompactSeconds.ObserveSince(time.Now())
+	}
 	buf := append([]byte(nil), snapMagic[:]...)
 	buf = binary.LittleEndian.AppendUint64(buf, j.maxSeq)
 	for _, rec := range sortedRecords(j.recs) {

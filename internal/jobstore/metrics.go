@@ -1,0 +1,34 @@
+package jobstore
+
+import "chainckpt/internal/obs"
+
+// Metrics is the journal's slice of the observability plane: latency
+// histograms for the three I/O operations that can stall the job
+// lifecycle — framed appends, the fsync inside each append, and
+// compaction. Nil (the default) costs one nil check per site.
+type Metrics struct {
+	// AppendSeconds measures each framed append, fsync included.
+	AppendSeconds *obs.Histogram
+	// FsyncSeconds isolates the fsync inside each append — the
+	// durability stall itself.
+	FsyncSeconds *obs.Histogram
+	// CompactSeconds measures whole compactions (snapshot write,
+	// rename, segment removal).
+	CompactSeconds *obs.Histogram
+}
+
+// NewMetrics registers the journal families on reg; nil reg returns
+// nil metrics.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		AppendSeconds: reg.NewHistogram("chainckpt_jobstore_append_seconds",
+			"Wall-clock time of each journal append, fsync included.", nil),
+		FsyncSeconds: reg.NewHistogram("chainckpt_jobstore_fsync_seconds",
+			"Wall-clock time of the fsync inside each journal append.", nil),
+		CompactSeconds: reg.NewHistogram("chainckpt_jobstore_compact_seconds",
+			"Wall-clock time of each journal compaction.", nil),
+	}
+}

@@ -1,0 +1,343 @@
+// Request-scoped tracing: a Span carried via context.Context with
+// start/end, attributes and children, collected per trace (one trace
+// per HTTP request or job) into a bounded in-process ring of recent
+// traces. Spans are pooled and nil-safe — a nil *Tracer yields nil
+// spans whose methods all no-op, so instrumented code pays a single
+// nil check when tracing is off.
+//
+// Span timestamps are monotonic offsets from the trace root, never
+// wall-clock per span, and they live only here: nothing in this
+// package touches internal/sim events or internal/replay recordings,
+// which must stay bit-identical with tracing on or off.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// maxSpansPerTrace bounds one trace's tree; children past the cap are
+// dropped and counted, so a pathological job cannot hold the heap.
+const maxSpansPerTrace = 8192
+
+// Span is one timed operation in a trace. All methods are safe on a
+// nil receiver.
+type Span struct {
+	name     string
+	startOff time.Duration // offset from trace start (0 for the root)
+	dur      time.Duration // set at End
+	attrs    []attr
+	children []*Span
+	trace    *traceState // shared by every span in the trace
+}
+
+type attr struct {
+	key string
+	val string
+}
+
+// traceState is the per-trace shared record: identity, the wall/mono
+// anchor, the span budget, and the lock every tree mutation takes.
+type traceState struct {
+	mu      sync.Mutex
+	id      string
+	start   time.Time // wall+monotonic anchor for offsets
+	root    *Span
+	spans   int
+	dropped int
+	done    bool
+	tracer  *Tracer
+}
+
+// Tracer owns a bounded ring of recently completed traces plus the
+// set of still-active ones, and a pool recycling span nodes.
+type Tracer struct {
+	mu     sync.Mutex
+	active map[string]*traceState
+	ring   []*traceState // oldest first
+	cap    int
+	pool   sync.Pool
+}
+
+// NewTracer returns a tracer retaining the last keep completed traces
+// (keep <= 0 defaults to 64).
+func NewTracer(keep int) *Tracer {
+	if keep <= 0 {
+		keep = 64
+	}
+	t := &Tracer{
+		active: make(map[string]*traceState),
+		cap:    keep,
+	}
+	t.pool.New = func() any { return new(Span) }
+	return t
+}
+
+func (t *Tracer) getSpan() *Span {
+	return t.pool.Get().(*Span)
+}
+
+// StartTrace begins a new trace identified by id (a request or job id)
+// and returns its root span. A second trace with a live id replaces
+// the old one in the active set (the old one is still dumpable until
+// its ring slot is evicted once ended).
+func (t *Tracer) StartTrace(id, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	st := &traceState{id: id, start: time.Now(), spans: 1, tracer: t}
+	root := t.getSpan()
+	*root = Span{name: name, trace: st}
+	st.root = root
+	t.mu.Lock()
+	t.active[id] = st
+	t.mu.Unlock()
+	return root
+}
+
+// Child starts a sub-span under s. Returns nil (a no-op span) when s
+// is nil, the trace has ended, or the trace's span budget is spent.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	st := s.trace
+	off := time.Since(st.start)
+	st.mu.Lock()
+	if st.done || st.spans >= maxSpansPerTrace {
+		if st.spans >= maxSpansPerTrace {
+			st.dropped++
+		}
+		st.mu.Unlock()
+		return nil
+	}
+	st.spans++
+	c := st.tracer.getSpan()
+	*c = Span{name: name, startOff: off, trace: st}
+	s.children = append(s.children, c)
+	st.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches a string attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	st := s.trace
+	st.mu.Lock()
+	if !st.done {
+		s.attrs = append(s.attrs, attr{key, value})
+	}
+	st.mu.Unlock()
+}
+
+// SetAttrInt attaches an integer attribute without going through fmt.
+func (s *Span) SetAttrInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, itoa(value))
+}
+
+// itoa is a minimal strconv.FormatInt(v, 10) that keeps the hot path
+// free of package-level indirection; values are small (task indices,
+// byte counts).
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// End closes the span. Ending the root span completes the trace and
+// moves it from the active set into the ring of recent traces.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	st := s.trace
+	dur := time.Since(st.start) - s.startOff
+	st.mu.Lock()
+	if s.dur == 0 {
+		s.dur = dur
+	}
+	isRoot := s == st.root
+	if isRoot {
+		st.done = true
+	}
+	st.mu.Unlock()
+	if isRoot {
+		st.tracer.complete(st)
+	}
+}
+
+// complete files an ended trace into the ring, evicting (and
+// recycling) the oldest past capacity.
+func (t *Tracer) complete(st *traceState) {
+	var evicted *traceState
+	t.mu.Lock()
+	if t.active[st.id] == st {
+		delete(t.active, st.id)
+	}
+	t.ring = append(t.ring, st)
+	if len(t.ring) > t.cap {
+		evicted = t.ring[0]
+		t.ring = t.ring[1:]
+	}
+	t.mu.Unlock()
+	if evicted != nil {
+		t.recycle(evicted)
+	}
+}
+
+// recycle returns an evicted trace's spans to the pool. The trace is
+// already ended and out of the ring, so no dump can reach it; the
+// trace lock still guards against a straggler SetAttr.
+func (t *Tracer) recycle(st *traceState) {
+	st.mu.Lock()
+	root := st.root
+	st.root = nil
+	st.mu.Unlock()
+	var put func(s *Span)
+	put = func(s *Span) {
+		for _, c := range s.children {
+			put(c)
+		}
+		*s = Span{}
+		t.pool.Put(s)
+	}
+	if root != nil {
+		put(root)
+	}
+}
+
+// SpanDump is a detached, JSON-ready copy of a span tree. Offsets and
+// durations are nanoseconds relative to the trace start — no absolute
+// wall-clock leaks below the root.
+type SpanDump struct {
+	Name     string            `json:"name"`
+	StartNs  int64             `json:"start_ns"`
+	DurNs    int64             `json:"dur_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanDump       `json:"children,omitempty"`
+}
+
+// TraceDump is a complete trace: identity, wall-clock start of the
+// root only, span count, and the tree.
+type TraceDump struct {
+	ID      string    `json:"id"`
+	Start   time.Time `json:"start"`
+	Spans   int       `json:"spans"`
+	Dropped int       `json:"dropped,omitempty"`
+	Done    bool      `json:"done"`
+	Root    *SpanDump `json:"root"`
+}
+
+// Dump returns a detached copy of the trace with the given id, or nil
+// if the tracer has never seen it or has evicted it. Active (still
+// running) traces are dumpable.
+func (t *Tracer) Dump(id string) *TraceDump {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	st := t.active[id]
+	if st == nil {
+		for i := len(t.ring) - 1; i >= 0; i-- {
+			if t.ring[i].id == id {
+				st = t.ring[i]
+				break
+			}
+		}
+	}
+	t.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.root == nil {
+		return nil
+	}
+	return &TraceDump{
+		ID:      st.id,
+		Start:   st.start,
+		Spans:   st.spans,
+		Dropped: st.dropped,
+		Done:    st.done,
+		Root:    dumpSpan(st.root),
+	}
+}
+
+// RecentIDs lists the ids of active then completed traces, newest
+// completed last.
+func (t *Tracer) RecentIDs() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]string, 0, len(t.active)+len(t.ring))
+	for id := range t.active {
+		ids = append(ids, id)
+	}
+	for _, st := range t.ring {
+		ids = append(ids, st.id)
+	}
+	return ids
+}
+
+func dumpSpan(s *Span) *SpanDump {
+	d := &SpanDump{
+		Name:    s.name,
+		StartNs: s.startOff.Nanoseconds(),
+		DurNs:   s.dur.Nanoseconds(),
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			d.Attrs[a.key] = a.val
+		}
+	}
+	for _, c := range s.children {
+		d.Children = append(d.Children, dumpSpan(c))
+	}
+	return d
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s. A nil span returns ctx
+// unchanged, so downstream SpanFrom stays nil and free.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

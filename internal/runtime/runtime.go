@@ -38,6 +38,7 @@ import (
 	"chainckpt/internal/core"
 	"chainckpt/internal/engine"
 	"chainckpt/internal/fault"
+	"chainckpt/internal/obs"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/schedule"
 	"chainckpt/internal/sim"
@@ -55,6 +56,11 @@ type Options struct {
 	// each is specific to the run's observed rates and committed
 	// prefix, so there is nothing for the engine to memoize.
 	Kernel *core.Kernel
+	// Metrics, when non-nil, wires every run into an obs registry:
+	// task/verification/checkpoint-commit latency histograms, fsync
+	// and payload-size histograms on the disk tier, recovery and
+	// re-plan timings (see NewMetrics). Nil means uninstrumented.
+	Metrics *Metrics
 }
 
 // Supervisor executes jobs. It is safe for concurrent use; each Run
@@ -62,6 +68,11 @@ type Options struct {
 type Supervisor struct {
 	eng  *engine.Engine
 	kern *core.Kernel
+	m    *Metrics
+
+	// Recovery histogram children resolved once (nil when
+	// uninstrumented; every observation is nil-safe).
+	recDisk, recMem *obs.Histogram
 
 	jobs    atomic.Uint64
 	replans atomic.Uint64
@@ -77,7 +88,12 @@ func New(opts Options) *Supervisor {
 	if kern == nil {
 		kern = eng.Kernel()
 	}
-	return &Supervisor{eng: eng, kern: kern}
+	s := &Supervisor{eng: eng, kern: kern, m: opts.Metrics}
+	if s.m != nil {
+		s.recDisk = s.m.RecoverySeconds.With("disk")
+		s.recMem = s.m.RecoverySeconds.With("memory")
+	}
+	return s
 }
 
 // Job describes one chain execution.
@@ -260,6 +276,12 @@ type execution struct {
 	est      estimator
 	counters Counters
 	trace    []sim.TraceEvent
+
+	// span is the run's root span (from the caller's context; nil when
+	// untraced — every child/attr call is nil-safe). Spans record wall
+	// time only: nothing here touches e.t, the event log, or anything
+	// else that feeds replay canonical bytes.
+	span *obs.Span
 }
 
 func (s *Supervisor) run(ctx context.Context, job Job, adapt *AdaptPolicy) (*Report, error) {
@@ -320,6 +342,10 @@ func (s *Supervisor) run(ctx context.Context, job Job, adapt *AdaptPolicy) (*Rep
 		runner: job.Runner, store: job.Store,
 		state:    append(State(nil), job.Initial...),
 		attempts: make([]int, job.Chain.Len()+1),
+		span:     obs.SpanFrom(ctx),
+	}
+	if s.m != nil {
+		job.Store.instrument(s.m.CkptFsyncSeconds, s.m.CkptBytes)
 	}
 	if job.Estimator != nil {
 		e.est.restore(*job.Estimator)
@@ -383,7 +409,12 @@ func (e *execution) execute(ctx context.Context) (*Report, error) {
 	// recovery to boundary 0 is always possible.
 	resumed := -1
 	if e.job.Resume {
+		rsp := e.span.Child("runtime.resume")
 		b, data, err := e.store.Resume()
+		if rsp != nil {
+			rsp.SetAttrInt("boundary", int64(b))
+			rsp.End()
+		}
 		if err != nil {
 			return nil, fmt.Errorf("runtime: resume: %w", err)
 		}
@@ -462,12 +493,28 @@ func (e *execution) execute(ctx context.Context) (*Report, error) {
 // fail-stop error interrupted the segment and the execution was restored
 // from the disk tier.
 func (e *execution) runSegment(ctx context.Context, to int) (recovered bool, err error) {
+	m := e.sup.m
 	for k := e.cur + 1; k <= to; k++ {
 		task := e.c.Task(k)
+		tsp := e.span.Child("runtime.task")
+		var start time.Time
+		if m != nil {
+			start = time.Now()
+		}
 		res, err := e.runner.Run(ctx, TaskSpec{
 			Index: k, Name: task.Name, Weight: task.Weight,
 			Attempt: e.attempts[k], State: e.state,
 		})
+		if m != nil {
+			m.TaskSeconds.ObserveSince(start)
+		}
+		if tsp != nil {
+			tsp.SetAttrInt("pos", int64(k))
+			if e.attempts[k] > 0 {
+				tsp.SetAttrInt("attempt", int64(e.attempts[k]))
+			}
+			tsp.End()
+		}
 		if err != nil {
 			return false, fmt.Errorf("runtime: task %d: %w", k, err)
 		}
@@ -495,7 +542,19 @@ func (e *execution) runSegment(ctx context.Context, to int) (recovered bool, err
 // memory tier is gone with the crash, so it is reseeded from the disk
 // state.
 func (e *execution) recoverDisk(ctx context.Context) error {
+	rsp := e.span.Child("runtime.recover.disk")
+	var start time.Time
+	if e.sup.recDisk != nil {
+		start = time.Now()
+	}
 	b, data, err := e.store.LoadDisk()
+	if e.sup.recDisk != nil {
+		e.sup.recDisk.ObserveSince(start)
+	}
+	if rsp != nil {
+		rsp.SetAttrInt("boundary", int64(b))
+		rsp.End()
+	}
 	if err != nil {
 		return fmt.Errorf("runtime: fail-stop recovery: %w", err)
 	}
@@ -514,7 +573,19 @@ func (e *execution) recoverDisk(ctx context.Context) error {
 // recoverMemory rolls back to the last verified in-memory checkpoint
 // after a detected silent corruption.
 func (e *execution) recoverMemory() error {
+	rsp := e.span.Child("runtime.recover.memory")
+	var start time.Time
+	if e.sup.recMem != nil {
+		start = time.Now()
+	}
 	b, data, err := e.store.LoadMemory()
+	if e.sup.recMem != nil {
+		e.sup.recMem.ObserveSince(start)
+	}
+	if rsp != nil {
+		rsp.SetAttrInt("boundary", int64(b))
+		rsp.End()
+	}
 	if err != nil {
 		return fmt.Errorf("runtime: silent-error rollback: %w", err)
 	}
@@ -541,7 +612,26 @@ func (e *execution) verifyStation(ctx context.Context, st schedule.Station) (int
 	e.counters.Verifications++
 	e.emit("verify", st.Pos)
 
+	m := e.sup.m
+	vsp := e.span.Child("runtime.verify")
+	var vstart time.Time
+	if m != nil {
+		vstart = time.Now()
+	}
 	ok, err := e.runner.Verify(ctx, st.Pos, e.state, partial)
+	if m != nil {
+		m.VerifySeconds.ObserveSince(vstart)
+	}
+	if vsp != nil {
+		vsp.SetAttrInt("pos", int64(st.Pos))
+		if partial {
+			vsp.SetAttr("partial", "true")
+		}
+		if !ok {
+			vsp.SetAttr("detected", "true")
+		}
+		vsp.End()
+	}
 	if err != nil {
 		return 0, fmt.Errorf("runtime: verification at %d: %w", st.Pos, err)
 	}
@@ -563,26 +653,46 @@ func (e *execution) verifyStation(ctx context.Context, st schedule.Station) (int
 	}
 	if st.Action.Has(schedule.Disk) {
 		e.t += bc.CD
-		// The three injection points bracket the two-phase commit of a
-		// disk checkpoint: before the checkpoint write (nothing durable
-		// yet), between checkpoint and journal commit (the torn window a
-		// resume must reconcile), and after both committed.
-		if _, err := e.fire(fault.RuntimeBeforeDiskCkpt, nil); err != nil {
-			return 0, fmt.Errorf("runtime: checkpoint at %d: %w", st.Pos, err)
+		csp := e.span.Child("runtime.ckpt.commit")
+		var cstart time.Time
+		if m != nil {
+			cstart = time.Now()
 		}
-		if err := e.store.SaveDisk(st.Pos, e.state); err != nil {
+		commit := func() error {
+			// The three injection points bracket the two-phase commit of a
+			// disk checkpoint: before the checkpoint write (nothing durable
+			// yet), between checkpoint and journal commit (the torn window a
+			// resume must reconcile), and after both committed.
+			if _, err := e.fire(fault.RuntimeBeforeDiskCkpt, nil); err != nil {
+				return fmt.Errorf("runtime: checkpoint at %d: %w", st.Pos, err)
+			}
+			if err := e.store.SaveDisk(st.Pos, e.state); err != nil {
+				return err
+			}
+			if _, err := e.fire(fault.RuntimeAfterDiskCkpt, nil); err != nil {
+				return fmt.Errorf("runtime: checkpoint at %d: %w", st.Pos, err)
+			}
+			e.counters.CheckpointsDisk++
+			e.emit("ckpt-disk", st.Pos)
+			if e.job.Progress != nil {
+				e.job.Progress(st.Pos, e.est.state(), e.sched)
+			}
+			if _, err := e.fire(fault.RuntimeAfterCommit, nil); err != nil {
+				return fmt.Errorf("runtime: checkpoint at %d: %w", st.Pos, err)
+			}
+			return nil
+		}
+		err := commit()
+		if m != nil {
+			m.CkptCommitSeconds.ObserveSince(cstart)
+		}
+		if csp != nil {
+			csp.SetAttrInt("pos", int64(st.Pos))
+			csp.SetAttrInt("bytes", int64(len(e.state)))
+			csp.End()
+		}
+		if err != nil {
 			return 0, err
-		}
-		if _, err := e.fire(fault.RuntimeAfterDiskCkpt, nil); err != nil {
-			return 0, fmt.Errorf("runtime: checkpoint at %d: %w", st.Pos, err)
-		}
-		e.counters.CheckpointsDisk++
-		e.emit("ckpt-disk", st.Pos)
-		if e.job.Progress != nil {
-			e.job.Progress(st.Pos, e.est.state(), e.sched)
-		}
-		if _, err := e.fire(fault.RuntimeAfterCommit, nil); err != nil {
-			return 0, fmt.Errorf("runtime: checkpoint at %d: %w", st.Pos, err)
 		}
 	}
 	e.cur = st.Pos
@@ -658,7 +768,19 @@ func (e *execution) maybeReplan(ctx context.Context) {
 		}
 		opts.MaxDiskCheckpoints = rem
 	}
+	rsp := e.span.Child("runtime.replan")
+	var rstart time.Time
+	if e.sup.m != nil {
+		rstart = time.Now()
+	}
 	res, err := e.sup.kern.ReplanSuffix(e.job.Algorithm, e.c, updated, e.cur, opts)
+	if e.sup.m != nil {
+		e.sup.m.ReplanSeconds.ObserveSince(rstart)
+	}
+	if rsp != nil {
+		rsp.SetAttrInt("from", int64(e.cur))
+		rsp.End()
+	}
 	if err != nil {
 		// A failed re-plan is not fatal: keep executing the current
 		// schedule.

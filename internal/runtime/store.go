@@ -17,6 +17,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"chainckpt/internal/obs"
 )
 
 // ckptMagic heads every disk checkpoint file; bump the version suffix
@@ -41,6 +44,21 @@ type Store struct {
 	disk *checkpoint         // disk tier: latest disk checkpoint
 	vol  map[int]*checkpoint // volatile disk backend (dir == "")
 	ret  int                 // disk checkpoints retained (0 = all)
+
+	// Observability children installed by the supervisor (nil when
+	// uninstrumented; observations are nil-safe).
+	fsyncH *obs.Histogram
+	bytesH *obs.Histogram
+}
+
+// instrument installs the checkpoint fsync-duration and payload-size
+// histograms; the supervisor calls it once per run when its Options
+// carry Metrics.
+func (s *Store) instrument(fsync, bytes *obs.Histogram) {
+	s.mu.Lock()
+	s.fsyncH = fsync
+	s.bytesH = bytes
+	s.mu.Unlock()
 }
 
 // NewStore opens a checkpoint store. With a non-empty dir the disk tier
@@ -78,10 +96,13 @@ func (s *Store) SaveDisk(boundary int, data []byte) error {
 	ck := snapshot(boundary, data)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.bytesH.Observe(float64(len(data)))
 	if s.dir != "" {
-		if err := writeCheckpointFile(s.path(boundary), ck); err != nil {
+		fsync, err := writeCheckpointFile(s.path(boundary), ck)
+		if err != nil {
 			return err
 		}
+		s.fsyncH.Observe(fsync.Seconds())
 	} else {
 		s.vol[boundary] = ck
 	}
@@ -302,19 +323,35 @@ func encodeCheckpoint(ck *checkpoint) []byte {
 	return append(buf, ck.data...)
 }
 
-// writeCheckpointFile persists a checkpoint in its canonical encoding.
-// The write goes through a temporary file and rename so a crash
-// mid-save can never leave a half-written file under a checkpoint name.
-func writeCheckpointFile(path string, ck *checkpoint) error {
+// writeCheckpointFile persists a checkpoint in its canonical encoding
+// and returns how long the fsync alone took. The write goes through a
+// temporary file, fsync, and rename so a crash mid-save can never
+// leave a half-written file under a checkpoint name — and a crash
+// right after the rename cannot lose the bytes to a dirty page cache.
+func writeCheckpointFile(path string, ck *checkpoint) (time.Duration, error) {
 	buf := encodeCheckpoint(ck)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("runtime: write checkpoint: %w", err)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("runtime: write checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("runtime: write checkpoint: %w", err)
+	}
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("runtime: sync checkpoint: %w", err)
+	}
+	fsync := time.Since(start)
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("runtime: write checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("runtime: commit checkpoint: %w", err)
+		return 0, fmt.Errorf("runtime: commit checkpoint: %w", err)
 	}
-	return nil
+	return fsync, nil
 }
 
 func readCheckpointFile(path string) (*checkpoint, error) {
