@@ -173,6 +173,45 @@ func contentionRatio(idx map[string]Benchmark, gLabel string) (float64, bool) {
 	return single.NsPerOp / sharded.NsPerOp, true
 }
 
+// parallelSpeedup returns the serial/team ns-per-op ratio of
+// BenchmarkKernelParallelSolve at one chain-length label (the run's
+// measured in-kernel parallel speedup — machine-relative like the
+// contention ratio, so a 1-core baseline recording ~1.0 still gates a
+// 1-core run, and a multi-core runner is held to its own curve).
+func parallelSpeedup(idx map[string]Benchmark, nLabel, wLabel string) (float64, bool) {
+	serial, ok1 := lookup(idx, "BenchmarkKernelParallelSolve/"+nLabel+"/w1")
+	team, ok2 := lookup(idx, "BenchmarkKernelParallelSolve/"+nLabel+"/"+wLabel)
+	if !ok1 || !ok2 || serial.NsPerOp <= 0 || team.NsPerOp <= 0 {
+		return 0, false
+	}
+	return serial.NsPerOp / team.NsPerOp, true
+}
+
+// largestParallelN returns the biggest chain-length label ("n4000")
+// present among a report's BenchmarkKernelParallelSolve results.
+func largestParallelN(rep *Report) (string, bool) {
+	best := -1
+	for _, b := range rep.Benchmarks {
+		name := trimCPUSuffix(b.Name)
+		rest, ok := strings.CutPrefix(name, "BenchmarkKernelParallelSolve/n")
+		if !ok {
+			continue
+		}
+		digits, _, ok := strings.Cut(rest, "/")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(digits)
+		if err == nil && n > best {
+			best = n
+		}
+	}
+	if best < 0 {
+		return "", false
+	}
+	return fmt.Sprintf("n%d", best), true
+}
+
 // checkRegression compares the current report against the committed
 // baseline and returns one message per regression beyond tol (a
 // fraction, e.g. 0.15).
@@ -197,6 +236,24 @@ func checkRegression(cur, base *Report, tol float64) []string {
 		}
 	}
 
+	// The serial lane of the parallel-solve benchmark must stay pooled
+	// too: a worker team thrashing fresh arenas shows up here first.
+	for _, bb := range base.Benchmarks {
+		name := trimCPUSuffix(bb.Name)
+		if !strings.HasPrefix(name, "BenchmarkKernelParallelSolve/") || !strings.HasSuffix(name, "/w1") {
+			continue
+		}
+		cb, ok := lookup(curIdx, bb.Name)
+		if !ok {
+			continue
+		}
+		if cb.AllocsPerOp > bb.AllocsPerOp*(1+tol) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: allocs/op %.1f vs baseline %.1f (>%+.0f%%) — the serial solve stopped pooling",
+				bb.Name, cb.AllocsPerOp, bb.AllocsPerOp, 100*tol))
+		}
+	}
+
 	// The contention advantage is a within-run ratio, robust to the
 	// baseline and the current run living on different hardware.
 	baseIdx := indexByName(base)
@@ -215,6 +272,23 @@ func checkRegression(cur, base *Report, tol float64) []string {
 			problems = append(problems, fmt.Sprintf(
 				"BenchmarkEngineContention %s: single/sharded throughput ratio %.2f vs baseline %.2f (>%.0f%% regression)",
 				g, curRatio, baseRatio, 100*tol))
+		}
+	}
+
+	// The in-kernel parallel speedup at the largest benched chain, same
+	// within-run-ratio scheme as the contention gate.
+	if nLabel, ok := largestParallelN(base); ok {
+		baseRatio, ok := parallelSpeedup(baseIdx, nLabel, "w4")
+		if ok {
+			curRatio, ok := parallelSpeedup(curIdx, nLabel, "w4")
+			if !ok {
+				problems = append(problems, fmt.Sprintf(
+					"BenchmarkKernelParallelSolve %s: present in baseline but missing from this run", nLabel))
+			} else if curRatio < baseRatio*(1-tol) {
+				problems = append(problems, fmt.Sprintf(
+					"BenchmarkKernelParallelSolve %s: w1/w4 speedup %.2f vs baseline %.2f (>%.0f%% regression)",
+					nLabel, curRatio, baseRatio, 100*tol))
+			}
 		}
 	}
 	return problems

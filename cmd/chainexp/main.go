@@ -16,6 +16,10 @@
 //	-out dir    directory for CSV output (optional)
 //	-html path  write a self-contained HTML report (figures + summary)
 //	-workers k  planning worker pool size (default GOMAXPROCS)
+//	-solve-workers k  DP worker team per solve: 1 serial (default), 0
+//	            auto above the crossover length, k>1 pinned width —
+//	            the knob for mega-chain sweeps where one big solve,
+//	            not the sweep fan-out, dominates the wall clock
 //
 // All planning goes through the shared batch engine (internal/engine):
 // sweeps run at instance-level parallelism and repeated instances are
@@ -49,6 +53,8 @@ func main() {
 	outDir := flag.String("out", "", "directory for CSV output")
 	htmlPath := flag.String("html", "", "write an HTML report (figures 5/7/8 + summary) to this file")
 	workers := flag.Int("workers", 0, "planning worker pool size (0 = GOMAXPROCS)")
+	solveWorkers := flag.Int("solve-workers", 1,
+		"DP worker team per solve (1 = serial, 0 = auto above the crossover, k>1 = pinned width)")
 	statsDump := flag.Bool("stats", false,
 		"print a one-shot metrics summary (per-shard solve latency quantiles, memo traffic) at exit")
 	flag.Parse()
@@ -63,9 +69,17 @@ func main() {
 	if *statsDump {
 		reg = obs.NewRegistry()
 	}
-	if *workers > 0 || *statsDump {
+	if *workers > 0 || *solveWorkers != 1 || *statsDump {
+		// CLI semantics (1 serial, 0 auto) map onto engine.Options,
+		// where zero is the compat serial default and negative selects
+		// auto.
+		engineSolveWorkers := *solveWorkers
+		if engineSolveWorkers == 0 {
+			engineSolveWorkers = -1
+		}
 		engine.SetDefault(engine.New(engine.Options{
-			Workers: *workers, Metrics: engine.NewMetrics(reg),
+			Workers: *workers, SolveWorkers: engineSolveWorkers,
+			Metrics: engine.NewMetrics(reg),
 		}))
 	}
 

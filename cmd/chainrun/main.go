@@ -28,6 +28,11 @@
 //	                 (requires -store, single replication)
 //	-trace           print the event log (single replication only)
 //	-json            emit the report as JSON
+//	-solve-workers k DP worker team for the initial solve: 1 serial
+//	                 (default), 0 auto (engages above the crossover
+//	                 length on multi-core hosts), k>1 pins the team
+//	                 width; never changes the schedule, only the solve
+//	                 wall clock
 //	-stats           print a one-shot metrics summary to stderr at exit:
 //	                 solve latency plus task, verification,
 //	                 checkpoint-commit and fsync quantiles from the
@@ -74,6 +79,10 @@ type config struct {
 	// and fsync quantiles) to stderr at exit. Set by main after
 	// compile, so the long-standing compile signature stays put.
 	stats bool
+	// solveWorkers is the DP worker team for the initial solve
+	// (core.Options.SolveWorkers). Set by main after compile, like
+	// stats.
+	solveWorkers int
 }
 
 func main() {
@@ -98,6 +107,8 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit JSON")
 	statsDump := flag.Bool("stats", false,
 		"print a one-shot metrics summary (solve, task, checkpoint-commit and fsync quantiles) to stderr at exit")
+	solveWorkers := flag.Int("solve-workers", 1,
+		"DP worker team for the initial solve (1 = serial, 0 = auto above the crossover, k>1 = pinned width)")
 	flag.Parse()
 
 	cfg, err := compile(*platName, *patName, *n, *total, *weights, *algName, *runner,
@@ -106,6 +117,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.stats = *statsDump
+	cfg.solveWorkers = *solveWorkers
 	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -203,7 +215,8 @@ func run(cfg *config, w *os.File) error {
 		}()
 	}
 	planStart := time.Now()
-	res, err := chainckpt.Plan(cfg.alg, cfg.chain, cfg.plat)
+	res, err := chainckpt.PlanWithOptions(cfg.alg, cfg.chain, cfg.plat,
+		chainckpt.PlanOptions{SolveWorkers: cfg.solveWorkers})
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,12 @@
 //
 //	-addr host:port   listen address (default :8080)
 //	-workers k        planning worker pool size (default GOMAXPROCS)
+//	-solve-workers k  DP worker team per solve: 1 serial (default; the
+//	                  pool is the parallelism), 0 auto (each solve
+//	                  engages a team above the crossover length on
+//	                  multi-core hosts), k>1 pins the width. Shards
+//	                  share one CPU budget: size workers×solve-workers
+//	                  to the core count. Never changes any plan.
 //	-cache k          plan memo capacity in entries (default 4096, 0 disables)
 //	-shards k         engine shards (default $CHAINSERVE_SHARDS, else the
 //	                  smaller of GOMAXPROCS and the worker count; an
@@ -112,6 +118,8 @@ func main() {
 
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "planning worker pool size (0 = GOMAXPROCS)")
+	solveWorkers := flag.Int("solve-workers", 1,
+		"DP worker team per solve (1 = serial, 0 = auto above the crossover, k>1 = pinned width)")
 	cacheSize := flag.Int("cache", 4096, "plan memo capacity in entries (0 disables the memo)")
 	shards := flag.Int("shards", defaultShards(os.Getenv),
 		"engine shards, rounded up to a power of two (0 = min of cores and workers)")
@@ -139,8 +147,15 @@ func main() {
 		defer journal.Close()
 		store = journal
 	}
+	// CLI semantics (1 serial, 0 auto) map onto engine.Options, where
+	// zero is the compat serial default and negative selects auto.
+	engineSolveWorkers := *solveWorkers
+	if engineSolveWorkers == 0 {
+		engineSolveWorkers = -1
+	}
 	srv := newServerWithObs(engine.New(engine.Options{
-		Workers: *workers, CacheSize: memo, Shards: *shards, Metrics: plane.engine,
+		Workers: *workers, CacheSize: memo, Shards: *shards,
+		SolveWorkers: engineSolveWorkers, Metrics: plane.engine,
 	}), store, *storeDir, plane)
 	defer srv.eng.Close()
 	if *pprofAddr != "" {
@@ -179,8 +194,8 @@ func main() {
 		httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("listening on %s (workers=%d, cache=%d, shards=%d, drain=%s)",
-		*addr, *workers, *cacheSize, len(srv.eng.Stats().Shards), *drain)
+	log.Printf("listening on %s (workers=%d, solve-workers=%d, cache=%d, shards=%d, drain=%s)",
+		*addr, *workers, *solveWorkers, *cacheSize, len(srv.eng.Stats().Shards), *drain)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

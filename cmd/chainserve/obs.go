@@ -240,6 +240,31 @@ func (s *server) initObs() {
 			}
 		}, "cap")
 
+	// The in-kernel parallel solve (core.KernelParallelStats): how many
+	// solves engaged a worker team, the tile traffic and helper busy
+	// time behind them, and how often auto mode declined below the
+	// crossover length.
+	counterFn("chainckpt_kernel_parallel_solves_total",
+		"Solves that engaged a worker team (SolveWorkers > 1, explicit or auto).",
+		func(sn *scrapeSnapshot) uint64 { return sn.eng.Kernel.Parallel.Solves })
+	counterFn("chainckpt_kernel_parallel_tiles_total",
+		"DP tiles dispatched to solver worker teams.",
+		func(sn *scrapeSnapshot) uint64 { return sn.eng.Kernel.Parallel.Tiles })
+	reg.RegisterCounterFunc("chainckpt_kernel_parallel_busy_seconds_total",
+		"Cumulative seconds solver team members spent running tiles.",
+		func(set obs.LabelSetter) {
+			snap.mu.Lock()
+			v := snap.eng.Kernel.Parallel.BusySeconds
+			snap.mu.Unlock()
+			set.Set(v)
+		})
+	counterFn("chainckpt_kernel_parallel_crossover_skips_total",
+		"Auto-mode solves that stayed serial below the crossover window length.",
+		func(sn *scrapeSnapshot) uint64 { return sn.eng.Kernel.Parallel.CrossoverSkips })
+	gaugeFn("chainckpt_kernel_parallel_workers",
+		"Live solver team helpers (idle helpers retire after a minute).",
+		func(sn *scrapeSnapshot) float64 { return float64(sn.eng.Kernel.Parallel.Workers) })
+
 	// Jobs and the supervisor.
 	counterFn("chainserve_jobs_total",
 		"Execution jobs accepted.",

@@ -70,6 +70,10 @@ func TestMetricsExpositionLintsClean(t *testing.T) {
 		"chainserve_engine_requests_total",
 		"chainserve_kernel_solves_total",
 		"chainckpt_kernel_arena_bytes",
+		"chainckpt_kernel_parallel_tiles_total",
+		"chainckpt_kernel_parallel_busy_seconds_total",
+		"chainckpt_kernel_parallel_crossover_skips_total",
+		"chainckpt_kernel_parallel_workers",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)
@@ -189,14 +193,28 @@ func TestDebugTraceEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(readAll(t, dr)), &td); err != nil {
 		t.Fatal(err)
 	}
-	found := false
+	var plan *obs.SpanDump
 	for _, c := range td.Root.Children {
 		if c.Name == "engine.plan" {
-			found = true
+			plan = c
 		}
 	}
-	if !found {
+	if plan == nil {
 		t.Fatalf("request trace has no engine.plan child: %+v", td.Root)
+	}
+	// The solve itself is a child of the plan span, annotated with the
+	// team width the kernel ran at (serial here: the engine default).
+	var solve *obs.SpanDump
+	for _, c := range plan.Children {
+		if c.Name == "kernel.solve" {
+			solve = c
+		}
+	}
+	if solve == nil {
+		t.Fatalf("engine.plan has no kernel.solve child: %+v", plan)
+	}
+	if got := solve.Attrs["workers"]; got != "1" {
+		t.Errorf("kernel.solve workers attr = %q, want \"1\"", got)
 	}
 }
 

@@ -161,7 +161,7 @@ func (s *server) resumeJob(ctx context.Context, rec jobstore.Record) error {
 func (s *server) replanSuffix(req engine.Request, c *chain.Chain, sched *schedule.Schedule,
 	est runtime.EstimatorState, from int) (*core.Result, error) {
 	updated := est.ReplanPlatform(req.Platform, 0)
-	opts := core.Options{Costs: req.Opts.Costs, Workers: 1}
+	opts := core.Options{Costs: req.Opts.Costs, SolveWorkers: 1}
 	rem, err := suffixBudget(sched, from, req.Opts.MaxDiskCheckpoints, c.Len())
 	if err != nil {
 		return nil, err

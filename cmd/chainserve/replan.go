@@ -97,7 +97,7 @@ func (s *server) handleReplan(w http.ResponseWriter, r *http.Request) {
 		p.LambdaS = rr.ObservedLambdaS
 	}
 	opts := req.Opts
-	opts.Workers = 1
+	opts.SolveWorkers = 1
 	rem, err := suffixBudget(rr.Schedule, rr.From, opts.MaxDiskCheckpoints, c.Len())
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)

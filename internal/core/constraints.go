@@ -129,12 +129,17 @@ type Options struct {
 	// parallel file system). Zero means unlimited; otherwise it must be
 	// at least 1.
 	MaxDiskCheckpoints int
-	// Workers bounds the solver's internal parallelism (the per-disk-
-	// position dynamic-program rows). Zero means GOMAXPROCS; 1 runs the
-	// solver fully serially, which is what batch schedulers such as
+	// SolveWorkers sets the worker team one solve may tile its dynamic
+	// program across (see internal/core/parallel.go). 1 is the fully
+	// serial path, which is what batch schedulers such as
 	// internal/engine want when they already parallelize across
-	// instances. Workers never changes the result, only the wall clock.
-	Workers int
+	// instances. Zero — the default — is GOMAXPROCS-aware auto: the
+	// team engages only above a crossover window length where the
+	// dispatch overhead amortizes (solves below it are counted as
+	// crossover skips in KernelStats.Parallel). Larger values pin the
+	// team width. SolveWorkers never changes the result, only the wall
+	// clock: parallel solves are byte-identical to serial ones.
+	SolveWorkers int
 }
 
 // PlanOpts runs the named algorithm under the given options. It is a

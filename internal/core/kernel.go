@@ -121,6 +121,30 @@ func (sc *scratch) putMem(ms *memScratch) {
 	sc.dp.mu.Unlock()
 }
 
+// prewarm builds the lazy parts of an arena ahead of its first solve:
+// the dynamic-program buffers plus one memLevel arena per prospective
+// team member, partial scratch included. Tune uses it so the first
+// parallel solve through a fresh exact pool finds width arenas on the
+// free list instead of W workers all allocating (cap+1)^2 row buffers
+// at once.
+func (sc *scratch) prewarm(width int) {
+	if width < 1 {
+		width = 1
+	}
+	dp := sc.ensureDP(sc.cap)
+	dp.mu.Lock()
+	have := len(dp.mem)
+	dp.mu.Unlock()
+	for ; have < width; have++ {
+		ms := &memScratch{
+			rows:    make([][]float64, sc.cap+1),
+			rowBuf:  make([]float64, (sc.cap+1)*(sc.cap+1)),
+			partial: newPartialScratch(sc.cap),
+		}
+		sc.putMem(ms)
+	}
+}
+
 // reconPartial returns the reconstruct pass's ADMV partial scratch.
 func (sc *scratch) reconPartial() *partialScratch {
 	dp := sc.dp
@@ -161,6 +185,12 @@ type Kernel struct {
 	// re-Tune, so Stats totals (and the Prometheus counters fed from
 	// them) stay monotonic when the hot set shifts.
 	retiredReuses, retiredFresh, retiredSolves atomic.Uint64
+
+	// team is the kernel's persistent solve team: helper goroutines that
+	// parallel solves (Options.SolveWorkers) tile their DP phases
+	// across. Spawned lazily on the first parallel solve, shed after an
+	// idle timeout; serial solves never touch it.
+	team solveTeam
 }
 
 // kernelBucket pools scratches of one capacity class.
@@ -188,6 +218,30 @@ type KernelStats struct {
 	// lengths). It is the input Tune uses to pick which sizes deserve an
 	// exact-capacity pool.
 	Sizes []KernelSizeStats `json:"sizes,omitempty"`
+	// Parallel reports the kernel's solve-team counters.
+	Parallel KernelParallelStats `json:"parallel"`
+}
+
+// KernelParallelStats snapshots the worker team of a kernel's parallel
+// solves (Options.SolveWorkers). The observability plane projects these
+// into the chainckpt_kernel_parallel_* metric families.
+type KernelParallelStats struct {
+	// Solves counts planning runs that engaged the team (resolved
+	// worker count > 1).
+	Solves uint64 `json:"solves"`
+	// Tiles counts tiles dispatched to the team across all DP phases
+	// (table build, memory levels, disk-level wavefronts).
+	Tiles uint64 `json:"tiles"`
+	// BusySeconds accumulates the time solve participants (the calling
+	// goroutine and every helper) spent executing tiles.
+	BusySeconds float64 `json:"busy_seconds"`
+	// CrossoverSkips counts auto-mode solves (SolveWorkers: 0) that
+	// stayed serial — the window was below the crossover length or the
+	// machine has a single core.
+	CrossoverSkips uint64 `json:"crossover_skips"`
+	// Workers is the current number of live helper goroutines (a gauge:
+	// idle helpers retire after a timeout).
+	Workers int `json:"workers"`
 }
 
 // KernelSizeStats is one exact window length's solve count.
@@ -326,7 +380,15 @@ func (k *Kernel) Tune(hist KernelStats) {
 			}
 		}
 		b := &kernelBucket{}
-		b.pool.Put(newScratch(s.N)) // pre-size: the first solve finds a warm exact arena
+		// Pre-size for the first solve: a warm exact arena with its DP
+		// buffers built and one memLevel arena per member of the widest
+		// team this kernel has run. A parallel solve draws W memLevel
+		// arenas concurrently, so a pre-warm sized for one scratch per
+		// solve would push W-1 fresh (cap+1)^2 allocations into the
+		// first tuned solve.
+		sc := newScratch(s.N)
+		sc.prewarm(int(k.team.widest.Load()))
+		b.pool.Put(sc)
 		m[s.N] = b
 	}
 	// Fold the counters of pools this re-tune retires into the retired
@@ -355,6 +417,13 @@ func (k *Kernel) Stats() KernelStats {
 		Solves:        k.solves.Load(),
 		ScratchReuses: k.retiredReuses.Load(),
 		ScratchFresh:  k.retiredFresh.Load(),
+		Parallel: KernelParallelStats{
+			Solves:         k.team.solves.Load(),
+			Tiles:          k.team.tiles.Load(),
+			BusySeconds:    float64(k.team.busyNs.Load()) / 1e9,
+			CrossoverSkips: k.team.skips.Load(),
+			Workers:        k.team.liveWorkers(),
+		},
 	}
 	for i := range k.buckets {
 		r, f, s := k.buckets[i].reuses.Load(), k.buckets[i].fresh.Load(), k.buckets[i].solves.Load()
@@ -467,9 +536,14 @@ func (k *Kernel) planWindow(alg Algorithm, c *chain.Chain, p platform.Platform, 
 	if err != nil {
 		return nil, err
 	}
+	s.k = k
 	if err := s.applyOptions(opts); err != nil {
 		return nil, err
 	}
+	if s.workers > 1 {
+		k.team.solves.Add(1)
+	}
+	s.buildTables()
 	res, err := s.run()
 	if err == nil {
 		n := c.Len() - lo
@@ -497,9 +571,10 @@ func (s *solver) applyOptions(opts Options) error {
 			s.maxDisk = opts.MaxDiskCheckpoints
 		}
 	}
-	if opts.Workers < 0 {
-		return fmt.Errorf("core: Workers must be non-negative, got %d", opts.Workers)
+	w, err := s.k.team.resolveSolveWorkers(opts.SolveWorkers, s.n)
+	if err != nil {
+		return err
 	}
-	s.workers = opts.Workers
+	s.workers = w
 	return nil
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"chainckpt/internal/chain"
 	"chainckpt/internal/platform"
+	"chainckpt/internal/schedule"
 	"chainckpt/internal/workload"
 )
 
@@ -38,7 +40,7 @@ func BenchmarkKernelPlan(b *testing.B) {
 			k := NewKernel()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := k.PlanOpts(bc.alg, c, p, Options{Workers: 1}); err != nil {
+				if _, err := k.PlanOpts(bc.alg, c, p, Options{SolveWorkers: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -65,7 +67,7 @@ func BenchmarkKernelPlanCold(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := NewKernel().PlanOpts(bc.alg, c, p, Options{Workers: 1}); err != nil {
+				if _, err := NewKernel().PlanOpts(bc.alg, c, p, Options{SolveWorkers: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -87,7 +89,7 @@ func BenchmarkReplanSuffix(b *testing.B) {
 	k := NewKernel()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := k.ReplanSuffix(AlgADMVStar, c, drifted, from, Options{Workers: 1}); err != nil {
+		if _, err := k.ReplanSuffix(AlgADMVStar, c, drifted, from, Options{SolveWorkers: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -109,8 +111,55 @@ func BenchmarkReplanSuffixViaFreshChain(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := NewKernel().PlanOpts(AlgADMVStar, suffix, drifted, Options{Workers: 1}); err != nil {
+		if _, err := NewKernel().PlanOpts(AlgADMVStar, suffix, drifted, Options{SolveWorkers: 1}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelParallelSolve is the speedup curve of the in-kernel
+// worker team on the mega-chain shape it exists for: ADV* with disk
+// checkpoints restricted to sparse boundaries and a 32-checkpoint
+// budget, so the memory level between allowed positions — the phase the
+// team tiles across disk positions — carries the DP work instead of the
+// serial-friendly unconstrained disk level. The allowed-boundary
+// spacing scales as n/25 (floor 8) so a single iteration at n=4000
+// stays in whole seconds instead of half a minute while still exposing
+// ~25 heavily imbalanced memory levels for the team to tile; at that
+// size the segment-table build (also tiled across the team) carries a
+// comparable share of the runtime.
+// Sub-benchmarks sweep n × team width; the w1/w4 ratio at the largest
+// n is the speedup gate cmd/benchjson tracks (on a multi-core runner
+// it must show >= 2x separation; a 1-core builder records a flat
+// curve).
+func BenchmarkKernelParallelSolve(b *testing.B) {
+	p := platform.Hera()
+	for _, n := range []int{200, 1000, 4000} {
+		c := benchChain(b, n)
+		cons, err := NewConstraints(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spacing := n / 25
+		if spacing < 8 {
+			spacing = 8
+		}
+		for i := 1; i < n; i++ {
+			if i%spacing != 0 {
+				cons.Forbid(i, schedule.Disk)
+			}
+		}
+		for _, w := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				k := NewKernel()
+				opts := Options{Constraints: cons, MaxDiskCheckpoints: 32, SolveWorkers: w}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := k.PlanOpts(AlgADV, c, p, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }
@@ -130,7 +179,7 @@ func BenchmarkKernelTunedScratch(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := k.PlanOpts(AlgADMVStar, c, p, Options{Workers: 1}); err != nil {
+			if _, err := k.PlanOpts(AlgADMVStar, c, p, Options{SolveWorkers: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -141,7 +190,7 @@ func BenchmarkKernelTunedScratch(b *testing.B) {
 	})
 	b.Run("tuned", func(b *testing.B) {
 		k := NewKernel()
-		if _, err := k.PlanOpts(AlgADMVStar, c, p, Options{Workers: 1}); err != nil {
+		if _, err := k.PlanOpts(AlgADMVStar, c, p, Options{SolveWorkers: 1}); err != nil {
 			b.Fatal(err) // prime the solve histogram Tune consumes
 		}
 		k.Tune(k.Stats())

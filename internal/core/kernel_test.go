@@ -154,11 +154,11 @@ func TestKernelWorkersIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, alg := range Algorithms() {
-		serial, err := k.PlanOpts(alg, c, p, Options{Workers: 1})
+		serial, err := k.PlanOpts(alg, c, p, Options{SolveWorkers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallel, err := k.PlanOpts(alg, c, p, Options{Workers: 4})
+		parallel, err := k.PlanOpts(alg, c, p, Options{SolveWorkers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -322,6 +322,72 @@ func TestKernelTuneExactPools(t *testing.T) {
 		t.Errorf("tuned acquire built cap %d, want 50", sc.cap)
 	}
 	k.release(sc)
+}
+
+// TestKernelTunePrewarmsTeamScratch is the regression for the
+// one-scratch-per-solve pre-warm bug: Tune used to warm an exact pool
+// with a bare arena (no DP buffers, empty memLevel free list), so the
+// first parallel solve through it had W workers all allocating fresh
+// (cap+1)^2 row buffers at once. After a workers=4 solve taught the
+// kernel its team width, a tuned arena must come out with the DP
+// buffers built and four memLevel arenas — partial scratch included —
+// already on the free list.
+func TestKernelTunePrewarmsTeamScratch(t *testing.T) {
+	k := NewKernel()
+	p := hotPlatform()
+	c, err := workload.Uniform(50, 25000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.PlanOpts(AlgADMVStar, c, p, Options{SolveWorkers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if w := k.team.widest.Load(); w != 4 {
+		t.Fatalf("team widest = %d after a workers=4 solve, want 4", w)
+	}
+	k.Tune(k.Stats())
+
+	// prewarm itself must deliver exactly what a 4-wide team draws:
+	// DP buffers plus four memLevel arenas with their partial scratch.
+	// (Asserted on a directly built arena — sync.Pool may drop the
+	// tuned pool's warm arena under -race, so pulling it back out is
+	// not deterministic.)
+	sc := newScratch(50)
+	sc.prewarm(4)
+	if sc.dp == nil {
+		t.Fatal("pre-warmed arena has no DP buffers")
+	}
+	sc.dp.mu.Lock()
+	warm := len(sc.dp.mem)
+	sc.dp.mu.Unlock()
+	if warm != 4 {
+		t.Fatalf("pre-warmed free list holds %d memLevel arenas, want 4 (one per team member)", warm)
+	}
+	for i := 0; i < warm; i++ {
+		ms := sc.getMem(50, true)
+		if ms.partial == nil {
+			t.Fatalf("pre-warmed memLevel arena %d missing its partial scratch", i)
+		}
+		if len(ms.rowBuf) != 51*51 {
+			t.Fatalf("pre-warmed arena %d rowBuf sized %d, want %d", i, len(ms.rowBuf), 51*51)
+		}
+	}
+
+	// When the tuned pool did retain its warm arena, it must be the
+	// team-wide one, not a bare scratch.
+	tuned := k.acquire(50)
+	defer k.release(tuned)
+	if tuned.cap != 50 {
+		t.Fatalf("tuned acquire built cap %d, want 50", tuned.cap)
+	}
+	if tuned.dp != nil {
+		tuned.dp.mu.Lock()
+		got := len(tuned.dp.mem)
+		tuned.dp.mu.Unlock()
+		if got < 4 {
+			t.Errorf("tuned pool's warm arena holds %d memLevel arenas, want >= 4", got)
+		}
+	}
 }
 
 // TestKernelTuneSkipsPowerOfTwoSizes: a bucket arena already fits a

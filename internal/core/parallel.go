@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The solver's three heavy phases all decompose into index-addressed
+// tiles with no cross-tile data flow inside one phase:
+//
+//   - segment tables: row i of the (i,j) triangle depends on nothing
+//     but the prefix weights;
+//   - memory levels: the whole level of disk position d1 reads only the
+//     read-only tables and writes only row d1 of the emem/mprev arenas;
+//   - disk level: along the checkpoint-count axis k the recurrence is a
+//     wavefront — every edisk[d2][k] reads only column k-1 — so the d2
+//     entries of one k-level are independent.
+//
+// A solveTeam executes such a phase as a bag of tiles drained through a
+// single atomic cursor: tiles are claimed in ascending index order
+// (for the triangular phases that is largest-work-first, the schedule
+// that keeps worker finish times close), every tile writes to slots
+// determined by its index alone, and any min-reduction stays inside a
+// tile scanning candidates in index order with a strict '<'. Arrival
+// order is therefore invisible in the output: a parallel solve is
+// byte-identical to the serial one for any worker count.
+const (
+	// autoSolveCrossover is the window length where SolveWorkers: 0
+	// (auto) starts engaging the team. Below it a serial ADV solve is
+	// ~1 ms and the dispatch + handoff overhead (~10 µs plus a cold
+	// helper wake-up) can eat the gain; above it every phase has
+	// thousands of table rows per tile and the team wins on any
+	// multi-core machine (see BenchmarkKernelParallelSolve).
+	autoSolveCrossover = 192
+	// maxAutoWorkers caps the auto team: memory-level tiles each draw a
+	// (n+1)^2 memScratch arena, so very wide teams trade cache locality
+	// and memory for little extra speedup on the triangular phases.
+	maxAutoWorkers = 8
+	// maxTeamWorkers bounds explicit SolveWorkers requests and the
+	// helper goroutines a kernel will ever keep.
+	maxTeamWorkers = 64
+	// teamIdleTimeout is how long a parked helper waits for work before
+	// exiting; an idle kernel sheds its team instead of pinning
+	// goroutines forever.
+	teamIdleTimeout = time.Minute
+)
+
+// solveTeam is the persistent worker team a Kernel owns: helper
+// goroutines parked on an unbuffered job channel, spawned lazily on the
+// first parallel solve and retired after teamIdleTimeout without work.
+// Handoff is synchronous (send with a default branch), so a job only
+// counts the helpers that actually took it — if every helper is busy or
+// gone, the caller drains all tiles itself and the result is unchanged,
+// just slower. Correctness never depends on a helper arriving.
+type solveTeam struct {
+	mu      sync.Mutex
+	jobs    chan *teamJob
+	workers int // live helper goroutines
+
+	// Counters behind KernelStats.Parallel (core stays free of any obs
+	// dependency: the observability plane projects these from outside).
+	solves atomic.Uint64 // solves that ran with a team (workers > 1)
+	tiles  atomic.Uint64 // tiles dispatched across all phases
+	busyNs atomic.Int64  // nanoseconds participants spent draining tiles
+	skips  atomic.Uint64 // auto-mode solves that stayed serial
+
+	// widest remembers the largest worker count ever resolved, so
+	// Kernel.Tune can pre-warm exact arenas with one memScratch per
+	// prospective team member (see scratch.prewarm).
+	widest atomic.Int64
+}
+
+// teamJob is one phase dispatch: tiles [0, total) claimed through the
+// atomic cursor. wg tracks the helpers that accepted the job.
+type teamJob struct {
+	next  atomic.Int64
+	total int64
+	run   func(tile int)
+	wg    sync.WaitGroup
+}
+
+// drain claims and runs tiles until the bag is empty.
+func (j *teamJob) drain() {
+	for {
+		t := j.next.Add(1) - 1
+		if t >= j.total {
+			return
+		}
+		j.run(int(t))
+	}
+}
+
+// resolveSolveWorkers maps an Options.SolveWorkers request to the
+// worker count one solve of an n-task window will use. Zero is the
+// GOMAXPROCS-aware auto mode: it only engages above the crossover
+// window length (small solves lose more to dispatch than they gain) and
+// records declined engagements as crossover skips.
+func (t *solveTeam) resolveSolveWorkers(requested, n int) (int, error) {
+	switch {
+	case requested < 0:
+		return 0, fmt.Errorf("core: SolveWorkers must be non-negative, got %d", requested)
+	case requested == 1:
+		return 1, nil
+	case requested > 1:
+		w := min(requested, maxTeamWorkers)
+		t.noteWidth(w)
+		return w, nil
+	}
+	// Auto: engage only when the window is big enough to amortize the
+	// team and the machine has more than one core to offer.
+	if w := min(runtime.GOMAXPROCS(0), maxAutoWorkers); w > 1 && n >= autoSolveCrossover {
+		t.noteWidth(w)
+		return w, nil
+	}
+	t.skips.Add(1)
+	return 1, nil
+}
+
+func (t *solveTeam) noteWidth(w int) {
+	for {
+		cur := t.widest.Load()
+		if int64(w) <= cur || t.widest.CompareAndSwap(cur, int64(w)) {
+			return
+		}
+	}
+}
+
+// run executes fn(0..tiles-1) on the caller plus up to workers-1 team
+// helpers and returns when every tile has finished. Tiles are claimed
+// in ascending index order; fn must confine its writes to slots derived
+// from the tile index.
+func (t *solveTeam) run(workers, tiles int, fn func(tile int)) {
+	if tiles <= 0 {
+		return
+	}
+	want := min(workers-1, tiles-1)
+	if want <= 0 {
+		for i := 0; i < tiles; i++ {
+			fn(i)
+		}
+		return
+	}
+	t.tiles.Add(uint64(tiles))
+	t.ensureWorkers(want)
+	job := &teamJob{total: int64(tiles), run: fn}
+	for i, retried := 0, false; i < want; i++ {
+		job.wg.Add(1)
+		select {
+		case t.jobs <- job:
+			continue
+		default:
+		}
+		if !retried {
+			// Freshly spawned helpers may not have parked on the
+			// channel yet; one yield is enough for them to arrive, and
+			// a phase-sized job is worth the reschedule.
+			retried = true
+			runtime.Gosched()
+		}
+		select {
+		case t.jobs <- job:
+		default:
+			job.wg.Done() // helpers all busy: the caller covers this slot
+		}
+	}
+	start := time.Now()
+	job.drain()
+	t.busyNs.Add(int64(time.Since(start)))
+	job.wg.Wait()
+}
+
+// ensureWorkers grows the helper pool to at least want goroutines
+// (bounded by maxTeamWorkers).
+func (t *solveTeam) ensureWorkers(want int) {
+	if want > maxTeamWorkers-1 {
+		want = maxTeamWorkers - 1
+	}
+	t.mu.Lock()
+	if t.jobs == nil {
+		t.jobs = make(chan *teamJob)
+	}
+	for t.workers < want {
+		t.workers++
+		go t.worker()
+	}
+	t.mu.Unlock()
+}
+
+// worker is one parked helper: it drains jobs as they are handed off
+// and exits after teamIdleTimeout without work. Because handoff is a
+// synchronous send, a worker that has decided to exit simply stops
+// being a send target — no job can be stranded with it.
+func (t *solveTeam) worker() {
+	timer := time.NewTimer(teamIdleTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case job := <-t.jobs:
+			start := time.Now()
+			job.drain()
+			t.busyNs.Add(int64(time.Since(start)))
+			job.wg.Done()
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timer.Reset(teamIdleTimeout)
+		case <-timer.C:
+			t.mu.Lock()
+			t.workers--
+			t.mu.Unlock()
+			return
+		}
+	}
+}
+
+// liveWorkers reports the current helper goroutine count (a gauge for
+// KernelStats.Parallel.Workers).
+func (t *solveTeam) liveWorkers() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.workers
+}
+
+// tileSpan returns the half-open index range of block b when [0, total)
+// is cut into the given number of contiguous blocks (see tileCount).
+func tileSpan(total, blocks, b int) (lo, hi int) {
+	lo = b * total / blocks
+	hi = (b + 1) * total / blocks
+	return lo, hi
+}
+
+// tileCount picks how many blocks to cut an index range into: enough
+// that the cursor can load-balance the triangle's uneven block costs
+// (about eight claims per worker), never more than the range itself.
+func tileCount(total, workers int) int {
+	blocks := 8 * workers
+	if blocks > total {
+		blocks = total
+	}
+	return blocks
+}

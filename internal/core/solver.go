@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"chainckpt/internal/chain"
 	"chainckpt/internal/expmath"
@@ -47,9 +45,13 @@ type solver struct {
 	// maxDisk bounds the number of disk checkpoints (window boundaries
 	// 1..n, including the mandatory final one). Always in [1, n].
 	maxDisk int
-	// workers bounds the parallelism of run() across disk positions;
-	// zero means GOMAXPROCS. The result is identical for any value.
+	// workers is the resolved per-solve parallelism (see
+	// Options.SolveWorkers and solveTeam.resolveSolveWorkers); 1 runs
+	// every phase serially. The result is identical for any value.
 	workers int
+	// k is the kernel whose worker team a parallel solve borrows; nil
+	// for fresh solvers (Evaluator), which never parallelize.
+	k *Kernel
 	// sc owns every working array of the run. Pooled solvers borrow it
 	// from a Kernel; fresh solvers allocate their own.
 	sc *scratch
@@ -66,12 +68,19 @@ type solver struct {
 }
 
 func newSolverWithCosts(c *chain.Chain, p platform.Platform, alg Algorithm, costs *platform.Costs) (*solver, error) {
-	return newWindowSolver(c, p, alg, 0, costs, nil)
+	s, err := newWindowSolver(c, p, alg, 0, costs, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.buildTables()
+	return s, nil
 }
 
 // newWindowSolver builds a solver for the window [lo, N] of the chain.
 // With sc == nil a fresh arena is allocated; otherwise sc must have
-// capacity for at least N-lo tasks.
+// capacity for at least N-lo tasks. The caller must call buildTables
+// before solving or evaluating — the kernel path does so after
+// applyOptions, so the table build can use the resolved worker team.
 func newWindowSolver(c *chain.Chain, p platform.Platform, alg Algorithm, lo int, costs *platform.Costs, sc *scratch) (*solver, error) {
 	if c == nil || c.Len() == 0 {
 		return nil, fmt.Errorf("core: empty chain")
@@ -106,12 +115,17 @@ func newWindowSolver(c *chain.Chain, p platform.Platform, alg Algorithm, lo int,
 		lfs:     p.LambdaF + p.LambdaS,
 		costs:   costs,
 		maxDisk: n,
+		workers: 1,
 		sc:      sc,
 	}
-	s.buildTables()
 	return s, nil
 }
 
+// buildTables fills the per-segment exponential tables. Each row i of
+// the (i,j) triangle is a pure function of the prefix weights, so with
+// a worker team the rows are tiled across it; every entry is computed
+// by the same expression either way, keeping parallel builds
+// bit-identical to serial ones.
 func (s *solver) buildTables() {
 	n := s.n
 	size := (n + 1) * (n + 1)
@@ -132,21 +146,32 @@ func (s *solver) buildTables() {
 	s.pre = pre
 
 	lf, ls := s.p.LambdaF, s.p.LambdaS
-	for i := 0; i <= n; i++ {
-		base := i * (n + 1)
-		for j := i; j <= n; j++ {
-			w := pre[j] - pre[i]
-			S := expmath.Growth(ls, w)
-			pf := expmath.ProbError(lf, w)
-			k := base + j
-			s.sInt[k] = S * expmath.IntExpGrowth(lf, w)
-			s.sFm1[k] = S * expmath.GrowthM1(lf, w)
-			s.fsM1[k] = expmath.GrowthM1(s.lfs, w)
-			s.sM1[k] = expmath.GrowthM1(ls, w)
-			s.pf[k] = pf
-			s.pfTl[k] = pf * expmath.TLost(lf, w)
-			s.pnW[k] = (1 - pf) * w
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * (n + 1)
+			for j := i; j <= n; j++ {
+				w := pre[j] - pre[i]
+				S := expmath.Growth(ls, w)
+				pf := expmath.ProbError(lf, w)
+				k := base + j
+				s.sInt[k] = S * expmath.IntExpGrowth(lf, w)
+				s.sFm1[k] = S * expmath.GrowthM1(lf, w)
+				s.fsM1[k] = expmath.GrowthM1(s.lfs, w)
+				s.sM1[k] = expmath.GrowthM1(ls, w)
+				s.pf[k] = pf
+				s.pfTl[k] = pf * expmath.TLost(lf, w)
+				s.pnW[k] = (1 - pf) * w
+			}
 		}
+	}
+	if s.workers > 1 && s.k != nil {
+		blocks := tileCount(n+1, s.workers)
+		s.k.team.run(s.workers, blocks, func(b int) {
+			lo, hi := tileSpan(n+1, blocks, b)
+			rows(lo, hi)
+		})
+	} else {
+		rows(0, n+1)
 	}
 }
 
@@ -379,9 +404,28 @@ func (s *solver) memLevel(d1 int, emem []float64, mprev []int) {
 	}
 }
 
+// diskCell fills edisk[d2][k] as the strict-< argmin over predecessor
+// disk positions d1 of edisk[d1][k-1] + Emem(d1,d2) + C_D(d2), scanning
+// d1 ascending.
+func (s *solver) diskCell(edisk [][]float64, diskPrev [][]int, ememAll [][]float64, d2, k int) {
+	best := math.Inf(1)
+	bi := -1
+	for d1 := 0; d1 < d2; d1++ {
+		if ememAll[d1] == nil {
+			continue // boundary may not carry a disk checkpoint
+		}
+		if cand := edisk[d1][k-1] + ememAll[d1][d2] + s.cdAt(d2); cand < best {
+			best, bi = cand, d1
+		}
+	}
+	edisk[d2][k], diskPrev[d2][k] = best, bi
+}
+
 // run executes the full three-level dynamic program and reconstructs the
 // optimal schedule. The memory-level tables for distinct disk positions
-// d1 are independent and are computed in parallel.
+// d1 are independent given the segment tables and are tiled across the
+// kernel's worker team; the disk level is a wavefront along the
+// checkpoint-count axis, parallel in d2 within each k-level.
 func (s *solver) run() (*Result, error) {
 	n := s.n
 	dp := s.sc.ensureDP(n)
@@ -391,47 +435,47 @@ func (s *solver) run() (*Result, error) {
 	clear(ememAll)
 	clear(memPrevAll)
 
-	row := func(d1 int) {
-		emem := dp.ememBuf[d1*stride : (d1+1)*stride : (d1+1)*stride]
-		mprev := dp.mprvBuf[d1*stride : (d1+1)*stride : (d1+1)*stride]
-		s.memLevel(d1, emem, mprev)
-		ememAll[d1] = emem
-		memPrevAll[d1] = mprev
-	}
+	// row is duplicated into each branch rather than hoisted: a single
+	// hoisted closure would be captured by the team closure below and
+	// escape to the heap even when the serial branch runs, costing the
+	// warm serial solve two allocs it is gated not to make.
 	workers := s.workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
+	if workers <= 1 {
 		// Serial fast path: no goroutines or channel traffic. Batch
 		// schedulers that already run one solver per worker use this.
 		for d1 := 0; d1 < n; d1++ {
 			if s.mayDisk(d1) {
-				row(d1)
+				emem := dp.ememBuf[d1*stride : (d1+1)*stride : (d1+1)*stride]
+				mprev := dp.mprvBuf[d1*stride : (d1+1)*stride : (d1+1)*stride]
+				s.memLevel(d1, emem, mprev)
+				ememAll[d1] = emem
+				memPrevAll[d1] = mprev
 			}
 		}
 	} else {
-		var wg sync.WaitGroup
-		jobs := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for d1 := range jobs {
+		// Each tile is a contiguous block of disk positions; every level
+		// writes only row d1 of the arenas, so arrival order is
+		// invisible. Ascending blocks put the widest windows (the most
+		// work) first, which is what keeps the tail of the bag short.
+		row := func(d1 int) {
+			emem := dp.ememBuf[d1*stride : (d1+1)*stride : (d1+1)*stride]
+			mprev := dp.mprvBuf[d1*stride : (d1+1)*stride : (d1+1)*stride]
+			s.memLevel(d1, emem, mprev)
+			ememAll[d1] = emem
+			memPrevAll[d1] = mprev
+		}
+		blocks := tileCount(n, workers)
+		s.k.team.run(workers, blocks, func(b int) {
+			lo, hi := tileSpan(n, blocks, b)
+			for d1 := lo; d1 < hi; d1++ {
+				if s.mayDisk(d1) {
 					row(d1)
 				}
-			}()
-		}
-		for d1 := 0; d1 < n; d1++ {
-			if s.mayDisk(d1) {
-				jobs <- d1
 			}
-		}
-		close(jobs)
-		wg.Wait()
+		})
 	}
 
 	// Level 1: place disk checkpoints. The extra dimension k counts the
@@ -450,22 +494,35 @@ func (s *solver) run() (*Result, error) {
 		}
 	}
 	edisk[0][0] = 0
-	for d2 := 1; d2 <= n; d2++ {
-		if !s.mayDisk(d2) {
-			continue
-		}
-		for k := 1; k <= K; k++ {
-			best := math.Inf(1)
-			bi := -1
-			for d1 := 0; d1 < d2; d1++ {
-				if ememAll[d1] == nil {
-					continue // boundary may not carry a disk checkpoint
-				}
-				if cand := edisk[d1][k-1] + ememAll[d1][d2] + s.cdAt(d2); cand < best {
-					best, bi = cand, d1
-				}
+	// diskCell fills edisk[d2][k] from column k-1; the inner scan is the
+	// same ascending strict-< argmin under both schedules below, so the
+	// serial and tiled orders compute bit-identical entries. It is a
+	// method rather than a shared closure so the serial branch never
+	// materializes a heap-escaping closure (see row above).
+	if workers <= 1 {
+		for d2 := 1; d2 <= n; d2++ {
+			if !s.mayDisk(d2) {
+				continue
 			}
-			edisk[d2][k], diskPrev[d2][k] = best, bi
+			for k := 1; k <= K; k++ {
+				s.diskCell(edisk, diskPrev, ememAll, d2, k)
+			}
+		}
+	} else {
+		// Anti-diagonal scheduling for the interval recurrence: cell
+		// (d2,k) reads only column k-1, so each k-level is a bag of
+		// independent d2 tiles with a barrier between levels.
+		blocks := tileCount(n, workers)
+		for k := 1; k <= K; k++ {
+			k := k
+			s.k.team.run(workers, blocks, func(b int) {
+				lo, hi := tileSpan(n, blocks, b)
+				for d2 := lo + 1; d2 <= hi; d2++ {
+					if s.mayDisk(d2) {
+						s.diskCell(edisk, diskPrev, ememAll, d2, k)
+					}
+				}
+			})
 		}
 	}
 

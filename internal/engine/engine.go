@@ -19,12 +19,14 @@
 // (the cross-validation suite enforces this). BenchmarkEngineContention
 // measures the difference under parallel PlanMany load.
 //
-// Each planning job runs the dynamic program serially (core
-// Options.Workers = 1 unless the request says otherwise): with many
-// instances in flight, instance-level parallelism keeps every core busy
-// without the per-row channel traffic of the solver's own pool, which is
-// what makes a sweep through the engine beat the loop-over-core.Plan
-// seed path (see BenchmarkEngineSweep).
+// Each planning job runs the dynamic program serially by default (core
+// Options.SolveWorkers = 1 unless the request or Options.SolveWorkers
+// says otherwise): with many instances in flight, instance-level
+// parallelism keeps every core busy without intra-solve dispatch, which
+// is what makes a sweep through the engine beat the loop-over-core.Plan
+// seed path (see BenchmarkEngineSweep). For mega-chain traffic the
+// balance flips — one huge solve dominates wall clock — and
+// Options.SolveWorkers hands those solves the kernel's worker team.
 //
 // The Engine also exposes Run, a generic bounded fan-out over the shard
 // pools, so batch pipelines that interleave planning with evaluation or
@@ -83,6 +85,18 @@ type Options struct {
 	// work-stealing counters (see NewMetrics). Nil means uninstrumented
 	// — every site degrades to a nil check.
 	Metrics *Metrics
+	// SolveWorkers is the per-solve DP parallelism applied to requests
+	// that do not pin their own (Request.Opts.SolveWorkers == 0). Zero
+	// keeps every solve serial — the engine's default, since its worker
+	// pool already provides instance-level parallelism. A positive value
+	// gives each cache-miss solve a worker team of that width (the
+	// shards share one budget: each shard's kernel team is drawn from
+	// the same machine, so size Workers × SolveWorkers to the core
+	// count, not each to it). A negative value selects the solver's
+	// GOMAXPROCS-aware auto mode, which engages only above the
+	// crossover window length — the right setting when occasional
+	// mega-chains share the engine with small interactive traffic.
+	SolveWorkers int
 }
 
 func (o Options) normalized() Options {
@@ -113,8 +127,9 @@ type Request struct {
 	// Platform carries the error rates and baseline costs.
 	Platform platform.Platform
 	// Opts are the optional planning inputs (costs, constraints, disk
-	// budget, solver parallelism). Opts.Workers zero means the engine
-	// runs the solver serially on its own pool.
+	// budget, solver parallelism). Opts.SolveWorkers zero defers to the
+	// engine's Options.SolveWorkers (itself defaulting to serial
+	// solves on the engine's own pool).
 	Opts core.Options
 	// Tag is an opaque label echoed in the Response.
 	Tag string
@@ -243,6 +258,16 @@ func New(opts Options) *Engine {
 	if perCache > 0 {
 		perCache = (opts.CacheSize + opts.Shards - 1) / opts.Shards
 	}
+	// Map the engine-level solve parallelism to the core option each
+	// shard stamps on requests that left it unset: 0 (engine default)
+	// pins the serial path, negative selects the solver's auto mode
+	// (core's zero value).
+	solveWorkers := 1
+	if opts.SolveWorkers > 0 {
+		solveWorkers = opts.SolveWorkers
+	} else if opts.SolveWorkers < 0 {
+		solveWorkers = 0
+	}
 	for i := 0; i < opts.Shards; i++ {
 		kern := opts.Kernel
 		if kern == nil {
@@ -255,7 +280,7 @@ func New(opts Options) *Engine {
 		if workers < 1 {
 			workers = 1
 		}
-		e.shards = append(e.shards, newShard(i, kern, perCache, workers, opts.Metrics))
+		e.shards = append(e.shards, newShard(i, kern, perCache, workers, solveWorkers, opts.Metrics))
 	}
 	return e
 }
@@ -450,7 +475,9 @@ func (e *Engine) planOne(ctx context.Context, index int, req Request) Response {
 		sh = e.shardFor(key)
 	}
 	sp := obs.SpanFrom(ctx).Child("engine.plan")
-	resp := sh.planOne(ctx, index, req, key, kerr)
+	// Carry the plan span down so the shard's kernel.solve child nests
+	// under it (ContextWithSpan is a no-op on a nil span).
+	resp := sh.planOne(obs.ContextWithSpan(ctx, sp), index, req, key, kerr)
 	if sp != nil {
 		sp.SetAttr("algorithm", string(req.Algorithm))
 		sp.SetAttrInt("shard", int64(sh.id))
@@ -539,6 +566,11 @@ func mergeKernelStats(sts []core.KernelStats) core.KernelStats {
 		out.Solves += st.Solves
 		out.ScratchReuses += st.ScratchReuses
 		out.ScratchFresh += st.ScratchFresh
+		out.Parallel.Solves += st.Parallel.Solves
+		out.Parallel.Tiles += st.Parallel.Tiles
+		out.Parallel.BusySeconds += st.Parallel.BusySeconds
+		out.Parallel.CrossoverSkips += st.Parallel.CrossoverSkips
+		out.Parallel.Workers += st.Parallel.Workers
 		for _, b := range st.Buckets {
 			m := buckets[b.Cap]
 			m.Cap = b.Cap

@@ -342,7 +342,7 @@ func TestFingerprintCanonicalization(t *testing.T) {
 	}
 	relabeled := reqs[0]
 	relabeled.Tag = "other"
-	relabeled.Opts.Workers = 7 // tuning knobs must not split the memo
+	relabeled.Opts.SolveWorkers = 7 // tuning knobs must not split the memo
 	c, err := Fingerprint(relabeled)
 	if err != nil {
 		t.Fatal(err)

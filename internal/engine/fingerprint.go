@@ -10,7 +10,7 @@ import (
 // Fingerprint returns the canonical cache key of a planning request: a
 // hash over everything that determines the optimal schedule and nothing
 // else. Task names, platform display names and solver tuning knobs
-// (core.Options.Workers) are deliberately excluded, so requests that
+// (core.Options.SolveWorkers) are deliberately excluded, so requests that
 // differ only in labels or in how they were produced — near-duplicates,
 // in practice the common case across experiment sweeps — resolve to the
 // same memo entry.
@@ -29,11 +29,11 @@ func Fingerprint(req Request) (string, error) {
 		return "", fmt.Errorf("engine: cost table for %d tasks but chain has %d",
 			costs.Len(), req.Chain.Len())
 	}
-	// Workers is excluded from the hash (it cannot change the plan), so
-	// an invalid value must not share a key — and an error — with valid
-	// requests for the same instance.
-	if req.Opts.Workers < 0 {
-		return "", fmt.Errorf("engine: Workers must be non-negative, got %d", req.Opts.Workers)
+	// SolveWorkers is excluded from the hash (it cannot change the
+	// plan), so an invalid value must not share a key — and an error —
+	// with valid requests for the same instance.
+	if req.Opts.SolveWorkers < 0 {
+		return "", fmt.Errorf("engine: SolveWorkers must be non-negative, got %d", req.Opts.SolveWorkers)
 	}
 	h := sha256.New()
 	buf := make([]byte, 8)

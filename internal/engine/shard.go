@@ -24,6 +24,10 @@ type shard struct {
 	kernel    *core.Kernel
 	cacheSize int // per-shard memo capacity; negative disables caching
 	nworkers  int // pool goroutines this shard owns
+	// solveWorkers is stamped on requests whose Opts.SolveWorkers is
+	// unset: 1 keeps solves serial (the engine default), 0 selects the
+	// solver's crossover-gated auto mode, larger values pin a team.
+	solveWorkers int
 
 	jobs    chan func()
 	workers sync.WaitGroup // pool goroutines
@@ -44,15 +48,16 @@ type shard struct {
 }
 
 // newShard starts one shard with its own worker goroutines.
-func newShard(id int, kernel *core.Kernel, cacheSize, workers int, m *Metrics) *shard {
+func newShard(id int, kernel *core.Kernel, cacheSize, workers, solveWorkers int, m *Metrics) *shard {
 	s := &shard{
-		id:        id,
-		kernel:    kernel,
-		cacheSize: cacheSize,
-		nworkers:  workers,
-		jobs:      make(chan func()),
-		cache:     make(map[string]*list.Element),
-		order:     list.New(),
+		id:           id,
+		kernel:       kernel,
+		cacheSize:    cacheSize,
+		nworkers:     workers,
+		solveWorkers: solveWorkers,
+		jobs:         make(chan func()),
+		cache:        make(map[string]*list.Element),
+		order:        list.New(),
 	}
 	s.queueWait, s.solveLat, s.steals = m.shardChildren(id)
 	for w := 0; w < workers; w++ {
@@ -121,7 +126,7 @@ func (s *shard) planOne(ctx context.Context, index int, req Request, key string,
 
 	if kerr != nil {
 		s.misses.Add(1)
-		resp.Result, resp.Err = s.solve(req)
+		resp.Result, resp.Err = s.solve(ctx, req)
 		if resp.Err != nil {
 			s.errors.Add(1)
 		}
@@ -167,7 +172,7 @@ func (s *shard) planOne(ctx context.Context, index int, req Request, key string,
 	s.misses.Add(1)
 
 	err := s.submit(ctx, func() {
-		ent.res, ent.err = s.solve(req)
+		ent.res, ent.err = s.solve(ctx, req)
 		if ent.err != nil {
 			// Failed solves are not worth a memo slot: keeping them would
 			// let a stream of cheap invalid requests evict valid plans.
@@ -217,7 +222,7 @@ func (s *shard) solveOnPool(ctx context.Context, req Request) (*core.Result, err
 		// Nobody shares an uncached result: skip the solve entirely if
 		// the only waiter is already gone.
 		if ctx.Err() == nil {
-			res, err = s.solve(req)
+			res, err = s.solve(ctx, req)
 		} else {
 			err = ctx.Err()
 		}
@@ -234,14 +239,17 @@ func (s *shard) solveOnPool(ctx context.Context, req Request) (*core.Result, err
 }
 
 // solve runs the dynamic program for one request through the shard's
-// kernel. Unless the request pins its own solver parallelism, the
-// solver runs serially: the pool already provides instance-level
-// parallelism.
-func (s *shard) solve(req Request) (*core.Result, error) {
+// kernel. Requests that do not pin their own solver parallelism inherit
+// the engine's SolveWorkers policy; the engine default keeps solves
+// serial, because the pool already provides instance-level parallelism.
+func (s *shard) solve(ctx context.Context, req Request) (*core.Result, error) {
 	opts := req.Opts
-	if opts.Workers == 0 {
-		opts.Workers = 1
+	if opts.SolveWorkers == 0 {
+		opts.SolveWorkers = s.solveWorkers
 	}
+	span := obs.SpanFrom(ctx).Child("kernel.solve")
+	span.SetAttr("algorithm", string(req.Algorithm))
+	span.SetAttrInt("workers", int64(opts.SolveWorkers))
 	var start time.Time
 	if s.solveLat != nil {
 		start = time.Now()
@@ -250,6 +258,10 @@ func (s *shard) solve(req Request) (*core.Result, error) {
 	if s.solveLat != nil {
 		s.solveLat.ObserveSince(start)
 	}
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}

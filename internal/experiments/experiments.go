@@ -56,6 +56,13 @@ type Config struct {
 	Step        int
 	TotalWeight float64
 	Algorithms  []core.Algorithm
+	// Frontier bounds how many requests a sweep keeps in flight (and
+	// therefore how many chains and results it holds at once): Run
+	// streams the sweep through the engine in frontier-sized windows,
+	// so peak memory is O(frontier), not O(points) — the difference
+	// between a mega-chain sweep fitting in RAM or not. Zero picks
+	// 4×GOMAXPROCS (enough to keep the default engine pool saturated).
+	Frontier int
 }
 
 func (c Config) normalized() Config {
@@ -70,6 +77,9 @@ func (c Config) normalized() Config {
 	}
 	if len(c.Algorithms) == 0 {
 		c.Algorithms = core.Algorithms()
+	}
+	if c.Frontier <= 0 {
+		c.Frontier = 4 * runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -93,15 +103,26 @@ type Figure struct {
 	// Schedules holds, per algorithm, the optimal schedule at the largest
 	// swept n — the data behind the paper's Figure 6 placement strips.
 	Schedules map[core.Algorithm]*schedule.Schedule
+	// MaxFrontier records the largest number of requests the sweep had
+	// in flight at once — the regression guard behind the O(frontier)
+	// memory contract (it must never exceed Config.Frontier).
+	MaxFrontier int
 }
 
-// Run sweeps n for one pattern/platform pair. All (n, algorithm) points
-// are planned concurrently through the shared batch engine
-// (engine.Default, sharded across GOMAXPROCS memos), so a sweep
-// saturates the machine without serializing on one memo mutex, and
-// repeated figures (fig5 and fig6 plan the same instances) hit the memo
-// instead of re-solving — the fingerprint routing lands an instance on
-// the same shard every time.
+// Run sweeps n for one pattern/platform pair by streaming
+// frontier-sized windows of (n, algorithm) requests through the shared
+// batch engine (engine.Default, sharded across GOMAXPROCS memos): a
+// window's requests are planned concurrently via Engine.Stream, each
+// result is condensed into its Point as it drains (only the largest-n
+// schedules survive the window), and the window's chain, request and
+// response buffers are recycled for the next one. A sweep therefore
+// saturates the machine without serializing on one memo mutex, repeated
+// figures (fig5 and fig6 plan the same instances) hit the memo instead
+// of re-solving, and peak memory is O(Config.Frontier) instead of
+// O(points) — what lets a mega-chain sweep run at lengths where holding
+// every chain and result at once would not fit. Points land in request
+// order (windows are consumed in index order), so the CSV output is
+// byte-identical to the batch implementation this replaces.
 func Run(id string, pat workload.Pattern, plat platform.Platform, cfg Config) (*Figure, error) {
 	cfg = cfg.normalized()
 	fig := &Figure{
@@ -110,7 +131,45 @@ func Run(id string, pat workload.Pattern, plat platform.Platform, cfg Config) (*
 		Platform:  plat,
 		Schedules: make(map[core.Algorithm]*schedule.Schedule),
 	}
-	var reqs []engine.Request
+	ctx := context.Background()
+	eng := engine.Default()
+	// One window's worth of request and response buffers, recycled
+	// across flushes; responses land by Index, so completion order
+	// never reaches the Points slice.
+	reqs := make([]engine.Request, 0, cfg.Frontier)
+	resps := make([]engine.Response, cfg.Frontier)
+	flush := func() error {
+		if len(reqs) == 0 {
+			return nil
+		}
+		if len(reqs) > fig.MaxFrontier {
+			fig.MaxFrontier = len(reqs)
+		}
+		for resp := range eng.Stream(ctx, reqs) {
+			resps[resp.Index] = resp
+		}
+		for i := range reqs {
+			resp := &resps[i]
+			c, alg := reqs[i].Chain, reqs[i].Algorithm
+			if resp.Err != nil {
+				return fmt.Errorf("experiments: %s n=%d %s: %w", id, c.Len(), alg, resp.Err)
+			}
+			res := resp.Result
+			fig.Points = append(fig.Points, Point{
+				N:          c.Len(),
+				Algorithm:  alg,
+				Expected:   res.ExpectedMakespan,
+				Normalized: res.NormalizedMakespan(c),
+				Counts:     res.Schedule.Counts(),
+			})
+			if c.Len()+cfg.Step > cfg.MaxTasks {
+				fig.Schedules[alg] = res.Schedule
+			}
+			resps[i] = engine.Response{} // drop the result with the window
+		}
+		reqs = reqs[:0]
+		return nil
+	}
 	for n := 1; n <= cfg.MaxTasks; n += cfg.Step {
 		c, err := workload.Generate(pat, n, cfg.TotalWeight)
 		if err != nil {
@@ -119,25 +178,15 @@ func Run(id string, pat workload.Pattern, plat platform.Platform, cfg Config) (*
 		fig.Ns = append(fig.Ns, n)
 		for _, alg := range cfg.Algorithms {
 			reqs = append(reqs, engine.Request{Algorithm: alg, Chain: c, Platform: plat})
+			if len(reqs) == cfg.Frontier {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
-	resps := engine.Default().PlanMany(context.Background(), reqs)
-	for i, resp := range resps {
-		c, alg := reqs[i].Chain, reqs[i].Algorithm
-		if resp.Err != nil {
-			return nil, fmt.Errorf("experiments: %s n=%d %s: %w", id, c.Len(), alg, resp.Err)
-		}
-		res := resp.Result
-		fig.Points = append(fig.Points, Point{
-			N:          c.Len(),
-			Algorithm:  alg,
-			Expected:   res.ExpectedMakespan,
-			Normalized: res.NormalizedMakespan(c),
-			Counts:     res.Schedule.Counts(),
-		})
-		if c.Len()+cfg.Step > cfg.MaxTasks {
-			fig.Schedules[alg] = res.Schedule
-		}
+	if err := flush(); err != nil {
+		return nil, err
 	}
 	return fig, nil
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled shrinks the streaming-sweep sizes: the race detector
+// multiplies solve time ~15x, and the tests' value is the frontier and
+// identity contracts, not the absolute n.
+const raceEnabled = true

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/engine"
+	"chainckpt/internal/platform"
+	"chainckpt/internal/workload"
+)
+
+// withSweepEngine swaps the shared default engine for a small dedicated
+// one for the duration of the test, so the measurements below are not
+// absorbed by (or polluting) the process-wide memo.
+func withSweepEngine(t *testing.T, opts engine.Options) {
+	t.Helper()
+	prev := engine.Default()
+	eng := engine.New(opts)
+	engine.SetDefault(eng)
+	t.Cleanup(func() {
+		engine.SetDefault(prev)
+		eng.Close()
+	})
+}
+
+// TestRunStreamingFrontierBounded: a sweep must never hold more than
+// Config.Frontier requests (chains, results) in flight — the structural
+// guard behind the O(frontier) memory contract — and the streaming
+// windows must not change a single output byte relative to a
+// one-window (batch-shaped) run.
+func TestRunStreamingFrontierBounded(t *testing.T) {
+	withSweepEngine(t, engine.Options{Workers: 2, CacheSize: -1})
+	cfg := Config{MaxTasks: 40, Frontier: 5}
+	fig, err := Run("stream", workload.PatternUniform, platform.Hera(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.MaxFrontier == 0 || fig.MaxFrontier > cfg.Frontier {
+		t.Fatalf("max frontier %d, want in [1, %d]", fig.MaxFrontier, cfg.Frontier)
+	}
+	if got, want := len(fig.Points), 40*len(core.Algorithms()); got != want {
+		t.Fatalf("points = %d, want %d", got, want)
+	}
+
+	batch, err := Run("stream", workload.PatternUniform, platform.Hera(),
+		Config{MaxTasks: 40, Frontier: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.MaxFrontier != 40*len(core.Algorithms()) {
+		t.Fatalf("one-window run had frontier %d, want the whole sweep", batch.MaxFrontier)
+	}
+	if fig.CSV() != batch.CSV() {
+		t.Error("windowed sweep CSV differs from the one-window sweep")
+	}
+}
+
+// TestRunMegaChainSweepMemory is the O(frontier) memory proof on the
+// mega-chain shape: an ADMV* sweep up to n=400 (shrunk under -race)
+// with a two-request frontier must complete with bounded GC'd heap
+// growth — the windows recycle their buffers and results are condensed
+// to Points as they drain, so finishing the sweep cannot cost memory
+// proportional to the number of points.
+func TestRunMegaChainSweepMemory(t *testing.T) {
+	maxN := 400
+	if raceEnabled {
+		maxN = 160
+	}
+	withSweepEngine(t, engine.Options{Workers: 2, CacheSize: -1})
+	cfg := Config{
+		MaxTasks:   maxN,
+		Step:       maxN - 1, // two points per algorithm: n=1 and n=maxN
+		Algorithms: []core.Algorithm{core.AlgADMVStar},
+		Frontier:   2,
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fig, err := Run("mega", workload.PatternUniform, platform.Hera(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if fig.MaxFrontier > cfg.Frontier {
+		t.Fatalf("max frontier %d exceeds configured %d", fig.MaxFrontier, cfg.Frontier)
+	}
+	if len(fig.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(fig.Points))
+	}
+	// What legitimately survives the sweep: the kernel's pooled scratch
+	// arena for the largest window (~30 MB at n=400) plus the condensed
+	// figure. 128 MB is far under what retaining every per-point result
+	// of a dense mega-chain sweep would cost, while leaving headroom
+	// for allocator and GC noise.
+	const limit = 128 << 20
+	if after.HeapAlloc > before.HeapAlloc && after.HeapAlloc-before.HeapAlloc > limit {
+		t.Errorf("heap grew %d bytes across the sweep, want <= %d",
+			after.HeapAlloc-before.HeapAlloc, limit)
+	}
+}

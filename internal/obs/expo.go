@@ -123,7 +123,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			ls := labelString(f.labels, ch.values, "")
 			switch f.kind {
 			case KindCounter:
-				fmt.Fprintf(bw, "%s%s %d\n", f.name, ls, ch.c.Value())
+				if f.collect != nil {
+					// Collector-driven counters render the full-precision
+					// float (exposition counters are floats; integer values
+					// still print as integers).
+					fmt.Fprintf(bw, "%s%s %s\n", f.name, ls, formatFloat(ch.cf.Load()))
+				} else {
+					fmt.Fprintf(bw, "%s%s %d\n", f.name, ls, ch.c.Value())
+				}
 			case KindGauge:
 				fmt.Fprintf(bw, "%s%s %s\n", f.name, ls, formatFloat(ch.g.Value()))
 			case KindHistogram:
@@ -169,7 +176,11 @@ func (r *Registry) DumpText(w io.Writer) {
 			name := f.name + labelString(f.labels, ch.values, "")
 			switch f.kind {
 			case KindCounter:
-				if v := ch.c.Value(); v != 0 {
+				if f.collect != nil {
+					if v := ch.cf.Load(); v != 0 {
+						fmt.Fprintf(bw, "%-64s %s\n", name, formatFloat(v))
+					}
+				} else if v := ch.c.Value(); v != 0 {
 					fmt.Fprintf(bw, "%-64s %d\n", name, v)
 				}
 			case KindGauge:

@@ -257,7 +257,30 @@ type child struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	// cf ratchets the absolute float value of a collector-driven
+	// counter child (stored as Float64bits). Counter atomics are
+	// integers, but the exposition format's counters are floats, and
+	// collected cumulative-seconds counters (e.g. solver-team busy
+	// time) would render a useless floor without sub-integer
+	// resolution.
+	cf atomicFloatMax
 }
+
+// atomicFloatMax is a monotone float64 cell: Store only ever raises the
+// value, matching the never-decreases contract of the counter it
+// shadows.
+type atomicFloatMax struct{ bits atomic.Uint64 }
+
+func (a *atomicFloatMax) Store(v float64) {
+	for {
+		old := a.bits.Load()
+		if math.Float64frombits(old) >= v || a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloatMax) Load() float64 { return math.Float64frombits(a.bits.Load()) }
 
 // Registry holds metric families and renders them. The zero value is
 // not usable; call NewRegistry.
@@ -460,7 +483,10 @@ func (s familySetter) Set(value float64, labelValues ...string) {
 	ch := s.f.childFor(labelValues)
 	switch s.f.kind {
 	case KindCounter:
-		// Collected counters are absolute: store the delta.
+		// Collected counters are absolute: keep the full-precision
+		// float for rendering and mirror the delta into the integer
+		// counter for value readers.
+		ch.cf.Store(value)
 		cur := ch.c.Value()
 		if nv := uint64(value); nv > cur {
 			ch.c.Add(nv - cur)

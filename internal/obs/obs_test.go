@@ -193,6 +193,41 @@ func TestExpositionLintsClean(t *testing.T) {
 	}
 }
 
+// TestCollectedCounterFloatPrecision: a collector-driven counter must
+// render its absolute value at full float precision (exposition
+// counters are floats) — a cumulative-seconds counter fed 0.25 busy
+// seconds renders 0.25, not the integer floor 0 — while ratcheting
+// monotonically and keeping integer values integer-formatted.
+func TestCollectedCounterFloatPrecision(t *testing.T) {
+	r := NewRegistry()
+	busy := 0.25
+	r.RegisterCounterFunc("test_busy_seconds_total", "cumulative busy seconds",
+		func(set LabelSetter) { set.Set(busy) })
+	scrape := func() string {
+		t.Helper()
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if probs := Lint(strings.NewReader(sb.String())); len(probs) > 0 {
+			t.Fatalf("exposition fails lint: %v\n%s", probs, sb.String())
+		}
+		return sb.String()
+	}
+	if out := scrape(); !strings.Contains(out, "test_busy_seconds_total 0.25\n") {
+		t.Fatalf("fractional collected counter not rendered at full precision:\n%s", out)
+	}
+	// Counters never go backward: a smaller absolute value is ignored.
+	busy = 0.1
+	if out := scrape(); !strings.Contains(out, "test_busy_seconds_total 0.25\n") {
+		t.Fatalf("collected counter went backward:\n%s", out)
+	}
+	busy = 3
+	if out := scrape(); !strings.Contains(out, "test_busy_seconds_total 3\n") {
+		t.Fatalf("integer value should render without a fraction:\n%s", out)
+	}
+}
+
 func TestLintCatchesViolations(t *testing.T) {
 	cases := map[string]string{
 		"no TYPE": "some_metric 1\n",

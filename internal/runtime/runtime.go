@@ -746,10 +746,10 @@ func (e *execution) maybeReplan(ctx context.Context) {
 
 	n := e.c.Len()
 	m := n - e.cur
-	// Workers: 1 keeps the DP serial, matching the engine-worker
+	// SolveWorkers: 1 keeps the DP serial, matching the engine-worker
 	// convention: concurrent jobs are the parallelism, a re-plan must
 	// not fan out across every core mid-run.
-	opts := core.Options{Costs: e.job.Costs, Workers: 1}
+	opts := core.Options{Costs: e.job.Costs, SolveWorkers: 1}
 	if e.job.MaxDiskCheckpoints > 0 {
 		// The suffix only gets the budget not yet spent on committed
 		// disk checkpoints behind the splice point.
