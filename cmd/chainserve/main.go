@@ -42,6 +42,20 @@
 //	-pprof-addr addr  serve net/http/pprof on a separate listener (empty,
 //	                  the default, disables it — profiling endpoints never
 //	                  share the public address).
+//	-admit-concurrent k  admission slots for the write routes (default 64)
+//	-admit-queue k    admission queue bound per priority class (default
+//	                  256); beyond it requests shed with 429 + Retry-After
+//	-slo-latency s    interactive latency SLO threshold in seconds
+//	                  (default 1.0)
+//	-slo-objective f  SLO objective, the fraction of requests that must
+//	                  meet the threshold (default 0.99)
+//	-burn-shed f      fast-window burn rate beyond which batch-class work
+//	                  (jobs) is shed first (default 10; 0 disables)
+//	-slo-sample d     SLO sampling / shed-coupling cadence (default 10s)
+//	-selftune-interval d  periodic self-tune cadence: every d the tuner
+//	                  calls Engine.Tune and retargets solve parallelism
+//	                  from the live size histogram (default 0 = off;
+//	                  POST /v1/admin/tune always forces a cycle)
 //
 // Endpoints:
 //
@@ -72,6 +86,12 @@
 //	                         appends
 //	GET  /debug/traces       recent request and job trace ids
 //	GET  /debug/traces/{id}  one trace (request or job), as a span tree
+//	GET  /v1/admin/slo       SLO tracker view: burn rates, bad fractions,
+//	                         window quantiles, shedding state
+//	GET  /v1/admin/tune      self-tuner decision history and the current
+//	                         solve-worker target
+//	POST /v1/admin/tune      force one self-tune cycle now; returns the
+//	                         recorded tuning event
 //
 // A request names a Table I platform or embeds a custom one, and gives
 // the chain either as explicit weights or as a (pattern, n, total)
@@ -106,6 +126,7 @@ import (
 	"chainckpt/internal/engine"
 	"chainckpt/internal/jobstore"
 	"chainckpt/internal/obs"
+	"chainckpt/internal/ops"
 	"chainckpt/internal/platform"
 	"chainckpt/internal/runtime"
 	"chainckpt/internal/schedule"
@@ -130,6 +151,21 @@ func main() {
 		"replay recording directory (empty = recordings over the API only)")
 	pprofAddr := flag.String("pprof-addr", "",
 		"serve net/http/pprof on this address (empty = disabled)")
+	opsDefaults := defaultOpsConfig()
+	admitConcurrent := flag.Int("admit-concurrent", opsDefaults.AdmitConcurrent,
+		"admission slots for the write routes (plan/replan/jobs)")
+	admitQueue := flag.Int("admit-queue", opsDefaults.AdmitQueue,
+		"admission queue bound per priority class; beyond it requests shed with 429")
+	sloLatency := flag.Float64("slo-latency", opsDefaults.SLOThreshold,
+		"interactive latency SLO threshold in seconds")
+	sloObjective := flag.Float64("slo-objective", opsDefaults.SLOObjective,
+		"interactive SLO objective (fraction of requests that must meet the threshold)")
+	burnShed := flag.Float64("burn-shed", opsDefaults.BurnShed,
+		"fast-window burn rate beyond which batch work is shed (0 disables)")
+	sloSample := flag.Duration("slo-sample", opsDefaults.SampleInterval,
+		"SLO sampling and shed-coupling cadence")
+	selftuneInterval := flag.Duration("selftune-interval", 0,
+		"periodic self-tune cadence (0 disables; POST /v1/admin/tune still forces cycles)")
 	flag.Parse()
 
 	memo := *cacheSize
@@ -153,11 +189,21 @@ func main() {
 	if engineSolveWorkers == 0 {
 		engineSolveWorkers = -1
 	}
-	srv := newServerWithObs(engine.New(engine.Options{
+	opsCfg := opsDefaults
+	opsCfg.AdmitConcurrent = *admitConcurrent
+	opsCfg.AdmitQueue = *admitQueue
+	opsCfg.SLOThreshold = *sloLatency
+	opsCfg.SLOObjective = *sloObjective
+	opsCfg.BurnShed = *burnShed
+	opsCfg.SampleInterval = *sloSample
+	opsCfg.SelfTune = *selftuneInterval
+	srv := newServerWithOps(engine.New(engine.Options{
 		Workers: *workers, CacheSize: memo, Shards: *shards,
 		SolveWorkers: engineSolveWorkers, Metrics: plane.engine,
-	}), store, *storeDir, plane)
+	}), store, *storeDir, plane, opsCfg)
 	defer srv.eng.Close()
+	srv.startOps()
+	defer srv.stopOps()
 	if *pprofAddr != "" {
 		// pprof stays off the public mux: a separate listener the
 		// operator opts into, carrying DefaultServeMux's /debug/pprof/*.
@@ -254,6 +300,16 @@ type server struct {
 	routeReqs    *obs.CounterVec
 	routeLat     *obs.HistogramVec
 	reqSeq       atomic.Uint64
+
+	// The ops plane (ops.go): admission gate ahead of the shard pools,
+	// SLO burn-rate tracker over the route histograms, and the
+	// metrics-driven self-tuner.
+	opsCfg     opsConfig
+	opsMetrics *ops.Metrics
+	admission  *ops.Controller
+	tracker    *ops.Tracker
+	tuner      *ops.Tuner
+	opsStop    chan struct{}
 }
 
 // newServer builds a server with volatile jobs — the store-less
@@ -276,6 +332,13 @@ func newServerWithStore(eng *engine.Engine, store jobstore.Store, storeDir strin
 // plane — the one whose engine/jobstore metric handles were passed to
 // engine.New and jobstore.Open, so all layers share one registry.
 func newServerWithObs(eng *engine.Engine, store jobstore.Store, storeDir string, plane *obsPlane) *server {
+	return newServerWithOps(eng, store, storeDir, plane, defaultOpsConfig())
+}
+
+// newServerWithOps is newServerWithObs with an explicit ops-plane
+// configuration (admission bounds, SLO objective, shedding coupling,
+// self-tune cadence) — what main builds from flags.
+func newServerWithOps(eng *engine.Engine, store jobstore.Store, storeDir string, plane *obsPlane, cfg opsConfig) *server {
 	s := &server{
 		eng:     eng,
 		sup:     runtime.New(runtime.Options{Engine: eng, Metrics: plane.runtime}),
@@ -284,15 +347,16 @@ func newServerWithObs(eng *engine.Engine, store jobstore.Store, storeDir string,
 		started: time.Now(),
 	}
 	s.initObs()
+	s.initOps(cfg)
 	return s
 }
 
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/plan", s.instrument("plan", s.handlePlan))
-	mux.HandleFunc("POST /v1/plan/batch", s.instrument("plan_batch", s.handleBatch))
-	mux.HandleFunc("POST /v1/replan", s.instrument("replan", s.handleReplan))
-	mux.HandleFunc("POST /v1/jobs", s.instrument("job_create", s.handleJobCreate))
+	mux.HandleFunc("POST /v1/plan", s.instrument("plan", s.admit(ops.Interactive, s.handlePlan)))
+	mux.HandleFunc("POST /v1/plan/batch", s.instrument("plan_batch", s.admit(ops.Interactive, s.handleBatch)))
+	mux.HandleFunc("POST /v1/replan", s.instrument("replan", s.admit(ops.Interactive, s.handleReplan)))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("job_create", s.admit(ops.Batch, s.handleJobCreate)))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("job_list", s.handleJobList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job_get", s.handleJobGet))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
@@ -304,6 +368,9 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /debug/traces", s.instrument("traces", s.handleTraceList))
 	mux.HandleFunc("GET /debug/traces/{id}", s.instrument("trace_dump", s.handleTraceDump))
+	mux.HandleFunc("GET /v1/admin/slo", s.instrument("admin_slo", s.handleSLO))
+	mux.HandleFunc("GET /v1/admin/tune", s.instrument("admin_tune", s.handleTuneGet))
+	mux.HandleFunc("POST /v1/admin/tune", s.instrument("admin_tune_force", s.handleTuneForce))
 	return mux
 }
 

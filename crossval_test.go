@@ -11,7 +11,9 @@ package chainckpt
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"chainckpt/internal/bruteforce"
 	"chainckpt/internal/core"
@@ -364,5 +366,91 @@ func TestCrossValidationShardedEngineByteIdentical(t *testing.T) {
 	}
 	if touched < 2 {
 		t.Errorf("24 instances landed on %d shard(s); routing looks degenerate", touched)
+	}
+}
+
+// TestCrossValidationOpsPlaneDeterminism is the ops-plane determinism
+// bar: the self-tuner and the solve-worker knob are pure performance
+// controls, so plans produced while a background churner flips the DP
+// team width, retunes scratch pools and runs tuner cycles must be
+// byte-identical (same expected-makespan bits, same schedule actions)
+// to plans from an untouched engine. The churned engine runs without a
+// memo so every pass re-solves under whatever worker config the churner
+// last installed.
+func TestCrossValidationOpsPlaneDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	churned := NewEngine(EngineOptions{Workers: 4, Shards: 4, CacheSize: -1})
+	defer churned.Close()
+	baseline := NewEngine(EngineOptions{Workers: 4, Shards: 4})
+	defer baseline.Close()
+
+	var reqs []PlanRequest
+	for i := 0; i < 12; i++ {
+		n := 4 + rng.Intn(8)
+		c, err := RandomChain(rng, n, 2000+3000*rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, PlanRequest{
+			Algorithm: []Algorithm{ADV, ADMVStar, ADMV}[i%3],
+			Chain:     c,
+			Platform:  randomPlatform(rng),
+		})
+	}
+	want := baseline.PlanMany(t.Context(), reqs)
+
+	// The churner exercises every actuation path the ops plane owns:
+	// direct retargeting, scratch-pool retuning, and full tuner cycles
+	// (LargeN 4 with small-chain traffic keeps the regime decision
+	// flapping between serial and auto).
+	tu := NewTuner(TunerConfig{LargeN: 4, MinSamples: 1,
+		Sizes: func() []SizeCount {
+			sizes := churned.Stats().Kernel.Sizes
+			out := make([]SizeCount, len(sizes))
+			for i, sz := range sizes {
+				out[i] = SizeCount{N: sz.N, Solves: sz.Solves}
+			}
+			return out
+		},
+	}, churned, nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		targets := []int{1, -1, 2, 4}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			churned.SetSolveWorkers(targets[i%len(targets)])
+			churned.Tune()
+			tu.RunCycle("periodic")
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	for pass := 0; pass < 4; pass++ {
+		got := churned.PlanMany(t.Context(), reqs)
+		for i := range reqs {
+			if got[i].Err != nil || want[i].Err != nil {
+				t.Fatalf("pass %d request %d: churned err=%v baseline err=%v",
+					pass, i, got[i].Err, want[i].Err)
+			}
+			if math.Float64bits(got[i].Result.ExpectedMakespan) != math.Float64bits(want[i].Result.ExpectedMakespan) {
+				t.Errorf("pass %d request %d: churned %.17g vs baseline %.17g",
+					pass, i, got[i].Result.ExpectedMakespan, want[i].Result.ExpectedMakespan)
+			}
+			if !got[i].Result.Schedule.Equal(want[i].Result.Schedule) {
+				t.Errorf("pass %d request %d: schedule drifted under ops-plane churn", pass, i)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if len(tu.History()) == 0 {
+		t.Fatal("churner never completed a tuner cycle")
 	}
 }

@@ -514,6 +514,40 @@ func (e *Engine) Tune() {
 	}
 }
 
+// SolveWorkers reports the per-solve parallelism currently stamped on
+// requests that leave Opts.SolveWorkers unset, in the engine-level
+// convention: 1 serial, 0/negative auto, >1 pinned team width.
+func (e *Engine) SolveWorkers() int {
+	if len(e.shards) == 0 {
+		return 1
+	}
+	n := int(e.shards[0].solveWorkers.Load())
+	if n == 0 {
+		return -1 // core auto mode, reported in Options convention
+	}
+	return n
+}
+
+// SetSolveWorkers retargets the per-solve parallelism on a live
+// engine, using the same convention as Options.SolveWorkers: 0 (or 1)
+// pins the serial path, negative selects the solver's crossover-gated
+// auto mode, larger values pin a team of that width. This only changes
+// how fast a solve runs — the DP recurrence and the resulting plan
+// bytes are identical for every setting — so the ops-plane self-tuner
+// may call it at any time without a determinism risk. Requests that
+// set their own Opts.SolveWorkers are unaffected.
+func (e *Engine) SetSolveWorkers(n int) {
+	stamped := int64(1)
+	if n > 0 {
+		stamped = int64(n)
+	} else if n < 0 {
+		stamped = 0 // core's zero value = auto
+	}
+	for _, s := range e.shards {
+		s.solveWorkers.Store(stamped)
+	}
+}
+
 // Stats returns a snapshot of the engine's counters: the cross-shard
 // aggregates plus the per-shard breakdown.
 func (e *Engine) Stats() Stats {

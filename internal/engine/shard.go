@@ -27,7 +27,9 @@ type shard struct {
 	// solveWorkers is stamped on requests whose Opts.SolveWorkers is
 	// unset: 1 keeps solves serial (the engine default), 0 selects the
 	// solver's crossover-gated auto mode, larger values pin a team.
-	solveWorkers int
+	// Atomic so the ops-plane self-tuner can retarget a live engine
+	// without pausing traffic.
+	solveWorkers atomic.Int64
 
 	jobs    chan func()
 	workers sync.WaitGroup // pool goroutines
@@ -50,15 +52,15 @@ type shard struct {
 // newShard starts one shard with its own worker goroutines.
 func newShard(id int, kernel *core.Kernel, cacheSize, workers, solveWorkers int, m *Metrics) *shard {
 	s := &shard{
-		id:           id,
-		kernel:       kernel,
-		cacheSize:    cacheSize,
-		nworkers:     workers,
-		solveWorkers: solveWorkers,
-		jobs:         make(chan func()),
-		cache:        make(map[string]*list.Element),
-		order:        list.New(),
+		id:        id,
+		kernel:    kernel,
+		cacheSize: cacheSize,
+		nworkers:  workers,
+		jobs:      make(chan func()),
+		cache:     make(map[string]*list.Element),
+		order:     list.New(),
 	}
+	s.solveWorkers.Store(int64(solveWorkers))
 	s.queueWait, s.solveLat, s.steals = m.shardChildren(id)
 	for w := 0; w < workers; w++ {
 		s.workers.Add(1)
@@ -245,7 +247,7 @@ func (s *shard) solveOnPool(ctx context.Context, req Request) (*core.Result, err
 func (s *shard) solve(ctx context.Context, req Request) (*core.Result, error) {
 	opts := req.Opts
 	if opts.SolveWorkers == 0 {
-		opts.SolveWorkers = s.solveWorkers
+		opts.SolveWorkers = int(s.solveWorkers.Load())
 	}
 	span := obs.SpanFrom(ctx).Child("kernel.solve")
 	span.SetAttr("algorithm", string(req.Algorithm))

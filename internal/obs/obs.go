@@ -172,41 +172,15 @@ func (h *Histogram) Sum() float64 {
 
 // Quantile estimates the q-quantile (0 <= q <= 1) by linear
 // interpolation inside the owning bucket — the usual histogram_quantile
-// estimate. Returns NaN when the histogram is empty.
+// estimate, shared with the snapshot/delta path (quantileFromCum) so
+// DumpText and the burn-rate math can never disagree. Returns NaN when
+// the histogram is empty.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return math.NaN()
 	}
-	total := h.count.Load()
-	if total == 0 {
-		return math.NaN()
-	}
-	rank := q * float64(total)
-	var cum uint64
-	lower := 0.0
-	for i := range h.counts {
-		n := h.counts[i].Load()
-		if n == 0 {
-			if i < len(h.uppers) {
-				lower = h.uppers[i]
-			}
-			continue
-		}
-		upper := math.Inf(1)
-		if i < len(h.uppers) {
-			upper = h.uppers[i]
-		}
-		if float64(cum+n) >= rank {
-			if math.IsInf(upper, 1) {
-				return lower // best effort for the overflow bucket
-			}
-			frac := (rank - float64(cum)) / float64(n)
-			return lower + (upper-lower)*frac
-		}
-		cum += n
-		lower = upper
-	}
-	return lower
+	cum, _, _ := h.snapshot()
+	return quantileFromCum(h.uppers, cum, q)
 }
 
 // snapshot returns cumulative bucket counts aligned with uppers+Inf.

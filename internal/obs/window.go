@@ -1,0 +1,147 @@
+// Windowed histogram views: exported point-in-time snapshots, deltas
+// between two snapshots, and interpolating quantile / threshold-fraction
+// estimates over them. This is the arithmetic the ops plane's burn-rate
+// computation runs on — a cumulative histogram can only answer "since
+// boot", while an SLO burn rate needs "over the last five minutes",
+// which is the difference of two snapshots.
+//
+// Every estimate here interpolates linearly inside the owning bucket.
+// The naive alternatives — returning the bucket upper bound for a
+// quantile, or charging the whole straddled bucket as "over threshold"
+// — systematically overstate latency on coarse bucket grids, and a
+// load-shedder fed overstated burn rates sheds traffic it should have
+// served. TestQuantilePinnedDistributions pins the interpolation
+// against known distributions for both the live and the snapshot path.
+package obs
+
+import "math"
+
+// HistogramSnapshot is a point-in-time copy of one histogram: the
+// finite bucket upper bounds and the cumulative counts aligned to them
+// (the final entry is the total including the implicit +Inf bucket).
+// The zero value is an empty snapshot.
+type HistogramSnapshot struct {
+	// Uppers are the ascending finite bucket upper bounds.
+	Uppers []float64 `json:"uppers,omitempty"`
+	// Cum are cumulative observation counts; Cum[i] counts observations
+	// <= Uppers[i], and Cum[len(Uppers)] is the total.
+	Cum []uint64 `json:"cum,omitempty"`
+	// Sum is the sum of all observed values.
+	Sum float64 `json:"sum,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. Nil-safe: a nil
+// histogram yields an empty snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	cum, _, sum := h.snapshot()
+	return HistogramSnapshot{Uppers: h.uppers, Cum: cum, Sum: sum}
+}
+
+// Count returns the total number of observations in the snapshot.
+func (s HistogramSnapshot) Count() uint64 {
+	if len(s.Cum) == 0 {
+		return 0
+	}
+	return s.Cum[len(s.Cum)-1]
+}
+
+// Sub returns the window delta s - older: the observations recorded
+// between the older snapshot and this one. Mismatched bucket layouts
+// (or an older snapshot that is somehow ahead, e.g. across a counter
+// reset) degrade to this snapshot taken alone — a too-large window is
+// the safe failure mode for a burn-rate reader, a negative count is
+// not.
+func (s HistogramSnapshot) Sub(older HistogramSnapshot) HistogramSnapshot {
+	if len(older.Cum) != len(s.Cum) || len(older.Uppers) != len(s.Uppers) {
+		return s
+	}
+	out := HistogramSnapshot{Uppers: s.Uppers, Cum: make([]uint64, len(s.Cum)), Sum: s.Sum - older.Sum}
+	for i := range s.Cum {
+		if older.Cum[i] > s.Cum[i] {
+			return s
+		}
+		out.Cum[i] = s.Cum[i] - older.Cum[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the owning bucket. NaN when empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	return quantileFromCum(s.Uppers, s.Cum, q)
+}
+
+// FractionOver estimates the fraction of observations strictly above
+// threshold, interpolating linearly inside the bucket the threshold
+// falls in (charging the whole straddled bucket would overstate the
+// violation rate). Returns 0 when the snapshot is empty.
+func (s HistogramSnapshot) FractionOver(threshold float64) float64 {
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	var below, lower float64
+	var cum uint64
+	for i := range s.Cum {
+		upper := math.Inf(1)
+		if i < len(s.Uppers) {
+			upper = s.Uppers[i]
+		}
+		n := s.Cum[i] - cum
+		if threshold >= upper {
+			below = float64(s.Cum[i])
+		} else {
+			if threshold > lower && n > 0 && !math.IsInf(upper, 1) {
+				below += float64(n) * (threshold - lower) / (upper - lower)
+			}
+			break
+		}
+		cum = s.Cum[i]
+		lower = upper
+	}
+	frac := (float64(total) - below) / float64(total)
+	if frac < 0 {
+		return 0
+	}
+	return frac
+}
+
+// quantileFromCum is the shared quantile estimate over cumulative
+// bucket counts: find the bucket holding the q-th observation and
+// interpolate linearly within it. The live Histogram.Quantile and the
+// snapshot/delta path both delegate here, so DumpText's p50/p99 and
+// the burn-rate math can never disagree on the estimator.
+func quantileFromCum(uppers []float64, cum []uint64, q float64) float64 {
+	if len(cum) == 0 {
+		return math.NaN()
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	lower := 0.0
+	var prev uint64
+	for i := range cum {
+		n := cum[i] - prev
+		upper := math.Inf(1)
+		if i < len(uppers) {
+			upper = uppers[i]
+		}
+		if n > 0 && float64(cum[i]) >= rank {
+			if math.IsInf(upper, 1) {
+				return lower // best effort for the overflow bucket
+			}
+			frac := (rank - float64(prev)) / float64(n)
+			return lower + (upper-lower)*frac
+		}
+		if !math.IsInf(upper, 1) {
+			lower = upper
+		}
+		prev = cum[i]
+	}
+	return lower
+}

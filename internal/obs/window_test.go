@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func approxEq(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestQuantilePinnedDistributions pins the interpolating quantile
+// estimator against distributions whose estimates can be computed by
+// hand, on both the live Histogram path and the snapshot path. A
+// regression to "return the bucket upper bound" breaks every case
+// where the expected value is strictly inside a bucket.
+func TestQuantilePinnedDistributions(t *testing.T) {
+	buckets := []float64{1, 2, 3, 4}
+
+	cases := []struct {
+		name string
+		obs  []float64 // value repeated count times
+		reps []int
+		q    float64
+		want float64
+	}{
+		// 100 observations uniformly attributed to bucket (1,2]:
+		// rank r maps to 1 + r/100.
+		{"uniform-p50", []float64{1.5}, []int{100}, 0.50, 1.5},
+		{"uniform-p99", []float64{1.5}, []int{100}, 0.99, 1.99},
+		{"uniform-p25", []float64{1.5}, []int{100}, 0.25, 1.25},
+		// 50/50 bimodal in (0,1] and (2,3]: p50 is the top of the
+		// first mode, p75 halfway through the second mode's bucket
+		// (rank 75 is the 25th of 50 obs in (2,3]), p10 inside the
+		// first.
+		{"bimodal-p50", []float64{0.5, 2.5}, []int{50, 50}, 0.50, 1.0},
+		{"bimodal-p75", []float64{0.5, 2.5}, []int{50, 50}, 0.75, 2.5},
+		{"bimodal-p10", []float64{0.5, 2.5}, []int{50, 50}, 0.10, 0.2},
+		// Single observation: any quantile interpolates inside its
+		// bucket (rank q*1 of 1 observation in (2,3]).
+		{"point-p50", []float64{2.5}, []int{1}, 0.50, 2.5},
+		{"point-p99", []float64{2.5}, []int{1}, 0.99, 2.99},
+		// Everything in the +Inf overflow bucket: best effort is the
+		// last finite bound.
+		{"overflow-p99", []float64{100}, []int{10}, 0.99, 4},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			h := r.NewHistogram("q_test_seconds", "", buckets)
+			for i, v := range tc.obs {
+				for j := 0; j < tc.reps[i]; j++ {
+					h.Observe(v)
+				}
+			}
+			if got := h.Quantile(tc.q); !approxEq(got, tc.want) {
+				t.Errorf("live Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+			if got := h.Snapshot().Quantile(tc.q); !approxEq(got, tc.want) {
+				t.Errorf("snapshot Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q_empty_seconds", "", []float64{1, 2})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty live Quantile = %v, want NaN", got)
+	}
+	if got := h.Snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty snapshot Quantile = %v, want NaN", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("zero-value snapshot Quantile = %v, want NaN", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("nil Quantile = %v, want NaN", got)
+	}
+	if nilH.Snapshot().Count() != 0 {
+		t.Errorf("nil Snapshot not empty")
+	}
+}
+
+// TestSnapshotSub pins the window-delta arithmetic the burn-rate
+// computation depends on: a delta sees only the observations recorded
+// between the two snapshots, and degraded inputs fall back to the
+// newer snapshot taken whole.
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("sub_test_seconds", "", []float64{1, 2, 3})
+
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	older := h.Snapshot()
+	for i := 0; i < 30; i++ {
+		h.Observe(2.5)
+	}
+	newer := h.Snapshot()
+
+	delta := newer.Sub(older)
+	if got := delta.Count(); got != 30 {
+		t.Fatalf("delta count = %d, want 30", got)
+	}
+	// All 30 delta observations sit in (2,3]; the old 0.5s are gone.
+	if got := delta.Quantile(0.5); !approxEq(got, 2.5) {
+		t.Errorf("delta p50 = %v, want 2.5", got)
+	}
+	if got := delta.Sum; !approxEq(got, 30*2.5) {
+		t.Errorf("delta sum = %v, want 75", got)
+	}
+
+	// Layout mismatch degrades to the newer snapshot.
+	other := HistogramSnapshot{Uppers: []float64{1}, Cum: []uint64{5, 5}}
+	if got := newer.Sub(other).Count(); got != newer.Count() {
+		t.Errorf("mismatched-layout Sub count = %d, want %d", got, newer.Count())
+	}
+	// A regressed counter (older ahead of newer) also degrades.
+	if got := older.Sub(newer).Count(); got != older.Count() {
+		t.Errorf("regressed Sub count = %d, want %d", got, older.Count())
+	}
+	// Zero-value older is a same-layout no-op only if layouts match;
+	// here it mismatches, so we get newer back — still safe.
+	if got := newer.Sub(HistogramSnapshot{}).Count(); got != newer.Count() {
+		t.Errorf("zero older Sub count = %d, want %d", got, newer.Count())
+	}
+}
+
+// TestFractionOver pins the threshold-violation estimate: interpolate
+// inside the straddled bucket instead of charging it whole.
+func TestFractionOver(t *testing.T) {
+	buckets := []float64{1, 2, 3}
+
+	cases := []struct {
+		name      string
+		obs       []float64
+		reps      []int
+		threshold float64
+		want      float64
+	}{
+		// 100 obs in (1,2]: threshold 1.5 splits the bucket in half.
+		{"half-bucket", []float64{1.5}, []int{100}, 1.5, 0.5},
+		// Threshold at a bucket boundary: everything at/below is in.
+		{"boundary", []float64{1.5}, []int{100}, 2, 0},
+		{"below-all", []float64{1.5}, []int{100}, 0.5, 1},
+		// Mixed: 50 in (0,1], 50 in (2,3]; threshold 2.5 cuts the
+		// upper mode in half -> 25% over.
+		{"bimodal", []float64{0.5, 2.5}, []int{50, 50}, 2.5, 0.25},
+		// Threshold beyond the finite buckets with overflow mass:
+		// overflow observations count as over (conservative).
+		{"overflow", []float64{0.5, 100}, []int{90, 10}, 5, 0.1},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			h := r.NewHistogram("frac_test_seconds", "", buckets)
+			for i, v := range tc.obs {
+				for j := 0; j < tc.reps[i]; j++ {
+					h.Observe(v)
+				}
+			}
+			if got := h.Snapshot().FractionOver(tc.threshold); !approxEq(got, tc.want) {
+				t.Errorf("FractionOver(%v) = %v, want %v", tc.threshold, got, tc.want)
+			}
+		})
+	}
+
+	if got := (HistogramSnapshot{}).FractionOver(1); got != 0 {
+		t.Errorf("empty FractionOver = %v, want 0", got)
+	}
+}

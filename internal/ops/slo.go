@@ -1,0 +1,259 @@
+package ops
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"chainckpt/internal/obs"
+)
+
+// SLO declares one latency objective: at least Objective of the
+// requests observed by Source must complete within Threshold seconds.
+// Source returns the current cumulative snapshot of the underlying
+// histogram(s) — typically a route latency histogram, or a
+// MergeSnapshots over several routes.
+type SLO struct {
+	// Name labels the objective in metrics and the admin view.
+	Name string `json:"name"`
+	// Threshold is the latency objective in seconds.
+	Threshold float64 `json:"threshold_seconds"`
+	// Objective is the target good fraction in (0,1), e.g. 0.99.
+	Objective float64 `json:"objective"`
+	// Source yields the cumulative snapshot burn rates are computed
+	// over. Not serialized.
+	Source func() obs.HistogramSnapshot `json:"-"`
+}
+
+// WindowStatus is the burn computation over one window of one SLO.
+type WindowStatus struct {
+	// Window is the nominal window length.
+	Window time.Duration `json:"window"`
+	// Span is the actual span covered — shorter than Window until the
+	// sample ring has aged enough history.
+	Span time.Duration `json:"span"`
+	// Requests observed inside the window.
+	Requests uint64 `json:"requests"`
+	// BadFraction is the fraction of those over the threshold.
+	BadFraction float64 `json:"bad_fraction"`
+	// BurnRate = BadFraction / (1 - Objective); 1.0 burns the error
+	// budget exactly at the rate that exhausts it at the window's end.
+	BurnRate float64 `json:"burn_rate"`
+	// P50/P99 are interpolated latency quantiles over the window.
+	P50 float64 `json:"p50_seconds"`
+	P99 float64 `json:"p99_seconds"`
+}
+
+// SLOStatus is the admin/JSON view of one tracked objective.
+type SLOStatus struct {
+	Name      string       `json:"name"`
+	Threshold float64      `json:"threshold_seconds"`
+	Objective float64      `json:"objective"`
+	Fast      WindowStatus `json:"fast"`
+	Slow      WindowStatus `json:"slow"`
+}
+
+// TrackerConfig sizes a Tracker. Zero values pick the defaults noted
+// on each field.
+type TrackerConfig struct {
+	// FastWindow is the short burn window (default 5m).
+	FastWindow time.Duration
+	// SlowWindow is the long burn window (default 1h).
+	SlowWindow time.Duration
+	// SampleInterval is the cadence Sample is expected to be called at;
+	// it sizes the ring so SlowWindow stays covered (default 10s).
+	SampleInterval time.Duration
+	// Now is the clock (default time.Now). Injectable for tests.
+	Now func() time.Time
+}
+
+type sloSample struct {
+	at   time.Time
+	snap obs.HistogramSnapshot
+}
+
+type sloState struct {
+	slo  SLO
+	ring []sloSample // chronological; bounded by Tracker.cap
+}
+
+// Tracker computes multi-window burn rates for a set of SLOs from
+// periodic snapshots of their source histograms, and exports them as
+// chainckpt_slo_* gauges. Sample appends to the ring; Report and the
+// gauges read window deltas out of it. Safe for concurrent use.
+type Tracker struct {
+	cfg TrackerConfig
+	m   *Metrics
+	cap int
+
+	mu   sync.Mutex
+	slos []*sloState
+}
+
+// NewTracker builds a tracker over the given SLOs. Metrics may be nil.
+func NewTracker(cfg TrackerConfig, m *Metrics, slos ...SLO) *Tracker {
+	if cfg.FastWindow <= 0 {
+		cfg.FastWindow = 5 * time.Minute
+	}
+	if cfg.SlowWindow <= 0 {
+		cfg.SlowWindow = time.Hour
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 10 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	t := &Tracker{
+		cfg: cfg,
+		m:   m,
+		// Enough samples to cover the slow window at the sample cadence,
+		// plus slack for jitter; bounded so a misconfigured cadence
+		// cannot balloon memory.
+		cap: clampInt(int(cfg.SlowWindow/cfg.SampleInterval)+4, 8, 4096),
+	}
+	for _, s := range slos {
+		if s.Objective <= 0 || s.Objective >= 1 {
+			s.Objective = 0.99
+		}
+		t.slos = append(t.slos, &sloState{slo: s})
+		if m != nil {
+			m.Objective.With(s.Name).Set(s.Objective)
+		}
+	}
+	return t
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Sample snapshots every SLO source, appends to the rings, and
+// refreshes the exported gauges. Call it on a fixed cadence (and from
+// an OnScrape hook if scrape-fresh gauges are wanted — appends closer
+// together than half the sample interval reuse the ring slot instead
+// of growing it, so scrapes cannot starve the window coverage).
+func (t *Tracker) Sample() {
+	if t == nil {
+		return
+	}
+	now := t.cfg.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, st := range t.slos {
+		snap := st.slo.Source()
+		if n := len(st.ring); n > 0 && now.Sub(st.ring[n-1].at) < t.cfg.SampleInterval/2 {
+			st.ring[n-1] = sloSample{at: now, snap: snap}
+		} else {
+			st.ring = append(st.ring, sloSample{at: now, snap: snap})
+			if len(st.ring) > t.cap {
+				st.ring = st.ring[len(st.ring)-t.cap:]
+			}
+		}
+		t.exportLocked(st, now)
+	}
+}
+
+// Report returns the current status of every SLO, computed over the
+// already-recorded samples (it does not itself take a new sample).
+func (t *Tracker) Report() []SLOStatus {
+	if t == nil {
+		return nil
+	}
+	now := t.cfg.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SLOStatus, 0, len(t.slos))
+	for _, st := range t.slos {
+		out = append(out, t.statusLocked(st, now))
+	}
+	return out
+}
+
+// MaxFastBurn returns the highest fast-window burn rate across all
+// SLOs — the signal the burn-coupled load-shedder keys on.
+func (t *Tracker) MaxFastBurn() float64 {
+	if t == nil {
+		return 0
+	}
+	now := t.cfg.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	max := 0.0
+	for _, st := range t.slos {
+		if w := t.windowLocked(st, now, t.cfg.FastWindow); w.BurnRate > max {
+			max = w.BurnRate
+		}
+	}
+	return max
+}
+
+func (t *Tracker) statusLocked(st *sloState, now time.Time) SLOStatus {
+	return SLOStatus{
+		Name:      st.slo.Name,
+		Threshold: st.slo.Threshold,
+		Objective: st.slo.Objective,
+		Fast:      t.windowLocked(st, now, t.cfg.FastWindow),
+		Slow:      t.windowLocked(st, now, t.cfg.SlowWindow),
+	}
+}
+
+// windowLocked computes the burn over the trailing window: the delta
+// between the newest sample and the sample closest to (but not newer
+// than) the window start. With too little history the whole ring is
+// the window — Span reports the truth.
+func (t *Tracker) windowLocked(st *sloState, now time.Time, window time.Duration) WindowStatus {
+	ws := WindowStatus{Window: window}
+	n := len(st.ring)
+	if n == 0 {
+		return ws
+	}
+	newest := st.ring[n-1]
+	start := now.Add(-window)
+	base := st.ring[0]
+	for i := n - 1; i >= 0; i-- {
+		if !st.ring[i].at.After(start) {
+			base = st.ring[i]
+			break
+		}
+	}
+	delta := newest.snap
+	if base.at.Before(newest.at) {
+		delta = newest.snap.Sub(base.snap)
+		ws.Span = newest.at.Sub(base.at)
+	}
+	ws.Requests = delta.Count()
+	ws.BadFraction = delta.FractionOver(st.slo.Threshold)
+	budget := 1 - st.slo.Objective
+	if budget > 0 {
+		ws.BurnRate = ws.BadFraction / budget
+	}
+	if p := delta.Quantile(0.50); !math.IsNaN(p) {
+		ws.P50 = p
+	}
+	if p := delta.Quantile(0.99); !math.IsNaN(p) {
+		ws.P99 = p
+	}
+	return ws
+}
+
+func (t *Tracker) exportLocked(st *sloState, now time.Time) {
+	if t.m == nil {
+		return
+	}
+	fast := t.windowLocked(st, now, t.cfg.FastWindow)
+	slow := t.windowLocked(st, now, t.cfg.SlowWindow)
+	name := st.slo.Name
+	t.m.BurnRate.With(name, "fast").Set(fast.BurnRate)
+	t.m.BurnRate.With(name, "slow").Set(slow.BurnRate)
+	t.m.BadFrac.With(name, "fast").Set(fast.BadFraction)
+	t.m.BadFrac.With(name, "slow").Set(slow.BadFraction)
+	t.m.WindowObs.With(name, "fast").Set(float64(fast.Requests))
+	t.m.WindowObs.With(name, "slow").Set(float64(slow.Requests))
+}

@@ -1,0 +1,155 @@
+package ops
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"chainckpt/internal/obs"
+)
+
+// fakeClock steps time manually so window arithmetic is exact.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestTrackerBurnRateWindows(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	hist := reg.NewHistogram("req_seconds", "", []float64{0.1, 0.5, 1})
+
+	tr := NewTracker(TrackerConfig{
+		FastWindow:     5 * time.Minute,
+		SlowWindow:     time.Hour,
+		SampleInterval: 30 * time.Second,
+		Now:            clk.now,
+	}, m, SLO{
+		Name:      "plan",
+		Threshold: 0.5,
+		Objective: 0.99,
+		Source:    hist.Snapshot,
+	})
+
+	// Healthy hour: 1000 fast requests spread over samples.
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 50; j++ {
+			hist.Observe(0.05)
+		}
+		tr.Sample()
+		clk.advance(30 * time.Second)
+	}
+	rep := tr.Report()
+	if len(rep) != 1 {
+		t.Fatalf("want 1 SLO, got %d", len(rep))
+	}
+	if rep[0].Fast.BurnRate != 0 || rep[0].Slow.BurnRate != 0 {
+		t.Fatalf("healthy traffic burned: fast=%v slow=%v", rep[0].Fast.BurnRate, rep[0].Slow.BurnRate)
+	}
+	if got := tr.MaxFastBurn(); got != 0 {
+		t.Fatalf("MaxFastBurn = %v, want 0", got)
+	}
+
+	// Incident: the next 5 minutes are 100% slow requests. Fast-window
+	// burn jumps to badFraction/(1-0.99) = 1.0/0.01 = 100; the slow
+	// window dilutes the same requests across an hour of history.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 50; j++ {
+			hist.Observe(0.9)
+		}
+		tr.Sample()
+		clk.advance(30 * time.Second)
+	}
+	rep = tr.Report()
+	fast, slow := rep[0].Fast, rep[0].Slow
+	if fast.BadFraction < 0.95 {
+		t.Errorf("fast bad fraction = %v, want ~1.0", fast.BadFraction)
+	}
+	if fast.BurnRate < 90 {
+		t.Errorf("fast burn = %v, want ~100", fast.BurnRate)
+	}
+	if slow.BurnRate >= fast.BurnRate {
+		t.Errorf("slow burn %v should dilute below fast burn %v", slow.BurnRate, fast.BurnRate)
+	}
+	if fast.P99 < 0.5 {
+		t.Errorf("incident fast p99 = %v, want > threshold", fast.P99)
+	}
+	if got := tr.MaxFastBurn(); got != fast.BurnRate {
+		t.Errorf("MaxFastBurn = %v, want %v", got, fast.BurnRate)
+	}
+
+	// Gauges exported and named per the chainckpt_slo_* contract.
+	var buf []byte
+	buf = appendScrape(t, reg)
+	for _, want := range []string{
+		`chainckpt_slo_burn_rate{slo="plan",window="fast"}`,
+		`chainckpt_slo_burn_rate{slo="plan",window="slow"}`,
+		`chainckpt_slo_objective{slo="plan"} 0.99`,
+		`chainckpt_slo_bad_fraction{slo="plan",window="fast"}`,
+		`chainckpt_slo_window_requests{slo="plan",window="fast"}`,
+	} {
+		if !contains(buf, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+func TestTrackerShortHistoryDegrades(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	hist := reg.NewHistogram("req2_seconds", "", []float64{0.1, 0.5})
+	tr := NewTracker(TrackerConfig{Now: clk.now}, nil, SLO{
+		Name: "x", Threshold: 0.5, Objective: 0.9, Source: hist.Snapshot,
+	})
+
+	// One sample only: the window covers everything seen so far.
+	hist.Observe(0.9)
+	tr.Sample()
+	rep := tr.Report()
+	if rep[0].Fast.Requests != 1 {
+		t.Fatalf("fast window requests = %d, want 1 (degraded to full history)", rep[0].Fast.Requests)
+	}
+	if b := rep[0].Fast.BurnRate; b < 10-1e-9 || b > 10+1e-9 { // 1.0 bad / 0.1 budget
+		t.Fatalf("fast burn = %v, want 10", b)
+	}
+}
+
+func TestTrackerScrapeSamplesCoalesce(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	hist := reg.NewHistogram("req3_seconds", "", []float64{0.1})
+	tr := NewTracker(TrackerConfig{SampleInterval: 10 * time.Second, Now: clk.now}, nil, SLO{
+		Name: "x", Threshold: 0.1, Objective: 0.99, Source: hist.Snapshot,
+	})
+	// A burst of scrapes inside half the sample interval must reuse the
+	// newest ring slot, not flood the ring and shrink window coverage.
+	for i := 0; i < 100; i++ {
+		tr.Sample()
+		clk.advance(10 * time.Millisecond)
+	}
+	tr.mu.Lock()
+	n := len(tr.slos[0].ring)
+	tr.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("ring grew to %d under scrape burst, want 1", n)
+	}
+}
+
+func appendScrape(t *testing.T, reg *obs.Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func contains(buf []byte, want string) bool {
+	return strings.Contains(string(buf), want)
+}

@@ -1,0 +1,202 @@
+package ops
+
+import (
+	"sync"
+	"time"
+)
+
+// TunableEngine is the slice of the planning engine the tuner drives:
+// scratch-pool retuning plus live retargeting of per-solve
+// parallelism. internal/engine.Engine satisfies it.
+type TunableEngine interface {
+	// Tune installs exact-capacity scratch pools for the hottest window
+	// lengths (core.Kernel.Tune semantics).
+	Tune()
+	// SolveWorkers reports the current per-solve parallelism in the
+	// engine Options convention: 1 serial, negative auto, >1 pinned.
+	SolveWorkers() int
+	// SetSolveWorkers retargets it, same convention.
+	SetSolveWorkers(n int)
+}
+
+// SizeCount is one row of the kernel's solve-size histogram.
+type SizeCount struct {
+	N      int    `json:"n"`
+	Solves uint64 `json:"solves"`
+}
+
+// TunerConfig parameterizes the regime policy. Zero values pick the
+// noted defaults.
+type TunerConfig struct {
+	// Sizes yields the cumulative per-n solve histogram (engine
+	// Stats().Kernel.Sizes projected to SizeCount). Required.
+	Sizes func() []SizeCount
+	// LargeN is the window length at and above which a solve benefits
+	// from a worker team (default 192, the solver's auto crossover).
+	LargeN int
+	// LargeShare is the fraction of a cycle's solves that must be
+	// large before the tuner targets auto parallelism (default 0.5).
+	LargeShare float64
+	// MinSamples is the minimum solves a cycle must observe before the
+	// regime decision is trusted (default 16; below it the tuner keeps
+	// the current setting).
+	MinSamples uint64
+	// HistoryCap bounds the tuning-event ring (default 64).
+	HistoryCap int
+	// Now is the clock (default time.Now). Injectable for tests.
+	Now func() time.Time
+}
+
+// TuningEvent records one self-tune cycle: what the tuner saw, what it
+// decided, and the config before/after. Served by GET /v1/admin/tune.
+type TuningEvent struct {
+	Time    time.Time `json:"time"`
+	Trigger string    `json:"trigger"` // "periodic" or "forced"
+	Action  string    `json:"action"`  // "retune" or "keep"
+	// OldSolveWorkers/NewSolveWorkers in the engine convention
+	// (1 serial, -1 auto, >1 pinned).
+	OldSolveWorkers int `json:"old_solve_workers"`
+	NewSolveWorkers int `json:"new_solve_workers"`
+	// CycleSolves / CycleLarge count the solves observed since the
+	// previous cycle, and how many were at or above LargeN.
+	CycleSolves uint64  `json:"cycle_solves"`
+	CycleLarge  uint64  `json:"cycle_large"`
+	LargeShare  float64 `json:"large_share"`
+	// TopSizes is the triggering snapshot: the hottest window lengths
+	// of the cycle (at most 8 rows).
+	TopSizes []SizeCount `json:"top_sizes,omitempty"`
+}
+
+// Tuner closes the loop between the kernel's live solve-size histogram
+// and the engine's parallelism/scratch configuration. Every RunCycle
+// calls Engine.Tune (cheap, always safe) and then decides the solve
+// worker regime from the solves recorded since the previous cycle:
+// mostly-large workloads get the solver's crossover-gated auto mode,
+// mostly-small workloads get the serial path (team overhead dominates
+// below the crossover). Neither changes plan bytes — only how fast a
+// solve runs.
+type Tuner struct {
+	cfg TunerConfig
+	eng TunableEngine
+	m   *Metrics
+
+	mu      sync.Mutex
+	last    map[int]uint64 // previous cycle's cumulative per-n counts
+	history []TuningEvent
+}
+
+// NewTuner builds a Tuner driving eng. Metrics may be nil.
+func NewTuner(cfg TunerConfig, eng TunableEngine, m *Metrics) *Tuner {
+	if cfg.LargeN <= 0 {
+		cfg.LargeN = 192
+	}
+	if cfg.LargeShare <= 0 || cfg.LargeShare >= 1 {
+		cfg.LargeShare = 0.5
+	}
+	if cfg.MinSamples == 0 {
+		cfg.MinSamples = 16
+	}
+	if cfg.HistoryCap <= 0 {
+		cfg.HistoryCap = 64
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	t := &Tuner{cfg: cfg, eng: eng, m: m}
+	if m != nil && eng != nil {
+		m.TunerWorkers.Set(float64(eng.SolveWorkers()))
+	}
+	return t
+}
+
+// RunCycle executes one self-tune cycle and returns its event. trigger
+// is recorded verbatim ("periodic" from the cadence loop, "forced"
+// from POST /v1/admin/tune).
+func (t *Tuner) RunCycle(trigger string) TuningEvent {
+	if t == nil || t.eng == nil {
+		return TuningEvent{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// Scratch-pool retuning first: idempotent, keeps warm pools for
+	// still-hot sizes, and is useful in every regime.
+	t.eng.Tune()
+
+	ev := TuningEvent{
+		Time:            t.cfg.Now(),
+		Trigger:         trigger,
+		Action:          "keep",
+		OldSolveWorkers: t.eng.SolveWorkers(),
+	}
+	ev.NewSolveWorkers = ev.OldSolveWorkers
+
+	// Delta the cumulative size histogram against the previous cycle
+	// so the decision reflects the current traffic mix, not boot-time
+	// history.
+	var sizes []SizeCount
+	if t.cfg.Sizes != nil {
+		sizes = t.cfg.Sizes()
+	}
+	cur := make(map[int]uint64, len(sizes))
+	var cycle []SizeCount
+	for _, s := range sizes {
+		cur[s.N] = s.Solves
+		d := s.Solves
+		if prev, ok := t.last[s.N]; ok {
+			if prev >= s.Solves {
+				d = 0
+			} else {
+				d = s.Solves - prev
+			}
+		}
+		if d > 0 {
+			cycle = append(cycle, SizeCount{N: s.N, Solves: d})
+			ev.CycleSolves += d
+			if s.N >= t.cfg.LargeN {
+				ev.CycleLarge += d
+			}
+		}
+	}
+	t.last = cur
+	if len(cycle) > 8 {
+		cycle = cycle[:8]
+	}
+	ev.TopSizes = cycle
+
+	if ev.CycleSolves >= t.cfg.MinSamples {
+		ev.LargeShare = float64(ev.CycleLarge) / float64(ev.CycleSolves)
+		target := 1 // small regime: serial, team overhead dominates
+		if ev.LargeShare >= t.cfg.LargeShare {
+			target = -1 // large regime: crossover-gated auto team
+		}
+		if target != ev.OldSolveWorkers {
+			t.eng.SetSolveWorkers(target)
+			ev.NewSolveWorkers = target
+			ev.Action = "retune"
+		}
+	}
+
+	t.history = append(t.history, ev)
+	if len(t.history) > t.cfg.HistoryCap {
+		t.history = t.history[len(t.history)-t.cfg.HistoryCap:]
+	}
+	if t.m != nil {
+		t.m.TunerCycles.With(trigger).Inc()
+		t.m.TunerActions.With(ev.Action).Inc()
+		t.m.TunerWorkers.Set(float64(ev.NewSolveWorkers))
+	}
+	return ev
+}
+
+// History returns the recorded tuning events, oldest first.
+func (t *Tuner) History() []TuningEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TuningEvent, len(t.history))
+	copy(out, t.history)
+	return out
+}

@@ -1,0 +1,129 @@
+package ops
+
+import (
+	"sync"
+	"testing"
+
+	"chainckpt/internal/obs"
+)
+
+// fakeEngine records tuner actuations.
+type fakeEngine struct {
+	mu      sync.Mutex
+	workers int
+	tunes   int
+}
+
+func (f *fakeEngine) Tune() {
+	f.mu.Lock()
+	f.tunes++
+	f.mu.Unlock()
+}
+
+func (f *fakeEngine) SolveWorkers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.workers
+}
+
+func (f *fakeEngine) SetSolveWorkers(n int) {
+	f.mu.Lock()
+	f.workers = n
+	f.mu.Unlock()
+}
+
+func TestTunerRegimeSwitch(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	eng := &fakeEngine{workers: 1}
+	var sizes []SizeCount
+	tu := NewTuner(TunerConfig{
+		Sizes:      func() []SizeCount { return sizes },
+		LargeN:     192,
+		MinSamples: 10,
+	}, eng, m)
+
+	// Cycle 1: mostly large solves -> auto.
+	sizes = []SizeCount{{N: 512, Solves: 90}, {N: 32, Solves: 10}}
+	ev := tu.RunCycle("forced")
+	if ev.Action != "retune" || ev.NewSolveWorkers != -1 {
+		t.Fatalf("large regime event = %+v, want retune to -1", ev)
+	}
+	if eng.SolveWorkers() != -1 {
+		t.Fatalf("engine workers = %d, want -1", eng.SolveWorkers())
+	}
+	if ev.CycleSolves != 100 || ev.CycleLarge != 90 {
+		t.Fatalf("cycle counts = %d/%d, want 100/90", ev.CycleSolves, ev.CycleLarge)
+	}
+
+	// Cycle 2: no new solves -> below MinSamples, keep.
+	ev = tu.RunCycle("periodic")
+	if ev.Action != "keep" || ev.CycleSolves != 0 {
+		t.Fatalf("idle cycle event = %+v, want keep with 0 solves", ev)
+	}
+
+	// Cycle 3: the traffic mix flips small — the DELTA is all small
+	// even though the cumulative histogram still remembers the large
+	// era, so the tuner must go serial.
+	sizes = []SizeCount{{N: 512, Solves: 90}, {N: 32, Solves: 110}}
+	ev = tu.RunCycle("periodic")
+	if ev.Action != "retune" || ev.NewSolveWorkers != 1 {
+		t.Fatalf("small regime event = %+v, want retune to 1", ev)
+	}
+	if ev.CycleSolves != 100 || ev.CycleLarge != 0 {
+		t.Fatalf("cycle counts = %d/%d, want 100/0", ev.CycleSolves, ev.CycleLarge)
+	}
+
+	// Every cycle retunes scratch pools regardless of regime.
+	if eng.tunes != 3 {
+		t.Fatalf("Tune calls = %d, want 3", eng.tunes)
+	}
+
+	hist := tu.History()
+	if len(hist) != 3 {
+		t.Fatalf("history length = %d, want 3", len(hist))
+	}
+	if hist[0].Trigger != "forced" || hist[1].Trigger != "periodic" {
+		t.Fatalf("history triggers = %s/%s", hist[0].Trigger, hist[1].Trigger)
+	}
+	if got := m.TunerCycles.With("forced").Value(); got != 1 {
+		t.Fatalf("cycles{forced} = %d, want 1", got)
+	}
+	if got := m.TunerCycles.With("periodic").Value(); got != 2 {
+		t.Fatalf("cycles{periodic} = %d, want 2", got)
+	}
+	if got := m.TunerActions.With("retune").Value(); got != 2 {
+		t.Fatalf("events{retune} = %d, want 2", got)
+	}
+	if got := m.TunerActions.With("keep").Value(); got != 1 {
+		t.Fatalf("events{keep} = %d, want 1", got)
+	}
+	if got := m.TunerWorkers.Value(); got != 1 {
+		t.Fatalf("tuner workers gauge = %v, want 1", got)
+	}
+}
+
+func TestTunerHistoryBounded(t *testing.T) {
+	eng := &fakeEngine{workers: 1}
+	n := 0
+	tu := NewTuner(TunerConfig{
+		Sizes:      func() []SizeCount { n += 100; return []SizeCount{{N: 512, Solves: uint64(n)}} },
+		HistoryCap: 4,
+	}, eng, nil)
+	for i := 0; i < 10; i++ {
+		tu.RunCycle("periodic")
+	}
+	if got := len(tu.History()); got != 4 {
+		t.Fatalf("history length = %d, want 4 (bounded)", got)
+	}
+}
+
+func TestTunerNil(t *testing.T) {
+	var tu *Tuner
+	if ev := tu.RunCycle("forced"); ev.Action != "" {
+		t.Fatal("nil tuner produced an event")
+	}
+	if tu.History() != nil {
+		t.Fatal("nil tuner has history")
+	}
+}
