@@ -173,14 +173,16 @@ func contentionRatio(idx map[string]Benchmark, gLabel string) (float64, bool) {
 	return single.NsPerOp / sharded.NsPerOp, true
 }
 
-// parallelSpeedup returns the serial/team ns-per-op ratio of
-// BenchmarkKernelParallelSolve at one chain-length label (the run's
-// measured in-kernel parallel speedup — machine-relative like the
-// contention ratio, so a 1-core baseline recording ~1.0 still gates a
-// 1-core run, and a multi-core runner is held to its own curve).
-func parallelSpeedup(idx map[string]Benchmark, nLabel, wLabel string) (float64, bool) {
-	serial, ok1 := lookup(idx, "BenchmarkKernelParallelSolve/"+nLabel+"/w1")
-	team, ok2 := lookup(idx, "BenchmarkKernelParallelSolve/"+nLabel+"/"+wLabel)
+// parallelSpeedup returns the serial/team ns-per-op ratio of one
+// kernel solve benchmark family (BenchmarkKernelParallelSolve or
+// BenchmarkKernelStealSolve) at one shape label — "n2000", or the
+// "skew" lane of the steal bench (the run's measured in-kernel parallel
+// speedup — machine-relative like the contention ratio, so a 1-core
+// baseline recording ~1.0 still gates a 1-core run, and a multi-core
+// runner is held to its own curve).
+func parallelSpeedup(idx map[string]Benchmark, bench, shapeLabel, wLabel string) (float64, bool) {
+	serial, ok1 := lookup(idx, bench+"/"+shapeLabel+"/w1")
+	team, ok2 := lookup(idx, bench+"/"+shapeLabel+"/"+wLabel)
 	if !ok1 || !ok2 || serial.NsPerOp <= 0 || team.NsPerOp <= 0 {
 		return 0, false
 	}
@@ -188,12 +190,12 @@ func parallelSpeedup(idx map[string]Benchmark, nLabel, wLabel string) (float64, 
 }
 
 // largestParallelN returns the biggest chain-length label ("n4000")
-// present among a report's BenchmarkKernelParallelSolve results.
-func largestParallelN(rep *Report) (string, bool) {
+// present among a report's results for one benchmark family.
+func largestParallelN(rep *Report, bench string) (string, bool) {
 	best := -1
 	for _, b := range rep.Benchmarks {
 		name := trimCPUSuffix(b.Name)
-		rest, ok := strings.CutPrefix(name, "BenchmarkKernelParallelSolve/n")
+		rest, ok := strings.CutPrefix(name, bench+"/n")
 		if !ok {
 			continue
 		}
@@ -236,11 +238,16 @@ func checkRegression(cur, base *Report, tol float64) []string {
 		}
 	}
 
-	// The serial lane of the parallel-solve benchmark must stay pooled
-	// too: a worker team thrashing fresh arenas shows up here first.
+	// The serial lane of the parallel- and steal-solve benchmarks must
+	// stay pooled too: a worker team thrashing fresh arenas shows up
+	// here first.
 	for _, bb := range base.Benchmarks {
 		name := trimCPUSuffix(bb.Name)
-		if !strings.HasPrefix(name, "BenchmarkKernelParallelSolve/") || !strings.HasSuffix(name, "/w1") {
+		if !strings.HasPrefix(name, "BenchmarkKernelParallelSolve/") &&
+			!strings.HasPrefix(name, "BenchmarkKernelStealSolve/") {
+			continue
+		}
+		if !strings.HasSuffix(name, "/w1") {
 			continue
 		}
 		cb, ok := lookup(curIdx, bb.Name)
@@ -275,19 +282,33 @@ func checkRegression(cur, base *Report, tol float64) []string {
 		}
 	}
 
-	// The in-kernel parallel speedup at the largest benched chain, same
+	// The in-kernel parallel speedup at the largest benched chain of
+	// each solve family — the shared-cursor curve, the steal-scheduler
+	// curve, and the steal bench's adversarial skew lane — same
 	// within-run-ratio scheme as the contention gate.
-	if nLabel, ok := largestParallelN(base); ok {
-		baseRatio, ok := parallelSpeedup(baseIdx, nLabel, "w4")
-		if ok {
-			curRatio, ok := parallelSpeedup(curIdx, nLabel, "w4")
+	for _, bench := range []string{"BenchmarkKernelParallelSolve", "BenchmarkKernelStealSolve"} {
+		labels := make([]string, 0, 2)
+		if nLabel, ok := largestParallelN(base, bench); ok {
+			labels = append(labels, nLabel)
+		}
+		if bench == "BenchmarkKernelStealSolve" {
+			labels = append(labels, "skew")
+		}
+		for _, label := range labels {
+			baseRatio, ok := parallelSpeedup(baseIdx, bench, label, "w4")
+			if !ok {
+				continue
+			}
+			curRatio, ok := parallelSpeedup(curIdx, bench, label, "w4")
 			if !ok {
 				problems = append(problems, fmt.Sprintf(
-					"BenchmarkKernelParallelSolve %s: present in baseline but missing from this run", nLabel))
-			} else if curRatio < baseRatio*(1-tol) {
+					"%s %s: present in baseline but missing from this run", bench, label))
+				continue
+			}
+			if curRatio < baseRatio*(1-tol) {
 				problems = append(problems, fmt.Sprintf(
-					"BenchmarkKernelParallelSolve %s: w1/w4 speedup %.2f vs baseline %.2f (>%.0f%% regression)",
-					nLabel, curRatio, baseRatio, 100*tol))
+					"%s %s: w1/w4 speedup %.2f vs baseline %.2f (>%.0f%% regression)",
+					bench, label, curRatio, baseRatio, 100*tol))
 			}
 		}
 	}

@@ -94,6 +94,60 @@ func TestCheckRegressionKernelAllocs(t *testing.T) {
 	}
 }
 
+func TestCheckRegressionStealSpeedup(t *testing.T) {
+	base := report(
+		Benchmark{Name: "BenchmarkKernelStealSolve/n500/w1", NsPerOp: 100, AllocsPerOp: 19},
+		Benchmark{Name: "BenchmarkKernelStealSolve/n500/w4", NsPerOp: 90},
+		Benchmark{Name: "BenchmarkKernelStealSolve/n2000/w1", NsPerOp: 4000, AllocsPerOp: 19},
+		Benchmark{Name: "BenchmarkKernelStealSolve/n2000/w4", NsPerOp: 1000}, // 4x at the largest n
+		Benchmark{Name: "BenchmarkKernelStealSolve/skew/w1", NsPerOp: 300, AllocsPerOp: 19},
+		Benchmark{Name: "BenchmarkKernelStealSolve/skew/w4", NsPerOp: 100}, // 3x on the skewed shape
+	)
+	// Same ratios at different absolute speeds: fine across machines.
+	// Only the largest n is gated, so n500 may drift.
+	ok := report(
+		Benchmark{Name: "BenchmarkKernelStealSolve/n500/w1-8", NsPerOp: 500, AllocsPerOp: 19},
+		Benchmark{Name: "BenchmarkKernelStealSolve/n500/w4-8", NsPerOp: 900},
+		Benchmark{Name: "BenchmarkKernelStealSolve/n2000/w1-8", NsPerOp: 40000, AllocsPerOp: 19},
+		Benchmark{Name: "BenchmarkKernelStealSolve/n2000/w4-8", NsPerOp: 10000},
+		Benchmark{Name: "BenchmarkKernelStealSolve/skew/w1-8", NsPerOp: 3000, AllocsPerOp: 19},
+		Benchmark{Name: "BenchmarkKernelStealSolve/skew/w4-8", NsPerOp: 1000},
+	)
+	if p := checkRegression(ok, base, 0.15); len(p) != 0 {
+		t.Errorf("unexpected regression: %v", p)
+	}
+	// The largest-n steal speedup collapsed 4x -> 2x: flagged.
+	badCurve := report(
+		Benchmark{Name: "BenchmarkKernelStealSolve/n2000/w1", NsPerOp: 4000, AllocsPerOp: 19},
+		Benchmark{Name: "BenchmarkKernelStealSolve/n2000/w4", NsPerOp: 2000},
+		Benchmark{Name: "BenchmarkKernelStealSolve/skew/w1", NsPerOp: 300, AllocsPerOp: 19},
+		Benchmark{Name: "BenchmarkKernelStealSolve/skew/w4", NsPerOp: 100},
+	)
+	if p := checkRegression(badCurve, base, 0.15); len(p) != 1 {
+		t.Errorf("steal curve regression not flagged: %v", p)
+	}
+	// The skew-lane speedup collapsed: flagged independently.
+	badSkew := report(
+		Benchmark{Name: "BenchmarkKernelStealSolve/n2000/w1", NsPerOp: 4000, AllocsPerOp: 19},
+		Benchmark{Name: "BenchmarkKernelStealSolve/n2000/w4", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkKernelStealSolve/skew/w1", NsPerOp: 300, AllocsPerOp: 19},
+		Benchmark{Name: "BenchmarkKernelStealSolve/skew/w4", NsPerOp: 290},
+	)
+	if p := checkRegression(badSkew, base, 0.15); len(p) != 1 {
+		t.Errorf("skew regression not flagged: %v", p)
+	}
+	// The steal bench's serial lane stopped pooling: allocs gate fires.
+	badAllocs := report(
+		Benchmark{Name: "BenchmarkKernelStealSolve/n2000/w1", NsPerOp: 4000, AllocsPerOp: 400},
+		Benchmark{Name: "BenchmarkKernelStealSolve/n2000/w4", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkKernelStealSolve/skew/w1", NsPerOp: 300, AllocsPerOp: 19},
+		Benchmark{Name: "BenchmarkKernelStealSolve/skew/w4", NsPerOp: 100},
+	)
+	if p := checkRegression(badAllocs, base, 0.15); len(p) != 1 {
+		t.Errorf("steal serial-lane alloc regression not flagged: %v", p)
+	}
+}
+
 func TestCheckRegressionContentionRatio(t *testing.T) {
 	base := report(
 		Benchmark{Name: "BenchmarkEngineContention/single/g16", NsPerOp: 400},

@@ -363,6 +363,9 @@ func main() {
 		tuner.RunCycle("final")
 		admission.Close()
 		fmt.Println("==================== metrics ====================")
+		par := engine.Default().Stats().Kernel.Parallel
+		fmt.Printf("kernel parallel: solves=%d tiles=%d local_tiles=%d steals=%d crossover=%d\n",
+			par.Solves, par.Tiles, par.LocalTiles, par.Steals, par.AutoCrossover)
 		reg.DumpText(os.Stdout)
 	}
 }

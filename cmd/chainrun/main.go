@@ -240,6 +240,17 @@ func run(cfg *config, w *os.File) error {
 			tuner.RunCycle("final")
 			admission.Close()
 			fmt.Fprintln(os.Stderr, "-- metrics (chainrun -stats) --")
+			// The initial -solve-workers solve runs on the shared default
+			// kernel (PlanWithOptions); engine traffic has its own. Sum
+			// both so the counters reflect every team dispatch.
+			kp := chainckpt.DefaultKernel().Stats().Parallel
+			ep := chainckpt.DefaultEngine().Stats().Kernel.Parallel
+			cross := kp.AutoCrossover
+			if ep.AutoCrossover > cross {
+				cross = ep.AutoCrossover
+			}
+			fmt.Fprintf(os.Stderr, "kernel parallel: solves=%d tiles=%d local_tiles=%d steals=%d crossover=%d\n",
+				kp.Solves+ep.Solves, kp.Tiles+ep.Tiles, kp.LocalTiles+ep.LocalTiles, kp.Steals+ep.Steals, cross)
 			reg.DumpText(os.Stderr)
 		}()
 	}

@@ -156,6 +156,12 @@ func main() {
 		"admission slots for the write routes (plan/replan/jobs)")
 	admitQueue := flag.Int("admit-queue", opsDefaults.AdmitQueue,
 		"admission queue bound per priority class; beyond it requests shed with 429")
+	admitMin := flag.Int("admit-min", 0,
+		"lower bound of the adaptive admission band (used with -admit-max)")
+	admitMax := flag.Int("admit-max", 0,
+		"upper bound of the adaptive admission band; >0 lets tuner cycles move the admission slot count between -admit-min and -admit-max from the shard queue-wait histograms (0 keeps -admit-concurrent fixed)")
+	solveCrossover := flag.Int("solve-crossover", 0,
+		"auto-mode parallel-solve crossover window length (0 = built-in default; also the tuner's large-solve boundary)")
 	sloLatency := flag.Float64("slo-latency", opsDefaults.SLOThreshold,
 		"interactive latency SLO threshold in seconds")
 	sloObjective := flag.Float64("slo-objective", opsDefaults.SLOObjective,
@@ -192,6 +198,9 @@ func main() {
 	opsCfg := opsDefaults
 	opsCfg.AdmitConcurrent = *admitConcurrent
 	opsCfg.AdmitQueue = *admitQueue
+	opsCfg.AdmitMin = *admitMin
+	opsCfg.AdmitMax = *admitMax
+	opsCfg.SolveCrossover = *solveCrossover
 	opsCfg.SLOThreshold = *sloLatency
 	opsCfg.SLOObjective = *sloObjective
 	opsCfg.BurnShed = *burnShed

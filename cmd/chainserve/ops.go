@@ -28,6 +28,12 @@ type opsConfig struct {
 	// AdmitConcurrent / AdmitQueue bound the admission controller.
 	AdmitConcurrent int
 	AdmitQueue      int
+	// AdmitMin / AdmitMax, when AdmitMax > 0, enable the tuner's
+	// adaptive-concurrency loop: each cycle nudges the live admission
+	// bound within [AdmitMin, AdmitMax] from the shard-pool queue-wait
+	// histogram (exported as chainckpt_admission_concurrent_limit).
+	AdmitMin int
+	AdmitMax int
 	// RetryAfter is the backoff hint on 429 responses.
 	RetryAfter time.Duration
 	// SLOThreshold (seconds) and SLOObjective parameterize the
@@ -49,6 +55,11 @@ type opsConfig struct {
 	// TuneMinSamples overrides the solves a cycle must observe before
 	// its regime decision is trusted (0 keeps the tuner default).
 	TuneMinSamples uint64
+	// SolveCrossover retargets the solver's auto-engage window length
+	// on every shard kernel (0 keeps the built-in default); it also
+	// becomes the tuner's large-solve boundary unless TuneLargeN pins
+	// one explicitly.
+	SolveCrossover int
 }
 
 func defaultOpsConfig() opsConfig {
@@ -98,9 +109,24 @@ func (s *server) initOps(cfg opsConfig) {
 		Source:    src,
 	})
 
+	// The adaptive-concurrency loop reads the same per-shard queue-wait
+	// histograms /metrics exports, merged into one saturation signal.
+	nshards := len(s.eng.Stats().Shards)
+	queueWait := func() obs.HistogramSnapshot {
+		snaps := make([]obs.HistogramSnapshot, 0, nshards)
+		for i := 0; i < nshards; i++ {
+			snaps = append(snaps, s.obs.engine.QueueWait.With(strconv.Itoa(i)).Snapshot())
+		}
+		return ops.MergeSnapshots(snaps...)
+	}
 	s.tuner = ops.NewTuner(ops.TunerConfig{
 		LargeN:     cfg.TuneLargeN,
 		MinSamples: cfg.TuneMinSamples,
+		Crossover:  cfg.SolveCrossover,
+		Admission:  s.admission,
+		QueueWait:  queueWait,
+		AdmitMin:   cfg.AdmitMin,
+		AdmitMax:   cfg.AdmitMax,
 		Sizes: func() []ops.SizeCount {
 			sizes := s.eng.Stats().Kernel.Sizes
 			out := make([]ops.SizeCount, len(sizes))
@@ -229,8 +255,11 @@ func (s *server) handleSLO(w http.ResponseWriter, r *http.Request) {
 // current solve-worker target.
 func (s *server) handleTuneGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"solve_workers": s.eng.SolveWorkers(),
-		"events":        s.tuner.History(),
+		"solve_workers":  s.eng.SolveWorkers(),
+		"bucket_workers": s.eng.BucketSolveWorkers(),
+		"auto_crossover": s.eng.AutoCrossover(),
+		"admit_limit":    s.admission.MaxConcurrent(),
+		"events":         s.tuner.History(),
 	})
 }
 

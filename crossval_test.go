@@ -400,10 +400,12 @@ func TestCrossValidationOpsPlaneDeterminism(t *testing.T) {
 	want := baseline.PlanMany(t.Context(), reqs)
 
 	// The churner exercises every actuation path the ops plane owns:
-	// direct retargeting, scratch-pool retuning, and full tuner cycles
-	// (LargeN 4 with small-chain traffic keeps the regime decision
-	// flapping between serial and auto).
-	tu := NewTuner(TunerConfig{LargeN: 4, MinSamples: 1,
+	// direct retargeting, per-size-bucket width overrides, auto
+	// crossover retargeting, scratch-pool retuning, and full tuner
+	// cycles (LargeN 4 with small-chain traffic keeps the regime
+	// decision flapping between serial and auto; Hysteresis 1 lets the
+	// tuner's per-bucket loop land overrides every cycle too).
+	tu := NewTuner(TunerConfig{LargeN: 4, MinSamples: 1, Hysteresis: 1,
 		Sizes: func() []SizeCount {
 			sizes := churned.Stats().Kernel.Sizes
 			out := make([]SizeCount, len(sizes))
@@ -426,6 +428,15 @@ func TestCrossValidationOpsPlaneDeterminism(t *testing.T) {
 			default:
 			}
 			churned.SetSolveWorkers(targets[i%len(targets)])
+			// Flip a width override on the bucket the 4..11-task chains
+			// live in (and clear it every fourth step), and wobble the
+			// auto crossover — both pure performance knobs.
+			churned.SetBucketSolveWorkers(8, targets[(i+1)%len(targets)])
+			if i%4 == 3 {
+				churned.SetBucketSolveWorkers(8, 0)
+				churned.SetBucketSolveWorkers(16, targets[i%len(targets)])
+			}
+			churned.SetAutoCrossover(4 + i%3)
 			churned.Tune()
 			tu.RunCycle("periodic")
 			time.Sleep(200 * time.Microsecond)

@@ -137,8 +137,59 @@ func TestCrossValParallelMatchesSerial(t *testing.T) {
 			}
 		}
 	}
-	if st := k.Stats(); st.Parallel.Solves == 0 || st.Parallel.Tiles == 0 {
+	st := k.Stats()
+	if st.Parallel.Solves == 0 || st.Parallel.Tiles == 0 {
 		t.Fatalf("suite never engaged a worker team: %+v", st.Parallel)
+	}
+	// Every participant drains its own span before stealing, so the
+	// owner-computes fast path must account for claimed tiles.
+	if st.Parallel.LocalTiles == 0 {
+		t.Fatalf("steal scheduler claimed no local tiles: %+v", st.Parallel)
+	}
+	if st.Parallel.LocalTiles+st.Parallel.Steals > st.Parallel.Tiles {
+		t.Fatalf("more claims than tiles dispatched: %+v", st.Parallel)
+	}
+}
+
+// TestCrossValStealImbalance forces the imbalance the steal path exists
+// for: an unconstrained ADV chain's memory levels shrink quadratically
+// with d1, and the size-sorted schedule deliberately front-loads the
+// first owner span with the widest levels — so participants that drew
+// the narrow tail must steal to stay busy. Byte-identity must hold
+// through the steals, and the steal counter must actually move (on any
+// machine: with one core the caller drains the parked helpers' spans by
+// stealing; with many, the light spans finish early and steal back).
+func TestCrossValStealImbalance(t *testing.T) {
+	n := 600
+	if raceEnabled {
+		n = 300
+	}
+	rng := rand.New(rand.NewSource(42))
+	k := NewKernel()
+	p := hotPlatform()
+	c := randChain(t, rng, n)
+	opts := Options{MaxDiskCheckpoints: 8, SolveWorkers: 1}
+	serial, err := k.PlanOpts(AlgADV, c, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := k.Stats().Parallel
+	for trial := 0; trial < 3; trial++ {
+		for _, w := range []int{2, 4, 8} {
+			opts.SolveWorkers = w
+			par, err := k.PlanOpts(AlgADV, c, p, opts)
+			if err != nil {
+				t.Fatalf("w=%d: %v", w, err)
+			}
+			mustMatchBits(t, fmt.Sprintf("imbalance trial=%d w=%d", trial, w), serial, par)
+		}
+	}
+	st := k.Stats().Parallel
+	if st.Steals == base.Steals {
+		t.Fatalf("no steals under forced imbalance: %+v", st)
+	}
+	if st.LocalTiles == base.LocalTiles {
+		t.Fatalf("no local claims under forced imbalance: %+v", st)
 	}
 }
 

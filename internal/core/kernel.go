@@ -232,6 +232,14 @@ type KernelParallelStats struct {
 	// Tiles counts tiles dispatched to the team across all DP phases
 	// (table build, memory levels, disk-level wavefronts).
 	Tiles uint64 `json:"tiles"`
+	// LocalTiles counts tiles claimed from the claimant's own span — the
+	// owner-computes fast path that touches only worker-local cache
+	// lines. Tiles - LocalTiles ran on stolen ranges.
+	LocalTiles uint64 `json:"local_tiles"`
+	// Steals counts steal events: half-span grabs by an idle participant
+	// plus single leftover tiles claimed off a victim. Zero on a
+	// perfectly balanced phase; the rebalancing traffic otherwise.
+	Steals uint64 `json:"steals"`
 	// BusySeconds accumulates the time solve participants (the calling
 	// goroutine and every helper) spent executing tiles.
 	BusySeconds float64 `json:"busy_seconds"`
@@ -242,6 +250,9 @@ type KernelParallelStats struct {
 	// Workers is the current number of live helper goroutines (a gauge:
 	// idle helpers retire after a timeout).
 	Workers int `json:"workers"`
+	// AutoCrossover is the live auto-mode engagement threshold (window
+	// length); the default constant unless a tuner has retargeted it.
+	AutoCrossover int `json:"auto_crossover"`
 }
 
 // KernelSizeStats is one exact window length's solve count.
@@ -294,6 +305,33 @@ func bucketIndex(n int) int {
 	}
 	return bits.Len(uint(n - 1))
 }
+
+// BucketCap returns the scratch-pool capacity class an n-task window
+// falls in (the smallest power of two >= max(n, 8)). It is the bucket
+// key shared by the size histogram, the per-bucket SolveWorkers table
+// in internal/engine, and the tuner's per-regime width decisions — all
+// three must agree on what "a size bucket" means.
+func BucketCap(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return 1 << bucketIndex(n)
+}
+
+// SetAutoCrossover retargets the window length where auto-mode
+// parallelism (SolveWorkers: 0) engages the team; n <= 0 restores the
+// built-in default. The ops tuner uses this to turn the crossover from
+// a compile-time constant into a measured threshold. Crossover choice
+// is pure scheduling — plan bytes are identical at every width.
+func (k *Kernel) SetAutoCrossover(n int) {
+	if n < 0 {
+		n = 0
+	}
+	k.team.crossover.Store(int64(n))
+}
+
+// AutoCrossover reports the live auto-mode engagement threshold.
+func (k *Kernel) AutoCrossover() int { return k.team.autoCrossover() }
 
 // bucketFor returns the pool serving an n-task window and the capacity
 // its arenas are built with: the exact-capacity pool when Tune has
@@ -420,9 +458,12 @@ func (k *Kernel) Stats() KernelStats {
 		Parallel: KernelParallelStats{
 			Solves:         k.team.solves.Load(),
 			Tiles:          k.team.tiles.Load(),
+			LocalTiles:     k.team.localTiles.Load(),
+			Steals:         k.team.steals.Load(),
 			BusySeconds:    float64(k.team.busyNs.Load()) / 1e9,
 			CrossoverSkips: k.team.skips.Load(),
 			Workers:        k.team.liveWorkers(),
+			AutoCrossover:  k.team.autoCrossover(),
 		},
 	}
 	for i := range k.buckets {

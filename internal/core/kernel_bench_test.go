@@ -164,6 +164,62 @@ func BenchmarkKernelParallelSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelStealSolve exercises the steal lane of the team
+// scheduler two ways. The n*/w* curve is the sparse-disk mega-chain
+// shape (as BenchmarkKernelParallelSolve, smaller sizes) under the
+// owner-computes span scheduler; its w1/w4 ratio at the largest n is
+// the steal-lane speedup gate cmd/benchjson tracks. The skew/* pair is
+// the adversarial shape the stealing exists for: an UNCONSTRAINED ADV
+// chain whose memory level at disk position d1 costs O((n-d1)^2), so
+// contiguous uniform spans hand one owner quadratically more work than
+// another and only stealing rebalances it — size-sorted scheduling
+// front-loads the wide levels, the narrow-tail owners go idle first and
+// steal the remainder.
+func BenchmarkKernelStealSolve(b *testing.B) {
+	p := platform.Hera()
+	for _, n := range []int{500, 2000} {
+		c := benchChain(b, n)
+		cons, err := NewConstraints(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spacing := n / 25
+		if spacing < 8 {
+			spacing = 8
+		}
+		for i := 1; i < n; i++ {
+			if i%spacing != 0 {
+				cons.Forbid(i, schedule.Disk)
+			}
+		}
+		for _, w := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				k := NewKernel()
+				opts := Options{Constraints: cons, MaxDiskCheckpoints: 32, SolveWorkers: w}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := k.PlanOpts(AlgADV, c, p, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	cSkew := benchChain(b, 1000)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("skew/w%d", w), func(b *testing.B) {
+			k := NewKernel()
+			opts := Options{MaxDiskCheckpoints: 8, SolveWorkers: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.PlanOpts(AlgADV, cSkew, p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkKernelTunedScratch quantifies workload-aware bucket tuning:
 // a steady mix of n=50 solves served by the power-of-two bucket carries
 // cap-64 arenas (every table sized for 64 tasks), while a kernel tuned

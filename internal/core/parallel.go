@@ -19,22 +19,33 @@ import (
 //     wavefront — every edisk[d2][k] reads only column k-1 — so the d2
 //     entries of one k-level are independent.
 //
-// A solveTeam executes such a phase as a bag of tiles drained through a
-// single atomic cursor: tiles are claimed in ascending index order
-// (for the triangular phases that is largest-work-first, the schedule
-// that keeps worker finish times close), every tile writes to slots
-// determined by its index alone, and any min-reduction stays inside a
-// tile scanning candidates in index order with a strict '<'. Arrival
-// order is therefore invisible in the output: a parallel solve is
-// byte-identical to the serial one for any worker count.
+// A solveTeam executes such a phase owner-computes style: the tile index
+// range is cut into one contiguous span per participant, and each
+// participant claims tiles from the bottom of its own span through a
+// span-local cursor — in the balanced common case every claim touches
+// only a worker-local cache line and the workers never communicate. A
+// participant whose span runs dry steals the upper half of the
+// most-loaded victim's remaining span (single leftover tiles are claimed
+// in place rather than split), so imbalance is the only thing that
+// generates cross-worker traffic. Both the bottom claim and the top
+// steal CAS the same packed word, so no tile can ever be obtained twice.
+//
+// Byte-identity is indifferent to all of this: every tile writes to
+// slots determined by its index alone, and any min-reduction stays
+// inside a tile scanning candidates in index order with a strict '<'.
+// Execution order — and therefore ownership layout and steal schedule —
+// is invisible in the output: a parallel solve is byte-identical to the
+// serial one for any worker count and any steal interleaving.
 const (
-	// autoSolveCrossover is the window length where SolveWorkers: 0
+	// defaultAutoCrossover is the window length where SolveWorkers: 0
 	// (auto) starts engaging the team. Below it a serial ADV solve is
 	// ~1 ms and the dispatch + handoff overhead (~10 µs plus a cold
 	// helper wake-up) can eat the gain; above it every phase has
 	// thousands of table rows per tile and the team wins on any
-	// multi-core machine (see BenchmarkKernelParallelSolve).
-	autoSolveCrossover = 192
+	// multi-core machine (see BenchmarkKernelParallelSolve). The live
+	// threshold is an atomic the tuner may retarget from the measured
+	// size histogram (Kernel.SetAutoCrossover).
+	defaultAutoCrossover = 192
 	// maxAutoWorkers caps the auto team: memory-level tiles each draw a
 	// (n+1)^2 memScratch arena, so very wide teams trade cache locality
 	// and memory for little extra speedup on the triangular phases.
@@ -53,19 +64,27 @@ const (
 // first parallel solve and retired after teamIdleTimeout without work.
 // Handoff is synchronous (send with a default branch), so a job only
 // counts the helpers that actually took it — if every helper is busy or
-// gone, the caller drains all tiles itself and the result is unchanged,
-// just slower. Correctness never depends on a helper arriving.
+// gone, the caller drains every span itself (its own by local claims,
+// the orphans by stealing) and the result is unchanged, just slower.
+// Correctness never depends on a helper arriving.
 type solveTeam struct {
 	mu      sync.Mutex
-	jobs    chan *teamJob
+	jobs    chan *stealJob
 	workers int // live helper goroutines
+
+	// crossover overrides defaultAutoCrossover when positive; the ops
+	// tuner retargets it from the live size histogram so "big enough to
+	// parallelize" tracks the observed workload instead of a constant.
+	crossover atomic.Int64
 
 	// Counters behind KernelStats.Parallel (core stays free of any obs
 	// dependency: the observability plane projects these from outside).
-	solves atomic.Uint64 // solves that ran with a team (workers > 1)
-	tiles  atomic.Uint64 // tiles dispatched across all phases
-	busyNs atomic.Int64  // nanoseconds participants spent draining tiles
-	skips  atomic.Uint64 // auto-mode solves that stayed serial
+	solves     atomic.Uint64 // solves that ran with a team (workers > 1)
+	tiles      atomic.Uint64 // tiles dispatched across all phases
+	localTiles atomic.Uint64 // tiles claimed from the claimant's own span
+	steals     atomic.Uint64 // steal events (half-span grabs + leftover claims)
+	busyNs     atomic.Int64  // nanoseconds participants spent draining tiles
+	skips      atomic.Uint64 // auto-mode solves that stayed serial
 
 	// widest remembers the largest worker count ever resolved, so
 	// Kernel.Tune can pre-warm exact arenas with one memScratch per
@@ -73,24 +92,144 @@ type solveTeam struct {
 	widest atomic.Int64
 }
 
-// teamJob is one phase dispatch: tiles [0, total) claimed through the
-// atomic cursor. wg tracks the helpers that accepted the job.
-type teamJob struct {
-	next  atomic.Int64
-	total int64
+// ownedSpan is one participant's contiguous tile range [next, limit),
+// packed into a single uint64 (next low 32 bits, limit high 32) so the
+// owner's bottom claim and a thief's top steal linearize through one
+// CAS word — two participants can never obtain the same tile, which the
+// race detector would otherwise flag as a write-write race even when
+// the recomputed values are identical.
+type ownedSpan struct {
+	state atomic.Uint64
+	// Pad to a 64-byte cache line: adjacent owners' cursors sharing a
+	// line would re-introduce exactly the cross-core traffic the
+	// per-worker ranges exist to remove.
+	_ [56]byte
+}
+
+func packSpan(next, limit uint32) uint64 { return uint64(limit)<<32 | uint64(next) }
+
+func unpackSpan(v uint64) (next, limit uint32) { return uint32(v), uint32(v >> 32) }
+
+// reset installs a fresh range. Only the slot owner resets its span
+// (initial cut at dispatch, then each stolen range it adopts), and only
+// while the span is empty — an empty span is never CASed by anyone, so
+// the store cannot race a claim or steal.
+func (s *ownedSpan) reset(lo, hi int) { s.state.Store(packSpan(uint32(lo), uint32(hi))) }
+
+// claim pops the bottom tile. Safe from any participant, not just the
+// owner: a lone leftover tile (too small to split) is claimed directly
+// off the victim.
+func (s *ownedSpan) claim() (int, bool) {
+	for {
+		v := s.state.Load()
+		next, limit := unpackSpan(v)
+		if next >= limit {
+			return 0, false
+		}
+		if s.state.CompareAndSwap(v, packSpan(next+1, limit)) {
+			return int(next), true
+		}
+	}
+}
+
+// remaining reports how many unclaimed tiles the span holds.
+func (s *ownedSpan) remaining() int {
+	next, limit := unpackSpan(s.state.Load())
+	if next >= limit {
+		return 0
+	}
+	return int(limit - next)
+}
+
+// stealHalf removes the upper ⌊r/2⌋ tiles of a span with r remaining
+// and returns the stolen range; it fails when fewer than two tiles
+// remain (singles are claimed, not split, so the victim always keeps
+// the tile its cursor may be mid-claim on).
+func (s *ownedSpan) stealHalf() (lo, hi int, ok bool) {
+	for {
+		v := s.state.Load()
+		next, limit := unpackSpan(v)
+		if limit < next+2 {
+			return 0, 0, false
+		}
+		mid := next + (limit-next+1)/2
+		if s.state.CompareAndSwap(v, packSpan(next, mid)) {
+			return int(mid), int(limit), true
+		}
+	}
+}
+
+// stealJob is one phase dispatch: tiles [0, total) cut into one owned
+// span per participant slot. wg tracks the helpers that accepted the
+// job; spans whose helper never arrived are drained by whoever goes
+// idle first, so the job is work-conserving regardless of handoff luck.
+type stealJob struct {
+	spans []ownedSpan
+	slot  atomic.Int64 // next unassigned participant slot
 	run   func(tile int)
 	wg    sync.WaitGroup
 }
 
-// drain claims and runs tiles until the bag is empty.
-func (j *teamJob) drain() {
+// drain is one participant's schedule: take a slot, exhaust the slot's
+// own span by bottom claims, then repeatedly steal half the most-loaded
+// victim's remainder (adopting it as the new own span) until every span
+// is empty. Counters are accumulated locally and flushed once so the
+// hot loop never touches shared cache lines.
+//
+// Termination is safe even though the idle scan is not atomic across
+// spans: tiles only move between spans via a thief that installs them
+// into its *own* span and drains that span before returning, so a
+// participant that observes emptiness everywhere can leave — every
+// remaining tile is already owned by a participant that will run it.
+func (j *stealJob) drain(t *solveTeam) {
+	slot := int(j.slot.Add(1)-1) % len(j.spans)
+	own := &j.spans[slot]
+	var local, stolen uint64
+	owned := true // claims from the original cut count as local
 	for {
-		t := j.next.Add(1) - 1
-		if t >= j.total {
-			return
+		for {
+			tile, ok := own.claim()
+			if !ok {
+				break
+			}
+			if owned {
+				local++
+			}
+			j.run(tile)
 		}
-		j.run(int(t))
+		victim, most := -1, 0
+		for i := range j.spans {
+			if r := j.spans[i].remaining(); r > most {
+				victim, most = i, r
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		if most >= 2 {
+			if lo, hi, ok := j.spans[victim].stealHalf(); ok {
+				own.reset(lo, hi)
+				owned = false
+				stolen++
+			}
+			continue // lost the race: rescan for a victim
+		}
+		if tile, ok := j.spans[victim].claim(); ok {
+			stolen++
+			j.run(tile)
+		}
 	}
+	t.localTiles.Add(local)
+	t.steals.Add(stolen)
+}
+
+// autoCrossover is the live auto-engage threshold: the tuner's override
+// when set, defaultAutoCrossover otherwise.
+func (t *solveTeam) autoCrossover() int {
+	if c := t.crossover.Load(); c > 0 {
+		return int(c)
+	}
+	return defaultAutoCrossover
 }
 
 // resolveSolveWorkers maps an Options.SolveWorkers request to the
@@ -111,7 +250,7 @@ func (t *solveTeam) resolveSolveWorkers(requested, n int) (int, error) {
 	}
 	// Auto: engage only when the window is big enough to amortize the
 	// team and the machine has more than one core to offer.
-	if w := min(runtime.GOMAXPROCS(0), maxAutoWorkers); w > 1 && n >= autoSolveCrossover {
+	if w := min(runtime.GOMAXPROCS(0), maxAutoWorkers); w > 1 && n >= t.autoCrossover() {
 		t.noteWidth(w)
 		return w, nil
 	}
@@ -129,9 +268,11 @@ func (t *solveTeam) noteWidth(w int) {
 }
 
 // run executes fn(0..tiles-1) on the caller plus up to workers-1 team
-// helpers and returns when every tile has finished. Tiles are claimed
-// in ascending index order; fn must confine its writes to slots derived
-// from the tile index.
+// helpers and returns when every tile has finished. Each participant
+// owns a contiguous slice of the index range and claims it in ascending
+// order; fn must confine its writes to slots derived from the tile
+// index. Callers that want a non-index execution order (the size-sorted
+// memory level) pass fn over a permutation: tile t runs order[t].
 func (t *solveTeam) run(workers, tiles int, fn func(tile int)) {
 	if tiles <= 0 {
 		return
@@ -145,7 +286,12 @@ func (t *solveTeam) run(workers, tiles int, fn func(tile int)) {
 	}
 	t.tiles.Add(uint64(tiles))
 	t.ensureWorkers(want)
-	job := &teamJob{total: int64(tiles), run: fn}
+	nspans := want + 1
+	job := &stealJob{spans: make([]ownedSpan, nspans), run: fn}
+	for s := 0; s < nspans; s++ {
+		lo, hi := tileSpan(tiles, nspans, s)
+		job.spans[s].reset(lo, hi)
+	}
 	for i, retried := 0, false; i < want; i++ {
 		job.wg.Add(1)
 		select {
@@ -163,11 +309,11 @@ func (t *solveTeam) run(workers, tiles int, fn func(tile int)) {
 		select {
 		case t.jobs <- job:
 		default:
-			job.wg.Done() // helpers all busy: the caller covers this slot
+			job.wg.Done() // helpers all busy: idle participants steal this slot's span
 		}
 	}
 	start := time.Now()
-	job.drain()
+	job.drain(t)
 	t.busyNs.Add(int64(time.Since(start)))
 	job.wg.Wait()
 }
@@ -180,7 +326,7 @@ func (t *solveTeam) ensureWorkers(want int) {
 	}
 	t.mu.Lock()
 	if t.jobs == nil {
-		t.jobs = make(chan *teamJob)
+		t.jobs = make(chan *stealJob)
 	}
 	for t.workers < want {
 		t.workers++
@@ -200,7 +346,7 @@ func (t *solveTeam) worker() {
 		select {
 		case job := <-t.jobs:
 			start := time.Now()
-			job.drain()
+			job.drain(t)
 			t.busyNs.Add(int64(time.Since(start)))
 			job.wg.Done()
 			if !timer.Stop() {
@@ -232,9 +378,10 @@ func tileSpan(total, blocks, b int) (lo, hi int) {
 	return lo, hi
 }
 
-// tileCount picks how many blocks to cut an index range into: enough
-// that the cursor can load-balance the triangle's uneven block costs
-// (about eight claims per worker), never more than the range itself.
+// tileCount picks how many tiles to cut an index range into: enough
+// that stealing can rebalance the triangle's uneven block costs at a
+// useful granularity (about eight claims per worker), never more than
+// the range itself.
 func tileCount(total, workers int) int {
 	blocks := 8 * workers
 	if blocks > total {

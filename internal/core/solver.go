@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"chainckpt/internal/chain"
 	"chainckpt/internal/expmath"
@@ -404,6 +405,52 @@ func (s *solver) memLevel(d1 int, emem []float64, mprev []int) {
 	}
 }
 
+// memLevelOrder builds the memory-phase schedule: the admissible disk
+// positions, sorted by a work estimate for each level (verified rows it
+// will fill times the window width — roughly the cells it touches)
+// descending, ties broken ascending-d1 so the order is deterministic.
+// Dispatching the widest levels first keeps the finishing tail short:
+// a straggler that claimed a huge level last would serialize the whole
+// phase behind it. The order is pure scheduling — every level writes
+// only its own row, so any permutation yields byte-identical plans.
+func (s *solver) memLevelOrder() []int {
+	n := s.n
+	order := make([]int, 0, n)
+	for d1 := 0; d1 < n; d1++ {
+		if s.mayDisk(d1) {
+			order = append(order, d1)
+		}
+	}
+	var suffix []int
+	if s.alg != AlgADV {
+		// suffix[i] counts admissible memory boundaries in [i, n): the
+		// verified rows a level rooted at d1 fills beyond its own. ADV
+		// pins m1 == d1, so its levels all have exactly one row.
+		suffix = make([]int, n+1)
+		for i := n - 1; i >= 0; i-- {
+			suffix[i] = suffix[i+1]
+			if s.mayMemory(i) {
+				suffix[i]++
+			}
+		}
+	}
+	est := func(d1 int) int {
+		rows := 1
+		if suffix != nil {
+			rows += suffix[d1]
+		}
+		return rows * (n - d1 + 1)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := est(order[a]), est(order[b])
+		if ea != eb {
+			return ea > eb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
 // diskCell fills edisk[d2][k] as the strict-< argmin over predecessor
 // disk positions d1 of edisk[d1][k-1] + Emem(d1,d2) + C_D(d2), scanning
 // d1 ascending.
@@ -456,10 +503,12 @@ func (s *solver) run() (*Result, error) {
 			}
 		}
 	} else {
-		// Each tile is a contiguous block of disk positions; every level
-		// writes only row d1 of the arenas, so arrival order is
-		// invisible. Ascending blocks put the widest windows (the most
-		// work) first, which is what keeps the tail of the bag short.
+		// Each tile is one memory level; every level writes only row d1
+		// of the arenas, so arrival order is invisible. The schedule is
+		// dense (forbidden boundaries never become tiles) and work-size-
+		// sorted: the widest levels sit at the front of the owner spans,
+		// so the deliberate imbalance is ironed out by stealing and the
+		// finishing tail stays short.
 		row := func(d1 int) {
 			emem := dp.ememBuf[d1*stride : (d1+1)*stride : (d1+1)*stride]
 			mprev := dp.mprvBuf[d1*stride : (d1+1)*stride : (d1+1)*stride]
@@ -467,14 +516,9 @@ func (s *solver) run() (*Result, error) {
 			ememAll[d1] = emem
 			memPrevAll[d1] = mprev
 		}
-		blocks := tileCount(n, workers)
-		s.k.team.run(workers, blocks, func(b int) {
-			lo, hi := tileSpan(n, blocks, b)
-			for d1 := lo; d1 < hi; d1++ {
-				if s.mayDisk(d1) {
-					row(d1)
-				}
-			}
+		order := s.memLevelOrder()
+		s.k.team.run(workers, len(order), func(t int) {
+			row(order[t])
 		})
 	}
 
@@ -511,16 +555,22 @@ func (s *solver) run() (*Result, error) {
 	} else {
 		// Anti-diagonal scheduling for the interval recurrence: cell
 		// (d2,k) reads only column k-1, so each k-level is a bag of
-		// independent d2 tiles with a barrier between levels.
-		blocks := tileCount(n, workers)
+		// independent d2 tiles with a barrier between levels. The tile
+		// space is the dense list of admissible positions — forbidden
+		// boundaries are compacted out up front instead of claimed and
+		// skipped.
+		allowed := make([]int, 0, n)
+		for d2 := 1; d2 <= n; d2++ {
+			if s.mayDisk(d2) {
+				allowed = append(allowed, d2)
+			}
+		}
+		blocks := tileCount(len(allowed), workers)
 		for k := 1; k <= K; k++ {
-			k := k
 			s.k.team.run(workers, blocks, func(b int) {
-				lo, hi := tileSpan(n, blocks, b)
-				for d2 := lo + 1; d2 <= hi; d2++ {
-					if s.mayDisk(d2) {
-						s.diskCell(edisk, diskPrev, ememAll, d2, k)
-					}
+				lo, hi := tileSpan(len(allowed), blocks, b)
+				for i := lo; i < hi; i++ {
+					s.diskCell(edisk, diskPrev, ememAll, allowed[i], k)
 				}
 			})
 		}

@@ -30,6 +30,10 @@ type shard struct {
 	// Atomic so the ops-plane self-tuner can retarget a live engine
 	// without pausing traffic.
 	solveWorkers atomic.Int64
+	// bucketWidths points at the engine's shared per-size-bucket width
+	// override table (see Engine.SetBucketSolveWorkers); consulted
+	// before solveWorkers when stamping a request.
+	bucketWidths *atomic.Pointer[map[int]int64]
 
 	jobs    chan func()
 	workers sync.WaitGroup // pool goroutines
@@ -244,10 +248,27 @@ func (s *shard) solveOnPool(ctx context.Context, req Request) (*core.Result, err
 // kernel. Requests that do not pin their own solver parallelism inherit
 // the engine's SolveWorkers policy; the engine default keeps solves
 // serial, because the pool already provides instance-level parallelism.
+// resolveWidth picks the core SolveWorkers value to stamp on a request
+// that left its own unset: the per-size-bucket override for the
+// request's window length when the tuner has installed one, the shard's
+// global width otherwise. Width is pure scheduling — the plan bytes are
+// identical at every setting — so reading a torn-free snapshot of the
+// COW table without further synchronization is safe.
+func (s *shard) resolveWidth(req Request) int {
+	if s.bucketWidths != nil && req.Chain != nil {
+		if m := s.bucketWidths.Load(); m != nil {
+			if w, ok := (*m)[core.BucketCap(req.Chain.Len())]; ok {
+				return int(w)
+			}
+		}
+	}
+	return int(s.solveWorkers.Load())
+}
+
 func (s *shard) solve(ctx context.Context, req Request) (*core.Result, error) {
 	opts := req.Opts
 	if opts.SolveWorkers == 0 {
-		opts.SolveWorkers = int(s.solveWorkers.Load())
+		opts.SolveWorkers = s.resolveWidth(req)
 	}
 	span := obs.SpanFrom(ctx).Child("kernel.solve")
 	span.SetAttr("algorithm", string(req.Algorithm))

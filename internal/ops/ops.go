@@ -57,18 +57,20 @@ type Metrics struct {
 	Shedding  *obs.Gauge    // chainckpt_slo_shedding
 
 	// Admission families.
-	Admitted   *obs.CounterVec   // chainckpt_admission_admitted_total{class}
-	Shed       *obs.CounterVec   // chainckpt_admission_shed_total{class,reason}
-	Deadline   *obs.CounterVec   // chainckpt_admission_deadline_total{class}
-	Canceled   *obs.CounterVec   // chainckpt_admission_canceled_total{class}
-	QueueWait  *obs.HistogramVec // chainckpt_admission_queue_wait_seconds{class}
-	QueueDepth *obs.GaugeVec     // chainckpt_admission_queue_depth{class}
-	InFlight   *obs.Gauge        // chainckpt_admission_in_flight
+	Admitted        *obs.CounterVec   // chainckpt_admission_admitted_total{class}
+	Shed            *obs.CounterVec   // chainckpt_admission_shed_total{class,reason}
+	Deadline        *obs.CounterVec   // chainckpt_admission_deadline_total{class}
+	Canceled        *obs.CounterVec   // chainckpt_admission_canceled_total{class}
+	QueueWait       *obs.HistogramVec // chainckpt_admission_queue_wait_seconds{class}
+	QueueDepth      *obs.GaugeVec     // chainckpt_admission_queue_depth{class}
+	InFlight        *obs.Gauge        // chainckpt_admission_in_flight
+	ConcurrentLimit *obs.Gauge        // chainckpt_admission_concurrent_limit
 
 	// Tuner families.
-	TunerCycles  *obs.CounterVec // chainckpt_tuner_cycles_total{trigger}
-	TunerActions *obs.CounterVec // chainckpt_tuner_events_total{action}
-	TunerWorkers *obs.Gauge      // chainckpt_tuner_solve_workers
+	TunerCycles        *obs.CounterVec // chainckpt_tuner_cycles_total{trigger}
+	TunerActions       *obs.CounterVec // chainckpt_tuner_events_total{action}
+	TunerWorkers       *obs.Gauge      // chainckpt_tuner_solve_workers
+	TunerBucketWorkers *obs.GaugeVec   // chainckpt_tuner_bucket_workers{bucket}
 }
 
 // NewMetrics registers the ops-plane families on reg and returns the
@@ -113,6 +115,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"class"),
 		InFlight: reg.NewGauge("chainckpt_admission_in_flight",
 			"Requests currently holding an admission slot."),
+		ConcurrentLimit: reg.NewGauge("chainckpt_admission_concurrent_limit",
+			"Current execution-slot bound; moves inside the configured [min,max] band when the tuner's adaptive-concurrency loop is on."),
 
 		TunerCycles: reg.NewCounterVec("chainckpt_tuner_cycles_total",
 			"Self-tune cycles run, by trigger (periodic, forced).",
@@ -122,6 +126,9 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"action"),
 		TunerWorkers: reg.NewGauge("chainckpt_tuner_solve_workers",
 			"Per-solve parallelism currently targeted by the tuner (engine convention: 1 serial, -1 auto, >1 pinned)."),
+		TunerBucketWorkers: reg.NewGaugeVec("chainckpt_tuner_bucket_workers",
+			"Per-size-bucket solve parallelism targeted by the tuner, labeled by bucket capacity (engine convention: 1 serial, -1 auto, >1 pinned).",
+			"bucket"),
 	}
 }
 

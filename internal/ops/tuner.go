@@ -1,8 +1,13 @@
 package ops
 
 import (
+	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"chainckpt/internal/core"
+	"chainckpt/internal/obs"
 )
 
 // TunableEngine is the slice of the planning engine the tuner drives:
@@ -17,6 +22,28 @@ type TunableEngine interface {
 	SolveWorkers() int
 	// SetSolveWorkers retargets it, same convention.
 	SetSolveWorkers(n int)
+}
+
+// BucketTunableEngine is the optional widening of TunableEngine for
+// engines that can pin a solve width per size bucket and retarget the
+// auto crossover (internal/engine.Engine satisfies it). A tuner driving
+// a plain TunableEngine simply skips the per-bucket half of its policy.
+type BucketTunableEngine interface {
+	TunableEngine
+	// SetBucketSolveWorkers pins the width for the size bucket holding
+	// window length n (engine convention; 0 clears the override).
+	SetBucketSolveWorkers(n, workers int)
+	// BucketSolveWorkers reports the live overrides, bucket cap → width.
+	BucketSolveWorkers() map[int]int
+	// SetAutoCrossover retargets the auto-engage window length.
+	SetAutoCrossover(n int)
+}
+
+// AdmissionLimiter is the slice of the admission Controller the tuner's
+// adaptive-concurrency loop drives.
+type AdmissionLimiter interface {
+	MaxConcurrent() int
+	SetMaxConcurrent(n int)
 }
 
 // SizeCount is one row of the kernel's solve-size histogram.
@@ -45,6 +72,58 @@ type TunerConfig struct {
 	HistoryCap int
 	// Now is the clock (default time.Now). Injectable for tests.
 	Now func() time.Time
+
+	// Hysteresis is how many consecutive cycles a per-size-bucket
+	// regime vote must repeat before that bucket's width is flipped
+	// (default 2). An oscillating traffic mix therefore never thrashes
+	// a bucket: the streak resets every time the vote changes. The
+	// global decision above is deliberately unaffected — it keeps the
+	// immediate single-cycle behavior it has always had.
+	Hysteresis int
+	// Cooldown is how many cycles after a bucket flip before that
+	// bucket may flip again (default 2), the second thrash guard.
+	Cooldown int
+	// Crossover, when positive, retargets the solver's auto-engage
+	// window length via BucketTunableEngine.SetAutoCrossover at
+	// construction, and becomes the default LargeN — so the "big enough
+	// to parallelize" threshold is one measured, operator-adjustable
+	// number instead of a compile-time constant.
+	Crossover int
+
+	// Admission, when non-nil together with a QueueWait source and a
+	// positive AdmitMax, enables the adaptive-concurrency loop: each
+	// cycle deltas the queue-wait histogram and nudges the admission
+	// bound within [AdmitMin, AdmitMax] — down one step when the p90
+	// wait is above QueueWaitHigh (the pools are saturated; shedding
+	// earlier protects latency), up one step when it is below
+	// QueueWaitLow (capacity to spare).
+	Admission AdmissionLimiter
+	// QueueWait yields the cumulative engine queue-wait histogram
+	// (per-shard chainckpt_engine_queue_wait_seconds merged).
+	QueueWait func() obs.HistogramSnapshot
+	// AdmitMin/AdmitMax bound the adaptive admission band. AdmitMin
+	// defaults to 1; AdmitMax <= 0 disables the loop.
+	AdmitMin, AdmitMax int
+	// QueueWaitHigh/QueueWaitLow are the p90 seconds thresholds of the
+	// control law (defaults 50ms / 5ms).
+	QueueWaitHigh, QueueWaitLow float64
+}
+
+// BucketDecision records one size bucket's slice of a tuning cycle.
+type BucketDecision struct {
+	// Bucket is the capacity class (core.BucketCap of the windows in it).
+	Bucket int `json:"bucket"`
+	// Solves/LargeShare describe the cycle's traffic inside the bucket.
+	Solves     uint64  `json:"solves"`
+	LargeShare float64 `json:"large_share"`
+	// Target is the width the cycle voted for (engine convention).
+	Target int `json:"target"`
+	// Workers is the override in force after the cycle (0 = none, the
+	// bucket follows the global width).
+	Workers int `json:"workers"`
+	// Action is what happened: "retune" (flipped), "pending" (vote
+	// streak still building), "cooldown" (flip suppressed), "keep".
+	Action string `json:"action"`
 }
 
 // TuningEvent records one self-tune cycle: what the tuner saw, what it
@@ -65,6 +144,16 @@ type TuningEvent struct {
 	// TopSizes is the triggering snapshot: the hottest window lengths
 	// of the cycle (at most 8 rows).
 	TopSizes []SizeCount `json:"top_sizes,omitempty"`
+	// Buckets are the per-size-bucket decisions, ascending by bucket
+	// capacity; empty when the engine has no per-bucket support or the
+	// cycle saw no solves.
+	Buckets []BucketDecision `json:"buckets,omitempty"`
+	// OldAdmitLimit/NewAdmitLimit bracket the adaptive-concurrency
+	// nudge; zero when the loop is disabled. QueueWaitP90 is the cycle's
+	// observed p90 shard-pool queue wait in seconds.
+	OldAdmitLimit int     `json:"old_admit_limit,omitempty"`
+	NewAdmitLimit int     `json:"new_admit_limit,omitempty"`
+	QueueWaitP90  float64 `json:"queue_wait_p90,omitempty"`
 }
 
 // Tuner closes the loop between the kernel's live solve-size histogram
@@ -76,19 +165,33 @@ type TuningEvent struct {
 // below the crossover). Neither changes plan bytes — only how fast a
 // solve runs.
 type Tuner struct {
-	cfg TunerConfig
-	eng TunableEngine
-	m   *Metrics
+	cfg     TunerConfig
+	eng     TunableEngine
+	bucketE BucketTunableEngine // nil when eng has no per-bucket support
+	m       *Metrics
 
-	mu      sync.Mutex
-	last    map[int]uint64 // previous cycle's cumulative per-n counts
-	history []TuningEvent
+	mu       sync.Mutex
+	last     map[int]uint64 // previous cycle's cumulative per-n counts
+	lastWait obs.HistogramSnapshot
+	buckets  map[int]*bucketState
+	history  []TuningEvent
+}
+
+// bucketState is the hysteresis machinery of one size bucket.
+type bucketState struct {
+	current  int // override in force (engine convention), 0 = none
+	pending  int // the width the recent cycles have been voting for
+	streak   int // consecutive cycles pending has repeated
+	cooldown int // cycles left before another flip is allowed
 }
 
 // NewTuner builds a Tuner driving eng. Metrics may be nil.
 func NewTuner(cfg TunerConfig, eng TunableEngine, m *Metrics) *Tuner {
 	if cfg.LargeN <= 0 {
 		cfg.LargeN = 192
+		if cfg.Crossover > 0 {
+			cfg.LargeN = cfg.Crossover
+		}
 	}
 	if cfg.LargeShare <= 0 || cfg.LargeShare >= 1 {
 		cfg.LargeShare = 0.5
@@ -102,7 +205,30 @@ func NewTuner(cfg TunerConfig, eng TunableEngine, m *Metrics) *Tuner {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	t := &Tuner{cfg: cfg, eng: eng, m: m}
+	if cfg.Hysteresis <= 0 {
+		cfg.Hysteresis = 2
+	}
+	if cfg.Cooldown < 0 {
+		cfg.Cooldown = 0
+	} else if cfg.Cooldown == 0 {
+		cfg.Cooldown = 2
+	}
+	if cfg.AdmitMin <= 0 {
+		cfg.AdmitMin = 1
+	}
+	if cfg.QueueWaitHigh <= 0 {
+		cfg.QueueWaitHigh = 0.05
+	}
+	if cfg.QueueWaitLow <= 0 {
+		cfg.QueueWaitLow = 0.005
+	}
+	t := &Tuner{cfg: cfg, eng: eng, m: m, buckets: make(map[int]*bucketState)}
+	if be, ok := eng.(BucketTunableEngine); ok {
+		t.bucketE = be
+		if cfg.Crossover > 0 {
+			be.SetAutoCrossover(cfg.Crossover)
+		}
+	}
 	if m != nil && eng != nil {
 		m.TunerWorkers.Set(float64(eng.SolveWorkers()))
 	}
@@ -159,6 +285,7 @@ func (t *Tuner) RunCycle(trigger string) TuningEvent {
 		}
 	}
 	t.last = cur
+	ev.Buckets = t.decideBuckets(cycle)
 	if len(cycle) > 8 {
 		cycle = cycle[:8]
 	}
@@ -177,6 +304,8 @@ func (t *Tuner) RunCycle(trigger string) TuningEvent {
 		}
 	}
 
+	t.adaptAdmission(&ev)
+
 	t.history = append(t.history, ev)
 	if len(t.history) > t.cfg.HistoryCap {
 		t.history = t.history[len(t.history)-t.cfg.HistoryCap:]
@@ -187,6 +316,123 @@ func (t *Tuner) RunCycle(trigger string) TuningEvent {
 		t.m.TunerWorkers.Set(float64(ev.NewSolveWorkers))
 	}
 	return ev
+}
+
+// decideBuckets runs the per-size-bucket half of the regime policy
+// over one cycle's delta histogram: group the deltas into capacity
+// classes (core.BucketCap — the same classes the scratch pools and the
+// engine's width table use), vote a width per bucket from the
+// within-bucket large share, and flip a bucket's override only after
+// the vote has repeated for Hysteresis consecutive cycles with its
+// post-flip Cooldown expired. Called with t.mu held.
+func (t *Tuner) decideBuckets(cycle []SizeCount) []BucketDecision {
+	if t.bucketE == nil || len(cycle) == 0 {
+		return nil
+	}
+	solves := make(map[int]uint64)
+	large := make(map[int]uint64)
+	for _, s := range cycle {
+		b := core.BucketCap(s.N)
+		solves[b] += s.Solves
+		if s.N >= t.cfg.LargeN {
+			large[b] += s.Solves
+		}
+	}
+	caps := make([]int, 0, len(solves))
+	for b := range solves {
+		caps = append(caps, b)
+	}
+	sort.Ints(caps)
+	out := make([]BucketDecision, 0, len(caps))
+	for _, b := range caps {
+		st := t.buckets[b]
+		if st == nil {
+			st = &bucketState{}
+			t.buckets[b] = st
+		}
+		if st.cooldown > 0 {
+			st.cooldown--
+		}
+		d := BucketDecision{
+			Bucket:     b,
+			Solves:     solves[b],
+			LargeShare: float64(large[b]) / float64(solves[b]),
+			Action:     "keep",
+		}
+		d.Target = 1 // mostly-small bucket: serial
+		if d.LargeShare >= t.cfg.LargeShare {
+			d.Target = -1 // mostly-large bucket: crossover-gated auto
+		}
+		if solves[b] >= t.cfg.MinSamples {
+			// The vote streak only advances on trusted cycles, and
+			// resets whenever the vote changes — an oscillating mix can
+			// therefore never reach the flip threshold.
+			if d.Target == st.pending {
+				st.streak++
+			} else {
+				st.pending, st.streak = d.Target, 1
+			}
+			switch {
+			case d.Target == st.current:
+			case st.cooldown > 0:
+				d.Action = "cooldown"
+			case st.streak < t.cfg.Hysteresis:
+				d.Action = "pending"
+			default:
+				t.bucketE.SetBucketSolveWorkers(b, d.Target)
+				st.current = d.Target
+				st.cooldown = t.cfg.Cooldown
+				d.Action = "retune"
+				if t.m != nil {
+					t.m.TunerBucketWorkers.With(strconv.Itoa(b)).Set(float64(d.Target))
+				}
+			}
+		}
+		d.Workers = st.current
+		out = append(out, d)
+	}
+	return out
+}
+
+// adaptAdmission is the adaptive-concurrency loop: delta the shard-pool
+// queue-wait histogram over the cycle and nudge the admission bound one
+// step within [AdmitMin, AdmitMax]. High p90 wait means work is
+// queueing behind saturated pools — admitting less and shedding earlier
+// is what protects latency; a near-idle queue means the bound can grow
+// back toward AdmitMax. Called with t.mu held.
+func (t *Tuner) adaptAdmission(ev *TuningEvent) {
+	if t.cfg.Admission == nil || t.cfg.QueueWait == nil || t.cfg.AdmitMax < t.cfg.AdmitMin {
+		return
+	}
+	snap := t.cfg.QueueWait()
+	delta := snap.Sub(t.lastWait)
+	t.lastWait = snap
+	cur := t.cfg.Admission.MaxConcurrent()
+	ev.OldAdmitLimit = cur
+	next := cur
+	if delta.Count() > 0 {
+		p90 := delta.Quantile(0.90)
+		ev.QueueWaitP90 = p90
+		step := cur / 4
+		if step < 1 {
+			step = 1
+		}
+		if p90 >= t.cfg.QueueWaitHigh {
+			next = cur - step
+		} else if p90 <= t.cfg.QueueWaitLow {
+			next = cur + step
+		}
+	}
+	if next < t.cfg.AdmitMin {
+		next = t.cfg.AdmitMin
+	}
+	if next > t.cfg.AdmitMax {
+		next = t.cfg.AdmitMax
+	}
+	if next != cur {
+		t.cfg.Admission.SetMaxConcurrent(next)
+	}
+	ev.NewAdmitLimit = next
 }
 
 // History returns the recorded tuning events, oldest first.

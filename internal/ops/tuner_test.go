@@ -32,6 +32,64 @@ func (f *fakeEngine) SetSolveWorkers(n int) {
 	f.mu.Unlock()
 }
 
+// fakeBucketEngine widens fakeEngine to the BucketTunableEngine surface,
+// recording per-bucket overrides and crossover pushes.
+type fakeBucketEngine struct {
+	fakeEngine
+	bucketMu  sync.Mutex
+	buckets   map[int]int
+	crossover int
+}
+
+func (f *fakeBucketEngine) SetBucketSolveWorkers(n, workers int) {
+	f.bucketMu.Lock()
+	defer f.bucketMu.Unlock()
+	if f.buckets == nil {
+		f.buckets = make(map[int]int)
+	}
+	if workers == 0 {
+		delete(f.buckets, n)
+		return
+	}
+	f.buckets[n] = workers
+}
+
+func (f *fakeBucketEngine) BucketSolveWorkers() map[int]int {
+	f.bucketMu.Lock()
+	defer f.bucketMu.Unlock()
+	out := make(map[int]int, len(f.buckets))
+	for b, w := range f.buckets {
+		out[b] = w
+	}
+	return out
+}
+
+func (f *fakeBucketEngine) SetAutoCrossover(n int) {
+	f.bucketMu.Lock()
+	f.crossover = n
+	f.bucketMu.Unlock()
+}
+
+// fakeLimiter records adaptive-admission actuations.
+type fakeLimiter struct {
+	mu    sync.Mutex
+	limit int
+	sets  int
+}
+
+func (f *fakeLimiter) MaxConcurrent() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.limit
+}
+
+func (f *fakeLimiter) SetMaxConcurrent(n int) {
+	f.mu.Lock()
+	f.limit = n
+	f.sets++
+	f.mu.Unlock()
+}
+
 func TestTunerRegimeSwitch(t *testing.T) {
 	reg := obs.NewRegistry()
 	m := NewMetrics(reg)
@@ -115,6 +173,166 @@ func TestTunerHistoryBounded(t *testing.T) {
 	}
 	if got := len(tu.History()); got != 4 {
 		t.Fatalf("history length = %d, want 4 (bounded)", got)
+	}
+}
+
+// bucketDecision pulls one bucket's slice out of a tuning event.
+func bucketDecision(t *testing.T, ev TuningEvent, bucket int) BucketDecision {
+	t.Helper()
+	for _, d := range ev.Buckets {
+		if d.Bucket == bucket {
+			return d
+		}
+	}
+	t.Fatalf("no decision for bucket %d in %+v", bucket, ev.Buckets)
+	return BucketDecision{}
+}
+
+// TestTunerBucketHysteresis: an oscillating traffic mix inside one size
+// bucket (n=250 large vs n=150 small, both bucket 256) must never flip
+// that bucket's width — the vote streak resets on every change — while
+// a stable mix flips exactly once the streak reaches Hysteresis, and the
+// post-flip cooldown suppresses the immediately following counter-vote.
+func TestTunerBucketHysteresis(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	eng := &fakeBucketEngine{}
+	eng.workers = 1
+	var cLarge, cSmall uint64 // cumulative solve counts fed to Sizes
+	tu := NewTuner(TunerConfig{
+		Sizes: func() []SizeCount {
+			return []SizeCount{{N: 250, Solves: cLarge}, {N: 150, Solves: cSmall}}
+		},
+		LargeN:     192,
+		MinSamples: 1,
+		Hysteresis: 2,
+		Cooldown:   2,
+		Crossover:  200,
+	}, eng, m)
+	if eng.crossover != 200 {
+		t.Fatalf("crossover push = %d, want 200", eng.crossover)
+	}
+
+	// Phase 1: strict oscillation. Each cycle's delta votes the opposite
+	// of the last, so the streak never reaches 2 and no override lands.
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			cLarge += 10
+		} else {
+			cSmall += 10
+		}
+		ev := tu.RunCycle("periodic")
+		d := bucketDecision(t, ev, 256)
+		if d.Action != "pending" {
+			t.Fatalf("oscillation cycle %d bucket action = %q, want pending (%+v)", i, d.Action, d)
+		}
+		if d.Workers != 0 {
+			t.Fatalf("oscillation cycle %d installed override %d", i, d.Workers)
+		}
+	}
+	if got := eng.BucketSolveWorkers(); len(got) != 0 {
+		t.Fatalf("oscillating mix flipped a bucket: %v", got)
+	}
+
+	// Phase 2: two consecutive large cycles. The oscillation ended on a
+	// small vote, so the first large cycle resets the streak to 1
+	// ("pending") and the second reaches Hysteresis and flips.
+	cLarge += 10
+	ev := tu.RunCycle("periodic")
+	if d := bucketDecision(t, ev, 256); d.Action != "pending" {
+		t.Fatalf("first stable cycle action = %q, want pending", d.Action)
+	}
+	cLarge += 10
+	ev = tu.RunCycle("periodic")
+	d := bucketDecision(t, ev, 256)
+	if d.Action != "retune" || d.Target != -1 || d.Workers != -1 {
+		t.Fatalf("second stable cycle = %+v, want retune to -1", d)
+	}
+	if got := eng.BucketSolveWorkers(); got[256] != -1 {
+		t.Fatalf("bucket overrides after flip = %v, want 256:-1", got)
+	}
+	if got := m.TunerBucketWorkers.With("256").Value(); got != -1 {
+		t.Fatalf("bucket workers gauge = %v, want -1", got)
+	}
+
+	// Phase 3: the traffic turns small. The first counter-cycle is inside
+	// the cooldown window; the second clears it and, with the streak at
+	// Hysteresis, flips back.
+	cSmall += 10
+	ev = tu.RunCycle("periodic")
+	if d := bucketDecision(t, ev, 256); d.Action != "cooldown" {
+		t.Fatalf("post-flip cycle action = %q, want cooldown", d.Action)
+	}
+	cSmall += 10
+	ev = tu.RunCycle("periodic")
+	d = bucketDecision(t, ev, 256)
+	if d.Action != "retune" || d.Target != 1 {
+		t.Fatalf("cooldown-expired cycle = %+v, want retune to 1", d)
+	}
+	if got := eng.BucketSolveWorkers(); got[256] != 1 {
+		t.Fatalf("bucket overrides after flip back = %v, want 256:1", got)
+	}
+	if got := m.TunerBucketWorkers.With("256").Value(); got != 1 {
+		t.Fatalf("bucket workers gauge = %v, want 1", got)
+	}
+}
+
+// TestTunerAdmissionAdapt: the adaptive-concurrency loop deltas the
+// queue-wait histogram each cycle and steps the admission bound down on
+// a hot p90, up on a cold one, clamped to [AdmitMin, AdmitMax], and
+// holds still on an idle cycle.
+func TestTunerAdmissionAdapt(t *testing.T) {
+	eng := &fakeEngine{workers: 1}
+	lim := &fakeLimiter{limit: 16}
+	uppers := []float64{0.001, 0.01, 0.1, 1}
+	var snap obs.HistogramSnapshot
+	tu := NewTuner(TunerConfig{
+		Admission: lim,
+		QueueWait: func() obs.HistogramSnapshot { return snap },
+		AdmitMin:  2,
+		AdmitMax:  16,
+	}, eng, nil)
+
+	// Cycle 1: 100 waits in the 10–100ms bucket — p90 ≈ 91ms, above the
+	// 50ms high-water mark. Step down by cur/4: 16 -> 12.
+	snap = obs.HistogramSnapshot{Uppers: uppers, Cum: []uint64{0, 0, 100, 100, 100}, Sum: 5}
+	ev := tu.RunCycle("periodic")
+	if ev.OldAdmitLimit != 16 || ev.NewAdmitLimit != 12 || lim.MaxConcurrent() != 12 {
+		t.Fatalf("hot cycle = old %d new %d limiter %d, want 16 -> 12",
+			ev.OldAdmitLimit, ev.NewAdmitLimit, lim.MaxConcurrent())
+	}
+	if ev.QueueWaitP90 < 0.05 {
+		t.Fatalf("hot cycle p90 = %v, want >= 0.05", ev.QueueWaitP90)
+	}
+
+	// Cycle 2: 100 new waits all under 1ms — the DELTA is cold even
+	// though the cumulative histogram still holds the hot era. Step up:
+	// 12 -> 15.
+	snap = obs.HistogramSnapshot{Uppers: uppers, Cum: []uint64{100, 100, 200, 200, 200}, Sum: 5.05}
+	ev = tu.RunCycle("periodic")
+	if ev.NewAdmitLimit != 15 || lim.MaxConcurrent() != 15 {
+		t.Fatalf("cold cycle limit = %d/%d, want 15", ev.NewAdmitLimit, lim.MaxConcurrent())
+	}
+
+	// Cycle 3: no new waits — hold.
+	before := lim.sets
+	ev = tu.RunCycle("periodic")
+	if ev.NewAdmitLimit != 15 || lim.sets != before {
+		t.Fatalf("idle cycle moved the bound: %+v (sets %d -> %d)", ev, before, lim.sets)
+	}
+
+	// Clamp: hot cycles walk the bound down but never below AdmitMin.
+	cum := uint64(200)
+	for i := 0; i < 12; i++ {
+		cum += 50
+		snap = obs.HistogramSnapshot{Uppers: uppers, Cum: []uint64{100, 100, cum, cum, cum}, Sum: float64(cum) / 20}
+		ev = tu.RunCycle("periodic")
+		if ev.NewAdmitLimit < 2 || lim.MaxConcurrent() < 2 {
+			t.Fatalf("bound fell below AdmitMin: %+v", ev)
+		}
+	}
+	if lim.MaxConcurrent() != 2 {
+		t.Fatalf("limiter = %d, want clamped at AdmitMin 2", lim.MaxConcurrent())
 	}
 }
 
